@@ -1,0 +1,67 @@
+//! Request/response matching over a deployment's output sink.
+//!
+//! Several requests may be in flight at once; outputs arrive on one shared
+//! channel. The stash buffers outputs for other correlation ids while a
+//! caller waits for its own.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sdg_common::error::{SdgError, SdgResult};
+use sdg_runtime::deploy::{Deployment, OutputEvent};
+
+/// A correlation-id-matching output reader.
+#[derive(Debug, Default)]
+pub struct OutputStash {
+    stash: Mutex<VecDeque<OutputEvent>>,
+}
+
+impl OutputStash {
+    /// Creates an empty stash.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Waits for the output of request `corr`, buffering unrelated outputs.
+    pub fn await_output(
+        &self,
+        deployment: &Deployment,
+        corr: u64,
+        timeout: Duration,
+    ) -> SdgResult<OutputEvent> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let mut stash = self.stash.lock();
+                if let Some(pos) = stash.iter().position(|e| e.corr == corr) {
+                    return Ok(stash.remove(pos).expect("position held under lock"));
+                }
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(SdgError::Runtime(format!("request {corr} timed out")));
+            }
+            match deployment.outputs().recv_timeout(remaining) {
+                Ok(event) if event.corr == corr => return Ok(event),
+                Ok(event) => self.stash.lock().push_back(event),
+                Err(_) => return Err(SdgError::Runtime(format!("request {corr} timed out"))),
+            }
+        }
+    }
+
+    /// Drops all stashed outputs (e.g. between benchmark phases).
+    pub fn clear(&self) {
+        self.stash.lock().clear();
+    }
+
+    /// Number of stashed (unclaimed) outputs.
+    pub fn len(&self) -> usize {
+        self.stash.lock().len()
+    }
+
+    /// Returns `true` when nothing is stashed.
+    pub fn is_empty(&self) -> bool {
+        self.stash.lock().is_empty()
+    }
+}

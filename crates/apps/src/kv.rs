@@ -1,0 +1,207 @@
+//! A distributed partitioned key/value store (§6.1's synthetic benchmark).
+//!
+//! "We implement a distributed partitioned key/value store using SDGs
+//! because it exemplifies an algorithm with pure mutable state." Used for
+//! the state-size (Fig. 6), multi-node scaling (Fig. 7) and all recovery
+//! experiments (Figs 11–13).
+
+use std::time::Duration;
+
+use sdg_common::error::{SdgError, SdgResult};
+use sdg_common::ids::StateId;
+use sdg_common::record;
+use sdg_common::value::Value;
+use sdg_ir::parser::parse_program;
+use sdg_runtime::config::RuntimeConfig;
+use sdg_runtime::deploy::Deployment;
+use sdg_translate::translate;
+
+use crate::client::OutputStash;
+use crate::workloads::KvRequest;
+
+/// The annotated StateLang source of the key/value store.
+pub const KV_SOURCE: &str = r#"
+    @Partitioned Table kv;
+
+    void put(int k, string v) {
+        kv.put(k, v);
+    }
+
+    string get(int k) {
+        let v = kv.get(k);
+        emit v;
+    }
+
+    void bump(int k) {
+        kv.inc(k, 1);
+    }
+
+    int putAck(int k, string v) {
+        kv.put(k, v);
+        emit k;
+    }
+"#;
+
+/// A running key/value store deployment.
+pub struct KvApp {
+    deployment: Deployment,
+    state: StateId,
+    stash: OutputStash,
+}
+
+impl KvApp {
+    /// Translates and deploys the store with `partitions` partitions.
+    pub fn start(partitions: usize, cfg: RuntimeConfig) -> SdgResult<KvApp> {
+        Self::start_tuned(partitions, None, cfg)
+    }
+
+    /// Like [`KvApp::start`], but models a per-request service time on
+    /// every task — useful for scaling experiments, where the interesting
+    /// behaviour is request handling across nodes rather than raw hash-map
+    /// speed.
+    pub fn start_tuned(
+        partitions: usize,
+        per_request: Option<Duration>,
+        mut cfg: RuntimeConfig,
+    ) -> SdgResult<KvApp> {
+        let prog = parse_program(KV_SOURCE)?;
+        let sdg = translate(&prog)?;
+        let state = sdg
+            .state_by_name("kv")
+            .ok_or_else(|| SdgError::NotFound("kv".into()))?
+            .id;
+        cfg.se_instances.insert(state, partitions);
+        if let Some(work) = per_request {
+            for task in &sdg.tasks {
+                cfg.work_ns.insert(task.id, work.as_nanos() as u64);
+            }
+        }
+        Ok(KvApp {
+            deployment: Deployment::start(sdg, cfg)?,
+            state,
+            stash: OutputStash::new(),
+        })
+    }
+
+    /// The underlying deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The `kv` state element.
+    pub fn state(&self) -> StateId {
+        self.state
+    }
+
+    /// Asynchronously writes `value` under `key`.
+    pub fn put(&self, key: i64, value: &str) -> SdgResult<()> {
+        self.deployment
+            .submit("put", record! {"k" => Value::Int(key), "v" => Value::str(value)})
+            .map(|_| ())
+    }
+
+    /// Writes `value` under `key` and emits an acknowledgement, so the
+    /// output sink observes the update's client-visible latency.
+    pub fn put_ack(&self, key: i64, value: &str) -> SdgResult<u64> {
+        self.deployment
+            .submit("putAck", record! {"k" => Value::Int(key), "v" => Value::str(value)})
+    }
+
+    /// Asynchronously increments the counter at `key`.
+    pub fn bump(&self, key: i64) -> SdgResult<()> {
+        self.deployment
+            .submit("bump", record! {"k" => Value::Int(key)})
+            .map(|_| ())
+    }
+
+    /// Issues a read and returns its correlation id.
+    pub fn request_get(&self, key: i64) -> SdgResult<u64> {
+        self.deployment.submit("get", record! {"k" => Value::Int(key)})
+    }
+
+    /// Blocking read; returns `None` for absent keys.
+    pub fn get(&self, key: i64, timeout: Duration) -> SdgResult<Option<Value>> {
+        let corr = self.request_get(key)?;
+        let event = self.stash.await_output(&self.deployment, corr, timeout)?;
+        Ok(match event.value {
+            Value::Null => None,
+            other => Some(other),
+        })
+    }
+
+    /// Applies one generated request (puts asynchronously; gets issue a
+    /// request without waiting), for throughput workloads.
+    pub fn apply(&self, request: &KvRequest) -> SdgResult<()> {
+        match request {
+            KvRequest::Put { key, value } => self.put(*key, value),
+            KvRequest::Get { key } => self.request_get(*key).map(|_| ()),
+        }
+    }
+
+    /// Total bytes held across all partitions.
+    pub fn state_bytes(&self) -> usize {
+        self.deployment.state_bytes(self.state)
+    }
+
+    /// Waits for in-flight work to drain.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        self.deployment.quiesce(timeout)
+    }
+
+    /// Stops the deployment.
+    pub fn shutdown(self) {
+        self.deployment.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::kv_requests;
+    use std::collections::HashMap;
+
+    #[test]
+    fn puts_and_gets_roundtrip_across_partitions() {
+        let app = KvApp::start(3, RuntimeConfig::default()).unwrap();
+        for k in 0..40 {
+            app.put(k, &format!("value-{k}")).unwrap();
+        }
+        assert!(app.quiesce(Duration::from_secs(10)));
+        for k in 0..40 {
+            let v = app.get(k, Duration::from_secs(5)).unwrap();
+            assert_eq!(v, Some(Value::str(format!("value-{k}"))));
+        }
+        assert_eq!(app.get(999, Duration::from_secs(5)).unwrap(), None);
+        app.shutdown();
+    }
+
+    #[test]
+    fn generated_workload_matches_a_hashmap() {
+        let app = KvApp::start(2, RuntimeConfig::default()).unwrap();
+        let mut model: HashMap<i64, String> = HashMap::new();
+        for req in kv_requests(300, 40, 12, 0.3, 11) {
+            app.apply(&req).unwrap();
+            if let KvRequest::Put { key, value } = req {
+                model.insert(key, value);
+            }
+        }
+        assert!(app.quiesce(Duration::from_secs(10)));
+        for (k, expected) in model {
+            let got = app.get(k, Duration::from_secs(5)).unwrap();
+            assert_eq!(got, Some(Value::str(expected)), "key {k}");
+        }
+        app.shutdown();
+    }
+
+    #[test]
+    fn state_bytes_grow_with_payload() {
+        let app = KvApp::start(2, RuntimeConfig::default()).unwrap();
+        let before = app.state_bytes();
+        for k in 0..50 {
+            app.put(k, &"x".repeat(1_000)).unwrap();
+        }
+        assert!(app.quiesce(Duration::from_secs(10)));
+        assert!(app.state_bytes() > before + 40_000);
+        app.shutdown();
+    }
+}

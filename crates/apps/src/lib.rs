@@ -1,0 +1,32 @@
+//! The paper's applications, written in StateLang and run on the SDG
+//! runtime.
+//!
+//! - [`cf`] — online collaborative filtering (Alg. 1 of the paper): a
+//!   partitioned `userItem` matrix, a partial `coOcc` matrix, fresh
+//!   recommendations with `@Global` access and merge (§2.1, Figs 5, 10);
+//! - [`kv`] — a partitioned key/value store, the paper's synthetic
+//!   benchmark for state size, scalability and recovery (Figs 6, 7, 11,
+//!   12, 13);
+//! - [`wc`] — streaming wordcount with fine-grained state updates
+//!   (Fig. 8); the splitter is a native task because it fans one line out
+//!   into many word items;
+//! - [`lr`] — streaming logistic regression with a partial weight vector,
+//!   the iterative/batch scalability workload (Fig. 9);
+//! - [`workloads`] — deterministic generators: Zipf-distributed ratings
+//!   (the Netflix-dataset substitute), synthetic text (the Wikipedia
+//!   substitute), key/value request streams and labelled feature vectors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cf;
+pub mod client;
+pub mod kv;
+pub mod lr;
+pub mod wc;
+pub mod workloads;
+
+pub use cf::CfApp;
+pub use kv::KvApp;
+pub use lr::LrApp;
+pub use wc::WcApp;

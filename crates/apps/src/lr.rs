@@ -1,0 +1,186 @@
+//! Streaming logistic regression with partial weight state (Fig. 9).
+//!
+//! Each partial instance of the weight vector is trained independently on
+//! the examples routed to it (asynchronous SGD) — the paper's observation
+//! that iterative ML algorithms "can converge from different intermediate
+//! states" (§3.1). `getWeights` reconciles the instances by averaging,
+//! using the same `@Global`/`@Collection` machinery as CF.
+
+use std::time::Duration;
+
+use sdg_common::error::{SdgError, SdgResult};
+use sdg_common::ids::StateId;
+use sdg_common::record;
+use sdg_common::value::Value;
+use sdg_ir::parser::parse_program;
+use sdg_runtime::config::RuntimeConfig;
+use sdg_runtime::deploy::Deployment;
+use sdg_translate::translate;
+
+use crate::client::OutputStash;
+use crate::workloads::LabelledExample;
+
+/// The annotated StateLang source of streaming logistic regression.
+pub const LR_SOURCE: &str = r#"
+    @Partial Vector w;
+
+    void train(list x, float label) {
+        let pred = w.dot(x);
+        let margin = pred * label;
+        let coeff = label * 0.5 / (1.0 + exp(margin));
+        w.axpy(coeff, x);
+    }
+
+    Vector getWeights() {
+        @Partial let wl = @Global w.toList();
+        let m = mergeAvg(@Collection wl);
+        emit m;
+    }
+
+    Vector mergeAvg(@Collection Vector all) {
+        let acc = [];
+        foreach (cur : all) { acc = vec_add(acc, cur); }
+        let m = vec_scale(acc, 1.0 / to_float(len(all)));
+        return m;
+    }
+"#;
+
+/// A running logistic regression deployment.
+pub struct LrApp {
+    deployment: Deployment,
+    weights_state: StateId,
+    stash: OutputStash,
+    dims: usize,
+}
+
+impl LrApp {
+    /// Translates and deploys the trainer with `replicas` partial weight
+    /// instances for `dims`-dimensional features.
+    pub fn start(replicas: usize, dims: usize, cfg: RuntimeConfig) -> SdgResult<LrApp> {
+        Self::start_tuned(replicas, dims, None, cfg)
+    }
+
+    /// Like [`LrApp::start`], but models a per-example training cost on the
+    /// `train` task (for scaling experiments).
+    pub fn start_tuned(
+        replicas: usize,
+        dims: usize,
+        per_example: Option<Duration>,
+        mut cfg: RuntimeConfig,
+    ) -> SdgResult<LrApp> {
+        let prog = parse_program(LR_SOURCE)?;
+        let sdg = translate(&prog)?;
+        let weights_state = sdg
+            .state_by_name("w")
+            .ok_or_else(|| SdgError::NotFound("w".into()))?
+            .id;
+        cfg.se_instances.insert(weights_state, replicas);
+        if let Some(work) = per_example {
+            if let Some(train) = sdg.task_by_name("train_0") {
+                cfg.work_ns.insert(train.id, work.as_nanos() as u64);
+            }
+        }
+        Ok(LrApp {
+            deployment: Deployment::start(sdg, cfg)?,
+            weights_state,
+            stash: OutputStash::new(),
+            dims,
+        })
+    }
+
+    /// The underlying deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The weight-vector state element.
+    pub fn weights_state(&self) -> StateId {
+        self.weights_state
+    }
+
+    /// Feature dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Streams one training example (asynchronous).
+    pub fn train(&self, ex: &LabelledExample) -> SdgResult<()> {
+        let x = Value::List(ex.features.iter().map(|&v| Value::Float(v)).collect());
+        self.deployment
+            .submit("train", record! {"x" => x, "label" => Value::Float(ex.label)})
+            .map(|_| ())
+    }
+
+    /// Fetches the averaged global weights.
+    pub fn weights(&self, timeout: Duration) -> SdgResult<Vec<f64>> {
+        let corr = self.deployment.submit("getWeights", record! {})?;
+        let event = self.stash.await_output(&self.deployment, corr, timeout)?;
+        event
+            .value
+            .as_list()?
+            .iter()
+            .map(Value::as_float)
+            .collect()
+    }
+
+    /// Classifies `features` with the given weights.
+    pub fn predict(weights: &[f64], features: &[f64]) -> f64 {
+        let score: f64 = weights.iter().zip(features).map(|(w, x)| w * x).sum();
+        if score >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Waits for in-flight work to drain.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        self.deployment.quiesce(timeout)
+    }
+
+    /// Stops the deployment.
+    pub fn shutdown(self) {
+        self.deployment.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::lr_examples;
+
+    #[test]
+    fn streaming_sgd_learns_the_separator() {
+        let app = LrApp::start(2, 6, RuntimeConfig::default()).unwrap();
+        let examples = lr_examples(1_500, 6, 21);
+        for ex in &examples {
+            app.train(ex).unwrap();
+        }
+        assert!(app.quiesce(Duration::from_secs(20)));
+        let weights = app.weights(Duration::from_secs(10)).unwrap();
+        assert_eq!(weights.len(), 6);
+        let correct = examples
+            .iter()
+            .filter(|ex| LrApp::predict(&weights, &ex.features) == ex.label)
+            .count();
+        let accuracy = correct as f64 / examples.len() as f64;
+        assert!(accuracy > 0.85, "accuracy {accuracy}");
+        assert_eq!(app.deployment().error_count(), 0);
+        app.shutdown();
+    }
+
+    #[test]
+    fn weights_are_averaged_across_partials() {
+        let app = LrApp::start(3, 4, RuntimeConfig::default()).unwrap();
+        // With no training, weights are empty lists averaged to empty.
+        let w = app.weights(Duration::from_secs(10)).unwrap();
+        assert!(w.is_empty());
+        for ex in lr_examples(300, 4, 5) {
+            app.train(&ex).unwrap();
+        }
+        assert!(app.quiesce(Duration::from_secs(20)));
+        let w = app.weights(Duration::from_secs(10)).unwrap();
+        assert_eq!(w.len(), 4);
+        app.shutdown();
+    }
+}

@@ -1,0 +1,244 @@
+//! Deterministic synthetic workload generators.
+//!
+//! The paper evaluates on the Netflix ratings dataset and a Wikipedia text
+//! dump; neither ships with this reproduction, so these generators produce
+//! statistically similar substitutes: Zipf-skewed entity popularity and
+//! configurable sizes. All generators are seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(θ) sampler over `{0, .., n-1}` using a precomputed CDF.
+///
+/// Item popularity in rating datasets and word frequency in text are both
+/// approximately Zipfian, which is what stresses skewed partitions.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `theta` (1.0 is the
+    /// classic distribution; 0.0 is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One rating event for the CF application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rating {
+    /// User identifier.
+    pub user: i64,
+    /// Item identifier.
+    pub item: i64,
+    /// Star rating in `1..=5`.
+    pub rating: i64,
+}
+
+/// Generates Zipf-skewed ratings (the Netflix-dataset substitute).
+pub fn ratings(count: usize, users: usize, items: usize, seed: u64) -> Vec<Rating> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let user_dist = Zipf::new(users, 0.8);
+    let item_dist = Zipf::new(items, 1.0);
+    (0..count)
+        .map(|_| Rating {
+            user: user_dist.sample(&mut rng) as i64,
+            item: item_dist.sample(&mut rng) as i64,
+            rating: rng.gen_range(1..=5),
+        })
+        .collect()
+}
+
+/// Generates lines of Zipf-frequency words (the Wikipedia substitute).
+pub fn text_lines(lines: usize, words_per_line: usize, vocab: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Zipf::new(vocab, 1.0);
+    (0..lines)
+        .map(|_| {
+            (0..words_per_line)
+                .map(|_| format!("word{}", dist.sample(&mut rng)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+/// One key/value request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvRequest {
+    /// Write `value` under `key`.
+    Put {
+        /// Key.
+        key: i64,
+        /// Value payload.
+        value: String,
+    },
+    /// Read `key`.
+    Get {
+        /// Key.
+        key: i64,
+    },
+}
+
+/// Generates a key/value request stream with the given read fraction and
+/// payload size.
+pub fn kv_requests(
+    count: usize,
+    keys: usize,
+    value_bytes: usize,
+    read_fraction: f64,
+    seed: u64,
+) -> Vec<KvRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let key = rng.gen_range(0..keys as i64);
+            if rng.gen::<f64>() < read_fraction {
+                KvRequest::Get { key }
+            } else {
+                let value: String = (0..value_bytes)
+                    .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                    .collect();
+                KvRequest::Put { key, value }
+            }
+        })
+        .collect()
+}
+
+/// One labelled example for logistic regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledExample {
+    /// Feature values.
+    pub features: Vec<f64>,
+    /// Label in `{-1.0, +1.0}`.
+    pub label: f64,
+}
+
+/// Generates linearly separable examples (separator = sum of features).
+pub fn lr_examples(count: usize, dims: usize, seed: u64) -> Vec<LabelledExample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let features: Vec<f64> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let label = if features.iter().sum::<f64>() >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
+            LabelledExample { features, label }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate rank 50 heavily under θ = 1.
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(ratings(50, 10, 10, 7), ratings(50, 10, 10, 7));
+        assert_ne!(ratings(50, 10, 10, 7), ratings(50, 10, 10, 8));
+        assert_eq!(text_lines(5, 8, 100, 3), text_lines(5, 8, 100, 3));
+        assert_eq!(
+            kv_requests(20, 5, 16, 0.5, 1),
+            kv_requests(20, 5, 16, 0.5, 1)
+        );
+        assert_eq!(lr_examples(10, 4, 9), lr_examples(10, 4, 9));
+    }
+
+    #[test]
+    fn ratings_respect_domains() {
+        for r in ratings(200, 10, 20, 1) {
+            assert!((0..10).contains(&r.user));
+            assert!((0..20).contains(&r.item));
+            assert!((1..=5).contains(&r.rating));
+        }
+    }
+
+    #[test]
+    fn kv_requests_respect_read_fraction() {
+        let reqs = kv_requests(2_000, 100, 8, 0.25, 5);
+        let reads = reqs.iter().filter(|r| matches!(r, KvRequest::Get { .. })).count();
+        let fraction = reads as f64 / reqs.len() as f64;
+        assert!((0.2..0.3).contains(&fraction), "{fraction}");
+        for r in &reqs {
+            if let KvRequest::Put { value, .. } = r {
+                assert_eq!(value.len(), 8);
+            }
+        }
+    }
+
+    #[test]
+    fn text_lines_have_requested_shape() {
+        let lines = text_lines(10, 6, 50, 4);
+        assert_eq!(lines.len(), 10);
+        for line in &lines {
+            assert_eq!(line.split(' ').count(), 6);
+        }
+        // Zipf skew: the most common word should repeat across lines.
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for line in &lines {
+            for w in line.split(' ') {
+                *counts.entry(w).or_default() += 1;
+            }
+        }
+        assert!(counts.values().max().unwrap() > &3);
+    }
+
+    #[test]
+    fn lr_examples_are_separable_by_construction() {
+        for ex in lr_examples(100, 6, 2) {
+            let sum: f64 = ex.features.iter().sum();
+            assert_eq!(ex.label, if sum >= 0.0 { 1.0 } else { -1.0 });
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Microbenchmarks of the checkpoint/recovery kernels (Figs 11 and 12).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdg_checkpoint::backup::BackupStore;
+use sdg_checkpoint::cell::StateCell;
+use sdg_checkpoint::config::CheckpointConfig;
+use sdg_checkpoint::coordinator::take_checkpoint;
+use sdg_checkpoint::recovery::restore_state;
+use sdg_common::ids::{EdgeId, InstanceId, TaskId};
+use sdg_common::value::{Key, Value};
+use sdg_state::store::StateType;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cell_with_entries(n: usize) -> StateCell {
+    let cell = StateCell::new(StateType::Table);
+    let payload = "z".repeat(256);
+    for k in 0..n {
+        cell.apply(EdgeId(0), (k + 1) as u64, |s| {
+            s.as_table().unwrap().put(Key::Int(k as i64), Value::str(&payload));
+        });
+    }
+    cell
+}
+
+fn stores(m: usize) -> Vec<Arc<BackupStore>> {
+    (0..m).map(|_| Arc::new(BackupStore::in_memory())).collect()
+}
+
+fn checkpoint_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    // Fig. 12 kernel: the full checkpoint cycle, async vs sync. In async
+    // mode the interesting cost (the lock hold time) is tiny; here we
+    // measure the whole cycle for both so the totals are comparable.
+    for (name, synchronous) in [("async_cycle", false), ("sync_cycle", true)] {
+        group.bench_function(name, |b| {
+            let cell = cell_with_entries(10_000);
+            let stores = stores(2);
+            let cfg = CheckpointConfig {
+                synchronous,
+                ..CheckpointConfig::default()
+            };
+            let mut seq = 0;
+            b.iter(|| {
+                seq += 1;
+                black_box(
+                    take_checkpoint(
+                        &cell,
+                        InstanceId::new(TaskId(0), 0),
+                        seq,
+                        Vec::new,
+                        &stores,
+                        &cfg,
+                    )
+                    .unwrap(),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+fn recovery_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    // Fig. 11 kernel: m-to-n restore of ~5 MB of state.
+    for (m, n) in [(1usize, 1usize), (2, 1), (1, 2), (2, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("restore", format!("{m}-to-{n}")),
+            &(m, n),
+            |b, &(m, n)| {
+                let cell = cell_with_entries(20_000);
+                let stores = stores(m);
+                let cfg = CheckpointConfig {
+                    backup_fanout: m,
+                    ..CheckpointConfig::default()
+                };
+                let set = take_checkpoint(
+                    &cell,
+                    InstanceId::new(TaskId(0), 0),
+                    1,
+                    Vec::new,
+                    &stores,
+                    &cfg,
+                )
+                .unwrap();
+                b.iter(|| black_box(restore_state(&set, &stores, n).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, checkpoint_modes, recovery_strategies);
+criterion_main!(benches);

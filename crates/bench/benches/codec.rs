@@ -1,0 +1,46 @@
+//! Microbenchmarks of the wire/checkpoint codec (chunk serialisation is
+//! the CPU side of Figs 11-13).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdg_checkpoint::backup::{decode_entries, encode_entries};
+use sdg_common::codec::{decode_from_slice, encode_to_vec};
+use sdg_common::record;
+use sdg_common::value::{Record, Value};
+use sdg_state::entry::StateEntry;
+use std::time::Duration;
+
+fn value_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+
+    let record = record! {
+        "user" => Value::Int(42),
+        "row" => Value::List((0..32).map(|i| Value::List(vec![Value::Int(i), Value::Float(i as f64)])).collect()),
+    };
+    let bytes = encode_to_vec(&record);
+
+    group.bench_function("encode_record", |b| {
+        b.iter(|| black_box(encode_to_vec(&record)));
+    });
+    group.bench_function("decode_record", |b| {
+        b.iter(|| black_box(decode_from_slice::<Record>(&bytes).unwrap()));
+    });
+
+    let entries: Vec<StateEntry> = (0..1_000)
+        .map(|i| StateEntry::new(vec![i as u8, (i >> 8) as u8], vec![7u8; 128]))
+        .collect();
+    let chunk = encode_entries(&entries);
+    group.bench_function("encode_chunk_1k_entries", |b| {
+        b.iter(|| black_box(encode_entries(&entries)));
+    });
+    group.bench_function("decode_chunk_1k_entries", |b| {
+        b.iter(|| black_box(decode_entries(&chunk).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, value_codec);
+criterion_main!(benches);

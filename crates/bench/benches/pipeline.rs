@@ -1,0 +1,111 @@
+//! End-to-end pipeline microbenchmarks: one request through a deployed
+//! SDG (the per-request kernels behind Figs 5-7).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdg_apps::cf::CfApp;
+use sdg_apps::kv::KvApp;
+use sdg_common::record;
+use sdg_common::value::Value;
+use sdg_runtime::config::RuntimeConfig;
+use std::time::Duration;
+
+fn kv_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_kv");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    let app = KvApp::start(2, RuntimeConfig::default()).unwrap();
+    let payload = "x".repeat(256);
+    let mut k = 0i64;
+    group.bench_function("put_async", |b| {
+        b.iter(|| {
+            k += 1;
+            app.put(k % 10_000, &payload).unwrap();
+        });
+    });
+    assert!(app.quiesce(Duration::from_secs(30)));
+
+    group.bench_function("get_roundtrip", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            black_box(app.get(i % 10_000, Duration::from_secs(5)).unwrap());
+        });
+    });
+    drop(group);
+    app.shutdown();
+}
+
+fn cf_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_cf");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+
+    let app = CfApp::start(2, 2, RuntimeConfig::default()).unwrap();
+    // Preload with a wide domain so rows stay small and the per-op cost is
+    // stable across the measurement.
+    for i in 0..2_000i64 {
+        app.add_rating(sdg_apps::workloads::Rating {
+            user: i % 1_000,
+            item: i % 97,
+            rating: 1 + i % 5,
+        })
+        .unwrap();
+    }
+    assert!(app.quiesce(Duration::from_secs(60)));
+
+    let mut i = 0i64;
+    group.bench_function("add_rating_async", |b| {
+        b.iter(|| {
+            i += 1;
+            app.add_rating(sdg_apps::workloads::Rating {
+                user: 1_000 + i % 50_000,
+                item: i % 97,
+                rating: 1 + i % 5,
+            })
+            .unwrap();
+        });
+    });
+    assert!(app.quiesce(Duration::from_secs(60)));
+
+    group.bench_function("get_rec_roundtrip", |b| {
+        let mut u = 0i64;
+        b.iter(|| {
+            u += 1;
+            black_box(app.get_rec(u % 1_000, Duration::from_secs(10)).unwrap());
+        });
+    });
+    drop(group);
+    app.shutdown();
+}
+
+fn submit_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_submit");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+
+    // The raw ingest path: build a record and hand it to the entry queue.
+    let app = KvApp::start(1, RuntimeConfig::default()).unwrap();
+    let mut handle = app.deployment().ingest_handle().unwrap();
+    let mut k = 0i64;
+    group.bench_function("ingest_handle_submit", |b| {
+        b.iter(|| {
+            k += 1;
+            handle
+                .submit("bump", record! {"k" => Value::Int(k % 1_000)})
+                .unwrap();
+        });
+    });
+    drop(group);
+    assert!(app.quiesce(Duration::from_secs(30)));
+    app.shutdown();
+}
+
+criterion_group!(benches, kv_pipeline, cf_pipeline, submit_overhead);
+criterion_main!(benches);

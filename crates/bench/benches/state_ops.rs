@@ -1,0 +1,119 @@
+//! Microbenchmarks of the SE data structures — the kernels behind the
+//! fine-grained-update results (Figs 5, 6, 8).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdg_common::value::{Key, Value};
+use sdg_state::{DenseVector, KeyedTable, SparseMatrix};
+use std::time::Duration;
+
+fn table_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+
+    group.bench_function("put_1k_value", |b| {
+        let mut table = KeyedTable::new();
+        let payload = Value::str("x".repeat(1024));
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            table.put(Key::Int(k % 10_000), payload.clone());
+        });
+    });
+
+    group.bench_function("get_hit", |b| {
+        let mut table = KeyedTable::new();
+        for k in 0..10_000 {
+            table.put(Key::Int(k), Value::Int(k));
+        }
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            black_box(table.get(&Key::Int(k % 10_000)));
+        });
+    });
+
+    group.bench_function("put_during_checkpoint", |b| {
+        // The dirty-overlay write path of §5.
+        let mut table = KeyedTable::new();
+        for k in 0..10_000 {
+            table.put(Key::Int(k), Value::Int(k));
+        }
+        let _snap = table.begin_checkpoint().unwrap();
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            table.put(Key::Int(k % 10_000), Value::Int(k));
+        });
+    });
+
+    group.bench_function("begin_checkpoint_o1", |b| {
+        // Snapshot initiation must be O(1) regardless of table size.
+        let mut table = KeyedTable::new();
+        for k in 0..100_000 {
+            table.put(Key::Int(k), Value::Int(k));
+        }
+        b.iter(|| {
+            let snap = table.begin_checkpoint().unwrap();
+            black_box(&snap);
+            drop(snap);
+            table.consolidate().unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn matrix_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+
+    group.bench_function("add_element", |b| {
+        let mut m = SparseMatrix::new();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            m.add(i % 1_000, (i * 7) % 1_000, 1.0);
+        });
+    });
+
+    for nnz in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("multiply", nnz), &nnz, |b, &nnz| {
+            let mut m = SparseMatrix::new();
+            for i in 0..nnz as i64 {
+                m.set(i % 500, i / 500, 1.0 + i as f64);
+            }
+            let x: Vec<(i64, f64)> = (0..100).map(|i| (i, 0.5)).collect();
+            b.iter(|| black_box(m.multiply(&x)));
+        });
+    }
+    group.finish();
+}
+
+fn vector_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+
+    group.bench_function("axpy_64", |b| {
+        let mut v = DenseVector::zeros(64);
+        let x: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        b.iter(|| v.axpy(0.001, &x));
+    });
+
+    group.bench_function("dot_64", |b| {
+        let v = DenseVector::from_vec((0..64).map(|i| i as f64).collect());
+        let x: Vec<f64> = (0..64).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        b.iter(|| black_box(v.dot(&x)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table_ops, matrix_ops, vector_ops);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Microbenchmarks of the java2sdg-equivalent pipeline: parsing, checking,
+//! analysing and translating StateLang programs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdg_apps::cf::CF_SOURCE;
+use sdg_apps::kv::KV_SOURCE;
+use sdg_apps::lr::LR_SOURCE;
+use sdg_ir::analysis::check::check_program;
+use sdg_ir::parser::parse_program;
+use sdg_translate::translate;
+use std::time::Duration;
+
+fn translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(50);
+
+    for (name, src) in [("cf", CF_SOURCE), ("kv", KV_SOURCE), ("lr", LR_SOURCE)] {
+        group.bench_function(format!("parse_{name}"), |b| {
+            b.iter(|| black_box(parse_program(src).unwrap()));
+        });
+        let program = parse_program(src).unwrap();
+        group.bench_function(format!("check_{name}"), |b| {
+            b.iter(|| check_program(black_box(&program)).unwrap());
+        });
+        group.bench_function(format!("translate_{name}"), |b| {
+            b.iter(|| black_box(translate(&program).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, translation);
+criterion_main!(benches);

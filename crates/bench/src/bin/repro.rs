@@ -1,0 +1,59 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>... [--full]
+//!
+//! experiments: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 all
+//! --full       larger state sizes and longer runs (default: quick)
+//! ```
+
+use std::time::Instant;
+
+use sdg_bench::{
+    fig10_stragglers, fig11_recovery, fig12_sync_async, fig13_overhead, fig5_cf_ratio,
+    fig6_state_size, fig7_kv_scale, fig8_wc_window, fig9_lr_scale, table1, Scale,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let mut selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if selected.is_empty() || selected.contains(&"all") {
+        selected = vec![
+            "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        ];
+    }
+
+    println!(
+        "SDG reproduction harness — scale: {:?} (pass --full for larger runs)\n",
+        scale
+    );
+    for name in selected {
+        let t0 = Instant::now();
+        match name {
+            "table1" => table1::print(),
+            "fig5" => fig5_cf_ratio::print(&fig5_cf_ratio::run(scale)),
+            "fig6" => fig6_state_size::print(&fig6_state_size::run(scale)),
+            "fig7" => fig7_kv_scale::print(&fig7_kv_scale::run(scale)),
+            "fig8" => fig8_wc_window::print(&fig8_wc_window::run(scale)),
+            "fig9" => fig9_lr_scale::print(&fig9_lr_scale::run(scale)),
+            "fig10" => fig10_stragglers::print(&fig10_stragglers::run(scale)),
+            "fig11" => fig11_recovery::print(&fig11_recovery::run(scale)),
+            "fig12" => fig12_sync_async::print(&fig12_sync_async::run(scale)),
+            "fig13" => fig13_overhead::print(&fig13_overhead::run(scale)),
+            other => {
+                eprintln!("unknown experiment `{other}`; see --help in the module docs");
+                std::process::exit(2);
+            }
+        }
+        println!("[{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,105 @@
+//! Fig. 5 — online CF: throughput and latency vs read/write ratio.
+//!
+//! The paper deploys CF on 36 VMs with the Netflix dataset and varies the
+//! ratio of `getRec` (state reads, with the global-access barrier) to
+//! `addRating` (state writes). Throughput decreases mildly as the read
+//! share grows because of the synchronisation barrier that aggregates
+//! partial state; latency stays in the interactive range.
+
+use std::time::{Duration, Instant};
+
+use sdg_apps::cf::CfApp;
+use sdg_apps::workloads::{ratings, Zipf};
+use sdg_common::metrics::Summary;
+use sdg_runtime::config::RuntimeConfig;
+
+use crate::util::{fmt_latency, fmt_rate, OutputDrainer};
+use crate::Scale;
+
+/// One measured ratio point.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// `(reads, writes)` parts of the mix, e.g. `(1, 5)`.
+    pub ratio: (u32, u32),
+    /// Total requests per second.
+    pub throughput: f64,
+    /// `getRec` latency percentiles.
+    pub latency: Summary,
+}
+
+/// Runs the ratio sweep.
+pub fn run(scale: Scale) -> Vec<Fig5Row> {
+    let ratios = [(1u32, 5u32), (1, 2), (1, 1), (2, 1), (5, 1)];
+    let users = scale.pick(200, 1_000);
+    let items = scale.pick(100, 400);
+    let preload = scale.pick(2_000, 20_000);
+    let ops = scale.pick(4_000, 40_000);
+
+    let mut rows = Vec::new();
+    for ratio in ratios {
+        let app = CfApp::start(2, 2, RuntimeConfig::default()).expect("deploy CF");
+        for r in ratings(preload, users, items, 42) {
+            app.add_rating(r).expect("preload");
+        }
+        assert!(app.quiesce(Duration::from_secs(60)), "preload must drain");
+
+        let drainer = OutputDrainer::start(app.deployment());
+        let stream = ratings(ops, users, items, 43);
+        let user_dist = Zipf::new(users, 0.8);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
+        let (reads, writes) = ratio;
+        let cycle = (reads + writes) as usize;
+        let t0 = Instant::now();
+        let mut submitted = 0usize;
+        for (i, r) in stream.iter().enumerate() {
+            if i % cycle < reads as usize {
+                let user = user_dist.sample(&mut rng) as i64;
+                app.request_rec(user).expect("read");
+            } else {
+                app.add_rating(*r).expect("write");
+            }
+            submitted += 1;
+        }
+        assert!(app.quiesce(Duration::from_secs(120)), "mix must drain");
+        let elapsed = t0.elapsed();
+        let (_seen, latency) = drainer.finish();
+        rows.push(Fig5Row {
+            ratio,
+            throughput: submitted as f64 / elapsed.as_secs_f64(),
+            latency,
+        });
+        app.shutdown();
+    }
+    rows
+}
+
+/// Prints the figure's series.
+pub fn print(rows: &[Fig5Row]) {
+    println!("# Fig 5 — CF throughput/latency vs read:write ratio");
+    println!("{:<8} {:>14}  {}", "ratio", "throughput", "getRec latency");
+    for row in rows {
+        println!(
+            "{:<8} {:>14}  {}",
+            format!("{}:{}", row.ratio.0, row.ratio.1),
+            fmt_rate(row.throughput),
+            fmt_latency(&row.latency)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_ratios() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.throughput > 0.0, "{row:?}");
+        }
+        // Read-heavy mixes must record getRec latencies.
+        assert!(rows.last().unwrap().latency.count > 0);
+        print(&rows);
+    }
+}

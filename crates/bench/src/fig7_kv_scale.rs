@@ -1,0 +1,156 @@
+//! Fig. 7 — KV throughput/latency as state scales across nodes.
+//!
+//! The paper grows the cluster from 10 to 40 VMs keeping 5 GB per node:
+//! aggregate throughput scales near-linearly while the median latency
+//! grows mildly. Here the partition count plays the node role and the
+//! per-partition state is fixed.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sdg_apps::kv::KvApp;
+use sdg_common::metrics::Summary;
+use sdg_runtime::config::RuntimeConfig;
+
+use crate::fig6_state_size::VALUE_BYTES;
+use crate::util::{fmt_bytes, fmt_latency, fmt_rate, OutputDrainer};
+use crate::Scale;
+
+/// One partition-count row.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Number of partitions ("nodes").
+    pub partitions: usize,
+    /// Total preloaded state bytes (per-partition share × partitions).
+    pub total_state_bytes: usize,
+    /// Aggregate updates per second.
+    pub throughput: f64,
+    /// Read latency percentiles.
+    pub read_latency: Summary,
+}
+
+/// Runs the scaling sweep.
+pub fn run(scale: Scale) -> Vec<Fig7Row> {
+    let partition_counts: Vec<usize> = scale.pick(vec![1, 2, 4], vec![2, 4, 8, 16]);
+    let per_partition_mb = scale.pick(2, 16);
+    let ops_per_partition = scale.pick(10_000, 60_000);
+
+    partition_counts
+        .into_iter()
+        .map(|partitions| {
+            // Model a 20 µs per-request service time: throughput is then
+            // governed by how many node instances serve in parallel, the
+            // quantity Fig. 7 studies.
+            let app = Arc::new(
+                KvApp::start_tuned(
+                    partitions,
+                    Some(Duration::from_micros(20)),
+                    RuntimeConfig::default(),
+                )
+                .expect("deploy"),
+            );
+            let keys_per_part = per_partition_mb * 1024 * 1024 / VALUE_BYTES;
+            let total_keys = keys_per_part * partitions;
+            let payload = "x".repeat(VALUE_BYTES);
+            for k in 0..total_keys {
+                app.put(k as i64, &payload).expect("preload");
+            }
+            assert!(app.quiesce(Duration::from_secs(300)));
+            let total_state_bytes = app.state_bytes();
+
+            // One submitter thread per partition drives aggregate load;
+            // every 16th request is a read so latency is observable.
+            let drainer = OutputDrainer::start(app.deployment());
+            let total_ops = ops_per_partition * partitions;
+            let threads = partitions.min(8);
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let app = Arc::clone(&app);
+                    let payload = payload.clone();
+                    scope.spawn(move || {
+                        // Each feeder owns a private ingest lane so the
+                        // shared-lane mutex does not serialise submission.
+                        let mut handle = app.deployment().ingest_handle().expect("handle");
+                        let ops = total_ops / threads;
+                        for i in 0..ops {
+                            let key = ((t * ops + i) % total_keys) as i64;
+                            if i % 16 == 0 {
+                                handle
+                                    .submit(
+                                        "get",
+                                        sdg_common::record! {"k" => sdg_common::value::Value::Int(key)},
+                                    )
+                                    .expect("read");
+                            } else {
+                                handle
+                                    .submit(
+                                        "put",
+                                        sdg_common::record! {
+                                            "k" => sdg_common::value::Value::Int(key),
+                                            "v" => sdg_common::value::Value::str(&payload),
+                                        },
+                                    )
+                                    .expect("update");
+                            }
+                        }
+                    });
+                }
+            });
+            assert!(app.quiesce(Duration::from_secs(300)));
+            let elapsed = t0.elapsed();
+            let (_, read_latency) = drainer.finish();
+
+            let row = Fig7Row {
+                partitions,
+                total_state_bytes,
+                throughput: total_ops as f64 / elapsed.as_secs_f64(),
+                read_latency,
+            };
+            Arc::try_unwrap(app)
+                .map(KvApp::shutdown)
+                .ok()
+                .expect("all submitters joined");
+            row
+        })
+        .collect()
+}
+
+/// Prints the figure's series.
+pub fn print(rows: &[Fig7Row]) {
+    println!("# Fig 7 — KV throughput/latency vs partitions (fixed state per node)");
+    println!(
+        "{:<6} {:>12} {:>14}  {}",
+        "nodes", "state", "throughput", "read latency"
+    );
+    for row in rows {
+        println!(
+            "{:<6} {:>12} {:>14}  {}",
+            row.partitions,
+            fmt_bytes(row.total_state_bytes),
+            fmt_rate(row.throughput),
+            fmt_latency(&row.read_latency)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_grows_with_partitions() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), 3);
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(
+            last.throughput > first.throughput,
+            "aggregate throughput must grow: {} -> {}",
+            first.throughput,
+            last.throughput
+        );
+        assert!(last.total_state_bytes > first.total_state_bytes);
+        print(&rows);
+    }
+}

@@ -1,0 +1,294 @@
+//! Backup stores: the simulated per-node disks checkpoints stream to.
+//!
+//! A [`BackupStore`] is the substitute for one node's local disk. Chunks
+//! are written and read with an optional bandwidth throttle so the m-to-n
+//! experiments (Fig. 11) exhibit real disk-parallelism effects: reading a
+//! checkpoint from two stores is roughly twice as fast as from one.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::thread;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use sdg_common::codec::{write_varint, Reader};
+use sdg_common::error::{SdgError, SdgResult};
+use sdg_common::ids::{EdgeId, InstanceId};
+use sdg_common::time::VectorTs;
+use sdg_state::entry::StateEntry;
+use sdg_state::store::StateType;
+
+use crate::buffer::BufferedItem;
+
+/// Identifies one chunk of one checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkKey {
+    /// The checkpointed SE instance.
+    pub instance: InstanceId,
+    /// Checkpoint sequence number of that instance.
+    pub seq: u64,
+    /// Chunk index within the checkpoint.
+    pub chunk: u32,
+}
+
+impl std::fmt::Display for ChunkKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-c{}-k{}", self.instance, self.seq, self.chunk)
+    }
+}
+
+#[derive(Debug)]
+enum Medium {
+    Memory(Mutex<HashMap<ChunkKey, Vec<u8>>>),
+    Disk(PathBuf),
+}
+
+/// One backup target ("disk" of a node).
+#[derive(Debug)]
+pub struct BackupStore {
+    medium: Medium,
+    write_bps: Option<u64>,
+    read_bps: Option<u64>,
+}
+
+impl BackupStore {
+    /// Creates an in-memory store (a RAM disk).
+    pub fn in_memory() -> Self {
+        BackupStore {
+            medium: Medium::Memory(Mutex::new(HashMap::new())),
+            write_bps: None,
+            read_bps: None,
+        }
+    }
+
+    /// Creates a store backed by files under `dir`.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> SdgResult<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| SdgError::Recovery(format!("cannot create backup dir: {e}")))?;
+        Ok(BackupStore {
+            medium: Medium::Disk(dir),
+            write_bps: None,
+            read_bps: None,
+        })
+    }
+
+    /// Sets a simulated write/read bandwidth in bytes per second.
+    pub fn with_bandwidth(mut self, write_bps: Option<u64>, read_bps: Option<u64>) -> Self {
+        self.write_bps = write_bps;
+        self.read_bps = read_bps;
+        self
+    }
+
+    fn throttle(bps: Option<u64>, len: usize) {
+        if let Some(bps) = bps {
+            if bps > 0 && len > 0 {
+                let secs = len as f64 / bps as f64;
+                thread::sleep(Duration::from_secs_f64(secs));
+            }
+        }
+    }
+
+    /// Writes a chunk, applying the simulated write bandwidth.
+    pub fn write_chunk(&self, key: ChunkKey, bytes: Vec<u8>) -> SdgResult<()> {
+        Self::throttle(self.write_bps, bytes.len());
+        match &self.medium {
+            Medium::Memory(map) => {
+                map.lock().insert(key, bytes);
+                Ok(())
+            }
+            Medium::Disk(dir) => {
+                fs::write(dir.join(key.to_string()), bytes)
+                    .map_err(|e| SdgError::Recovery(format!("chunk write failed: {e}")))
+            }
+        }
+    }
+
+    /// Reads a chunk back, applying the simulated read bandwidth.
+    pub fn read_chunk(&self, key: ChunkKey) -> SdgResult<Vec<u8>> {
+        let bytes = match &self.medium {
+            Medium::Memory(map) => map
+                .lock()
+                .get(&key)
+                .cloned()
+                .ok_or_else(|| SdgError::Recovery(format!("chunk {key} not found")))?,
+            Medium::Disk(dir) => fs::read(dir.join(key.to_string()))
+                .map_err(|e| SdgError::Recovery(format!("chunk {key} read failed: {e}")))?,
+        };
+        Self::throttle(self.read_bps, bytes.len());
+        Ok(bytes)
+    }
+
+    /// Removes chunks of checkpoints older than `keep_seq` for `instance`.
+    pub fn garbage_collect(&self, instance: InstanceId, keep_seq: u64) {
+        match &self.medium {
+            Medium::Memory(map) => {
+                map.lock()
+                    .retain(|k, _| k.instance != instance || k.seq >= keep_seq);
+            }
+            Medium::Disk(dir) => {
+                let prefix_owner = format!("{instance}-c");
+                if let Ok(entries) = fs::read_dir(dir) {
+                    for entry in entries.flatten() {
+                        let name = entry.file_name().to_string_lossy().into_owned();
+                        if let Some(rest) = name.strip_prefix(&prefix_owner) {
+                            if let Some((seq, _)) = rest.split_once("-k") {
+                                if seq.parse::<u64>().is_ok_and(|s| s < keep_seq) {
+                                    let _ = fs::remove_file(entry.path());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The durable record of one completed checkpoint: where its chunks live
+/// plus the metadata needed for replay-based recovery.
+#[derive(Debug, Clone)]
+pub struct BackupSet {
+    /// Checkpointed instance.
+    pub instance: InstanceId,
+    /// Sequence number.
+    pub seq: u64,
+    /// Structure type of the checkpointed store.
+    pub state_type: StateType,
+    /// Vector timestamp at snapshot time.
+    pub vector: VectorTs,
+    /// For each chunk: the index of the store holding it, and its key.
+    pub chunk_locations: Vec<(usize, ChunkKey)>,
+    /// The instance's output buffers at snapshot time.
+    pub out_buffers: Vec<(EdgeId, Vec<BufferedItem>)>,
+    /// Serialised state size in bytes (all chunks).
+    pub state_bytes: usize,
+}
+
+/// Encodes a chunk of state entries.
+pub fn encode_entries(entries: &[StateEntry]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    write_varint(&mut buf, entries.len() as u64);
+    for e in entries {
+        write_varint(&mut buf, e.key.len() as u64);
+        buf.extend_from_slice(&e.key);
+        write_varint(&mut buf, e.value.len() as u64);
+        buf.extend_from_slice(&e.value);
+    }
+    buf.to_vec()
+}
+
+/// Decodes a chunk of state entries.
+pub fn decode_entries(bytes: &[u8]) -> SdgResult<Vec<StateEntry>> {
+    let mut r = Reader::new(bytes);
+    let count = r.read_varint()? as usize;
+    if count > bytes.len() {
+        return Err(SdgError::Codec(format!("entry count {count} exceeds input")));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let klen = r.read_varint()? as usize;
+        let key = r.read_bytes(klen)?.to_vec();
+        let vlen = r.read_varint()? as usize;
+        let value = r.read_bytes(vlen)?.to_vec();
+        out.push(StateEntry::new(key, value));
+    }
+    if !r.is_empty() {
+        return Err(SdgError::Codec("trailing bytes after entries".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdg_common::ids::TaskId;
+    use std::time::Instant;
+
+    fn key(seq: u64, chunk: u32) -> ChunkKey {
+        ChunkKey {
+            instance: InstanceId::new(TaskId(1), 0),
+            seq,
+            chunk,
+        }
+    }
+
+    #[test]
+    fn memory_store_roundtrips() {
+        let store = BackupStore::in_memory();
+        store.write_chunk(key(1, 0), vec![1, 2, 3]).unwrap();
+        assert_eq!(store.read_chunk(key(1, 0)).unwrap(), vec![1, 2, 3]);
+        assert!(store.read_chunk(key(1, 1)).is_err());
+    }
+
+    #[test]
+    fn disk_store_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("sdg-backup-test-{}", std::process::id()));
+        let store = BackupStore::on_disk(&dir).unwrap();
+        store.write_chunk(key(2, 3), vec![9; 100]).unwrap();
+        assert_eq!(store.read_chunk(key(2, 3)).unwrap(), vec![9; 100]);
+        store.garbage_collect(InstanceId::new(TaskId(1), 0), 3);
+        assert!(store.read_chunk(key(2, 3)).is_err());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn garbage_collect_keeps_recent_and_other_instances() {
+        let store = BackupStore::in_memory();
+        store.write_chunk(key(1, 0), vec![1]).unwrap();
+        store.write_chunk(key(2, 0), vec![2]).unwrap();
+        let other = ChunkKey {
+            instance: InstanceId::new(TaskId(9), 1),
+            seq: 1,
+            chunk: 0,
+        };
+        store.write_chunk(other, vec![3]).unwrap();
+        store.garbage_collect(InstanceId::new(TaskId(1), 0), 2);
+        assert!(store.read_chunk(key(1, 0)).is_err());
+        assert!(store.read_chunk(key(2, 0)).is_ok());
+        assert!(store.read_chunk(other).is_ok());
+    }
+
+    #[test]
+    fn throttling_slows_writes() {
+        let fast = BackupStore::in_memory();
+        let slow = BackupStore::in_memory().with_bandwidth(Some(100_000), None);
+        let payload = vec![0u8; 10_000]; // 0.1 s at 100 kB/s.
+
+        let t0 = Instant::now();
+        fast.write_chunk(key(1, 0), payload.clone()).unwrap();
+        let fast_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        slow.write_chunk(key(1, 0), payload).unwrap();
+        let slow_time = t0.elapsed();
+
+        assert!(slow_time >= Duration::from_millis(80), "{slow_time:?}");
+        assert!(slow_time > fast_time);
+    }
+
+    #[test]
+    fn entries_encode_decode_roundtrips() {
+        let entries: Vec<StateEntry> = (0..50u8)
+            .map(|i| StateEntry::new(vec![i], vec![i; i as usize % 7]))
+            .collect();
+        let bytes = encode_entries(&entries);
+        let back = decode_entries(&bytes).unwrap();
+        assert_eq!(back, entries);
+        assert_eq!(decode_entries(&encode_entries(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn corrupted_chunks_error_not_panic() {
+        let entries = vec![StateEntry::new(vec![1, 2], vec![3])];
+        let bytes = encode_entries(&entries);
+        for cut in 0..bytes.len() {
+            assert!(decode_entries(&bytes[..cut]).is_err());
+        }
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(decode_entries(&extended).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Upstream output buffers for message replay (§5).
+//!
+//! Every TE instance keeps, per outgoing dataflow edge, the encoded items it
+//! has sent since the oldest downstream checkpoint. After a downstream
+//! failure the buffer is replayed; once all downstream checkpoints cover a
+//! timestamp, the prefix up to it is trimmed.
+
+use std::collections::VecDeque;
+
+use sdg_common::time::ScalarTs;
+
+/// One buffered output item: its scalar timestamp and encoded payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferedItem {
+    /// Timestamp assigned by the producer on this edge.
+    pub ts: ScalarTs,
+    /// Encoded item payload.
+    pub bytes: Vec<u8>,
+}
+
+/// An output buffer for one dataflow edge of one producer instance.
+#[derive(Debug, Clone, Default)]
+pub struct OutputBuffer {
+    items: VecDeque<BufferedItem>,
+    bytes: usize,
+}
+
+impl OutputBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an item.
+    ///
+    /// Timestamps must arrive in increasing order (each producer instance
+    /// owns its edge's timestamp generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` is not greater than the last buffered timestamp —
+    /// that would indicate a broken timestamp generator upstream, which
+    /// would corrupt replay.
+    pub fn push(&mut self, ts: ScalarTs, bytes: Vec<u8>) {
+        if let Some(last) = self.items.back() {
+            assert!(
+                ts > last.ts,
+                "output buffer timestamps must increase: {} after {}",
+                ts,
+                last.ts
+            );
+        }
+        self.bytes += bytes.len();
+        self.items.push_back(BufferedItem { ts, bytes });
+    }
+
+    /// Drops all items with `ts <= watermark` (they are covered by every
+    /// downstream checkpoint).
+    pub fn trim(&mut self, watermark: ScalarTs) {
+        while let Some(front) = self.items.front() {
+            if front.ts <= watermark {
+                self.bytes -= front.bytes.len();
+                self.items.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Returns the items with `ts > after`, in timestamp order, for replay.
+    pub fn replay_after(&self, after: ScalarTs) -> Vec<BufferedItem> {
+        self.items
+            .iter()
+            .filter(|i| i.ts > after)
+            .cloned()
+            .collect()
+    }
+
+    /// Returns all buffered items (for inclusion in the producer's own
+    /// checkpoint).
+    pub fn snapshot(&self) -> Vec<BufferedItem> {
+        self.items.iter().cloned().collect()
+    }
+
+    /// Replaces the contents from a checkpoint snapshot.
+    pub fn restore(&mut self, items: Vec<BufferedItem>) {
+        self.bytes = items.iter().map(|i| i.bytes.len()).sum();
+        self.items = items.into();
+    }
+
+    /// Drops the oldest items until at most `max_items` remain.
+    ///
+    /// Used to bound the upstream-backup horizon for consumers that never
+    /// checkpoint (stateless TEs).
+    pub fn cap(&mut self, max_items: usize) {
+        while self.items.len() > max_items {
+            if let Some(front) = self.items.pop_front() {
+                self.bytes -= front.bytes.len();
+            }
+        }
+    }
+
+    /// Number of buffered items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total payload bytes buffered.
+    pub fn buffered_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Highest buffered timestamp (0 when empty).
+    pub fn last_ts(&self) -> ScalarTs {
+        self.items.back().map(|i| i.ts).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf_with(ts: &[u64]) -> OutputBuffer {
+        let mut b = OutputBuffer::new();
+        for &t in ts {
+            b.push(t, vec![t as u8; 4]);
+        }
+        b
+    }
+
+    #[test]
+    fn push_and_len() {
+        let b = buf_with(&[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.buffered_bytes(), 12);
+        assert_eq!(b.last_ts(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamps must increase")]
+    fn non_monotone_push_panics() {
+        let mut b = buf_with(&[5]);
+        b.push(5, vec![]);
+    }
+
+    #[test]
+    fn trim_drops_covered_prefix() {
+        let mut b = buf_with(&[1, 2, 3, 4, 5]);
+        b.trim(3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.replay_after(0).iter().map(|i| i.ts).collect::<Vec<_>>(), vec![4, 5]);
+        b.trim(100);
+        assert!(b.is_empty());
+        assert_eq!(b.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn trim_is_idempotent() {
+        let mut b = buf_with(&[1, 2, 3]);
+        b.trim(2);
+        b.trim(2);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn replay_after_filters_by_watermark() {
+        let b = buf_with(&[10, 20, 30]);
+        let replay = b.replay_after(15);
+        assert_eq!(replay.iter().map(|i| i.ts).collect::<Vec<_>>(), vec![20, 30]);
+        assert!(b.replay_after(30).is_empty());
+    }
+
+    #[test]
+    fn cap_bounds_the_buffer() {
+        let mut b = buf_with(&[1, 2, 3, 4, 5]);
+        b.cap(2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.replay_after(0).iter().map(|i| i.ts).collect::<Vec<_>>(), vec![4, 5]);
+        b.cap(10); // No-op when under the cap.
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips() {
+        let b = buf_with(&[1, 2, 3]);
+        let snap = b.snapshot();
+        let mut restored = OutputBuffer::new();
+        restored.restore(snap);
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.buffered_bytes(), b.buffered_bytes());
+        assert_eq!(restored.last_ts(), 3);
+        // Restored buffers continue accepting newer items.
+        let mut restored = restored;
+        restored.push(4, vec![0]);
+        assert_eq!(restored.len(), 4);
+    }
+}

@@ -1,0 +1,122 @@
+//! The shared cell wrapping one SE instance.
+//!
+//! Worker threads and the checkpoint coordinator share SE instances through
+//! a [`StateCell`]: a mutex around the [`StateStore`] plus the vector
+//! timestamp of applied input. The asynchronous checkpoint protocol holds
+//! the lock only for snapshot initiation and consolidation; processing and
+//! serialisation overlap.
+
+use parking_lot::Mutex;
+use sdg_common::ids::EdgeId;
+use sdg_common::time::{ScalarTs, VectorTs};
+use sdg_state::store::{StateStore, StateType};
+
+/// The lock-protected contents of a cell.
+#[derive(Debug)]
+pub struct CellInner {
+    /// The SE data structure.
+    pub store: StateStore,
+    /// Last applied timestamp per input dataflow.
+    pub vector: VectorTs,
+}
+
+/// One SE instance shared between processing and checkpointing.
+#[derive(Debug)]
+pub struct StateCell {
+    inner: Mutex<CellInner>,
+}
+
+impl StateCell {
+    /// Creates a cell holding an empty store of type `ty`.
+    pub fn new(ty: StateType) -> Self {
+        Self::from_store(StateStore::new(ty), VectorTs::new())
+    }
+
+    /// Creates a cell from an existing store and vector (used on restore).
+    pub fn from_store(store: StateStore, vector: VectorTs) -> Self {
+        StateCell {
+            inner: Mutex::new(CellInner { store, vector }),
+        }
+    }
+
+    /// Runs `f` with the cell locked.
+    ///
+    /// Workers use this per item: check duplicates, mutate the store, then
+    /// advance the vector.
+    pub fn with<R>(&self, f: impl FnOnce(&mut CellInner) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Applies one input item: returns `false` without calling `f` if the
+    /// item is a duplicate (already covered by the vector), otherwise runs
+    /// `f` and advances the watermark.
+    pub fn apply<R>(
+        &self,
+        edge: EdgeId,
+        ts: ScalarTs,
+        f: impl FnOnce(&mut StateStore) -> R,
+    ) -> Option<R> {
+        let mut inner = self.inner.lock();
+        if inner.vector.is_duplicate(edge, ts) {
+            return None;
+        }
+        let r = f(&mut inner.store);
+        inner.vector.observe(edge, ts);
+        Some(r)
+    }
+
+    /// Returns the current vector timestamp.
+    pub fn vector(&self) -> VectorTs {
+        self.inner.lock().vector.clone()
+    }
+
+    /// Returns the approximate state size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.lock().store.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdg_common::value::{Key, Value};
+
+    #[test]
+    fn apply_rejects_duplicates() {
+        let cell = StateCell::new(StateType::Table);
+        let edge = EdgeId(0);
+        let applied = cell.apply(edge, 1, |s| {
+            s.as_table().unwrap().put(Key::Int(1), Value::Int(1));
+        });
+        assert!(applied.is_some());
+        // Replaying the same timestamp is a no-op.
+        let replayed = cell.apply(edge, 1, |s| {
+            s.as_table().unwrap().put(Key::Int(1), Value::Int(999));
+        });
+        assert!(replayed.is_none());
+        cell.with(|inner| {
+            assert_eq!(
+                inner.store.as_table().unwrap().get(&Key::Int(1)),
+                Some(Value::Int(1))
+            );
+        });
+    }
+
+    #[test]
+    fn apply_tracks_per_edge_watermarks() {
+        let cell = StateCell::new(StateType::Table);
+        assert!(cell.apply(EdgeId(0), 5, |_| ()).is_some());
+        // A different edge has its own watermark.
+        assert!(cell.apply(EdgeId(1), 3, |_| ()).is_some());
+        assert!(cell.apply(EdgeId(0), 3, |_| ()).is_none());
+        assert_eq!(cell.vector().get(EdgeId(0)), 5);
+        assert_eq!(cell.vector().get(EdgeId(1)), 3);
+    }
+
+    #[test]
+    fn with_gives_exclusive_access() {
+        let cell = StateCell::new(StateType::Vector);
+        cell.with(|inner| inner.store.as_vector().unwrap().set(9, 1.0));
+        assert_eq!(cell.approx_bytes(), 80);
+    }
+}

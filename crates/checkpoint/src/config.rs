@@ -1,0 +1,118 @@
+//! Checkpointing configuration.
+
+use std::time::Duration;
+
+use sdg_common::error::{SdgError, SdgResult};
+
+/// Configuration of the checkpointing subsystem.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Whether checkpointing is enabled (`false` = the "No FT" baseline of
+    /// Fig. 13).
+    pub enabled: bool,
+    /// Interval between checkpoints of the same SE instance. The paper uses
+    /// 10 s; benches sweep this (Fig. 13 top).
+    pub interval: Duration,
+    /// Synchronous mode: hold the state lock for the entire serialise +
+    /// backup, as Naiad/SEEP do (Fig. 12 baseline). Asynchronous mode locks
+    /// only for snapshot initiation and consolidation.
+    pub synchronous: bool,
+    /// Number of backup stores a checkpoint is partitioned across (`m` in
+    /// the m-to-n pattern).
+    pub backup_fanout: usize,
+    /// Number of chunks a checkpoint is split into (must be ≥
+    /// `backup_fanout`; chunks are distributed round-robin).
+    pub chunks: usize,
+    /// Serialisation thread-pool size (step B2 of Fig. 4).
+    pub serialise_threads: usize,
+    /// Simulated disk write bandwidth per store in bytes/second; `None`
+    /// means unthrottled (RAM-disk, the Naiad-NoDisk configuration).
+    pub disk_write_bps: Option<u64>,
+    /// Simulated disk read bandwidth per store in bytes/second.
+    pub disk_read_bps: Option<u64>,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            enabled: true,
+            interval: Duration::from_secs(10),
+            synchronous: false,
+            backup_fanout: 2,
+            chunks: 8,
+            serialise_threads: 2,
+            disk_write_bps: None,
+            disk_read_bps: None,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// A configuration with checkpointing turned off.
+    pub fn disabled() -> Self {
+        CheckpointConfig {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> SdgResult<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.backup_fanout == 0 {
+            return Err(SdgError::Config("backup_fanout must be ≥ 1".into()));
+        }
+        if self.chunks < self.backup_fanout {
+            return Err(SdgError::Config(format!(
+                "chunks ({}) must be ≥ backup_fanout ({})",
+                self.chunks, self.backup_fanout
+            )));
+        }
+        if self.serialise_threads == 0 {
+            return Err(SdgError::Config("serialise_threads must be ≥ 1".into()));
+        }
+        if self.interval.is_zero() {
+            return Err(SdgError::Config("checkpoint interval must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CheckpointConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn disabled_skips_validation() {
+        let mut c = CheckpointConfig::disabled();
+        c.backup_fanout = 0;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = CheckpointConfig::default();
+        c.backup_fanout = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CheckpointConfig::default();
+        c.chunks = 1;
+        c.backup_fanout = 2;
+        assert!(c.validate().is_err());
+
+        let mut c = CheckpointConfig::default();
+        c.serialise_threads = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CheckpointConfig::default();
+        c.interval = Duration::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! The checkpoint protocol (§5, "State checkpointing").
+//!
+//! Asynchronous mode follows the paper's five steps:
+//!
+//! 1. under a short lock: flag the SE dirty (O(1) snapshot), copy the
+//!    vector timestamp and capture the instance's output buffers;
+//! 2. processing resumes immediately against the dirty overlay;
+//! 3. off the processing path, a serialisation thread pool encodes the
+//!    snapshot into hash-partitioned chunks (Fig. 4 step B1–B2);
+//! 4. chunks stream round-robin to the `m` backup stores (step B3);
+//! 5. under a short lock: consolidate the dirty overlay into the base.
+//!
+//! Synchronous mode holds the lock for the entire procedure — the
+//! "stop-the-world" behaviour of Naiad and SEEP that Fig. 12 compares
+//! against.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sdg_common::error::{SdgError, SdgResult};
+use sdg_common::ids::{EdgeId, InstanceId};
+use sdg_state::entry::partition_entries;
+
+use crate::backup::{encode_entries, BackupSet, BackupStore, ChunkKey};
+use crate::buffer::BufferedItem;
+use crate::cell::StateCell;
+use crate::config::CheckpointConfig;
+
+/// Takes one checkpoint of `cell`, writing chunks to `stores`.
+///
+/// `capture_outputs` is invoked inside the initiation lock and must return
+/// the instance's output buffers (they become part of the checkpoint so a
+/// restored node can re-send downstream).
+///
+/// Returns the [`BackupSet`] describing where everything landed.
+///
+/// # Errors
+///
+/// Fails if a checkpoint is already in progress on the cell, if `stores`
+/// is empty, or if a chunk write fails.
+pub fn take_checkpoint(
+    cell: &StateCell,
+    instance: InstanceId,
+    seq: u64,
+    capture_outputs: impl FnOnce() -> Vec<(EdgeId, Vec<BufferedItem>)>,
+    stores: &[Arc<BackupStore>],
+    cfg: &CheckpointConfig,
+) -> SdgResult<BackupSet> {
+    cfg.validate()?;
+    if stores.is_empty() {
+        return Err(SdgError::Recovery("no backup stores configured".into()));
+    }
+    let fanout = cfg.backup_fanout.min(stores.len());
+
+    if cfg.synchronous {
+        return take_sync(cell, instance, seq, capture_outputs, stores, fanout, cfg);
+    }
+
+    // Step 1: O(1) snapshot under the lock; processing resumes on the
+    // dirty overlay as soon as the lock drops.
+    let (snapshot, vector, out_buffers) = cell.with(|inner| {
+        let snapshot = inner.store.begin_checkpoint()?;
+        Ok::<_, SdgError>((snapshot, inner.vector.clone(), capture_outputs()))
+    })?;
+    let state_type = snapshot.state_type();
+
+    // Steps 2–4 run off the processing path.
+    let entries = snapshot.to_entries();
+    let chunks = partition_entries(entries, cfg.chunks);
+    let result = write_chunks(&chunks, instance, seq, stores, fanout, cfg.serialise_threads);
+
+    // Step 5: consolidate even if a write failed, so the cell stays usable.
+    cell.with(|inner| inner.store.consolidate())?;
+    let (chunk_locations, state_bytes) = result?;
+
+    Ok(BackupSet {
+        instance,
+        seq,
+        state_type,
+        vector,
+        chunk_locations,
+        out_buffers,
+        state_bytes,
+    })
+}
+
+fn take_sync(
+    cell: &StateCell,
+    instance: InstanceId,
+    seq: u64,
+    capture_outputs: impl FnOnce() -> Vec<(EdgeId, Vec<BufferedItem>)>,
+    stores: &[Arc<BackupStore>],
+    fanout: usize,
+    cfg: &CheckpointConfig,
+) -> SdgResult<BackupSet> {
+    // The entire export + serialise + write happens under the cell lock:
+    // every processing thread blocks for the duration.
+    cell.with(|inner| {
+        let vector = inner.vector.clone();
+        let out_buffers = capture_outputs();
+        let state_type = inner.store.state_type();
+        let entries = inner.store.export_entries();
+        let chunks = partition_entries(entries, cfg.chunks);
+        let (chunk_locations, state_bytes) =
+            write_chunks(&chunks, instance, seq, stores, fanout, cfg.serialise_threads)?;
+        Ok(BackupSet {
+            instance,
+            seq,
+            state_type,
+            vector,
+            chunk_locations,
+            out_buffers,
+            state_bytes,
+        })
+    })
+}
+
+/// Serialises and writes chunks in parallel (Fig. 4 steps B1–B3).
+fn write_chunks(
+    chunks: &[Vec<sdg_state::entry::StateEntry>],
+    instance: InstanceId,
+    seq: u64,
+    stores: &[Arc<BackupStore>],
+    fanout: usize,
+    threads: usize,
+) -> SdgResult<(Vec<(usize, ChunkKey)>, usize)> {
+    let next = AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<SdgResult<usize>>>> =
+        (0..chunks.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1).min(chunks.len().max(1)) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= chunks.len() {
+                    break;
+                }
+                let bytes = encode_entries(&chunks[idx]);
+                let len = bytes.len();
+                let key = ChunkKey {
+                    instance,
+                    seq,
+                    chunk: idx as u32,
+                };
+                let store = &stores[idx % fanout];
+                let r = store.write_chunk(key, bytes).map(|()| len);
+                *results[idx].lock() = Some(r);
+            });
+        }
+    });
+
+    let mut locations = Vec::with_capacity(chunks.len());
+    let mut total = 0usize;
+    for (idx, slot) in results.into_iter().enumerate() {
+        let r = slot
+            .into_inner()
+            .unwrap_or_else(|| Err(SdgError::Recovery("chunk write skipped".into())))?;
+        total += r;
+        locations.push((
+            idx % fanout,
+            ChunkKey {
+                instance,
+                seq,
+                chunk: idx as u32,
+            },
+        ));
+    }
+    Ok((locations, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdg_common::ids::TaskId;
+    use sdg_common::value::{Key, Value};
+    use sdg_state::store::StateType;
+
+    fn instance() -> InstanceId {
+        InstanceId::new(TaskId(0), 0)
+    }
+
+    fn populated_cell(n: i64) -> StateCell {
+        let cell = StateCell::new(StateType::Table);
+        for i in 0..n {
+            cell.apply(EdgeId(0), (i + 1) as u64, |s| {
+                s.as_table().unwrap().put(Key::Int(i), Value::Int(i * 2));
+            });
+        }
+        cell
+    }
+
+    fn stores(m: usize) -> Vec<Arc<BackupStore>> {
+        (0..m).map(|_| Arc::new(BackupStore::in_memory())).collect()
+    }
+
+    #[test]
+    fn checkpoint_records_chunks_and_vector() {
+        let cell = populated_cell(100);
+        let stores = stores(2);
+        let cfg = CheckpointConfig::default();
+        let set = take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        assert_eq!(set.seq, 1);
+        assert_eq!(set.chunk_locations.len(), cfg.chunks);
+        assert_eq!(set.vector.get(EdgeId(0)), 100);
+        assert!(set.state_bytes > 0);
+        // Chunks alternate between the two stores.
+        assert!(set.chunk_locations.iter().any(|(s, _)| *s == 0));
+        assert!(set.chunk_locations.iter().any(|(s, _)| *s == 1));
+        // The cell is consolidated and writable again.
+        cell.with(|inner| assert!(!inner.store.is_checkpointing()));
+        let set2 = take_checkpoint(&cell, instance(), 2, Vec::new, &stores, &cfg).unwrap();
+        assert_eq!(set2.seq, 2);
+    }
+
+    #[test]
+    fn sync_mode_produces_equivalent_backup() {
+        let cell = populated_cell(50);
+        let stores = stores(2);
+        let mut cfg = CheckpointConfig::default();
+        let async_set =
+            take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        cfg.synchronous = true;
+        let sync_set = take_checkpoint(&cell, instance(), 2, Vec::new, &stores, &cfg).unwrap();
+        assert_eq!(async_set.state_bytes, sync_set.state_bytes);
+        assert_eq!(async_set.vector, sync_set.vector);
+    }
+
+    #[test]
+    fn output_buffers_are_captured() {
+        let cell = populated_cell(1);
+        let stores = stores(1);
+        let cfg = CheckpointConfig::default();
+        let outs = vec![(
+            EdgeId(7),
+            vec![BufferedItem { ts: 3, bytes: vec![1, 2] }],
+        )];
+        let set =
+            take_checkpoint(&cell, instance(), 1, move || outs, &stores, &cfg).unwrap();
+        assert_eq!(set.out_buffers.len(), 1);
+        assert_eq!(set.out_buffers[0].0, EdgeId(7));
+        assert_eq!(set.out_buffers[0].1[0].ts, 3);
+    }
+
+    #[test]
+    fn empty_store_checkpoints_cleanly() {
+        let cell = StateCell::new(StateType::Matrix);
+        let stores = stores(1);
+        let set = take_checkpoint(
+            &cell,
+            instance(),
+            1,
+            Vec::new,
+            &stores,
+            &CheckpointConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(set.state_bytes as u64, set
+            .chunk_locations
+            .iter()
+            .map(|(s, k)| stores[*s].read_chunk(*k).unwrap().len() as u64)
+            .sum::<u64>());
+    }
+
+    #[test]
+    fn no_stores_is_an_error() {
+        let cell = populated_cell(1);
+        let r = take_checkpoint(
+            &cell,
+            instance(),
+            1,
+            Vec::new,
+            &[],
+            &CheckpointConfig::default(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn fanout_larger_than_stores_is_clamped() {
+        let cell = populated_cell(20);
+        let stores = stores(1);
+        let mut cfg = CheckpointConfig::default();
+        cfg.backup_fanout = 4;
+        cfg.chunks = 4;
+        let set = take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        assert!(set.chunk_locations.iter().all(|(s, _)| *s == 0));
+    }
+}

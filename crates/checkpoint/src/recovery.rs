@@ -1,0 +1,324 @@
+//! Parallel m-to-n state restore (§5, "State backup and restore", Fig. 4).
+//!
+//! A failed SE instance is restored to `n` new (possibly partitioned)
+//! instances: each of the `m` stores holding checkpoint chunks streams its
+//! chunks in parallel (step R1), each chunk's entries are split `n` ways by
+//! stable key hash, and `n` builder threads reconstitute the new stores
+//! (step R2). Replaying upstream output buffers (step R3) is the runtime's
+//! job, using the vector timestamp carried in the [`BackupSet`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sdg_common::error::{SdgError, SdgResult};
+use sdg_common::time::VectorTs;
+use sdg_state::entry::StateEntry;
+use sdg_state::store::StateStore;
+
+use crate::backup::{decode_entries, BackupSet, BackupStore};
+
+/// Returns the restore partition of an entry among `n` targets.
+///
+/// Uses the stable hash of the *decoded* key so that a key lands on the
+/// same partition the runtime's hash dispatcher would route it to — this
+/// is what lets a partitioned SE be restored directly onto `n` partitioned
+/// instances. Falls back to hashing the encoded bytes for keys that do not
+/// decode (never the case for the built-in structures).
+fn partition_of(entry: &StateEntry, n: usize) -> usize {
+    match sdg_common::codec::decode_from_slice::<sdg_common::value::Key>(&entry.key) {
+        Ok(key) => (key.stable_hash() % n as u64) as usize,
+        Err(_) => entry.chunk_of(n),
+    }
+}
+
+/// Tuning knobs for [`restore_state_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RestoreOptions {
+    /// Simulated per-instance reconstitution bandwidth in bytes/second —
+    /// the network + deserialisation + insert capacity of one recovering
+    /// node (step R2 of Fig. 4). `None` runs at host speed.
+    pub rebuild_bps: Option<u64>,
+}
+
+/// Restores the state of `set` onto `n` fresh instances.
+///
+/// Returns `n` pairs of (store, vector): instance `i` receives the entries
+/// whose key hashes to `i` modulo `n`, and every instance inherits the
+/// checkpoint's vector timestamp so duplicate replayed items are filtered.
+///
+/// With `n == 1` the single result holds the complete state.
+///
+/// # Errors
+///
+/// Fails when `n` is zero, a chunk is missing or corrupt, or an entry does
+/// not decode into the checkpoint's structure type.
+pub fn restore_state(
+    set: &BackupSet,
+    stores: &[Arc<BackupStore>],
+    n: usize,
+) -> SdgResult<Vec<(StateStore, VectorTs)>> {
+    restore_state_with(set, stores, n, RestoreOptions::default())
+}
+
+/// [`restore_state`] with explicit [`RestoreOptions`].
+pub fn restore_state_with(
+    set: &BackupSet,
+    stores: &[Arc<BackupStore>],
+    n: usize,
+    options: RestoreOptions,
+) -> SdgResult<Vec<(StateStore, VectorTs)>> {
+    if n == 0 {
+        return Err(SdgError::Recovery("cannot restore to zero instances".into()));
+    }
+
+    // Group chunk keys by their holding store so each store streams its
+    // chunks independently (one reader thread per disk — step R1).
+    let mut by_store: HashMap<usize, Vec<crate::backup::ChunkKey>> = HashMap::new();
+    for (store_idx, key) in &set.chunk_locations {
+        if *store_idx >= stores.len() {
+            return Err(SdgError::Recovery(format!(
+                "backup set references store {store_idx} but only {} are available",
+                stores.len()
+            )));
+        }
+        by_store.entry(*store_idx).or_default().push(*key);
+    }
+
+    // Each target partition accumulates its entries behind a mutex; reader
+    // threads push into them as chunks arrive.
+    let partitions: Vec<Mutex<Vec<StateEntry>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let errors: Mutex<Vec<SdgError>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for (store_idx, keys) in &by_store {
+            let store = &stores[*store_idx];
+            let partitions = &partitions;
+            let errors = &errors;
+            scope.spawn(move || {
+                for key in keys {
+                    match store.read_chunk(*key).and_then(|b| decode_entries(&b)) {
+                        Ok(entries) => {
+                            for entry in entries {
+                                let idx = partition_of(&entry, n);
+                                partitions[idx].lock().push(entry);
+                            }
+                        }
+                        Err(e) => errors.lock().push(e),
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = errors.into_inner().into_iter().next() {
+        return Err(e);
+    }
+
+    // Step R2: n builders reconstitute the stores in parallel. Each
+    // builder models one recovering node's reconstitution bandwidth.
+    let results: Vec<Mutex<Option<SdgResult<StateStore>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for (idx, part) in partitions.iter().enumerate() {
+            let results = &results;
+            let state_type = set.state_type;
+            scope.spawn(move || {
+                let entries = std::mem::take(&mut *part.lock());
+                if let Some(bps) = options.rebuild_bps {
+                    if bps > 0 {
+                        let bytes: usize = entries.iter().map(|e| e.size()).sum();
+                        std::thread::sleep(std::time::Duration::from_secs_f64(
+                            bytes as f64 / bps as f64,
+                        ));
+                    }
+                }
+                let mut store = StateStore::new(state_type);
+                let r = store.import_entries(&entries).map(|()| store);
+                *results[idx].lock() = Some(r);
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for slot in results {
+        let store = slot
+            .into_inner()
+            .unwrap_or_else(|| Err(SdgError::Recovery("restore builder missing".into())))?;
+        out.push((store, set.vector.clone()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::StateCell;
+    use crate::config::CheckpointConfig;
+    use crate::coordinator::take_checkpoint;
+    use sdg_common::ids::{EdgeId, InstanceId, TaskId};
+    use sdg_common::value::{Key, Value};
+    use sdg_state::store::StateType;
+
+    fn instance() -> InstanceId {
+        InstanceId::new(TaskId(0), 0)
+    }
+
+    fn stores(m: usize) -> Vec<Arc<BackupStore>> {
+        (0..m).map(|_| Arc::new(BackupStore::in_memory())).collect()
+    }
+
+    fn table_cell(n: i64) -> StateCell {
+        let cell = StateCell::new(StateType::Table);
+        for i in 0..n {
+            cell.apply(EdgeId(0), (i + 1) as u64, |s| {
+                s.as_table().unwrap().put(Key::Int(i), Value::Int(i * 3));
+            });
+        }
+        cell
+    }
+
+    #[test]
+    fn one_to_one_restore_reproduces_state() {
+        let cell = table_cell(200);
+        let stores = stores(1);
+        let set = take_checkpoint(
+            &cell,
+            instance(),
+            1,
+            Vec::new,
+            &stores,
+            &CheckpointConfig::default(),
+        )
+        .unwrap();
+        let restored = restore_state(&set, &stores, 1).unwrap();
+        assert_eq!(restored.len(), 1);
+        let (mut store, vector) = restored.into_iter().next().unwrap();
+        let table = store.as_table().unwrap();
+        assert_eq!(table.len(), 200);
+        for i in 0..200 {
+            assert_eq!(table.get(&Key::Int(i)), Some(Value::Int(i * 3)));
+        }
+        assert_eq!(vector.get(EdgeId(0)), 200);
+    }
+
+    #[test]
+    fn two_to_two_restore_partitions_disjointly() {
+        let cell = table_cell(300);
+        let stores = stores(2);
+        let set = take_checkpoint(
+            &cell,
+            instance(),
+            1,
+            Vec::new,
+            &stores,
+            &CheckpointConfig::default(),
+        )
+        .unwrap();
+        let restored = restore_state(&set, &stores, 2).unwrap();
+        assert_eq!(restored.len(), 2);
+        let mut total = 0;
+        for (i, (mut store, _)) in restored.into_iter().enumerate() {
+            let table = store.as_table().unwrap();
+            total += table.len();
+            // Every key must belong to partition i.
+            table.for_each(|k, _| {
+                assert_eq!((k.stable_hash() % 2) as usize, i);
+            });
+        }
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn matrix_restore_roundtrips() {
+        let cell = StateCell::new(StateType::Matrix);
+        for i in 0..50i64 {
+            cell.apply(EdgeId(1), (i + 1) as u64, |s| {
+                s.as_matrix().unwrap().set(i, i % 5, i as f64);
+            });
+        }
+        let stores = stores(2);
+        let set = take_checkpoint(
+            &cell,
+            instance(),
+            1,
+            Vec::new,
+            &stores,
+            &CheckpointConfig::default(),
+        )
+        .unwrap();
+        let restored = restore_state(&set, &stores, 3).unwrap();
+        let mut nnz = 0;
+        for (mut store, _) in restored {
+            nnz += store.as_matrix().unwrap().nnz();
+        }
+        assert_eq!(nnz, 50);
+    }
+
+    #[test]
+    fn writes_during_checkpoint_are_not_in_the_backup() {
+        let cell = table_cell(10);
+        let stores = stores(1);
+        // Take the snapshot, then write more before the serialiser would
+        // finish. Because take_checkpoint is synchronous in this test we
+        // emulate it by checkpointing and then writing, then restoring.
+        let set = take_checkpoint(
+            &cell,
+            instance(),
+            1,
+            Vec::new,
+            &stores,
+            &CheckpointConfig::default(),
+        )
+        .unwrap();
+        cell.apply(EdgeId(0), 11, |s| {
+            s.as_table().unwrap().put(Key::Int(999), Value::Int(1));
+        });
+        let restored = restore_state(&set, &stores, 1).unwrap();
+        let (mut store, vector) = restored.into_iter().next().unwrap();
+        assert_eq!(store.as_table().unwrap().get(&Key::Int(999)), None);
+        // The vector only covers ts ≤ 10, so item 11 will be replayed and
+        // accepted by a recovered cell.
+        let recovered = StateCell::from_store(store, vector);
+        assert!(recovered
+            .apply(EdgeId(0), 11, |s| {
+                s.as_table().unwrap().put(Key::Int(999), Value::Int(1));
+            })
+            .is_some());
+        // While item 10 is a duplicate and is filtered.
+        assert!(recovered.apply(EdgeId(0), 10, |_| ()).is_none());
+    }
+
+    #[test]
+    fn restore_to_zero_instances_is_rejected() {
+        let cell = table_cell(1);
+        let stores = stores(1);
+        let set = take_checkpoint(
+            &cell,
+            instance(),
+            1,
+            Vec::new,
+            &stores,
+            &CheckpointConfig::default(),
+        )
+        .unwrap();
+        assert!(restore_state(&set, &stores, 0).is_err());
+    }
+
+    #[test]
+    fn missing_store_is_an_error() {
+        let cell = table_cell(5);
+        let stores2 = stores(2);
+        let set = take_checkpoint(
+            &cell,
+            instance(),
+            1,
+            Vec::new,
+            &stores2,
+            &CheckpointConfig::default(),
+        )
+        .unwrap();
+        // Present only one of the two stores at restore time.
+        let r = restore_state(&set, &stores2[..1], 1);
+        assert!(r.is_err());
+    }
+}

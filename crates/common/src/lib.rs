@@ -1,0 +1,35 @@
+//! Shared foundations for the stateful dataflow graph (SDG) workspace.
+//!
+//! This crate holds the pieces every other crate agrees on:
+//!
+//! - [`ids`] — typed identifiers for task elements, state elements, nodes,
+//!   instances and dataflow edges;
+//! - [`value`] — the dynamic [`value::Value`] data model carried by dataflow
+//!   items and stored inside state elements;
+//! - [`time`] — scalar and vector timestamps used for output-buffer trimming
+//!   and duplicate detection during recovery;
+//! - [`codec`] — a small, stable binary encoding used for checkpoints and
+//!   inter-node data items;
+//! - [`metrics`] — counters, gauges and percentile sketches used by the
+//!   runtime monitor and by the benchmark harness;
+//! - [`error`] — the workspace-wide error type.
+//!
+//! The design corresponds to §3 and §5 of *"Making State Explicit for
+//! Imperative Big Data Processing"* (USENIX ATC '14): data items carry
+//! monotonically increasing scalar timestamps per dataflow, and checkpoints
+//! embed a vector timestamp of the last item applied from each input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+pub mod time;
+pub mod value;
+
+pub use error::{SdgError, SdgResult};
+pub use ids::{EdgeId, InstanceId, NodeId, StateId, TaskId};
+pub use time::{ScalarTs, VectorTs};
+pub use value::{Record, Value};

@@ -1,0 +1,127 @@
+//! Property-based tests for the shared data model and codec.
+
+use proptest::prelude::*;
+use sdg_common::codec::{decode_from_slice, encode_to_vec};
+use sdg_common::ids::EdgeId;
+use sdg_common::time::VectorTs;
+use sdg_common::value::{compare_values, Key, Record, Value};
+
+/// Strategy producing arbitrary values with bounded depth.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>()
+            .prop_filter("NaN breaks PartialEq-based roundtrip checks", |x| !x.is_nan())
+            .prop_map(Value::Float),
+        "[a-zA-Z0-9 _:/-]{0,24}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(3, 48, 6, |inner| {
+        prop::collection::vec(inner, 0..6).prop_map(Value::List)
+    })
+}
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Key::Bool),
+        any::<i64>().prop_map(Key::Int),
+        "[a-z0-9]{0,16}".prop_map(Key::str),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Key::Composite)
+    })
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    prop::collection::vec(("[a-z]{1,8}", arb_value()), 0..6).prop_map(|pairs| {
+        let mut r = Record::new();
+        for (n, v) in pairs {
+            r.set(n, v);
+        }
+        r
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_codec_roundtrips(v in arb_value()) {
+        let bytes = encode_to_vec(&v);
+        let back: Value = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn key_codec_roundtrips(k in arb_key()) {
+        let bytes = encode_to_vec(&k);
+        let back: Key = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, k);
+    }
+
+    #[test]
+    fn record_codec_roundtrips(r in arb_record()) {
+        let bytes = encode_to_vec(&r);
+        let back: Record = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn key_hash_matches_equality(a in arb_key(), b in arb_key()) {
+        if a == b {
+            prop_assert_eq!(a.stable_hash(), b.stable_hash());
+        }
+    }
+
+    #[test]
+    fn key_value_conversion_roundtrips(k in arb_key()) {
+        let v: Value = k.clone().into();
+        prop_assert_eq!(v.to_key().unwrap(), k);
+    }
+
+    #[test]
+    fn truncated_values_never_panic(v in arb_value(), cut in 0usize..64) {
+        let bytes = encode_to_vec(&v);
+        if cut < bytes.len() {
+            // Must return an error, never panic.
+            let _ = decode_from_slice::<Value>(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn vector_ts_codec_roundtrips(entries in prop::collection::vec((0u32..64, 1u64..1_000_000), 0..8)) {
+        let mut v = VectorTs::new();
+        for (e, ts) in entries {
+            v.observe(EdgeId(e), ts);
+        }
+        let bytes = encode_to_vec(&v);
+        let back: VectorTs = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn vector_merge_max_dominates_inputs(
+        a in prop::collection::vec((0u32..16, 1u64..1000), 0..8),
+        b in prop::collection::vec((0u32..16, 1u64..1000), 0..8),
+    ) {
+        let mut va = VectorTs::new();
+        for (e, ts) in a { va.observe(EdgeId(e), ts); }
+        let mut vb = VectorTs::new();
+        for (e, ts) in b { vb.observe(EdgeId(e), ts); }
+        let mut merged = va.clone();
+        merged.merge_max(&vb);
+        prop_assert!(merged.dominates(&va));
+        prop_assert!(merged.dominates(&vb));
+    }
+
+    #[test]
+    fn compare_is_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        if let (Some(x), Some(y)) = (compare_values(&a, &b), compare_values(&b, &a)) {
+            match x {
+                Ordering::Less => prop_assert_eq!(y, Ordering::Greater),
+                Ordering::Greater => prop_assert_eq!(y, Ordering::Less),
+                Ordering::Equal => prop_assert_eq!(y, Ordering::Equal),
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The four-step TE/SE-to-node allocation algorithm (§3.3).
+//!
+//! "Since we want to avoid remote state access, the general strategy is to
+//! colocate TEs and SEs that are connected by access edges on the same
+//! node":
+//!
+//! 1. if there is a cycle in the SDG, all SEs accessed in the cycle are
+//!    colocated if possible, to reduce communication in iterative
+//!    algorithms;
+//! 2. the remaining SEs are allocated on separate nodes to increase the
+//!    available memory;
+//! 3. TEs are colocated with the SEs they access;
+//! 4. any unallocated TEs are assigned to separate nodes.
+
+use std::collections::{BTreeMap, HashSet};
+
+use sdg_common::ids::{NodeId, StateId, TaskId};
+
+use crate::model::Sdg;
+
+/// The result of allocating an SDG onto cluster nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Node hosting each task element.
+    pub task_nodes: BTreeMap<TaskId, NodeId>,
+    /// Node hosting each state element.
+    pub state_nodes: BTreeMap<StateId, NodeId>,
+    /// Total number of nodes used.
+    pub num_nodes: u32,
+}
+
+impl Allocation {
+    /// Returns the node assigned to `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task was not part of the allocated graph.
+    pub fn node_of_task(&self, task: TaskId) -> NodeId {
+        self.task_nodes[&task]
+    }
+
+    /// Returns the node assigned to `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state was not part of the allocated graph.
+    pub fn node_of_state(&self, state: StateId) -> NodeId {
+        self.state_nodes[&state]
+    }
+}
+
+/// Allocates the elements of `sdg` to nodes using the four-step strategy.
+pub fn allocate(sdg: &Sdg) -> Allocation {
+    let mut task_nodes: BTreeMap<TaskId, NodeId> = BTreeMap::new();
+    let mut state_nodes: BTreeMap<StateId, NodeId> = BTreeMap::new();
+    let mut next_node = 0u32;
+
+    // Step 1: SEs accessed inside cycles share one node.
+    let cyclic_tasks: HashSet<TaskId> = sdg.tasks_in_cycles().into_iter().collect();
+    let cyclic_states: Vec<StateId> = sdg
+        .states
+        .iter()
+        .filter(|s| {
+            sdg.tasks_accessing(s.id)
+                .iter()
+                .any(|t| cyclic_tasks.contains(&t.id))
+        })
+        .map(|s| s.id)
+        .collect();
+    if !cyclic_states.is_empty() {
+        let node = NodeId(next_node);
+        next_node += 1;
+        for id in cyclic_states {
+            state_nodes.insert(id, node);
+        }
+    }
+
+    // Step 2: remaining SEs on separate nodes.
+    for state in &sdg.states {
+        if !state_nodes.contains_key(&state.id) {
+            state_nodes.insert(state.id, NodeId(next_node));
+            next_node += 1;
+        }
+    }
+
+    // Step 3: TEs colocated with the SE they access.
+    for task in &sdg.tasks {
+        if let Some(access) = &task.access {
+            let node = state_nodes[&access.state];
+            task_nodes.insert(task.id, node);
+        }
+    }
+
+    // Step 4: remaining TEs on separate nodes.
+    for task in &sdg.tasks {
+        if !task_nodes.contains_key(&task.id) {
+            task_nodes.insert(task.id, NodeId(next_node));
+            next_node += 1;
+        }
+    }
+
+    Allocation {
+        task_nodes,
+        state_nodes,
+        num_nodes: next_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{
+        AccessMode, Dispatch, Distribution, SdgBuilder, StateAccessEdge, TaskCode, TaskKind,
+    };
+    use sdg_state::partition::PartitionDim;
+    use sdg_state::store::StateType;
+
+    fn entry() -> TaskKind {
+        TaskKind::Entry { method: "m".into() }
+    }
+
+    /// Builds the CF graph of Fig. 1 and checks the allocation matches the
+    /// paper's example: userItem+its TEs on n1, coOcc+its TEs on n2, merge
+    /// alone on n3.
+    #[test]
+    fn cf_allocation_matches_figure_1() {
+        let mut b = SdgBuilder::new();
+        let user_item = b.add_state(
+            "userItem",
+            StateType::Matrix,
+            Distribution::Partitioned { dim: PartitionDim::Row },
+        );
+        let co_occ = b.add_state("coOcc", StateType::Matrix, Distribution::Partial);
+
+        let upd_ui = b.add_task(
+            "updateUserItem",
+            entry(),
+            TaskCode::Passthrough,
+            Some(StateAccessEdge {
+                state: user_item,
+                mode: AccessMode::Partitioned { key: "user".into(), dim: PartitionDim::Row },
+                writes: true,
+            }),
+        );
+        let upd_co = b.add_task(
+            "updateCoOcc",
+            TaskKind::Compute,
+            TaskCode::Passthrough,
+            Some(StateAccessEdge {
+                state: co_occ,
+                mode: AccessMode::PartialLocal,
+                writes: true,
+            }),
+        );
+        let get_uv = b.add_task(
+            "getUserVec",
+            entry(),
+            TaskCode::Passthrough,
+            Some(StateAccessEdge {
+                state: user_item,
+                mode: AccessMode::Partitioned { key: "user".into(), dim: PartitionDim::Row },
+                writes: false,
+            }),
+        );
+        let get_rv = b.add_task(
+            "getRecVec",
+            TaskKind::Compute,
+            TaskCode::Passthrough,
+            Some(StateAccessEdge {
+                state: co_occ,
+                mode: AccessMode::PartialGlobal,
+                writes: false,
+            }),
+        );
+        let merge = b.add_task("merge", TaskKind::Compute, TaskCode::Passthrough, None);
+
+        b.connect(upd_ui, upd_co, Dispatch::OneToAny, vec!["item".into(), "userRow".into()]);
+        b.connect(get_uv, get_rv, Dispatch::OneToAll, vec!["userRow".into()]);
+        b.connect(
+            get_rv,
+            merge,
+            Dispatch::AllToOne { collect_var: "userRec".into() },
+            vec!["userRec".into()],
+        );
+        let sdg = b.build().unwrap();
+        let alloc = allocate(&sdg);
+
+        // No cycles: userItem on one node, coOcc on another, merge on a third.
+        assert_eq!(alloc.num_nodes, 3);
+        let n_ui = alloc.node_of_state(user_item);
+        let n_co = alloc.node_of_state(co_occ);
+        assert_ne!(n_ui, n_co);
+        assert_eq!(alloc.node_of_task(upd_ui), n_ui);
+        assert_eq!(alloc.node_of_task(get_uv), n_ui);
+        assert_eq!(alloc.node_of_task(upd_co), n_co);
+        assert_eq!(alloc.node_of_task(get_rv), n_co);
+        let n_merge = alloc.node_of_task(merge);
+        assert_ne!(n_merge, n_ui);
+        assert_ne!(n_merge, n_co);
+    }
+
+    #[test]
+    fn cyclic_states_are_colocated() {
+        let mut b = SdgBuilder::new();
+        let s1 = b.add_state("a", StateType::Table, Distribution::Local);
+        let s2 = b.add_state("b", StateType::Table, Distribution::Local);
+        let src = b.add_task("src", entry(), TaskCode::Passthrough, None);
+        let t1 = b.add_task(
+            "iterA",
+            TaskKind::Compute,
+            TaskCode::Passthrough,
+            Some(StateAccessEdge { state: s1, mode: AccessMode::Local, writes: true }),
+        );
+        let t2 = b.add_task(
+            "iterB",
+            TaskKind::Compute,
+            TaskCode::Passthrough,
+            Some(StateAccessEdge { state: s2, mode: AccessMode::Local, writes: true }),
+        );
+        b.connect(src, t1, Dispatch::OneToAny, vec![]);
+        b.connect(t1, t2, Dispatch::OneToAny, vec![]);
+        b.connect(t2, t1, Dispatch::OneToAny, vec![]); // Iteration cycle.
+        let sdg = b.build().unwrap();
+        let alloc = allocate(&sdg);
+
+        // Step 1 colocates both SEs of the cycle.
+        assert_eq!(alloc.node_of_state(s1), alloc.node_of_state(s2));
+        assert_eq!(alloc.node_of_task(t1), alloc.node_of_state(s1));
+        assert_eq!(alloc.node_of_task(t2), alloc.node_of_state(s2));
+        // src gets its own node.
+        assert_ne!(alloc.node_of_task(src), alloc.node_of_task(t1));
+        assert_eq!(alloc.num_nodes, 2);
+    }
+
+    #[test]
+    fn stateless_pipeline_spreads_tasks() {
+        let mut b = SdgBuilder::new();
+        let t0 = b.add_task("a", entry(), TaskCode::Passthrough, None);
+        let t1 = b.add_task("b", TaskKind::Compute, TaskCode::Passthrough, None);
+        let t2 = b.add_task("c", TaskKind::Compute, TaskCode::Passthrough, None);
+        b.connect(t0, t1, Dispatch::OneToAny, vec![]);
+        b.connect(t1, t2, Dispatch::OneToAny, vec![]);
+        let alloc = allocate(&b.build().unwrap());
+        let nodes: HashSet<NodeId> = alloc.task_nodes.values().copied().collect();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(alloc.num_nodes, 3);
+    }
+
+    #[test]
+    fn every_element_is_allocated() {
+        let mut b = SdgBuilder::new();
+        let s = b.add_state("kv", StateType::Table, Distribution::Local);
+        let t0 = b.add_task("src", entry(), TaskCode::Passthrough, None);
+        let t1 = b.add_task(
+            "upd",
+            TaskKind::Compute,
+            TaskCode::Passthrough,
+            Some(StateAccessEdge { state: s, mode: AccessMode::Local, writes: true }),
+        );
+        b.connect(t0, t1, Dispatch::OneToAny, vec![]);
+        let sdg = b.build().unwrap();
+        let alloc = allocate(&sdg);
+        assert_eq!(alloc.task_nodes.len(), sdg.tasks.len());
+        assert_eq!(alloc.state_nodes.len(), sdg.states.len());
+    }
+}

@@ -1,0 +1,87 @@
+//! Graphviz DOT export for SDGs, in the style of the paper's Fig. 1.
+
+use std::fmt::Write as _;
+
+use crate::model::{Distribution, Sdg, TaskKind};
+
+/// Renders `sdg` as a Graphviz DOT digraph.
+///
+/// Task elements are boxes, state elements are ellipses; access edges are
+/// dashed, dataflow edges are solid and labelled with their dispatch
+/// semantics.
+pub fn to_dot(sdg: &Sdg) -> String {
+    let mut out = String::from("digraph sdg {\n  rankdir=LR;\n");
+    for task in &sdg.tasks {
+        let shape = match task.kind {
+            TaskKind::Entry { .. } => "box, style=bold",
+            TaskKind::Compute => "box",
+        };
+        let _ = writeln!(out, "  {} [label=\"{}\", shape={shape}];", task.id, task.name);
+    }
+    for state in &sdg.states {
+        let suffix = match state.dist {
+            Distribution::Local => "",
+            Distribution::Partitioned { .. } => " (partitioned)",
+            Distribution::Partial => " (partial)",
+        };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}{suffix}\", shape=ellipse];",
+            state.id, state.name
+        );
+    }
+    for task in &sdg.tasks {
+        if let Some(access) = &task.access {
+            let arrow = if access.writes { "normal" } else { "empty" };
+            let _ = writeln!(
+                out,
+                "  {} -> {} [style=dashed, arrowhead={arrow}];",
+                task.id, access.state
+            );
+        }
+    }
+    for flow in &sdg.flows {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            flow.from, flow.to, flow.dispatch
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{
+        AccessMode, Dispatch, Distribution, SdgBuilder, StateAccessEdge, TaskCode, TaskKind,
+    };
+    use sdg_state::store::StateType;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut b = SdgBuilder::new();
+        let s = b.add_state("kv", StateType::Table, Distribution::Partial);
+        let t0 = b.add_task(
+            "src",
+            TaskKind::Entry { method: "put".into() },
+            TaskCode::Passthrough,
+            None,
+        );
+        let t1 = b.add_task(
+            "upd",
+            TaskKind::Compute,
+            TaskCode::Passthrough,
+            Some(StateAccessEdge { state: s, mode: AccessMode::PartialLocal, writes: true }),
+        );
+        b.connect(t0, t1, Dispatch::OneToAny, vec![]);
+        let dot = to_dot(&b.build_unchecked());
+        assert!(dot.starts_with("digraph sdg {"));
+        assert!(dot.contains("\"src\""));
+        assert!(dot.contains("\"kv (partial)\""));
+        assert!(dot.contains("t0 -> t1 [label=\"one-to-any\"]"));
+        assert!(dot.contains("t1 -> s0 [style=dashed"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

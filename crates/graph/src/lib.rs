@@ -1,0 +1,26 @@
+//! The stateful dataflow graph (SDG) model (§3 of the paper).
+//!
+//! An SDG is a cyclic graph with two vertex types — task elements (TEs) that
+//! transform dataflows, and state elements (SEs) holding in-memory state —
+//! plus two edge types: *access edges* from a TE to the single SE it may
+//! read or update, and *dataflow edges* between TEs carrying data items.
+//!
+//! This crate defines the graph structure ([`model`]), the structural
+//! invariants the paper imposes ([`mod@validate`]), the four-step TE/SE-to-node
+//! allocation algorithm of §3.3 ([`alloc`]), and a Graphviz exporter
+//! ([`dot`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod dot;
+pub mod model;
+pub mod validate;
+
+pub use alloc::{allocate, Allocation};
+pub use model::{
+    AccessMode, Dispatch, Distribution, FlowDecl, NativeTask, Sdg, SdgBuilder, StateAccessEdge,
+    StateDecl, TaskCode, TaskContext, TaskDecl, TaskKind,
+};
+pub use validate::validate;

@@ -1,0 +1,453 @@
+//! State-access extraction and classification (§4.2 steps 2–3).
+//!
+//! Every `field.method(args)` expression is classified according to the
+//! field's annotation:
+//!
+//! - `@Partitioned` fields yield [`AccessKind::Partitioned`] accesses whose
+//!   access key is resolved to a *variable root* by copy propagation — the
+//!   paper's "reaching expression analysis". The key variable determines the
+//!   dataflow partitioning of the TE that executes the access.
+//! - `@Partial` fields yield [`AccessKind::Global`] when the expression is
+//!   annotated `@Global` (apply to all instances, with a synchronisation
+//!   barrier) and [`AccessKind::PartialLocal`] otherwise (apply to the local
+//!   instance only).
+//! - Unannotated fields yield [`AccessKind::Local`].
+
+use std::collections::HashMap;
+
+use sdg_common::error::{SdgError, SdgResult};
+
+use crate::ast::{Expr, ExprKind, FieldAnn, Method, Program, Span, StateTy, Stmt, StmtKind};
+
+/// How a task element accesses a state element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Access to a single-instance (unannotated) SE.
+    Local,
+    /// Keyed access to a `@Partitioned` SE; `key_var` is the root variable
+    /// holding the access key.
+    Partitioned {
+        /// Resolved access-key variable.
+        key_var: String,
+    },
+    /// Access to the local instance of a `@Partial` SE.
+    PartialLocal,
+    /// `@Global` access to all instances of a `@Partial` SE.
+    Global,
+}
+
+/// One classified state access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateAccess {
+    /// Accessed field name.
+    pub field: String,
+    /// Classification.
+    pub kind: AccessKind,
+    /// `true` for mutating accessor methods.
+    pub is_write: bool,
+    /// Source position of the access expression.
+    pub span: Span,
+}
+
+/// The accesses performed by one top-level statement (including accesses
+/// inside its nested blocks).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StmtAccesses {
+    /// Accesses in program order.
+    pub accesses: Vec<StateAccess>,
+}
+
+impl StmtAccesses {
+    /// Returns `true` if the statement touches no state.
+    pub fn is_stateless(&self) -> bool {
+        self.accesses.is_empty()
+    }
+}
+
+/// Metadata about one accessor method of a state structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateMethodInfo {
+    /// `true` for mutating methods.
+    pub is_write: bool,
+    /// `true` when the first argument is a partition key (row index for
+    /// matrices, key for tables).
+    pub keyed: bool,
+    /// Expected argument count.
+    pub arity: usize,
+}
+
+/// Looks up the accessor `method` for structure type `ty`.
+///
+/// Returns `None` for unknown accessors; the checker reports those as
+/// errors with the statement's span.
+pub fn state_method_info(ty: StateTy, method: &str) -> Option<StateMethodInfo> {
+    let info = |is_write, keyed, arity| {
+        Some(StateMethodInfo {
+            is_write,
+            keyed,
+            arity,
+        })
+    };
+    match ty {
+        StateTy::Table => match method {
+            "get" => info(false, true, 1),
+            "contains" => info(false, true, 1),
+            "put" => info(true, true, 2),
+            "remove" => info(true, true, 1),
+            "inc" => info(true, true, 2),
+            "size" => info(false, false, 0),
+            _ => None,
+        },
+        StateTy::Matrix => match method {
+            "get" => info(false, true, 2),
+            "set" => info(true, true, 3),
+            "add" => info(true, true, 3),
+            "row" => info(false, true, 1),
+            "multiply" => info(false, false, 1),
+            "nnz" => info(false, false, 0),
+            _ => None,
+        },
+        StateTy::Vector => match method {
+            "get" => info(false, false, 1),
+            "set" => info(true, false, 2),
+            "add" => info(true, false, 2),
+            "axpy" => info(true, false, 2),
+            "dot" => info(false, false, 1),
+            "size" => info(false, false, 0),
+            "toList" => info(false, false, 0),
+            _ => None,
+        },
+    }
+}
+
+/// Resolves a variable to its copy-propagation root.
+///
+/// Follows `let a = b;` chains backwards so that all aliases of a dataflow
+/// key map to the same canonical variable name. Parameters are their own
+/// roots.
+fn resolve_root<'a>(copies: &'a HashMap<String, String>, mut name: &'a str) -> &'a str {
+    let mut hops = 0;
+    while let Some(next) = copies.get(name) {
+        name = next;
+        hops += 1;
+        if hops > copies.len() {
+            // A cycle can only arise from self-assignment; stop.
+            break;
+        }
+    }
+    name
+}
+
+/// Analyses one method: returns, for each top-level statement, the state
+/// accesses it (and its nested blocks) perform.
+///
+/// Also validates that every access uses a known accessor with the right
+/// arity and, for partitioned fields, that the access key resolves to a
+/// variable.
+pub fn analyze_method_accesses(
+    program: &Program,
+    method: &Method,
+) -> SdgResult<Vec<StmtAccesses>> {
+    let mut copies: HashMap<String, String> = HashMap::new();
+    let mut out = Vec::with_capacity(method.body.len());
+    for stmt in &method.body {
+        let mut acc = StmtAccesses::default();
+        collect_stmt(program, stmt, &mut copies, &mut acc)?;
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+fn collect_stmt(
+    program: &Program,
+    stmt: &Stmt,
+    copies: &mut HashMap<String, String>,
+    acc: &mut StmtAccesses,
+) -> SdgResult<()> {
+    // Record copy chains before descending so later statements resolve keys
+    // through earlier aliases.
+    if let StmtKind::Let { name, expr, .. } | StmtKind::Assign { name, expr } = &stmt.kind {
+        if let ExprKind::Var(src) = &expr.kind {
+            let root = resolve_root(copies, src).to_owned();
+            if root != *name {
+                copies.insert(name.clone(), root);
+            }
+        } else {
+            // The variable is defined by a non-copy; it becomes its own root.
+            copies.remove(name);
+        }
+    }
+    let mut result = Ok(());
+    stmt.visit_exprs(&mut |e| {
+        if result.is_ok() {
+            result = collect_expr(program, e, copies, acc);
+        }
+    });
+    result?;
+    for block in stmt.child_blocks() {
+        for inner in block {
+            collect_stmt(program, inner, copies, acc)?;
+        }
+    }
+    Ok(())
+}
+
+fn collect_expr(
+    program: &Program,
+    expr: &Expr,
+    copies: &HashMap<String, String>,
+    acc: &mut StmtAccesses,
+) -> SdgResult<()> {
+    if let ExprKind::StateCall {
+        field,
+        method,
+        args,
+        global,
+    } = &expr.kind
+    {
+        let decl = program.field(field).ok_or_else(|| {
+            SdgError::Analysis(format!(
+                "unknown state field `{field}` at {} (all state must be declared)",
+                expr.span
+            ))
+        })?;
+        let info = state_method_info(decl.ty, method).ok_or_else(|| {
+            SdgError::Analysis(format!(
+                "`{}` has no accessor `{method}` on {} at {}",
+                field, decl.ty, expr.span
+            ))
+        })?;
+        if args.len() != info.arity {
+            return Err(SdgError::Analysis(format!(
+                "`{field}.{method}` expects {} arguments, found {} at {}",
+                info.arity,
+                args.len(),
+                expr.span
+            )));
+        }
+        let kind = match decl.ann {
+            FieldAnn::Local => {
+                if *global {
+                    return Err(SdgError::Analysis(format!(
+                        "`@Global` access to `{field}` at {} but the field is not @Partial",
+                        expr.span
+                    )));
+                }
+                AccessKind::Local
+            }
+            FieldAnn::Partial => {
+                if *global {
+                    AccessKind::Global
+                } else {
+                    AccessKind::PartialLocal
+                }
+            }
+            FieldAnn::Partitioned => {
+                if *global {
+                    return Err(SdgError::Analysis(format!(
+                        "`@Global` access to `{field}` at {} but the field is @Partitioned \
+                         (global access applies only to @Partial fields)",
+                        expr.span
+                    )));
+                }
+                if !info.keyed {
+                    return Err(SdgError::Analysis(format!(
+                        "`{field}.{method}` at {} has no access key, so the partition cannot \
+                         be inferred for the @Partitioned field",
+                        expr.span
+                    )));
+                }
+                let key_expr = &args[0];
+                let key_var = match &key_expr.kind {
+                    ExprKind::Var(v) => resolve_root(copies, v).to_owned(),
+                    _ => {
+                        return Err(SdgError::Analysis(format!(
+                            "access key for `{field}` at {} must be a variable so the \
+                             dataflow partitioning can be inferred (reaching-expression \
+                             analysis found a compound expression)",
+                            key_expr.span
+                        )))
+                    }
+                };
+                AccessKind::Partitioned { key_var }
+            }
+        };
+        acc.accesses.push(StateAccess {
+            field: field.clone(),
+            kind,
+            is_write: info.is_write,
+            span: expr.span,
+        });
+    }
+    let mut result = Ok(());
+    expr.visit_children(&mut |c| {
+        if result.is_ok() {
+            result = collect_expr(program, c, copies, acc);
+        }
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn analyze(src: &str, method: &str) -> SdgResult<Vec<StmtAccesses>> {
+        let prog = parse_program(src).unwrap();
+        let m = prog.method(method).unwrap().clone();
+        analyze_method_accesses(&prog, &m)
+    }
+
+    #[test]
+    fn classifies_partitioned_access_with_key() {
+        let accs = analyze(
+            "@Partitioned Matrix userItem;\n\
+             void f(int user, int item, int r) { userItem.set(user, item, r); }",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(accs.len(), 1);
+        assert_eq!(
+            accs[0].accesses,
+            vec![StateAccess {
+                field: "userItem".into(),
+                kind: AccessKind::Partitioned {
+                    key_var: "user".into()
+                },
+                is_write: true,
+                span: accs[0].accesses[0].span,
+            }]
+        );
+    }
+
+    #[test]
+    fn copy_propagation_resolves_key_aliases() {
+        let accs = analyze(
+            "@Partitioned Matrix userItem;\n\
+             void f(int user) { let u = user; let w = u; let row = userItem.row(w); }",
+            "f",
+        )
+        .unwrap();
+        let access = &accs[2].accesses[0];
+        assert_eq!(
+            access.kind,
+            AccessKind::Partitioned {
+                key_var: "user".into()
+            }
+        );
+        assert!(!access.is_write);
+    }
+
+    #[test]
+    fn reassignment_breaks_the_copy_chain() {
+        let accs = analyze(
+            "@Partitioned Table t;\n\
+             void f(int user) { let u = user; u = user + 1; let x = t.get(u); }",
+            "f",
+        )
+        .unwrap();
+        // After `u = user + 1`, u is its own root.
+        assert_eq!(
+            accs[2].accesses[0].kind,
+            AccessKind::Partitioned { key_var: "u".into() }
+        );
+    }
+
+    #[test]
+    fn classifies_partial_local_and_global() {
+        let accs = analyze(
+            "@Partial Matrix coOcc;\n\
+             void f(int item, list row) {\n\
+               coOcc.add(item, item, 1);\n\
+               @Partial let r = @Global coOcc.multiply(row);\n\
+             }",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(accs[0].accesses[0].kind, AccessKind::PartialLocal);
+        assert!(accs[0].accesses[0].is_write);
+        assert_eq!(accs[1].accesses[0].kind, AccessKind::Global);
+        assert!(!accs[1].accesses[0].is_write);
+    }
+
+    #[test]
+    fn unannotated_field_is_local() {
+        let accs = analyze(
+            "Table counts;\nvoid f(string w) { counts.inc(w, 1); }",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(accs[0].accesses[0].kind, AccessKind::Local);
+    }
+
+    #[test]
+    fn nested_block_accesses_attach_to_outer_statement() {
+        let accs = analyze(
+            "@Partial Matrix coOcc;\n\
+             void f(list row, int item) {\n\
+               foreach (p : row) { coOcc.set(item, p[0], 1); coOcc.set(p[0], item, 1); }\n\
+             }",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(accs.len(), 1);
+        assert_eq!(accs[0].accesses.len(), 2);
+    }
+
+    #[test]
+    fn rejects_global_on_partitioned_field() {
+        let err = analyze(
+            "@Partitioned Table t;\nvoid f(int k) { let x = @Global t.get(k); }",
+            "f",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("@Partitioned"), "{err}");
+    }
+
+    #[test]
+    fn rejects_global_on_local_field() {
+        let err = analyze(
+            "Table t;\nvoid f(int k) { let x = @Global t.get(k); }",
+            "f",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not @Partial"), "{err}");
+    }
+
+    #[test]
+    fn rejects_keyless_access_to_partitioned_field() {
+        let err = analyze(
+            "@Partitioned Matrix m;\nvoid f(list v) { let x = m.multiply(v); }",
+            "f",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no access key"), "{err}");
+    }
+
+    #[test]
+    fn rejects_compound_key_expressions() {
+        let err = analyze(
+            "@Partitioned Table t;\nvoid f(int k) { let x = t.get(k % 10); }",
+            "f",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("must be a variable"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_field_method_and_arity() {
+        assert!(analyze("Table t;\nvoid f() { let x = q.get(1); }", "f").is_err());
+        assert!(analyze("Table t;\nvoid f() { let x = t.frobnicate(1); }", "f").is_err());
+        assert!(analyze("Table t;\nvoid f() { let x = t.get(1, 2); }", "f").is_err());
+    }
+
+    #[test]
+    fn method_registry_knows_core_accessors() {
+        assert!(state_method_info(StateTy::Table, "put").unwrap().is_write);
+        assert!(!state_method_info(StateTy::Matrix, "row").unwrap().is_write);
+        assert!(state_method_info(StateTy::Matrix, "row").unwrap().keyed);
+        assert!(!state_method_info(StateTy::Vector, "dot").unwrap().keyed);
+        assert!(state_method_info(StateTy::Table, "explode").is_none());
+    }
+}

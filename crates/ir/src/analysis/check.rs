@@ -1,0 +1,705 @@
+//! Semantic validation of StateLang programs (§4.1 and §4.2).
+//!
+//! Beyond ordinary scoping rules, the checker enforces the paper's
+//! translation restrictions:
+//!
+//! - all state must use explicit SE classes (enforced by the parser) and be
+//!   accessed through declared fields;
+//! - `@Global` may only qualify access to `@Partial` fields (checked by the
+//!   access analysis) and any variable assigned from a `@Global` expression
+//!   must itself be declared `@Partial let`;
+//! - `@Collection` may only expose variables declared `@Partial let`, and
+//!   only as arguments to methods whose parameter is `@Collection`;
+//! - helper methods (those called by other methods) must be side-effect
+//!   free with respect to state, so they can be executed inside any TE;
+//! - compound statements (`if`/`while`/`foreach`) must confine their state
+//!   accesses to a single SE, because TE boundaries cannot cut through
+//!   control flow;
+//! - methods must not be recursive (the dataflow is acyclic per request).
+
+use std::collections::{HashMap, HashSet};
+
+use sdg_common::error::{SdgError, SdgResult};
+
+use crate::ast::{Expr, ExprKind, Method, Program, Stmt, StmtKind};
+use crate::builtins::builtin_arity;
+
+/// Validates `program`, returning the first violation found.
+pub fn check_program(program: &Program) -> SdgResult<()> {
+    check_unique_names(program)?;
+    let entry_names: HashSet<&str> = program
+        .entry_points()
+        .iter()
+        .map(|m| m.name.as_str())
+        .collect();
+    for method in &program.methods {
+        let is_entry = entry_names.contains(method.name.as_str());
+        check_method(program, method, is_entry)?;
+    }
+    check_no_recursion(program)?;
+    Ok(())
+}
+
+fn check_unique_names(program: &Program) -> SdgResult<()> {
+    let mut seen: HashSet<&str> = HashSet::new();
+    for f in &program.fields {
+        if !seen.insert(&f.name) {
+            return Err(SdgError::Analysis(format!(
+                "duplicate declaration of `{}` at {}",
+                f.name, f.span
+            )));
+        }
+    }
+    for m in &program.methods {
+        if !seen.insert(&m.name) {
+            return Err(SdgError::Analysis(format!(
+                "duplicate declaration of `{}` at {}",
+                m.name, m.span
+            )));
+        }
+    }
+    Ok(())
+}
+
+struct MethodChecker<'a> {
+    program: &'a Program,
+    method: &'a Method,
+    is_entry: bool,
+    /// Variables in scope, innermost last. Each scope maps name → is_partial.
+    scopes: Vec<HashMap<String, bool>>,
+}
+
+fn check_method(program: &Program, method: &Method, is_entry: bool) -> SdgResult<()> {
+    if is_entry && method.takes_collection() {
+        return Err(SdgError::Analysis(format!(
+            "entry point `{}` cannot take @Collection parameters (they are \
+             produced by merge dataflows, not external input)",
+            method.name
+        )));
+    }
+    let mut checker = MethodChecker {
+        program,
+        method,
+        is_entry,
+        scopes: vec![HashMap::new()],
+    };
+    for p in &method.params {
+        if program.field(&p.name).is_some() {
+            return Err(SdgError::Analysis(format!(
+                "parameter `{}` of `{}` shadows a state field",
+                p.name, method.name
+            )));
+        }
+        checker.scopes[0].insert(p.name.clone(), false);
+    }
+    checker.check_block(&method.body, true)?;
+    Ok(())
+}
+
+impl<'a> MethodChecker<'a> {
+    fn err(&self, span: crate::ast::Span, msg: impl std::fmt::Display) -> SdgError {
+        SdgError::Analysis(format!("in `{}` at {span}: {msg}", self.method.name))
+    }
+
+    fn lookup(&self, name: &str) -> Option<bool> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).copied())
+    }
+
+    fn define(&mut self, name: &str, is_partial: bool) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack is never empty")
+            .insert(name.to_owned(), is_partial);
+    }
+
+    fn check_block(&mut self, block: &[Stmt], top_level: bool) -> SdgResult<()> {
+        for stmt in block {
+            self.check_stmt(stmt, top_level)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt, top_level: bool) -> SdgResult<()> {
+        // Compound statements must confine state access to one SE so TE
+        // extraction never has to cut inside control flow.
+        if top_level && !stmt.child_blocks().is_empty() {
+            let fields = fields_accessed(stmt);
+            if fields.len() > 1 {
+                let mut names: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
+                names.sort_unstable();
+                return Err(self.err(
+                    stmt.span,
+                    format!(
+                        "a compound statement may access at most one state element, \
+                         found {{{}}} (split the statement so each block touches one SE)",
+                        names.join(", ")
+                    ),
+                ));
+            }
+            if contains_global_in_nested(stmt) {
+                return Err(self.err(
+                    stmt.span,
+                    "@Global access inside control flow is not translatable \
+                     (it would place a synchronisation barrier inside a loop or branch)",
+                ));
+            }
+        }
+        match &stmt.kind {
+            StmtKind::Let {
+                name,
+                expr,
+                is_partial,
+            } => {
+                if self.program.field(name).is_some() {
+                    return Err(self.err(stmt.span, format!("`{name}` shadows a state field")));
+                }
+                self.check_expr(expr, ExprPosition::Rhs)?;
+                let has_global = expr.contains_global_access();
+                if has_global && !is_partial {
+                    return Err(self.err(
+                        stmt.span,
+                        format!(
+                            "`{name}` is assigned from @Global access and becomes \
+                             multi-valued; declare it `@Partial let {name} = ...`"
+                        ),
+                    ));
+                }
+                if *is_partial && !has_global {
+                    return Err(self.err(
+                        stmt.span,
+                        format!(
+                            "`@Partial let {name}` requires a @Global state access on \
+                             the right-hand side"
+                        ),
+                    ));
+                }
+                self.define(name, *is_partial);
+            }
+            StmtKind::Assign { name, expr } => {
+                let Some(is_partial) = self.lookup(name) else {
+                    return Err(self.err(stmt.span, format!("assignment to undefined `{name}`")));
+                };
+                if is_partial {
+                    return Err(self.err(
+                        stmt.span,
+                        format!("partial variable `{name}` cannot be reassigned"),
+                    ));
+                }
+                self.check_expr(expr, ExprPosition::Rhs)?;
+                if expr.contains_global_access() {
+                    return Err(self.err(
+                        stmt.span,
+                        "@Global access may only initialise a `@Partial let` binding",
+                    ));
+                }
+            }
+            StmtKind::Expr(expr) => {
+                self.check_expr(expr, ExprPosition::Rhs)?;
+                if expr.contains_global_access() {
+                    return Err(self.err(
+                        stmt.span,
+                        "@Global access may only initialise a `@Partial let` binding",
+                    ));
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                self.check_expr(cond, ExprPosition::Rhs)?;
+                self.scopes.push(HashMap::new());
+                self.check_block(then_block, false)?;
+                self.scopes.pop();
+                self.scopes.push(HashMap::new());
+                self.check_block(else_block, false)?;
+                self.scopes.pop();
+            }
+            StmtKind::While { cond, body } => {
+                self.check_expr(cond, ExprPosition::Rhs)?;
+                self.scopes.push(HashMap::new());
+                self.check_block(body, false)?;
+                self.scopes.pop();
+            }
+            StmtKind::Foreach { var, iter, body } => {
+                self.check_expr(iter, ExprPosition::Rhs)?;
+                self.scopes.push(HashMap::new());
+                self.define(var, false);
+                self.check_block(body, false)?;
+                self.scopes.pop();
+            }
+            StmtKind::Return(expr) => {
+                if let Some(e) = expr {
+                    self.check_expr(e, ExprPosition::Rhs)?;
+                }
+            }
+            StmtKind::Emit(expr) => {
+                if !self.is_entry {
+                    return Err(self.err(
+                        stmt.span,
+                        "`emit` is only allowed in entry-point methods; helpers return values",
+                    ));
+                }
+                self.check_expr(expr, ExprPosition::Rhs)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_expr(&mut self, expr: &Expr, pos: ExprPosition) -> SdgResult<()> {
+        match &expr.kind {
+            ExprKind::Var(name) => {
+                if self.program.field(name).is_some() {
+                    return Err(self.err(
+                        expr.span,
+                        format!(
+                            "state field `{name}` cannot be used as a plain value; \
+                             access it through its methods"
+                        ),
+                    ));
+                }
+                if self.lookup(name).is_none() {
+                    return Err(self.err(expr.span, format!("undefined variable `{name}`")));
+                }
+                if self.lookup(name) == Some(true) {
+                    return Err(self.err(
+                        expr.span,
+                        format!(
+                            "partial variable `{name}` is multi-valued; use \
+                             `@Collection {name}` to reconcile its instances"
+                        ),
+                    ));
+                }
+            }
+            ExprKind::Collection(name) => {
+                if pos != ExprPosition::CollectionArg {
+                    return Err(self.err(
+                        expr.span,
+                        "`@Collection` may only appear as an argument to a method \
+                         whose parameter is @Collection",
+                    ));
+                }
+                match self.lookup(name) {
+                    Some(true) => {}
+                    Some(false) => {
+                        return Err(self.err(
+                            expr.span,
+                            format!("`@Collection {name}` requires `{name}` to be @Partial"),
+                        ))
+                    }
+                    None => {
+                        return Err(self.err(expr.span, format!("undefined variable `{name}`")))
+                    }
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                if let Some(target) = self.program.method(callee) {
+                    if target.params.len() != args.len() {
+                        return Err(self.err(
+                            expr.span,
+                            format!(
+                                "`{callee}` expects {} arguments, found {}",
+                                target.params.len(),
+                                args.len()
+                            ),
+                        ));
+                    }
+                    for (param, arg) in target.params.iter().zip(args) {
+                        let want_collection = param.is_collection;
+                        let is_collection = matches!(&arg.kind, ExprKind::Collection(_));
+                        if want_collection && !is_collection {
+                            return Err(self.err(
+                                arg.span,
+                                format!(
+                                    "parameter `{}` of `{callee}` is @Collection; pass \
+                                     `@Collection <partial-var>`",
+                                    param.name
+                                ),
+                            ));
+                        }
+                        if !want_collection && is_collection {
+                            return Err(self.err(
+                                arg.span,
+                                format!(
+                                    "parameter `{}` of `{callee}` is not @Collection",
+                                    param.name
+                                ),
+                            ));
+                        }
+                        let pos = if want_collection {
+                            ExprPosition::CollectionArg
+                        } else {
+                            ExprPosition::Rhs
+                        };
+                        self.check_expr(arg, pos)?;
+                    }
+                    // Helper methods must be state-free so they can execute
+                    // inside whichever TE calls them.
+                    if method_accesses_state(target) {
+                        return Err(self.err(
+                            expr.span,
+                            format!(
+                                "helper method `{callee}` accesses state; only entry \
+                                 points may access state elements"
+                            ),
+                        ));
+                    }
+                } else if let Some(arity) = builtin_arity(callee) {
+                    if args.len() != arity {
+                        return Err(self.err(
+                            expr.span,
+                            format!("builtin `{callee}` expects {arity} arguments, found {}", args.len()),
+                        ));
+                    }
+                    for arg in args {
+                        self.check_expr(arg, ExprPosition::Rhs)?;
+                    }
+                } else {
+                    return Err(self.err(expr.span, format!("unknown function `{callee}`")));
+                }
+            }
+            ExprKind::StateCall { args, .. } => {
+                for arg in args {
+                    self.check_expr(arg, ExprPosition::Rhs)?;
+                }
+            }
+            _ => {
+                let mut result = Ok(());
+                expr.visit_children(&mut |c| {
+                    if result.is_ok() {
+                        result = self.check_expr(c, ExprPosition::Rhs);
+                    }
+                });
+                result?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExprPosition {
+    Rhs,
+    CollectionArg,
+}
+
+fn fields_accessed(stmt: &Stmt) -> HashSet<String> {
+    let mut fields = HashSet::new();
+    let mut on_expr = |e: &Expr| {
+        e.walk(&mut |n| {
+            if let ExprKind::StateCall { field, .. } = &n.kind {
+                fields.insert(field.clone());
+            }
+        })
+    };
+    visit_stmt_deep(stmt, &mut on_expr);
+    fields
+}
+
+fn contains_global_in_nested(stmt: &Stmt) -> bool {
+    let mut found = false;
+    for block in stmt.child_blocks() {
+        for inner in block {
+            let mut on_expr = |e: &Expr| {
+                if e.contains_global_access() {
+                    found = true;
+                }
+            };
+            visit_stmt_deep(inner, &mut on_expr);
+        }
+    }
+    found
+}
+
+fn visit_stmt_deep<'a>(stmt: &'a Stmt, on_expr: &mut impl FnMut(&'a Expr)) {
+    stmt.visit_exprs(on_expr);
+    for block in stmt.child_blocks() {
+        for inner in block {
+            visit_stmt_deep(inner, on_expr);
+        }
+    }
+}
+
+fn method_accesses_state(method: &Method) -> bool {
+    let mut found = false;
+    for stmt in &method.body {
+        let mut on_expr = |e: &Expr| {
+            e.walk(&mut |n| {
+                if matches!(&n.kind, ExprKind::StateCall { .. }) {
+                    found = true;
+                }
+            })
+        };
+        visit_stmt_deep(stmt, &mut on_expr);
+    }
+    found
+}
+
+fn check_no_recursion(program: &Program) -> SdgResult<()> {
+    // Depth-first search over the call graph with an explicit stack colour.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour: HashMap<&str, Colour> = program
+        .methods
+        .iter()
+        .map(|m| (m.name.as_str(), Colour::White))
+        .collect();
+
+    fn callees<'a>(method: &'a Method) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        for stmt in &method.body {
+            let mut on_expr = |e: &'a Expr| {
+                e.walk(&mut |n| {
+                    if let ExprKind::Call { callee, .. } = &n.kind {
+                        out.push(callee.as_str());
+                    }
+                })
+            };
+            visit_stmt_deep(stmt, &mut on_expr);
+        }
+        out
+    }
+
+    fn dfs<'a>(
+        program: &'a Program,
+        name: &'a str,
+        colour: &mut HashMap<&'a str, Colour>,
+    ) -> SdgResult<()> {
+        match colour.get(name) {
+            Some(Colour::Black) | None => return Ok(()),
+            Some(Colour::Grey) => {
+                return Err(SdgError::Analysis(format!(
+                    "recursive call involving `{name}` is not translatable to a dataflow"
+                )))
+            }
+            Some(Colour::White) => {}
+        }
+        colour.insert(name, Colour::Grey);
+        if let Some(m) = program.method(name) {
+            for callee in callees(m) {
+                if program.method(callee).is_some() {
+                    dfs(program, callee, colour)?;
+                }
+            }
+        }
+        colour.insert(name, Colour::Black);
+        Ok(())
+    }
+
+    let names: Vec<&str> = program.methods.iter().map(|m| m.name.as_str()).collect();
+    for name in names {
+        dfs(program, name, &mut colour)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> SdgResult<()> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    fn check_err(src: &str, needle: &str) {
+        let err = check(src).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "expected `{needle}` in `{err}`"
+        );
+    }
+
+    #[test]
+    fn accepts_the_cf_program() {
+        let src = r#"
+            @Partitioned Matrix userItem;
+            @Partial Matrix coOcc;
+            void addRating(int user, int item, int rating) {
+                userItem.set(user, item, rating);
+                let userRow = userItem.row(user);
+                foreach (p : userRow) {
+                    if (p[1] > 0) {
+                        coOcc.add(item, p[0], 1);
+                        coOcc.add(p[0], item, 1);
+                    }
+                }
+            }
+            Vector getRec(int user) {
+                let userRow = userItem.row(user);
+                @Partial let userRec = @Global coOcc.multiply(userRow);
+                let rec = merge(@Collection userRec);
+                emit rec;
+            }
+            Vector merge(@Collection Vector allRec) {
+                let rec = [];
+                foreach (cur : allRec) { rec = vec_add(rec, cur); }
+                return rec;
+            }
+        "#;
+        check(src).unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        check_err("Table t;\nTable t;", "duplicate");
+        check_err("Table t;\nvoid t() { }", "duplicate");
+    }
+
+    #[test]
+    fn rejects_undefined_variables() {
+        check_err("void f() { emit x; }", "undefined variable `x`");
+        check_err("void f() { x = 3; }", "assignment to undefined `x`");
+    }
+
+    #[test]
+    fn rejects_field_used_as_value() {
+        check_err("Table t;\nvoid f() { emit t; }", "plain value");
+    }
+
+    #[test]
+    fn rejects_shadowing_fields() {
+        check_err("Table t;\nvoid f() { let t = 1; }", "shadows a state field");
+        check_err("Table t;\nvoid f(int t) { }", "shadows a state field");
+    }
+
+    #[test]
+    fn enforces_partial_let_for_global_access() {
+        check_err(
+            "@Partial Matrix m;\nvoid f(list v) { let x = @Global m.multiply(v); }",
+            "@Partial let",
+        );
+        check_err(
+            "@Partial Matrix m;\nvoid f(list v) { @Partial let x = m.multiply(v); }",
+            "requires a @Global",
+        );
+    }
+
+    #[test]
+    fn partial_variables_are_opaque_until_collected() {
+        check_err(
+            "@Partial Matrix m;\n\
+             void f(list v) { @Partial let x = @Global m.multiply(v); emit x; }",
+            "multi-valued",
+        );
+        check_err(
+            "@Partial Matrix m;\n\
+             void f(list v) { @Partial let x = @Global m.multiply(v); x = v; }",
+            "cannot be reassigned",
+        );
+    }
+
+    #[test]
+    fn collection_rules() {
+        check_err(
+            "void f(int a) { let x = @Collection a; }",
+            "may only appear as an argument",
+        );
+        check_err(
+            "Vector g(@Collection Vector all) { return all; }\n\
+             void f(int a) { let x = g(@Collection a); }",
+            "requires `a` to be @Partial",
+        );
+        check_err(
+            "Vector g(Vector one) { return one; }\n\
+             @Partial Matrix m;\n\
+             void f(list v) { @Partial let x = @Global m.multiply(v); let y = g(@Collection x); }",
+            "is not @Collection",
+        );
+        check_err(
+            "Vector g(@Collection Vector all) { return all; }\n\
+             void f(int a) { let y = g(a); }",
+            "pass `@Collection",
+        );
+    }
+
+    #[test]
+    fn entry_points_cannot_take_collections() {
+        check_err(
+            "void f(@Collection Vector all) { }",
+            "cannot take @Collection",
+        );
+    }
+
+    #[test]
+    fn helpers_must_be_state_free() {
+        check_err(
+            "Table t;\n\
+             int g(int k) { return t.get(k); }\n\
+             void f(int k) { let x = g(k); }",
+            "accesses state",
+        );
+    }
+
+    #[test]
+    fn helpers_cannot_emit() {
+        check_err(
+            "int g(int k) { emit k; return k; }\n\
+             void f(int k) { let x = g(k); }",
+            "only allowed in entry-point",
+        );
+    }
+
+    #[test]
+    fn compound_statements_confined_to_one_se() {
+        check_err(
+            "Table a;\nTable b;\n\
+             void f(int k) {\n\
+               if (k > 0) { a.put(k, 1); b.put(k, 1); }\n\
+             }",
+            "at most one state element",
+        );
+    }
+
+    #[test]
+    fn global_access_inside_control_flow_is_rejected() {
+        check_err(
+            "@Partial Matrix m;\n\
+             void f(list v, int n) {\n\
+               if (n > 0) { @Partial let x = @Global m.multiply(v); }\n\
+             }",
+            "inside control flow",
+        );
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        check_err(
+            "int f(int n) { let x = f(n); return x; }",
+            "recursive",
+        );
+        check_err(
+            "int a(int n) { let x = b(n); return x; }\n\
+             int b(int n) { let x = a(n); return x; }",
+            "recursive",
+        );
+    }
+
+    #[test]
+    fn unknown_functions_and_arity() {
+        check_err("void f() { let x = mystery(1); }", "unknown function");
+        check_err("void f() { let x = len(1, 2); }", "expects 1 arguments");
+        check_err(
+            "int g(int a, int b) { return a; }\nvoid f() { let x = g(1); }",
+            "expects 2 arguments",
+        );
+    }
+
+    #[test]
+    fn scopes_end_with_blocks() {
+        check_err(
+            "void f(int n) {\n\
+               if (n > 0) { let x = 1; }\n\
+               emit x;\n\
+             }",
+            "undefined variable `x`",
+        );
+    }
+}

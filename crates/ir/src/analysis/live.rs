@@ -1,0 +1,259 @@
+//! Live-variable analysis (§4.2 step 5).
+//!
+//! When a method body is cut into several task elements, the variables that
+//! are live at a cut point must travel on the dataflow edge between the two
+//! TEs. This module computes, for every top-level statement of a method,
+//! the set of variables live immediately *before* it — i.e. the payload an
+//! edge feeding a TE starting at that statement must carry.
+//!
+//! The analysis is a standard backward dataflow over the structured AST:
+//! `live_in(s) = use(s) ∪ (live_out(s) − def(s))`, with loops iterated to a
+//! fixed point. State fields are not variables and never appear in live
+//! sets (they are reached through access edges, not dataflows).
+
+use std::collections::HashSet;
+
+use crate::ast::{Expr, ExprKind, Method, Program, Stmt, StmtKind};
+
+/// Computes the set of variables live before each top-level statement of
+/// `method`, plus (as the final element) the set live after the last
+/// statement (always empty for well-formed methods).
+///
+/// Index `i` of the result is the live set before `method.body[i]`; the
+/// result has `body.len() + 1` entries.
+pub fn live_before_each(program: &Program, method: &Method) -> Vec<HashSet<String>> {
+    let fields: HashSet<&str> = program.fields.iter().map(|f| f.name.as_str()).collect();
+    let mut result = vec![HashSet::new(); method.body.len() + 1];
+    let mut live: HashSet<String> = HashSet::new();
+    for (i, stmt) in method.body.iter().enumerate().rev() {
+        live = live_before_stmt(stmt, &live, &fields);
+        result[i] = live.clone();
+    }
+    result
+}
+
+fn live_before_block(
+    block: &[Stmt],
+    live_out: &HashSet<String>,
+    fields: &HashSet<&str>,
+) -> HashSet<String> {
+    let mut live = live_out.clone();
+    for stmt in block.iter().rev() {
+        live = live_before_stmt(stmt, &live, fields);
+    }
+    live
+}
+
+fn live_before_stmt(
+    stmt: &Stmt,
+    live_out: &HashSet<String>,
+    fields: &HashSet<&str>,
+) -> HashSet<String> {
+    match &stmt.kind {
+        StmtKind::Let { name, expr, .. } | StmtKind::Assign { name, expr } => {
+            let mut live = live_out.clone();
+            live.remove(name);
+            add_uses(expr, &mut live, fields);
+            live
+        }
+        StmtKind::Expr(expr) | StmtKind::Emit(expr) => {
+            let mut live = live_out.clone();
+            add_uses(expr, &mut live, fields);
+            live
+        }
+        StmtKind::Return(expr) => {
+            let mut live = live_out.clone();
+            if let Some(e) = expr {
+                add_uses(e, &mut live, fields);
+            }
+            live
+        }
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            let mut live = live_before_block(then_block, live_out, fields);
+            live.extend(live_before_block(else_block, live_out, fields));
+            add_uses(cond, &mut live, fields);
+            live
+        }
+        StmtKind::While { cond, body } => {
+            // Iterate to a fixed point: variables used in later iterations
+            // are live at loop entry.
+            let mut live = live_out.clone();
+            loop {
+                let mut next = live_before_block(body, &live, fields);
+                next.extend(live_out.iter().cloned());
+                add_uses(cond, &mut next, fields);
+                if next == live {
+                    break;
+                }
+                live = next;
+            }
+            live
+        }
+        StmtKind::Foreach { var, iter, body } => {
+            let mut live = live_out.clone();
+            loop {
+                let mut next = live_before_block(body, &live, fields);
+                next.remove(var); // The loop variable is defined by the loop.
+                next.extend(live_out.iter().cloned());
+                if next == live {
+                    break;
+                }
+                live = next;
+            }
+            add_uses(iter, &mut live, fields);
+            live
+        }
+    }
+}
+
+fn add_uses(expr: &Expr, live: &mut HashSet<String>, fields: &HashSet<&str>) {
+    expr.walk(&mut |e| match &e.kind {
+        ExprKind::Var(name) | ExprKind::Collection(name) => {
+            if !fields.contains(name.as_str()) {
+                live.insert(name.clone());
+            }
+        }
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn live(src: &str, method: &str) -> Vec<HashSet<String>> {
+        let prog = parse_program(src).unwrap();
+        let m = prog.method(method).unwrap().clone();
+        live_before_each(&prog, &m)
+    }
+
+    fn set(names: &[&str]) -> HashSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        let l = live(
+            "void f(int a, int b) {\n\
+               let x = a + 1;\n\
+               let y = x * b;\n\
+               emit y;\n\
+             }",
+            "f",
+        );
+        assert_eq!(l[0], set(&["a", "b"]));
+        assert_eq!(l[1], set(&["x", "b"]));
+        assert_eq!(l[2], set(&["y"]));
+        assert_eq!(l[3], set(&[]));
+    }
+
+    #[test]
+    fn dead_variables_are_not_live() {
+        let l = live(
+            "void f(int a) {\n\
+               let unused = a * 2;\n\
+               emit a;\n\
+             }",
+            "f",
+        );
+        // `unused` is defined but never read, so it is not live at stmt 1.
+        assert_eq!(l[1], set(&["a"]));
+    }
+
+    #[test]
+    fn branches_union_their_liveness() {
+        let l = live(
+            "void f(int a, int b, int c) {\n\
+               if (c > 0) { emit a; } else { emit b; }\n\
+             }",
+            "f",
+        );
+        assert_eq!(l[0], set(&["a", "b", "c"]));
+    }
+
+    #[test]
+    fn loop_carried_variables_stay_live() {
+        let l = live(
+            "void f(int n) {\n\
+               let i = 0;\n\
+               let acc = 0;\n\
+               while (i < n) { acc = acc + i; i = i + 1; }\n\
+               emit acc;\n\
+             }",
+            "f",
+        );
+        // Before the loop both i (condition/body) and acc (loop-carried,
+        // used after the loop) are live, plus n.
+        assert_eq!(l[2], set(&["i", "acc", "n"]));
+    }
+
+    #[test]
+    fn foreach_defines_its_variable() {
+        let l = live(
+            "void f(list xs) {\n\
+               let sum = 0;\n\
+               foreach (x : xs) { sum = sum + x; }\n\
+               emit sum;\n\
+             }",
+            "f",
+        );
+        // `x` is defined by the loop, so it is not live before it.
+        assert_eq!(l[1], set(&["xs", "sum"]));
+    }
+
+    #[test]
+    fn state_fields_are_not_variables() {
+        let l = live(
+            "@Partitioned Matrix userItem;\n\
+             void f(int user) {\n\
+               let row = userItem.row(user);\n\
+               emit row;\n\
+             }",
+            "f",
+        );
+        assert_eq!(l[0], set(&["user"]));
+        assert_eq!(l[1], set(&["row"]));
+    }
+
+    #[test]
+    fn collection_use_counts_as_a_use() {
+        let l = live(
+            "Vector g(@Collection Vector all) { return all; }\n\
+             void f(int u) {\n\
+               @Partial let r = u + 1;\n\
+               let m = g(@Collection r);\n\
+               emit m;\n\
+             }",
+            "f",
+        );
+        assert_eq!(l[1], set(&["r"]));
+    }
+
+    #[test]
+    fn cf_get_rec_liveness_matches_paper() {
+        // In getRec, after computing userRow only userRow (and implicitly
+        // the request) must flow to the multiply TE; after userRec, only
+        // userRec flows to merge.
+        let l = live(
+            "@Partitioned Matrix userItem;\n\
+             @Partial Matrix coOcc;\n\
+             void getRec(int user) {\n\
+               let userRow = userItem.row(user);\n\
+               @Partial let userRec = @Global coOcc.multiply(userRow);\n\
+               let rec = merge(@Collection userRec);\n\
+               emit rec;\n\
+             }\n\
+             Vector merge(@Collection Vector all) { return all; }",
+            "getRec",
+        );
+        assert_eq!(l[0], set(&["user"]));
+        assert_eq!(l[1], set(&["userRow"]));
+        assert_eq!(l[2], set(&["userRec"]));
+        assert_eq!(l[3], set(&["rec"]));
+    }
+}

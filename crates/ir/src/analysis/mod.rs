@@ -1,0 +1,16 @@
+//! Static analyses over StateLang programs (§4.2 steps 1–5).
+//!
+//! - [`access`] — extracts state accesses per statement and classifies them
+//!   as local, partitioned (with a resolved access key) or global;
+//! - [`live`] — live-variable analysis, determining which variables must
+//!   cross each TE boundary;
+//! - [`check`] — semantic validation of annotation rules and the
+//!   translatability restrictions of §4.1.
+
+pub mod access;
+pub mod check;
+pub mod live;
+
+pub use access::{analyze_method_accesses, AccessKind, StateAccess, StmtAccesses};
+pub use check::check_program;
+pub use live::live_before_each;

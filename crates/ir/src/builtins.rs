@@ -1,0 +1,314 @@
+//! Pure builtin functions available to StateLang programs.
+//!
+//! Builtins are deterministic and side-effect free, preserving the
+//! re-execution property required for log-based recovery (§4.1
+//! "deterministic execution"). Time- or randomness-dependent functions are
+//! deliberately absent.
+
+use std::sync::Arc;
+
+use sdg_common::error::{SdgError, SdgResult};
+use sdg_common::value::Value;
+
+/// Returns the arity of builtin `name`, or `None` if it is not a builtin.
+pub fn builtin_arity(name: &str) -> Option<usize> {
+    Some(match name {
+        "len" | "abs" | "sqrt" | "exp" | "floor" | "to_int" | "to_float" | "lower" | "first"
+        | "last" | "vec_zeros" | "sum" => 1,
+        "append" | "vec_add" | "vec_scale" | "dot" | "min" | "max" | "split" | "pair" | "get_at"
+        | "concat" | "pairs_add" => 2,
+        _ => return None,
+    })
+}
+
+/// Evaluates builtin `name` over already-evaluated arguments.
+///
+/// # Errors
+///
+/// Returns [`SdgError::Eval`] for unknown builtins or arity mismatches and
+/// [`SdgError::Type`] when arguments have the wrong runtime type.
+pub fn eval_builtin(name: &str, args: &[Value]) -> SdgResult<Value> {
+    let expected = builtin_arity(name)
+        .ok_or_else(|| SdgError::Eval(format!("unknown builtin function `{name}`")))?;
+    if args.len() != expected {
+        return Err(SdgError::Eval(format!(
+            "builtin `{name}` expects {expected} arguments, found {}",
+            args.len()
+        )));
+    }
+    match name {
+        "len" => match &args[0] {
+            Value::List(v) => Ok(Value::Int(v.len() as i64)),
+            Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+            other => Err(SdgError::type_mismatch("List|Str", other.type_name())),
+        },
+        "abs" => match &args[0] {
+            Value::Int(i) => Ok(Value::Int(i.abs())),
+            Value::Float(x) => Ok(Value::Float(x.abs())),
+            other => Err(SdgError::type_mismatch("Int|Float", other.type_name())),
+        },
+        "sqrt" => Ok(Value::Float(args[0].as_float()?.sqrt())),
+        "exp" => Ok(Value::Float(args[0].as_float()?.exp())),
+        "floor" => Ok(Value::Float(args[0].as_float()?.floor())),
+        "to_int" => match &args[0] {
+            Value::Int(i) => Ok(Value::Int(*i)),
+            Value::Float(x) => Ok(Value::Int(*x as i64)),
+            Value::Bool(b) => Ok(Value::Int(*b as i64)),
+            Value::Str(s) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| SdgError::Eval(format!("cannot parse `{s}` as int"))),
+            other => Err(SdgError::type_mismatch("Int|Float|Bool|Str", other.type_name())),
+        },
+        "to_float" => Ok(Value::Float(args[0].as_float()?)),
+        "lower" => Ok(Value::str(args[0].as_str()?.to_lowercase())),
+        "first" => {
+            let list = args[0].as_list()?;
+            Ok(list.first().cloned().unwrap_or(Value::Null))
+        }
+        "last" => {
+            let list = args[0].as_list()?;
+            Ok(list.last().cloned().unwrap_or(Value::Null))
+        }
+        "sum" => {
+            let list = args[0].as_list()?;
+            let mut acc = 0.0;
+            for v in list {
+                acc += v.as_float()?;
+            }
+            Ok(Value::Float(acc))
+        }
+        "vec_zeros" => {
+            let n = args[0].as_int()?;
+            if n < 0 {
+                return Err(SdgError::Eval("vec_zeros length must be non-negative".into()));
+            }
+            Ok(Value::List(vec![Value::Float(0.0); n as usize]))
+        }
+        "append" => {
+            let mut list = args[0].as_list()?.to_vec();
+            list.push(args[1].clone());
+            Ok(Value::List(list))
+        }
+        "vec_add" => {
+            let a = args[0].as_list()?;
+            let b = args[1].as_list()?;
+            let n = a.len().max(b.len());
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let x = a.get(i).map(Value::as_float).transpose()?.unwrap_or(0.0);
+                let y = b.get(i).map(Value::as_float).transpose()?.unwrap_or(0.0);
+                out.push(Value::Float(x + y));
+            }
+            Ok(Value::List(out))
+        }
+        "vec_scale" => {
+            let a = args[0].as_list()?;
+            let s = args[1].as_float()?;
+            Ok(Value::List(
+                a.iter()
+                    .map(|v| v.as_float().map(|x| Value::Float(x * s)))
+                    .collect::<SdgResult<_>>()?,
+            ))
+        }
+        "dot" => {
+            let a = args[0].as_list()?;
+            let b = args[1].as_list()?;
+            let mut acc = 0.0;
+            for i in 0..a.len().min(b.len()) {
+                acc += a[i].as_float()? * b[i].as_float()?;
+            }
+            Ok(Value::Float(acc))
+        }
+        "min" => binary_numeric(&args[0], &args[1], i64::min, f64::min),
+        "max" => binary_numeric(&args[0], &args[1], i64::max, f64::max),
+        "split" => {
+            let s = args[0].as_str()?;
+            let sep = args[1].as_str()?;
+            let parts: Vec<Value> = if sep.is_empty() {
+                s.split_whitespace().map(Value::str).collect()
+            } else {
+                s.split(sep).filter(|p| !p.is_empty()).map(Value::str).collect()
+            };
+            Ok(Value::List(parts))
+        }
+        "pair" => Ok(Value::List(vec![args[0].clone(), args[1].clone()])),
+        "pairs_add" => {
+            // Merges two sparse `[key, value]` pair lists, summing values of
+            // equal keys; the result is sorted by key. This is the natural
+            // reconciliation for sparse vectors such as CF recommendation
+            // results.
+            let mut acc: std::collections::BTreeMap<i64, f64> = std::collections::BTreeMap::new();
+            for side in [&args[0], &args[1]] {
+                for cell in side.as_list()? {
+                    let pair = cell.as_list()?;
+                    if pair.len() != 2 {
+                        return Err(SdgError::Eval(
+                            "pairs_add expects lists of [key, value] pairs".into(),
+                        ));
+                    }
+                    *acc.entry(pair[0].as_int()?).or_insert(0.0) += pair[1].as_float()?;
+                }
+            }
+            Ok(Value::List(
+                acc.into_iter()
+                    .map(|(k, v)| Value::List(vec![Value::Int(k), Value::Float(v)]))
+                    .collect(),
+            ))
+        }
+        "get_at" => {
+            let list = args[0].as_list()?;
+            let i = args[1].as_int()?;
+            if i < 0 || i as usize >= list.len() {
+                return Ok(Value::Null);
+            }
+            Ok(list[i as usize].clone())
+        }
+        "concat" => {
+            let a = args[0].as_str()?;
+            let b = args[1].as_str()?;
+            Ok(Value::Str(Arc::from(format!("{a}{b}").as_str())))
+        }
+        _ => unreachable!("arity table and dispatch table must match"),
+    }
+}
+
+fn binary_numeric(
+    a: &Value,
+    b: &Value,
+    fi: impl Fn(i64, i64) -> i64,
+    ff: impl Fn(f64, f64) -> f64,
+) -> SdgResult<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(fi(*x, *y))),
+        _ => Ok(Value::Float(ff(a.as_float()?, b.as_float()?))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, args: &[Value]) -> Value {
+        eval_builtin(name, args).unwrap()
+    }
+
+    #[test]
+    fn arity_table_matches_dispatch() {
+        for name in [
+            "len", "abs", "sqrt", "exp", "floor", "to_int", "to_float", "lower", "first", "last",
+            "sum", "vec_zeros", "append", "vec_add", "vec_scale", "dot", "min", "max", "split",
+            "pair", "get_at", "concat", "pairs_add",
+        ] {
+            let arity = builtin_arity(name).unwrap();
+            let args = vec![Value::Int(1); arity];
+            // Must not hit unreachable: either evaluates or reports a type
+            // error, never "unknown builtin".
+            match eval_builtin(name, &args) {
+                Ok(_) => {}
+                Err(SdgError::Eval(msg)) => {
+                    assert!(!msg.contains("unknown"), "{name}: {msg}")
+                }
+                Err(_) => {}
+            }
+        }
+        assert!(builtin_arity("nonexistent").is_none());
+    }
+
+    #[test]
+    fn list_builtins() {
+        let list = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(ev("len", &[list.clone()]), Value::Int(2));
+        assert_eq!(ev("first", &[list.clone()]), Value::Int(1));
+        assert_eq!(ev("last", &[list.clone()]), Value::Int(2));
+        assert_eq!(ev("sum", &[list.clone()]), Value::Float(3.0));
+        assert_eq!(
+            ev("append", &[list.clone(), Value::Int(3)]),
+            Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(ev("get_at", &[list.clone(), Value::Int(1)]), Value::Int(2));
+        assert_eq!(ev("get_at", &[list, Value::Int(9)]), Value::Null);
+        assert_eq!(ev("first", &[Value::List(vec![])]), Value::Null);
+    }
+
+    #[test]
+    fn vector_builtins() {
+        let a = Value::List(vec![Value::Float(1.0), Value::Float(2.0)]);
+        let b = Value::List(vec![Value::Float(10.0)]);
+        assert_eq!(
+            ev("vec_add", &[a.clone(), b.clone()]),
+            Value::List(vec![Value::Float(11.0), Value::Float(2.0)])
+        );
+        assert_eq!(
+            ev("vec_scale", &[a.clone(), Value::Float(2.0)]),
+            Value::List(vec![Value::Float(2.0), Value::Float(4.0)])
+        );
+        assert_eq!(ev("dot", &[a.clone(), a.clone()]), Value::Float(5.0));
+        assert_eq!(
+            ev("vec_zeros", &[Value::Int(2)]),
+            Value::List(vec![Value::Float(0.0), Value::Float(0.0)])
+        );
+        assert!(eval_builtin("vec_zeros", &[Value::Int(-1)]).is_err());
+    }
+
+    #[test]
+    fn numeric_builtins() {
+        assert_eq!(ev("abs", &[Value::Int(-4)]), Value::Int(4));
+        assert_eq!(ev("abs", &[Value::Float(-1.5)]), Value::Float(1.5));
+        assert_eq!(ev("sqrt", &[Value::Float(9.0)]), Value::Float(3.0));
+        assert_eq!(ev("min", &[Value::Int(2), Value::Int(5)]), Value::Int(2));
+        assert_eq!(ev("max", &[Value::Int(2), Value::Float(5.0)]), Value::Float(5.0));
+        assert_eq!(ev("floor", &[Value::Float(2.9)]), Value::Float(2.0));
+        assert_eq!(ev("to_int", &[Value::Float(2.9)]), Value::Int(2));
+        assert_eq!(ev("to_int", &[Value::str("42")]), Value::Int(42));
+        assert!(eval_builtin("to_int", &[Value::str("4x")]).is_err());
+        assert_eq!(ev("to_float", &[Value::Int(3)]), Value::Float(3.0));
+    }
+
+    #[test]
+    fn string_builtins() {
+        assert_eq!(ev("lower", &[Value::str("HeLLo")]), Value::str("hello"));
+        assert_eq!(
+            ev("split", &[Value::str("a b  c"), Value::str("")]),
+            Value::List(vec![Value::str("a"), Value::str("b"), Value::str("c")])
+        );
+        assert_eq!(
+            ev("split", &[Value::str("a,b"), Value::str(",")]),
+            Value::List(vec![Value::str("a"), Value::str("b")])
+        );
+        assert_eq!(
+            ev("concat", &[Value::str("ab"), Value::str("cd")]),
+            Value::str("abcd")
+        );
+        assert_eq!(ev("len", &[Value::str("héllo")]), Value::Int(5));
+    }
+
+    #[test]
+    fn pairs_add_merges_sparse_vectors() {
+        let pairs = |items: &[(i64, f64)]| {
+            Value::List(
+                items
+                    .iter()
+                    .map(|&(k, v)| Value::List(vec![Value::Int(k), Value::Float(v)]))
+                    .collect(),
+            )
+        };
+        let a = pairs(&[(1, 2.0), (5, 1.0)]);
+        let b = pairs(&[(5, 3.0), (2, 4.0)]);
+        assert_eq!(
+            ev("pairs_add", &[a.clone(), b]),
+            pairs(&[(1, 2.0), (2, 4.0), (5, 4.0)])
+        );
+        assert_eq!(ev("pairs_add", &[a.clone(), Value::List(vec![])]), a);
+        assert!(eval_builtin("pairs_add", &[Value::Int(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(eval_builtin("nope", &[]).is_err());
+        assert!(eval_builtin("len", &[]).is_err());
+        assert!(eval_builtin("len", &[Value::Int(1)]).is_err());
+        assert!(eval_builtin("dot", &[Value::Int(1), Value::Int(2)]).is_err());
+    }
+}

@@ -1,0 +1,528 @@
+//! Lexer for StateLang source text.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sdg_common::error::{SdgError, SdgResult};
+
+use crate::ast::Span;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// `@Name` annotation.
+    Annotation(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(Arc<str>),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Annotation(s) => write!(f, "`@{s}`"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Tokenises `src`, including a trailing [`Tok::Eof`].
+///
+/// Supports `//` line comments and `/* ... */` block comments.
+pub fn lex(src: &str) -> SdgResult<Vec<SpannedTok>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $span:expr) => {
+            out.push(SpannedTok {
+                tok: $tok,
+                span: $span,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let span = Span::new(line, col);
+        let advance = |i: &mut usize, col: &mut u32, n: usize| {
+            *i += n;
+            *col += n as u32;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => advance(&mut i, &mut col, 1),
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SdgError::parse(span.line, span.col, "unterminated comment"));
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                        i += 1;
+                    } else {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+            }
+            '(' => {
+                push!(Tok::LParen, span);
+                advance(&mut i, &mut col, 1);
+            }
+            ')' => {
+                push!(Tok::RParen, span);
+                advance(&mut i, &mut col, 1);
+            }
+            '{' => {
+                push!(Tok::LBrace, span);
+                advance(&mut i, &mut col, 1);
+            }
+            '}' => {
+                push!(Tok::RBrace, span);
+                advance(&mut i, &mut col, 1);
+            }
+            '[' => {
+                push!(Tok::LBracket, span);
+                advance(&mut i, &mut col, 1);
+            }
+            ']' => {
+                push!(Tok::RBracket, span);
+                advance(&mut i, &mut col, 1);
+            }
+            ';' => {
+                push!(Tok::Semi, span);
+                advance(&mut i, &mut col, 1);
+            }
+            ',' => {
+                push!(Tok::Comma, span);
+                advance(&mut i, &mut col, 1);
+            }
+            '.' => {
+                push!(Tok::Dot, span);
+                advance(&mut i, &mut col, 1);
+            }
+            ':' => {
+                push!(Tok::Colon, span);
+                advance(&mut i, &mut col, 1);
+            }
+            '+' => {
+                push!(Tok::Plus, span);
+                advance(&mut i, &mut col, 1);
+            }
+            '-' => {
+                push!(Tok::Minus, span);
+                advance(&mut i, &mut col, 1);
+            }
+            '*' => {
+                push!(Tok::Star, span);
+                advance(&mut i, &mut col, 1);
+            }
+            '/' => {
+                push!(Tok::Slash, span);
+                advance(&mut i, &mut col, 1);
+            }
+            '%' => {
+                push!(Tok::Percent, span);
+                advance(&mut i, &mut col, 1);
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::EqEq, span);
+                    advance(&mut i, &mut col, 2);
+                } else {
+                    push!(Tok::Assign, span);
+                    advance(&mut i, &mut col, 1);
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::NotEq, span);
+                    advance(&mut i, &mut col, 2);
+                } else {
+                    push!(Tok::Bang, span);
+                    advance(&mut i, &mut col, 1);
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::Le, span);
+                    advance(&mut i, &mut col, 2);
+                } else {
+                    push!(Tok::Lt, span);
+                    advance(&mut i, &mut col, 1);
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::Ge, span);
+                    advance(&mut i, &mut col, 2);
+                } else {
+                    push!(Tok::Gt, span);
+                    advance(&mut i, &mut col, 1);
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') {
+                    push!(Tok::AndAnd, span);
+                    advance(&mut i, &mut col, 2);
+                } else {
+                    return Err(SdgError::parse(line, col, "expected `&&`"));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    push!(Tok::OrOr, span);
+                    advance(&mut i, &mut col, 2);
+                } else {
+                    return Err(SdgError::parse(line, col, "expected `||`"));
+                }
+            }
+            '@' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < bytes.len() && (bytes[end].is_alphanumeric() || bytes[end] == '_') {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(SdgError::parse(line, col, "expected annotation name after `@`"));
+                }
+                let name: String = bytes[start..end].iter().collect();
+                push!(Tok::Annotation(name), span);
+                let n = end - i;
+                advance(&mut i, &mut col, n);
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut ccol = col + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(SdgError::parse(span.line, span.col, "unterminated string"))
+                        }
+                        Some('"') => break,
+                        Some('\\') => {
+                            let esc = bytes.get(j + 1).copied();
+                            match esc {
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                _ => {
+                                    return Err(SdgError::parse(
+                                        line,
+                                        ccol,
+                                        "unknown escape sequence",
+                                    ))
+                                }
+                            }
+                            j += 2;
+                            ccol += 2;
+                        }
+                        Some('\n') => {
+                            return Err(SdgError::parse(span.line, span.col, "unterminated string"))
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            j += 1;
+                            ccol += 1;
+                        }
+                    }
+                }
+                push!(Tok::Str(Arc::from(s.as_str())), span);
+                col = ccol + 1;
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                if end < bytes.len()
+                    && bytes[end] == '.'
+                    && bytes.get(end + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    end += 1;
+                    while end < bytes.len() && bytes[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                let text: String = bytes[start..end].iter().collect();
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| SdgError::parse(line, col, "invalid float literal"))?;
+                    push!(Tok::Float(v), span);
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| SdgError::parse(line, col, "integer literal out of range"))?;
+                    push!(Tok::Int(v), span);
+                }
+                let n = end - i;
+                advance(&mut i, &mut col, n);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i;
+                while end < bytes.len() && (bytes[end].is_alphanumeric() || bytes[end] == '_') {
+                    end += 1;
+                }
+                let name: String = bytes[start..end].iter().collect();
+                push!(Tok::Ident(name), span);
+                let n = end - i;
+                advance(&mut i, &mut col, n);
+            }
+            c => {
+                return Err(SdgError::parse(line, col, format!("unexpected character `{c}`")));
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        span: Span::new(line, col),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_field_declaration() {
+        assert_eq!(
+            toks("@Partitioned Matrix userItem;"),
+            vec![
+                Tok::Annotation("Partitioned".into()),
+                Tok::Ident("Matrix".into()),
+                Tok::Ident("userItem".into()),
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_with_lookahead() {
+        assert_eq!(
+            toks("a == b != c <= d >= e < f > g = h"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::EqEq,
+                Tok::Ident("b".into()),
+                Tok::NotEq,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Ge,
+                Tok::Ident("e".into()),
+                Tok::Lt,
+                Tok::Ident("f".into()),
+                Tok::Gt,
+                Tok::Ident("g".into()),
+                Tok::Assign,
+                Tok::Ident("h".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("42 3.5 0 10.25"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Int(0),
+                Tok::Float(10.25),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_int_is_member_access_not_float() {
+        // `m.row` style chains after an integer: `1.x` lexes as Int Dot Ident.
+        assert_eq!(
+            toks("1.x"),
+            vec![Tok::Int(1), Tok::Dot, Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            toks(r#""hi\n" "a\"b""#),
+            vec![
+                Tok::Str(Arc::from("hi\n")),
+                Tok::Str(Arc::from("a\"b")),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line comment\n /* block\n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let ts = lex("ab\n  cd").unwrap();
+        assert_eq!(ts[0].span, Span::new(1, 1));
+        assert_eq!(ts[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("a\n  $").unwrap_err();
+        match err {
+            SdgError::Parse { line, col, .. } => {
+                assert_eq!((line, col), (2, 3));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("@ x").is_err());
+    }
+
+    #[test]
+    fn huge_integer_is_rejected() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,827 @@
+//! Recursive-descent parser for StateLang.
+
+use sdg_common::error::{SdgError, SdgResult};
+
+use crate::ast::{
+    BinOp, Expr, ExprKind, FieldAnn, FieldDecl, Method, Param, Program, Span, StateTy, Stmt,
+    StmtKind, UnOp,
+};
+use crate::lexer::{lex, SpannedTok, Tok};
+
+/// Parses a complete StateLang program from source text.
+pub fn parse_program(src: &str) -> SdgResult<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SdgError {
+        let span = self.span();
+        SdgError::parse(span.line, span.col, msg)
+    }
+
+    fn expect(&mut self, tok: Tok) -> SdgResult<()> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> SdgResult<String> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> SdgResult<Program> {
+        let mut prog = Program::default();
+        while self.peek() != &Tok::Eof {
+            // Both fields and methods may start with an annotation and then
+            // `Type name`; a following `;` means field, `(` means method.
+            let ann = match self.peek() {
+                Tok::Annotation(name) => {
+                    let name = name.clone();
+                    match name.as_str() {
+                        "Partitioned" => {
+                            self.bump();
+                            Some(FieldAnn::Partitioned)
+                        }
+                        "Partial" => {
+                            self.bump();
+                            Some(FieldAnn::Partial)
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "unexpected annotation `@{other}` at top level \
+                                 (expected @Partitioned or @Partial)"
+                            )))
+                        }
+                    }
+                }
+                _ => None,
+            };
+            let span = self.span();
+            let ty_name = self.ident()?;
+            let name = self.ident()?;
+            match self.peek() {
+                Tok::Semi => {
+                    self.bump();
+                    let ty = state_ty(&ty_name).ok_or_else(|| {
+                        SdgError::parse(
+                            span.line,
+                            span.col,
+                            format!(
+                                "state field `{name}` must use an explicit state class \
+                                 (Table, Matrix or Vector), found `{ty_name}`"
+                            ),
+                        )
+                    })?;
+                    prog.fields.push(FieldDecl {
+                        name,
+                        ty,
+                        ann: ann.unwrap_or(FieldAnn::Local),
+                        span,
+                    });
+                }
+                Tok::LParen => {
+                    if ann.is_some() {
+                        return Err(self.err("methods cannot carry field annotations"));
+                    }
+                    let method = self.method_rest(ty_name, name, span)?;
+                    prog.methods.push(method);
+                }
+                other => {
+                    return Err(self.err(format!("expected `;` or `(`, found {other}")));
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn method_rest(&mut self, ret_ty: String, name: String, span: Span) -> SdgResult<Method> {
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                let pspan = self.span();
+                let is_collection = if self.peek() == &Tok::Annotation("Collection".into()) {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                let ty = self.ident()?;
+                let pname = self.ident()?;
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    is_collection,
+                    span: pspan,
+                });
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Method {
+            name,
+            ret_ty,
+            params,
+            body,
+            span,
+        })
+    }
+
+    fn block(&mut self) -> SdgResult<Vec<Stmt>> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> SdgResult<Stmt> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Annotation(name) if name == "Partial" => {
+                self.bump();
+                match self.peek() {
+                    Tok::Ident(kw) if kw == "let" => {}
+                    _ => return Err(self.err("expected `let` after `@Partial`")),
+                }
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let expr = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Let {
+                        name,
+                        expr,
+                        is_partial: true,
+                    },
+                    span,
+                })
+            }
+            Tok::Ident(kw) if kw == "let" => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let expr = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Let {
+                        name,
+                        expr,
+                        is_partial: false,
+                    },
+                    span,
+                })
+            }
+            Tok::Ident(kw) if kw == "if" => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_block = self.block()?;
+                let else_block = if matches!(self.peek(), Tok::Ident(k) if k == "else") {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt {
+                    kind: StmtKind::If {
+                        cond,
+                        then_block,
+                        else_block,
+                    },
+                    span,
+                })
+            }
+            Tok::Ident(kw) if kw == "while" => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    span,
+                })
+            }
+            Tok::Ident(kw) if kw == "foreach" => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let var = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let iter = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt {
+                    kind: StmtKind::Foreach { var, iter, body },
+                    span,
+                })
+            }
+            Tok::Ident(kw) if kw == "return" => {
+                self.bump();
+                let expr = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Return(expr),
+                    span,
+                })
+            }
+            Tok::Ident(kw) if kw == "emit" => {
+                self.bump();
+                let expr = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Emit(expr),
+                    span,
+                })
+            }
+            Tok::Ident(_) if self.peek2() == &Tok::Assign => {
+                let name = self.ident()?;
+                self.bump(); // `=`
+                let expr = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Assign { name, expr },
+                    span,
+                })
+            }
+            _ => {
+                let expr = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Expr(expr),
+                    span,
+                })
+            }
+        }
+    }
+
+    fn expr(&mut self) -> SdgResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> SdgResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            let span = self.span();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = binary(BinOp::Or, lhs, rhs, span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> SdgResult<Expr> {
+        let mut lhs = self.equality()?;
+        while self.peek() == &Tok::AndAnd {
+            let span = self.span();
+            self.bump();
+            let rhs = self.equality()?;
+            lhs = binary(BinOp::And, lhs, rhs, span);
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> SdgResult<Expr> {
+        let mut lhs = self.comparison()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => BinOp::Eq,
+                Tok::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.comparison()?;
+            lhs = binary(op, lhs, rhs, span);
+        }
+        Ok(lhs)
+    }
+
+    fn comparison(&mut self) -> SdgResult<Expr> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = binary(op, lhs, rhs, span);
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> SdgResult<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = binary(op, lhs, rhs, span);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> SdgResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = binary(op, lhs, rhs, span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> SdgResult<Expr> {
+        let span = self.span();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let operand = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Neg,
+                        operand: Box::new(operand),
+                    },
+                    span,
+                })
+            }
+            Tok::Bang => {
+                self.bump();
+                let operand = self.unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Not,
+                        operand: Box::new(operand),
+                    },
+                    span,
+                })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> SdgResult<Expr> {
+        let mut expr = self.primary()?;
+        while self.peek() == &Tok::LBracket {
+            let span = self.span();
+            self.bump();
+            let idx = self.expr()?;
+            self.expect(Tok::RBracket)?;
+            expr = Expr {
+                kind: ExprKind::Index {
+                    base: Box::new(expr),
+                    idx: Box::new(idx),
+                },
+                span,
+            };
+        }
+        Ok(expr)
+    }
+
+    fn args(&mut self) -> SdgResult<Vec<Expr>> {
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn state_call(&mut self, global: bool) -> SdgResult<Expr> {
+        let span = self.span();
+        let field = self.ident()?;
+        self.expect(Tok::Dot)?;
+        let method = self.ident()?;
+        let args = self.args()?;
+        Ok(Expr {
+            kind: ExprKind::StateCall {
+                field,
+                method,
+                args,
+                global,
+            },
+            span,
+        })
+    }
+
+    fn primary(&mut self) -> SdgResult<Expr> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Int(v),
+                    span,
+                })
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Float(v),
+                    span,
+                })
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Str(s),
+                    span,
+                })
+            }
+            Tok::Annotation(name) if name == "Global" => {
+                self.bump();
+                self.state_call(true)
+            }
+            Tok::Annotation(name) if name == "Collection" => {
+                self.bump();
+                let var = self.ident()?;
+                Ok(Expr {
+                    kind: ExprKind::Collection(var),
+                    span,
+                })
+            }
+            Tok::Annotation(name) => Err(self.err(format!(
+                "unexpected annotation `@{name}` in expression \
+                 (expected @Global or @Collection)"
+            ))),
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if self.peek() != &Tok::RBracket {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.peek() == &Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBracket)?;
+                Ok(Expr {
+                    kind: ExprKind::ListLit(items),
+                    span,
+                })
+            }
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "true" => {
+                        self.bump();
+                        return Ok(Expr {
+                            kind: ExprKind::Bool(true),
+                            span,
+                        });
+                    }
+                    "false" => {
+                        self.bump();
+                        return Ok(Expr {
+                            kind: ExprKind::Bool(false),
+                            span,
+                        });
+                    }
+                    "null" => {
+                        self.bump();
+                        return Ok(Expr {
+                            kind: ExprKind::Null,
+                            span,
+                        });
+                    }
+                    _ => {}
+                }
+                if self.peek2() == &Tok::Dot {
+                    return self.state_call(false);
+                }
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    let args = self.args()?;
+                    Ok(Expr {
+                        kind: ExprKind::Call { callee: name, args },
+                        span,
+                    })
+                } else {
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        span,
+                    })
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+fn binary(op: BinOp, lhs: Expr, rhs: Expr, span: Span) -> Expr {
+    Expr {
+        kind: ExprKind::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        },
+        span,
+    }
+}
+
+fn state_ty(name: &str) -> Option<StateTy> {
+    match name {
+        "Table" | "HashMap" | "Dictionary" => Some(StateTy::Table),
+        "Matrix" | "DenseMatrix" | "SparseMatrix" => Some(StateTy::Matrix),
+        "Vector" => Some(StateTy::Vector),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_field_annotations() {
+        let prog = parse_program(
+            "@Partitioned Matrix userItem;\n@Partial Matrix coOcc;\nTable counts;",
+        )
+        .unwrap();
+        assert_eq!(prog.fields.len(), 3);
+        assert_eq!(prog.fields[0].ann, FieldAnn::Partitioned);
+        assert_eq!(prog.fields[0].ty, StateTy::Matrix);
+        assert_eq!(prog.fields[1].ann, FieldAnn::Partial);
+        assert_eq!(prog.fields[2].ann, FieldAnn::Local);
+        assert_eq!(prog.fields[2].ty, StateTy::Table);
+    }
+
+    #[test]
+    fn rejects_non_state_field_types() {
+        let err = parse_program("int counter;").unwrap_err();
+        assert!(err.to_string().contains("explicit state class"), "{err}");
+    }
+
+    #[test]
+    fn parses_method_with_params() {
+        let prog = parse_program(
+            "void addRating(int user, int item, int rating) { userItem.set(user, item, rating); }\
+             \n@Partitioned Matrix userItem;",
+        )
+        .unwrap();
+        let m = prog.method("addRating").unwrap();
+        assert_eq!(m.params.len(), 3);
+        assert_eq!(m.ret_ty, "void");
+        assert_eq!(m.body.len(), 1);
+        match &m.body[0].kind {
+            StmtKind::Expr(Expr {
+                kind: ExprKind::StateCall { field, method, args, global },
+                ..
+            }) => {
+                assert_eq!(field, "userItem");
+                assert_eq!(method, "set");
+                assert_eq!(args.len(), 3);
+                assert!(!global);
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_global_access_and_partial_let() {
+        let prog = parse_program(
+            "@Partial Matrix coOcc;\n\
+             Vector getRec(int user) {\n\
+               @Partial let userRec = @Global coOcc.multiply(userRow);\n\
+               return userRec;\n\
+             }",
+        )
+        .unwrap();
+        let m = prog.method("getRec").unwrap();
+        match &m.body[0].kind {
+            StmtKind::Let {
+                name,
+                expr,
+                is_partial,
+            } => {
+                assert_eq!(name, "userRec");
+                assert!(is_partial);
+                assert!(matches!(
+                    &expr.kind,
+                    ExprKind::StateCall { global: true, .. }
+                ));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_collection_params_and_exprs() {
+        let prog = parse_program(
+            "Vector merge(@Collection Vector all) {\n\
+               let rec = vec_zeros(len(all));\n\
+               return rec;\n\
+             }\n\
+             Vector getRec(int u) { let rec = merge(@Collection userRec); return rec; }",
+        )
+        .unwrap();
+        let m = prog.method("merge").unwrap();
+        assert!(m.params[0].is_collection);
+        let g = prog.method("getRec").unwrap();
+        match &g.body[0].kind {
+            StmtKind::Let { expr, .. } => match &expr.kind {
+                ExprKind::Call { callee, args } => {
+                    assert_eq!(callee, "merge");
+                    assert!(matches!(&args[0].kind, ExprKind::Collection(v) if v == "userRec"));
+                }
+                other => panic!("unexpected expr {other:?}"),
+            },
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let prog = parse_program(
+            "void f(int n) {\n\
+               let i = 0;\n\
+               while (i < n) { i = i + 1; }\n\
+               if (i == n) { emit i; } else { emit 0 - i; }\n\
+               foreach (x : [1, 2, 3]) { emit x; }\n\
+               return;\n\
+             }",
+        )
+        .unwrap();
+        let m = prog.method("f").unwrap();
+        assert_eq!(m.body.len(), 5);
+        assert!(matches!(m.body[1].kind, StmtKind::While { .. }));
+        assert!(matches!(m.body[2].kind, StmtKind::If { .. }));
+        assert!(matches!(m.body[3].kind, StmtKind::Foreach { .. }));
+        assert!(matches!(m.body[4].kind, StmtKind::Return(None)));
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        let prog = parse_program("void f() { let x = 1 + 2 * 3 == 7 && true; }").unwrap();
+        let StmtKind::Let { expr, .. } = &prog.methods[0].body[0].kind else {
+            panic!("expected let");
+        };
+        // Top level must be `&&`.
+        let ExprKind::Binary { op: BinOp::And, lhs, .. } = &expr.kind else {
+            panic!("expected &&, got {expr:?}");
+        };
+        // Left of && must be `==`.
+        assert!(matches!(
+            &lhs.kind,
+            ExprKind::Binary { op: BinOp::Eq, .. }
+        ));
+    }
+
+    #[test]
+    fn indexing_chains() {
+        let prog = parse_program("void f(list m) { let x = m[0][1]; }").unwrap();
+        let StmtKind::Let { expr, .. } = &prog.methods[0].body[0].kind else {
+            panic!("expected let");
+        };
+        let ExprKind::Index { base, .. } = &expr.kind else {
+            panic!("expected index");
+        };
+        assert!(matches!(&base.kind, ExprKind::Index { .. }));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_program("void f() { let = 3; }").unwrap_err();
+        match err {
+            SdgError::Parse { line, col, .. } => assert_eq!((line, col), (1, 16)),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_statement_annotation() {
+        assert!(parse_program("void f() { @Partial x = 3; }").is_err());
+        assert!(parse_program("void f() { let x = @Partitioned y; }").is_err());
+        assert!(parse_program("@Global Matrix m;").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        assert!(parse_program("void f() { let x = 1;").is_err());
+    }
+
+    #[test]
+    fn full_cf_program_parses() {
+        let src = r#"
+            @Partitioned Matrix userItem;
+            @Partial Matrix coOcc;
+
+            void addRating(int user, int item, int rating) {
+                userItem.set(user, item, rating);
+                let userRow = userItem.row(user);
+                foreach (p : userRow) {
+                    if (p[1] > 0) {
+                        let cnt = coOcc.get(item, p[0]);
+                        coOcc.set(item, p[0], cnt + 1);
+                        coOcc.set(p[0], item, cnt + 1);
+                    }
+                }
+            }
+
+            Vector getRec(int user) {
+                let userRow = userItem.row(user);
+                @Partial let userRec = @Global coOcc.multiply(userRow);
+                let rec = merge(@Collection userRec);
+                emit rec;
+            }
+
+            Vector merge(@Collection Vector allRec) {
+                let rec = [];
+                foreach (cur : allRec) {
+                    rec = vec_add(rec, cur);
+                }
+                return rec;
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.fields.len(), 2);
+        assert_eq!(prog.methods.len(), 3);
+        let entries: Vec<&str> = prog.entry_points().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(entries, vec!["addRating", "getRec"]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Executable code blocks for task elements.
+//!
+//! The paper's `java2sdg` compiles each extracted code region to JVM
+//! bytecode and injects it into a TE template (§4.2 step 6). Here the
+//! analogue is a [`TeProgram`]: the statements assigned to one TE, plus the
+//! state-free helper methods it may call and the live variables it must
+//! forward downstream when the block completes.
+//!
+//! The runtime's interpreter executes a `TeProgram` once per input item:
+//!
+//! 1. every field of the incoming record is bound as a local variable;
+//! 2. the statements run; state accesses go to the TE instance's local SE
+//!    instance (for `@Global`-access TEs the same block was broadcast to
+//!    every partial instance, so "local" is exactly the paper's semantics);
+//! 3. `emit e` sends `e` to the SDG's output sink;
+//! 4. on completion, the variables in [`TeProgram::output_vars`] are
+//!    projected into a record and forwarded on the outgoing dataflow (when
+//!    one exists).
+//!
+//! `@Collection` expressions are rewritten to plain variable references at
+//! translation time: the all-to-one gather barrier materialises the list of
+//! partial values under the partial variable's own name.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::ast::{Method, Stmt};
+
+/// The executable payload of one task element.
+#[derive(Debug, Clone)]
+pub struct TeProgram {
+    /// Human-readable name (derived from the source method and cut index).
+    pub name: String,
+    /// Statements to execute per input item.
+    pub stmts: Vec<Stmt>,
+    /// State-free helper methods callable from the statements.
+    pub helpers: Arc<HashMap<String, Method>>,
+    /// Variables projected and forwarded downstream on completion; empty
+    /// for sink TEs.
+    pub output_vars: Vec<String>,
+}
+
+impl TeProgram {
+    /// Creates a TE program.
+    pub fn new(
+        name: impl Into<String>,
+        stmts: Vec<Stmt>,
+        helpers: Arc<HashMap<String, Method>>,
+        output_vars: Vec<String>,
+    ) -> Self {
+        TeProgram {
+            name: name.into(),
+            stmts,
+            helpers,
+            output_vars,
+        }
+    }
+
+    /// Returns `true` when the block forwards nothing downstream.
+    pub fn is_sink(&self) -> bool {
+        self.output_vars.is_empty()
+    }
+}
+
+impl std::fmt::Display for TeProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TeProgram({}, {} stmts, out=[{}])",
+            self.name,
+            self.stmts.len(),
+            self.output_vars.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_detection_and_display() {
+        let p = TeProgram::new("getRec_1", vec![], Arc::new(HashMap::new()), vec![]);
+        assert!(p.is_sink());
+        assert_eq!(p.to_string(), "TeProgram(getRec_1, 0 stmts, out=[])");
+        let q = TeProgram::new(
+            "getRec_0",
+            vec![],
+            Arc::new(HashMap::new()),
+            vec!["userRow".into()],
+        );
+        assert!(!q.is_sink());
+    }
+}

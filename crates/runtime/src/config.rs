@@ -1,0 +1,175 @@
+//! Runtime and cluster configuration.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use sdg_checkpoint::config::CheckpointConfig;
+use sdg_common::error::{SdgError, SdgResult};
+use sdg_common::ids::{StateId, TaskId};
+
+/// One simulated cluster node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSpec {
+    /// Relative processing speed; `1.0` is a normal node, `0.5` takes twice
+    /// as long per item (a straggler, §6.3).
+    pub speed: f64,
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec { speed: 1.0 }
+    }
+}
+
+/// The simulated cluster: nodes are allocated in order; when the SDG needs
+/// more nodes than specified, extra nodes of speed 1.0 are assumed.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterSpec {
+    /// Node specifications in allocation order.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl ClusterSpec {
+    /// A uniform cluster of `n` normal-speed nodes.
+    pub fn uniform(n: usize) -> Self {
+        ClusterSpec {
+            nodes: vec![NodeSpec::default(); n],
+        }
+    }
+
+    /// Returns the speed of node `idx` (1.0 for unspecified nodes).
+    pub fn speed_of(&self, idx: usize) -> f64 {
+        self.nodes.get(idx).map(|n| n.speed).unwrap_or(1.0)
+    }
+}
+
+/// Reactive runtime-parallelism settings (§3.3 "Runtime parallelism and
+/// stragglers").
+#[derive(Debug, Clone)]
+pub struct ScalingConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// How often the monitor samples queue depths.
+    pub check_interval: Duration,
+    /// A task is a bottleneck when its mean queue depth exceeds this
+    /// fraction of channel capacity.
+    pub high_watermark: f64,
+    /// Consecutive saturated samples before scaling out.
+    pub patience: u32,
+    /// Upper bound on instances per task.
+    pub max_instances: u32,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            enabled: false,
+            check_interval: Duration::from_millis(100),
+            high_watermark: 0.75,
+            patience: 3,
+            max_instances: 8,
+        }
+    }
+}
+
+/// Full runtime configuration for one deployment.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Bounded channel capacity between TE instances (pipelining with
+    /// backpressure).
+    pub channel_capacity: usize,
+    /// Initial SE instance counts: partitions for partitioned SEs, replica
+    /// count for partial SEs. Defaults to 1.
+    pub se_instances: HashMap<StateId, usize>,
+    /// Initial instance counts for stateless tasks. Defaults to 1.
+    pub task_instances: HashMap<TaskId, usize>,
+    /// Synthetic per-item CPU cost per task, in nanoseconds, divided by the
+    /// hosting node's speed. Models the computational cost of TEs.
+    pub work_ns: HashMap<TaskId, u64>,
+    /// The simulated cluster.
+    pub cluster: ClusterSpec,
+    /// Reactive scaling settings.
+    pub scaling: ScalingConfig,
+    /// Checkpointing settings.
+    pub checkpoint: CheckpointConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            channel_capacity: 1024,
+            se_instances: HashMap::new(),
+            task_instances: HashMap::new(),
+            work_ns: HashMap::new(),
+            cluster: ClusterSpec::default(),
+            scaling: ScalingConfig::default(),
+            checkpoint: CheckpointConfig::disabled(),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Validates internal consistency.
+    pub fn validate(&self) -> SdgResult<()> {
+        if self.channel_capacity == 0 {
+            return Err(SdgError::Config("channel_capacity must be ≥ 1".into()));
+        }
+        for (&se, &n) in &self.se_instances {
+            if n == 0 {
+                return Err(SdgError::Config(format!("state {se} needs ≥ 1 instance")));
+            }
+            if n > 1024 {
+                return Err(SdgError::Config(format!(
+                    "state {se}: at most 1024 instances are supported"
+                )));
+            }
+        }
+        for (&t, &n) in &self.task_instances {
+            if n == 0 || n > 1024 {
+                return Err(SdgError::Config(format!(
+                    "task {t}: instance count must be in 1..=1024"
+                )));
+            }
+        }
+        self.checkpoint.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        RuntimeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn cluster_speed_defaults_to_one() {
+        let c = ClusterSpec {
+            nodes: vec![NodeSpec { speed: 0.5 }],
+        };
+        assert_eq!(c.speed_of(0), 0.5);
+        assert_eq!(c.speed_of(7), 1.0);
+        assert_eq!(ClusterSpec::uniform(3).nodes.len(), 3);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = RuntimeConfig::default();
+        c.channel_capacity = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = RuntimeConfig::default();
+        c.se_instances.insert(StateId(0), 0);
+        assert!(c.validate().is_err());
+
+        let mut c = RuntimeConfig::default();
+        c.se_instances.insert(StateId(0), 4096);
+        assert!(c.validate().is_err());
+
+        let mut c = RuntimeConfig::default();
+        c.task_instances.insert(TaskId(0), 0);
+        assert!(c.validate().is_err());
+    }
+}

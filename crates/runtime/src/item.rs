@@ -1,0 +1,141 @@
+//! Data items flowing on dataflow edges.
+
+use std::time::Instant;
+
+use bytes::BytesMut;
+use sdg_common::codec::{encode_to_vec, write_varint, Codec, Reader};
+use sdg_common::error::SdgResult;
+use sdg_common::ids::EdgeId;
+use sdg_common::time::ScalarTs;
+use sdg_common::value::Record;
+
+/// Multiplier for encoding `(edge, source replica)` into a dedupe lane.
+///
+/// Each producer instance owns its own strictly increasing timestamps, so
+/// duplicate detection must be scoped to the `(edge, producer replica)`
+/// pair. Lanes embed the replica in the low bits of a synthetic [`EdgeId`].
+pub const LANE_STRIDE: u32 = 1024;
+
+/// Computes the dedupe lane for items produced by `replica` on `edge`.
+///
+/// # Panics
+///
+/// Panics if `replica >= LANE_STRIDE` (the runtime caps instances at 1024).
+pub fn lane(edge: EdgeId, replica: u32) -> EdgeId {
+    assert!(replica < LANE_STRIDE, "replica {replica} out of lane range");
+    EdgeId(edge.raw() * LANE_STRIDE + replica)
+}
+
+/// One data item on one dataflow edge.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The edge the item travels on.
+    pub edge: EdgeId,
+    /// Producer replica index (for the dedupe lane).
+    pub src_replica: u32,
+    /// Producer-assigned scalar timestamp on `(edge, src_replica)`.
+    pub ts: ScalarTs,
+    /// Correlation id of the originating external request.
+    pub corr: u64,
+    /// For gathers: number of fragments the barrier must collect
+    /// (stamped by the broadcast dispatcher, 1 otherwise).
+    pub expect: u32,
+    /// The live variables crossing the edge.
+    pub payload: Record,
+    /// Submission time of the originating request, for latency measurement.
+    /// `None` for replayed items.
+    pub submitted_at: Option<Instant>,
+}
+
+impl Item {
+    /// Returns the item's dedupe lane.
+    pub fn lane(&self) -> EdgeId {
+        lane(self.edge, self.src_replica)
+    }
+
+    /// Encodes the replay-relevant parts (corr, expect, payload) for output
+    /// buffering. The timestamp is stored alongside by the buffer itself.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        write_varint(&mut buf, self.corr);
+        write_varint(&mut buf, u64::from(self.expect));
+        self.payload.encode(&mut buf);
+        buf.to_vec()
+    }
+
+    /// Rebuilds an item from buffered bytes for replay.
+    pub fn decode_payload(
+        edge: EdgeId,
+        src_replica: u32,
+        ts: ScalarTs,
+        bytes: &[u8],
+    ) -> SdgResult<Item> {
+        let mut r = Reader::new(bytes);
+        let corr = r.read_varint()?;
+        let expect = r.read_varint()? as u32;
+        let payload = Record::decode(&mut r)?;
+        Ok(Item {
+            edge,
+            src_replica,
+            ts,
+            corr,
+            expect,
+            payload,
+            submitted_at: None,
+        })
+    }
+
+    /// Approximate encoded size (used for buffer accounting).
+    pub fn approx_size(&self) -> usize {
+        encode_to_vec(&self.payload).len() + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdg_common::record;
+    use sdg_common::value::Value;
+
+    #[test]
+    fn lanes_are_disjoint_per_replica_and_edge() {
+        assert_ne!(lane(EdgeId(1), 0), lane(EdgeId(1), 1));
+        assert_ne!(lane(EdgeId(1), 0), lane(EdgeId(2), 0));
+        // Adjacent edges never collide while replicas stay under the stride.
+        assert_ne!(lane(EdgeId(1), LANE_STRIDE - 1), lane(EdgeId(2), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of lane range")]
+    fn oversized_replica_panics() {
+        lane(EdgeId(0), LANE_STRIDE);
+    }
+
+    #[test]
+    fn payload_roundtrips_through_buffering() {
+        let item = Item {
+            edge: EdgeId(3),
+            src_replica: 2,
+            ts: 77,
+            corr: 123,
+            expect: 4,
+            payload: record! {"user" => Value::Int(9), "row" => Value::List(vec![Value::Float(0.5)])},
+            submitted_at: Some(Instant::now()),
+        };
+        let bytes = item.encode_payload();
+        let back = Item::decode_payload(EdgeId(3), 2, 77, &bytes).unwrap();
+        assert_eq!(back.corr, 123);
+        assert_eq!(back.expect, 4);
+        assert_eq!(back.payload, item.payload);
+        assert_eq!(back.ts, 77);
+        assert_eq!(back.lane(), item.lane());
+        // Replayed items carry no submission time: their latency is not a
+        // client-visible latency.
+        assert!(back.submitted_at.is_none());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Item::decode_payload(EdgeId(0), 0, 1, &[0xff, 0xff]).is_err());
+    }
+}

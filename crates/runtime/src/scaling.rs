@@ -1,0 +1,81 @@
+//! Reactive runtime parallelism (§3.3 "Runtime parallelism and stragglers").
+//!
+//! The monitor samples the queue depth of every task's instances. A task
+//! whose queues stay saturated is a bottleneck — because its TEs are
+//! computationally expensive, or because one of its instances sits on a
+//! straggler node and drains slowly. In both cases the reaction is the
+//! same (the paper's reactive approach): add a TE instance, creating new
+//! partitioned or partial SE instances as required.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use sdg_common::ids::TaskId;
+
+use crate::deploy::Inner;
+
+/// One scale-out event, for the Fig. 10 timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// Offset from deployment start.
+    pub at: Duration,
+    /// The task that was scaled.
+    pub task: TaskId,
+    /// Instance count after scaling.
+    pub instances: u32,
+    /// The node the new instance was placed on.
+    pub node: u32,
+}
+
+/// Runs the bottleneck monitor until the deployment stops.
+pub(crate) fn run_scaling_monitor(inner: &Inner) {
+    let cfg = inner.cfg.scaling.clone();
+    let capacity = inner.cfg.channel_capacity as f64;
+    let mut streaks: std::collections::HashMap<TaskId, u32> = std::collections::HashMap::new();
+
+    while !stopped(inner) {
+        std::thread::sleep(cfg.check_interval);
+        // Find the most saturated task this tick. A task whose *downstream*
+        // consumers are also saturated is merely backpressured — the real
+        // bottleneck is further down the pipeline, so skip it.
+        let fill_of = |task: TaskId| -> f64 {
+            let targets = inner.targets[&task].read();
+            if targets.is_empty() {
+                return 0.0;
+            }
+            let depth: usize = targets.iter().map(|s| s.len()).sum();
+            depth as f64 / (capacity * targets.len() as f64)
+        };
+        let mut worst: Option<(TaskId, f64)> = None;
+        for task in &inner.sdg.tasks {
+            let fill = fill_of(task.id);
+            let backpressured = inner
+                .sdg
+                .flows_from(task.id)
+                .iter()
+                .any(|f| fill_of(f.to) >= cfg.high_watermark / 2.0);
+            if fill >= cfg.high_watermark && !backpressured {
+                let streak = streaks.entry(task.id).or_insert(0);
+                *streak += 1;
+                let instances = inner.targets[&task.id].read().len() as u32;
+                if *streak >= cfg.patience
+                    && instances < cfg.max_instances
+                    && worst.map(|(_, w)| fill > w).unwrap_or(true)
+                {
+                    worst = Some((task.id, fill));
+                }
+            } else {
+                streaks.insert(task.id, 0);
+            }
+        }
+        if let Some((task, _)) = worst {
+            if inner.scale_task(task).is_ok() {
+                streaks.insert(task, 0);
+            }
+        }
+    }
+}
+
+fn stopped(inner: &Inner) -> bool {
+    inner.stop_flag().load(Ordering::Acquire)
+}

@@ -1,0 +1,558 @@
+//! TE instance workers: the pipelined processing loops.
+//!
+//! Each TE instance is one worker thread consuming a bounded channel.
+//! Producers dispatch directly into consumer channels (no scheduler), so a
+//! full channel applies backpressure upstream — this is the paper's fully
+//! pipelined execution (§3.1).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use sdg_checkpoint::buffer::OutputBuffer;
+use sdg_checkpoint::cell::StateCell;
+use sdg_common::error::{SdgError, SdgResult};
+use sdg_common::ids::EdgeId;
+use sdg_common::metrics::Counter;
+use sdg_common::time::TsGen;
+use sdg_common::value::{Record, Value};
+use sdg_graph::model::{Dispatch, TaskCode, TaskContext};
+
+use crate::interp::{run_te, Effects};
+use crate::item::{lane, Item};
+
+/// Messages delivered to a worker.
+#[derive(Debug)]
+pub enum WorkerMsg {
+    /// A data item to process.
+    Item(Item),
+    /// Graceful stop.
+    Stop,
+}
+
+/// The shared list of consumer-instance senders for one task.
+pub type Targets = Arc<RwLock<Vec<Sender<WorkerMsg>>>>;
+
+/// Key of one upstream output buffer: `(edge, producer replica, consumer
+/// replica)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferKey {
+    /// Dataflow edge (or ingest lane edge).
+    pub edge: EdgeId,
+    /// Producer replica.
+    pub src: u32,
+    /// Consumer replica the item was sent to.
+    pub dst: u32,
+}
+
+/// Registry of all upstream output buffers in a deployment.
+#[derive(Debug, Default)]
+pub struct BufferRegistry {
+    buffers: Mutex<HashMap<BufferKey, Arc<Mutex<OutputBuffer>>>>,
+    /// Maximum items kept per buffer for consumers that never checkpoint
+    /// (stateless tasks); bounds the upstream-backup horizon.
+    pub stateless_cap: usize,
+}
+
+impl BufferRegistry {
+    /// Creates a registry with the given stateless-consumer cap.
+    pub fn new(stateless_cap: usize) -> Self {
+        BufferRegistry {
+            buffers: Mutex::new(HashMap::new()),
+            stateless_cap,
+        }
+    }
+
+    /// Returns (creating on demand) the buffer for `key`.
+    pub fn get(&self, key: BufferKey) -> Arc<Mutex<OutputBuffer>> {
+        self.buffers
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::new(Mutex::new(OutputBuffer::new())))
+            .clone()
+    }
+
+    /// Returns all buffers feeding consumer replica `dst` on `edge`.
+    pub fn buffers_into(&self, edge: EdgeId, dst: u32) -> Vec<(u32, Arc<Mutex<OutputBuffer>>)> {
+        self.buffers
+            .lock()
+            .iter()
+            .filter(|(k, _)| k.edge == edge && k.dst == dst)
+            .map(|(k, b)| (k.src, Arc::clone(b)))
+            .collect()
+    }
+
+    /// Trims the buffer feeding `(edge, src → dst)` below `watermark`.
+    pub fn trim(&self, key: BufferKey, watermark: u64) {
+        if let Some(buf) = self.buffers.lock().get(&key) {
+            buf.lock().trim(watermark);
+        }
+    }
+
+    /// Total buffered bytes across all buffers (for tests and metrics).
+    pub fn total_bytes(&self) -> usize {
+        self.buffers
+            .lock()
+            .values()
+            .map(|b| b.lock().buffered_bytes())
+            .sum()
+    }
+}
+
+/// One outgoing edge of a worker, with its dispatch machinery.
+pub struct OutEdge {
+    /// Edge id.
+    pub edge: EdgeId,
+    /// Dispatch semantics.
+    pub dispatch: Dispatch,
+    /// Live variables to project onto the edge.
+    pub live_vars: Vec<String>,
+    /// Consumer instance senders (shared; scaling mutates it).
+    pub targets: Targets,
+    /// Timestamp generator per `(this producer instance, edge)`.
+    pub ts: TsGen,
+    /// Round-robin cursor for one-to-any dispatch.
+    pub rr: usize,
+    /// Buffer registry for upstream backup.
+    pub buffers: Arc<BufferRegistry>,
+    /// Whether to record items in output buffers (fault tolerance on).
+    pub buffered: bool,
+}
+
+impl OutEdge {
+    /// Dispatches `payload` according to the edge semantics.
+    pub fn send(
+        &mut self,
+        src_replica: u32,
+        payload: &Record,
+        corr: u64,
+        upstream_expect: u32,
+        submitted_at: Option<Instant>,
+    ) -> SdgResult<()> {
+        let projected = if self.live_vars.is_empty() {
+            payload.clone()
+        } else {
+            payload.project(&self.live_vars)
+        };
+        let targets_arc = Arc::clone(&self.targets);
+        let targets = targets_arc.read();
+        let n = targets.len();
+        if n == 0 {
+            return Err(SdgError::Runtime(format!(
+                "edge {} has no consumer instances",
+                self.edge
+            )));
+        }
+        match &self.dispatch {
+            Dispatch::Partitioned { key } => {
+                let key_value = projected.require(key)?.to_key()?;
+                let idx = (key_value.stable_hash() % n as u64) as usize;
+                self.send_one(&targets, idx, src_replica, projected, corr, 1, submitted_at)
+            }
+            Dispatch::OneToAny => {
+                // Join-shortest-queue: slow (straggler) instances naturally
+                // receive less work; ties fall back to round-robin.
+                let start = self.rr % n;
+                self.rr = self.rr.wrapping_add(1);
+                let mut idx = start;
+                let mut best = usize::MAX;
+                for off in 0..n {
+                    let candidate = (start + off) % n;
+                    let depth = targets[candidate].len();
+                    if depth < best {
+                        best = depth;
+                        idx = candidate;
+                    }
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                self.send_one(&targets, idx, src_replica, projected, corr, 1, submitted_at)
+            }
+            Dispatch::AllToOne { .. } => {
+                // The gather consumer is a single instance. The fragment
+                // count equals the fan-out of the broadcast that fed this
+                // producer, which travelled on the input item.
+                self.send_one(
+                    &targets,
+                    0,
+                    src_replica,
+                    projected,
+                    corr,
+                    upstream_expect,
+                    submitted_at,
+                )
+            }
+            Dispatch::OneToAll => {
+                let ts = self.ts.tick();
+                let expect = n as u32;
+                for (idx, target) in targets.iter().enumerate() {
+                    let item = Item {
+                        edge: self.edge,
+                        src_replica,
+                        ts,
+                        corr,
+                        expect,
+                        payload: projected.clone(),
+                        submitted_at,
+                    };
+                    if self.buffered {
+                        let key = BufferKey {
+                            edge: self.edge,
+                            src: src_replica,
+                            dst: idx as u32,
+                        };
+                        self.buffers.get(key).lock().push(ts, item.encode_payload());
+                    }
+                    target
+                        .send(WorkerMsg::Item(item))
+                        .map_err(|_| SdgError::Runtime("consumer channel closed".into()))?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_one(
+        &mut self,
+        targets: &[Sender<WorkerMsg>],
+        idx: usize,
+        src_replica: u32,
+        payload: Record,
+        corr: u64,
+        expect: u32,
+        submitted_at: Option<Instant>,
+    ) -> SdgResult<()> {
+        let ts = self.ts.tick();
+        let item = Item {
+            edge: self.edge,
+            src_replica,
+            ts,
+            corr,
+            expect,
+            payload,
+            submitted_at,
+        };
+        if self.buffered {
+            let key = BufferKey {
+                edge: self.edge,
+                src: src_replica,
+                dst: idx as u32,
+            };
+            self.buffers.get(key).lock().push(ts, item.encode_payload());
+        }
+        targets[idx]
+            .send(WorkerMsg::Item(item))
+            .map_err(|_| SdgError::Runtime("consumer channel closed".into()))
+    }
+}
+
+/// An event on the SDG's external output.
+#[derive(Debug, Clone)]
+pub struct OutputEvent {
+    /// Correlation id of the originating request.
+    pub corr: u64,
+    /// Emitted value.
+    pub value: Value,
+    /// Client-visible latency (absent for replayed duplicates).
+    pub latency: Option<Duration>,
+}
+
+/// Everything one worker thread needs.
+pub struct Worker {
+    /// Task name (diagnostics).
+    pub name: String,
+    /// Replica index of this instance.
+    pub replica: u32,
+    /// Executable payload.
+    pub code: TaskCode,
+    /// Local SE instance, when the task has an access edge.
+    pub cell: Option<Arc<StateCell>>,
+    /// Outgoing edges.
+    pub outs: Vec<OutEdge>,
+    /// External output sink.
+    pub sink: Sender<OutputEvent>,
+    /// Gather state for all-to-one input edges: `corr → fragments by
+    /// producer replica`.
+    pub pending_gathers: HashMap<u64, HashMap<u32, Item>>,
+    /// Collect variable of the inbound gather edge, if any.
+    pub gather_var: Option<String>,
+    /// Synthetic per-item CPU cost in nanoseconds (scaled by node speed).
+    pub work_ns: u64,
+    /// Hosting node's speed factor.
+    pub speed: f64,
+    /// Cleared when the hosting node "fails": the worker then discards
+    /// items, simulating loss of in-flight data.
+    pub alive: Arc<AtomicBool>,
+    /// Processed-items counter (shared with the monitor).
+    pub processed: Arc<Counter>,
+    /// Error counter (shared with the deployment).
+    pub errors: Arc<Counter>,
+    /// Dedupe switch: duplicate filtering needs a cell; stateless tasks
+    /// pass everything through.
+    pub dedupe: bool,
+    /// Global count of in-flight items, used by scale/drain barriers.
+    pub in_flight: Arc<AtomicU64>,
+    /// Accumulated service-time debt not yet slept (see `busy_work`).
+    pub work_debt: Duration,
+}
+
+impl Worker {
+    /// Runs the worker loop until `Stop` or channel disconnect.
+    pub fn run(mut self, rx: Receiver<WorkerMsg>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                WorkerMsg::Stop => break,
+                WorkerMsg::Item(item) => {
+                    if !self.alive.load(Ordering::Acquire) {
+                        // Simulated dead node: in-flight items are lost.
+                        continue;
+                    }
+                    self.handle(item);
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, item: Item) {
+        // Gather barriers assemble one logical item from `expect` fragments.
+        let item = if let Some(var) = self.gather_var.clone() {
+            match self.assemble(item, &var) {
+                Some(merged) => merged,
+                None => return, // Barrier still waiting.
+            }
+        } else {
+            item
+        };
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let r = self.process(&item);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        if r.is_err() {
+            self.errors.inc();
+        }
+    }
+
+    /// Collects fragments; returns the merged item once all arrived.
+    fn assemble(&mut self, item: Item, collect_var: &str) -> Option<Item> {
+        let corr = item.corr;
+        let expect = item.expect.max(1) as usize;
+        let slot = self.pending_gathers.entry(corr).or_default();
+        slot.insert(item.src_replica, item);
+        if slot.len() < expect {
+            return None;
+        }
+        let mut fragments = self.pending_gathers.remove(&corr)?;
+        // Deterministic order: by producer replica.
+        let mut replicas: Vec<u32> = fragments.keys().copied().collect();
+        replicas.sort_unstable();
+        let first = replicas[0];
+        let base = fragments.remove(&first)?;
+        let mut collected: Vec<Value> = Vec::with_capacity(replicas.len());
+        collected.push(base.payload.get(collect_var).cloned().unwrap_or(Value::Null));
+        let mut submitted_at = base.submitted_at;
+        for r in &replicas[1..] {
+            let frag = fragments.remove(r)?;
+            collected.push(frag.payload.get(collect_var).cloned().unwrap_or(Value::Null));
+            submitted_at = submitted_at.or(frag.submitted_at);
+        }
+        let mut payload = base.payload;
+        payload.set(collect_var, Value::List(collected));
+        Some(Item {
+            edge: base.edge,
+            src_replica: first,
+            ts: base.ts,
+            corr: base.corr,
+            expect: 1,
+            payload,
+            submitted_at,
+        })
+    }
+
+    fn process(&mut self, item: &Item) -> SdgResult<()> {
+        if self.work_ns > 0 {
+            // Accumulate service time and sleep it in ≥1 ms slices: short
+            // sleeps overshoot badly (timer slack), which would distort the
+            // modelled service rate.
+            self.work_debt += Duration::from_nanos(
+                (self.work_ns as f64 / self.speed.max(0.01)) as u64,
+            );
+            if self.work_debt >= Duration::from_millis(1) {
+                busy_work(self.work_debt);
+                self.work_debt = Duration::ZERO;
+            }
+        }
+        let effects = match (&self.cell, self.dedupe) {
+            (Some(cell), true) => {
+                let lane = lane(item.edge, item.src_replica);
+                match cell.apply(lane, item.ts, |store| {
+                    execute(&self.code, &item.payload, Some(store), self.replica)
+                }) {
+                    None => {
+                        // Duplicate from a replay: already applied.
+                        self.processed.inc();
+                        return Ok(());
+                    }
+                    Some(r) => r?,
+                }
+            }
+            (Some(cell), false) => {
+                cell.with(|inner| execute(&self.code, &item.payload, Some(&mut inner.store), self.replica))?
+            }
+            (None, _) => execute(&self.code, &item.payload, None, self.replica)?,
+        };
+        self.processed.inc();
+        for value in effects.emits {
+            let event = OutputEvent {
+                corr: item.corr,
+                value,
+                latency: item.submitted_at.map(|t| t.elapsed()),
+            };
+            let _ = self.sink.send(event);
+        }
+        for record in &effects.forwards {
+            for out in &mut self.outs {
+                out.send(self.replica, record, item.corr, item.expect, item.submitted_at)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Executes a task's code against one input.
+pub fn execute(
+    code: &TaskCode,
+    input: &Record,
+    state: Option<&mut sdg_state::store::StateStore>,
+    replica: u32,
+) -> SdgResult<Effects> {
+    match code {
+        TaskCode::Passthrough => Ok(Effects {
+            forwards: vec![input.clone()],
+            emits: Vec::new(),
+        }),
+        TaskCode::Interpreted(te) => run_te(te, input, state),
+        TaskCode::Native(task) => {
+            let mut ctx = NativeCtx {
+                state,
+                effects: Effects::default(),
+                replica,
+            };
+            task.process(input.clone(), &mut ctx)?;
+            Ok(ctx.effects)
+        }
+    }
+}
+
+struct NativeCtx<'a> {
+    state: Option<&'a mut sdg_state::store::StateStore>,
+    effects: Effects,
+    replica: u32,
+}
+
+impl TaskContext for NativeCtx<'_> {
+    fn state(&mut self) -> Option<&mut sdg_state::store::StateStore> {
+        self.state.as_deref_mut()
+    }
+
+    fn emit(&mut self, record: Record) {
+        // Native emissions carry the record's `value` field, or the whole
+        // record as a list when absent.
+        let value = record
+            .get("value")
+            .cloned()
+            .unwrap_or_else(|| Value::List(record.iter().map(|(_, v)| v.clone()).collect()));
+        self.effects.emits.push(value);
+    }
+
+    fn forward(&mut self, record: Record) {
+        self.effects.forwards.push(record);
+    }
+
+    fn replica(&self) -> u32 {
+        self.replica
+    }
+}
+
+/// Sleeps for `d`, simulating the per-item service time of a TE.
+///
+/// Sleeping (not spinning) is deliberate: each simulated node is a thread,
+/// and on a host with fewer cores than simulated nodes, spinning would
+/// serialise the whole cluster. Sleeping lets node service times overlap
+/// the way independent machines do, so scaling experiments behave like the
+/// cluster they model regardless of the host's core count.
+pub fn busy_work(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    std::thread::sleep(d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdg_common::record;
+
+    #[test]
+    fn buffer_registry_creates_and_trims() {
+        let reg = BufferRegistry::new(1000);
+        let key = BufferKey {
+            edge: EdgeId(1),
+            src: 0,
+            dst: 2,
+        };
+        reg.get(key).lock().push(1, vec![1, 2, 3]);
+        reg.get(key).lock().push(2, vec![4]);
+        assert_eq!(reg.total_bytes(), 4);
+        let into = reg.buffers_into(EdgeId(1), 2);
+        assert_eq!(into.len(), 1);
+        assert_eq!(into[0].0, 0);
+        reg.trim(key, 1);
+        assert_eq!(reg.total_bytes(), 1);
+        assert!(reg.buffers_into(EdgeId(1), 9).is_empty());
+    }
+
+    #[test]
+    fn passthrough_execute_forwards_input() {
+        let rec = record! {"a" => Value::Int(1)};
+        let fx = execute(&TaskCode::Passthrough, &rec, None, 0).unwrap();
+        assert_eq!(fx.forwards, vec![rec]);
+        assert!(fx.emits.is_empty());
+    }
+
+    #[test]
+    fn busy_work_spins_approximately() {
+        let t0 = Instant::now();
+        busy_work(Duration::from_micros(50));
+        assert!(t0.elapsed() >= Duration::from_micros(45));
+        let t0 = Instant::now();
+        busy_work(Duration::from_millis(2));
+        assert!(t0.elapsed() >= Duration::from_millis(2));
+        busy_work(Duration::ZERO); // Must not panic or sleep.
+    }
+
+    #[test]
+    fn native_ctx_emit_prefers_value_field() {
+        struct Echo;
+        impl sdg_graph::model::NativeTask for Echo {
+            fn process(
+                &self,
+                input: Record,
+                ctx: &mut dyn TaskContext,
+            ) -> SdgResult<()> {
+                ctx.emit(input.clone());
+                ctx.forward(input);
+                assert_eq!(ctx.replica(), 3);
+                Ok(())
+            }
+        }
+        let code = TaskCode::Native(Arc::new(Echo));
+        let rec = record! {"value" => Value::Int(42), "other" => Value::Int(1)};
+        let fx = execute(&code, &rec, None, 3).unwrap();
+        assert_eq!(fx.emits, vec![Value::Int(42)]);
+        assert_eq!(fx.forwards.len(), 1);
+    }
+}

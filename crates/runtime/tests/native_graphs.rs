@@ -1,0 +1,223 @@
+//! Native-graph topologies beyond the linear pipelines the translator
+//! emits: fan-out to multiple consumers, flat-map stages, and mixed
+//! native/interpreted graphs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sdg_common::error::SdgResult;
+use sdg_common::record;
+use sdg_common::value::{Key, Record, Value};
+use sdg_graph::model::{
+    AccessMode, Dispatch, Distribution, NativeTask, SdgBuilder, StateAccessEdge, TaskCode,
+    TaskContext, TaskKind,
+};
+use sdg_runtime::config::RuntimeConfig;
+use sdg_runtime::deploy::Deployment;
+use sdg_state::partition::PartitionDim;
+use sdg_state::store::StateType;
+
+/// Counts items in its table under the record's `k`.
+struct CountTask;
+
+impl NativeTask for CountTask {
+    fn process(&self, input: Record, ctx: &mut dyn TaskContext) -> SdgResult<()> {
+        let key = input.require("k")?.to_key()?;
+        let table = ctx.state().expect("stateful").as_table()?;
+        table.update(key, |v| {
+            Value::Int(v.map(|x| x.as_int().unwrap_or(0)).unwrap_or(0) + 1)
+        });
+        Ok(())
+    }
+}
+
+#[test]
+fn one_producer_feeds_two_consumers() {
+    // source ──▶ left (counts by k)
+    //        └─▶ right (counts by k, separate table)
+    let mut b = SdgBuilder::new();
+    let left_state = b.add_state(
+        "left",
+        StateType::Table,
+        Distribution::Partitioned { dim: PartitionDim::Row },
+    );
+    let right_state = b.add_state(
+        "right",
+        StateType::Table,
+        Distribution::Partitioned { dim: PartitionDim::Row },
+    );
+    let source = b.add_task(
+        "source",
+        TaskKind::Entry { method: "feed".into() },
+        TaskCode::Passthrough,
+        None,
+    );
+    let left = b.add_task(
+        "left",
+        TaskKind::Compute,
+        TaskCode::Native(Arc::new(CountTask)),
+        Some(StateAccessEdge {
+            state: left_state,
+            mode: AccessMode::Partitioned { key: "k".into(), dim: PartitionDim::Row },
+            writes: true,
+        }),
+    );
+    let right = b.add_task(
+        "right",
+        TaskKind::Compute,
+        TaskCode::Native(Arc::new(CountTask)),
+        Some(StateAccessEdge {
+            state: right_state,
+            mode: AccessMode::Partitioned { key: "k".into(), dim: PartitionDim::Row },
+            writes: true,
+        }),
+    );
+    b.connect(source, left, Dispatch::Partitioned { key: "k".into() }, vec!["k".into()]);
+    b.connect(source, right, Dispatch::Partitioned { key: "k".into() }, vec!["k".into()]);
+    let sdg = b.build().unwrap();
+
+    let mut cfg = RuntimeConfig::default();
+    cfg.se_instances.insert(left_state, 2);
+    cfg.se_instances.insert(right_state, 3);
+    let d = Deployment::start(sdg, cfg).unwrap();
+    for n in 0..200i64 {
+        d.submit("feed", record! {"k" => Value::Int(n % 10)}).unwrap();
+    }
+    assert!(d.quiesce(Duration::from_secs(30)));
+
+    // Both sides saw every item, despite different partition counts.
+    for (state, instances) in [(left_state, 2usize), (right_state, 3)] {
+        let mut total = 0i64;
+        for replica in 0..instances {
+            d.with_state(state, replica as u32, |s| {
+                s.as_table().unwrap().for_each(|_, v| total += v.as_int().unwrap());
+            })
+            .unwrap();
+        }
+        assert_eq!(total, 200, "{state}");
+        // Per-key counts are exact.
+        let key = Key::Int(3);
+        let replica = (key.stable_hash() % instances as u64) as u32;
+        let count = d
+            .with_state(state, replica, |s| s.as_table().unwrap().get(&key))
+            .unwrap();
+        assert_eq!(count, Some(Value::Int(20)));
+    }
+    assert_eq!(d.error_count(), 0);
+    d.shutdown();
+}
+
+/// Splits a record into several forwarded records (flat map).
+struct ExplodeTask;
+
+impl NativeTask for ExplodeTask {
+    fn process(&self, input: Record, ctx: &mut dyn TaskContext) -> SdgResult<()> {
+        let n = input.require("n")?.as_int()?;
+        for i in 0..n {
+            let mut out = Record::with_capacity(1);
+            out.set("k", Value::Int(i));
+            ctx.forward(out);
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn flat_map_fans_out_items() {
+    let mut b = SdgBuilder::new();
+    let counts = b.add_state(
+        "counts",
+        StateType::Table,
+        Distribution::Partitioned { dim: PartitionDim::Row },
+    );
+    let explode = b.add_task(
+        "explode",
+        TaskKind::Entry { method: "explode".into() },
+        TaskCode::Native(Arc::new(ExplodeTask)),
+        None,
+    );
+    let count = b.add_task(
+        "count",
+        TaskKind::Compute,
+        TaskCode::Native(Arc::new(CountTask)),
+        Some(StateAccessEdge {
+            state: counts,
+            mode: AccessMode::Partitioned { key: "k".into(), dim: PartitionDim::Row },
+            writes: true,
+        }),
+    );
+    b.connect(explode, count, Dispatch::Partitioned { key: "k".into() }, vec!["k".into()]);
+    let sdg = b.build().unwrap();
+    let mut cfg = RuntimeConfig::default();
+    cfg.se_instances.insert(counts, 2);
+    let d = Deployment::start(sdg, cfg).unwrap();
+
+    // Each request n produces n items with keys 0..n.
+    for n in [5i64, 3, 7] {
+        d.submit("explode", record! {"n" => Value::Int(n)}).unwrap();
+    }
+    assert!(d.quiesce(Duration::from_secs(30)));
+    // Key 0 appears in all three requests; key 6 only in the last.
+    let count_of = |k: i64| {
+        let key = Key::Int(k);
+        let replica = (key.stable_hash() % 2) as u32;
+        d.with_state(counts, replica, |s| s.as_table().unwrap().get(&key))
+            .unwrap()
+    };
+    assert_eq!(count_of(0), Some(Value::Int(3)));
+    assert_eq!(count_of(4), Some(Value::Int(2)));
+    assert_eq!(count_of(6), Some(Value::Int(1)));
+    assert_eq!(count_of(9), None);
+    d.shutdown();
+}
+
+#[test]
+fn stateless_fanout_scales_independently_of_consumers() {
+    // Stateless tasks can have any instance count; stateful ones follow
+    // their SE. Mixed graph: 4 stateless parsers feed 2 partitions.
+    let mut b = SdgBuilder::new();
+    let counts = b.add_state(
+        "counts",
+        StateType::Table,
+        Distribution::Partitioned { dim: PartitionDim::Row },
+    );
+    let parse = b.add_task(
+        "parse",
+        TaskKind::Entry { method: "feed".into() },
+        TaskCode::Passthrough,
+        None,
+    );
+    let count = b.add_task(
+        "count",
+        TaskKind::Compute,
+        TaskCode::Native(Arc::new(CountTask)),
+        Some(StateAccessEdge {
+            state: counts,
+            mode: AccessMode::Partitioned { key: "k".into(), dim: PartitionDim::Row },
+            writes: true,
+        }),
+    );
+    b.connect(parse, count, Dispatch::Partitioned { key: "k".into() }, vec!["k".into()]);
+    let sdg = b.build().unwrap();
+    let parse_id = sdg.task_by_name("parse").unwrap().id;
+    let mut cfg = RuntimeConfig::default();
+    cfg.se_instances.insert(counts, 2);
+    cfg.task_instances.insert(parse_id, 4);
+    let d = Deployment::start(sdg, cfg).unwrap();
+    assert_eq!(d.instance_count(parse_id), 4);
+
+    for n in 0..400i64 {
+        d.submit("feed", record! {"k" => Value::Int(n % 8)}).unwrap();
+    }
+    assert!(d.quiesce(Duration::from_secs(30)));
+    let mut total = 0i64;
+    for replica in 0..2u32 {
+        d.with_state(counts, replica, |s| {
+            s.as_table().unwrap().for_each(|_, v| total += v.as_int().unwrap());
+        })
+        .unwrap();
+    }
+    assert_eq!(total, 400);
+    assert_eq!(d.error_count(), 0);
+    d.shutdown();
+}

@@ -1,0 +1,468 @@
+//! A row-indexed sparse matrix with dirty-state checkpointing.
+//!
+//! Backs both matrices of the collaborative filtering algorithm (§2.1):
+//! `userItem` (partitioned by row = user) and `coOcc` (partial, replicated,
+//! randomly accessed). Rows are hash maps from column index to `f64`, so
+//! fine-grained `set_element`/`get_element` updates are O(1) and
+//! matrix–vector multiplication is O(nnz).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sdg_common::codec::{decode_from_slice, encode_to_vec};
+use sdg_common::error::{SdgError, SdgResult};
+use sdg_common::value::{Key, Value};
+
+use crate::entry::StateEntry;
+use crate::partition::PartitionDim;
+
+type Rows = HashMap<i64, HashMap<i64, f64>>;
+
+/// A mutable sparse matrix supporting dirty-state checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMatrix {
+    base: Arc<Rows>,
+    /// Writes performed while a checkpoint snapshot is outstanding.
+    dirty: Option<HashMap<(i64, i64), f64>>,
+    nnz: usize,
+}
+
+impl SparseMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the number of explicitly stored (non-zero at write time)
+    /// elements.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Returns `true` if nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.nnz == 0
+    }
+
+    /// Approximates the in-memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        // Row key + column key + value + per-entry bookkeeping.
+        self.nnz * 32
+    }
+
+    /// Returns `true` while a checkpoint snapshot is outstanding.
+    pub fn is_checkpointing(&self) -> bool {
+        self.dirty.is_some()
+    }
+
+    /// Reads element `(row, col)`; absent elements read as `0.0`.
+    pub fn get(&self, row: i64, col: i64) -> f64 {
+        if let Some(dirty) = &self.dirty {
+            if let Some(v) = dirty.get(&(row, col)) {
+                return *v;
+            }
+        }
+        self.base
+            .get(&row)
+            .and_then(|r| r.get(&col))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    fn is_present(&self, row: i64, col: i64) -> bool {
+        if let Some(dirty) = &self.dirty {
+            if dirty.contains_key(&(row, col)) {
+                return true;
+            }
+        }
+        self.base.get(&row).is_some_and(|r| r.contains_key(&col))
+    }
+
+    /// Writes element `(row, col)`.
+    pub fn set(&mut self, row: i64, col: i64, value: f64) {
+        if !self.is_present(row, col) {
+            self.nnz += 1;
+        }
+        match &mut self.dirty {
+            Some(dirty) => {
+                dirty.insert((row, col), value);
+            }
+            None => {
+                Arc::make_mut(&mut self.base)
+                    .entry(row)
+                    .or_default()
+                    .insert(col, value);
+            }
+        }
+    }
+
+    /// Adds `delta` to element `(row, col)`.
+    pub fn add(&mut self, row: i64, col: i64, delta: f64) {
+        let v = self.get(row, col);
+        self.set(row, col, v + delta);
+    }
+
+    /// Returns the visible contents of `row` as `(col, value)` pairs sorted
+    /// by column.
+    pub fn row(&self, row: i64) -> Vec<(i64, f64)> {
+        let mut merged: HashMap<i64, f64> = self.base.get(&row).cloned().unwrap_or_default();
+        if let Some(dirty) = &self.dirty {
+            for (&(r, c), &v) in dirty.iter() {
+                if r == row {
+                    merged.insert(c, v);
+                }
+            }
+        }
+        let mut out: Vec<(i64, f64)> = merged.into_iter().collect();
+        out.sort_by_key(|&(c, _)| c);
+        out
+    }
+
+    /// Returns the sorted list of row indices with stored elements.
+    pub fn row_indices(&self) -> Vec<i64> {
+        let mut rows: Vec<i64> = self.base.keys().copied().collect();
+        if let Some(dirty) = &self.dirty {
+            for &(r, _) in dirty.keys() {
+                if !self.base.contains_key(&r) {
+                    rows.push(r);
+                }
+            }
+            rows.sort_unstable();
+            rows.dedup();
+            return rows;
+        }
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Computes the matrix–vector product `M · x` for a sparse vector `x`
+    /// given as `(index, value)` pairs.
+    ///
+    /// Returns the sparse result as `(row, value)` pairs sorted by row. This
+    /// is the `coOcc.multiply(userRow)` operation of Alg. 1 line 16.
+    pub fn multiply(&self, x: &[(i64, f64)]) -> Vec<(i64, f64)> {
+        let xmap: HashMap<i64, f64> = x.iter().copied().collect();
+        let mut out: HashMap<i64, f64> = HashMap::new();
+        for row in self.row_indices() {
+            let mut acc = 0.0;
+            for (col, v) in self.row(row) {
+                if let Some(xv) = xmap.get(&col) {
+                    acc += v * xv;
+                }
+            }
+            if acc != 0.0 {
+                out.insert(row, acc);
+            }
+        }
+        let mut out: Vec<(i64, f64)> = out.into_iter().collect();
+        out.sort_by_key(|&(r, _)| r);
+        out
+    }
+
+    /// Begins a checkpoint: flips into dirty mode and returns a consistent
+    /// snapshot of the base rows in O(1).
+    pub fn begin_checkpoint(&mut self) -> SdgResult<Arc<Rows>> {
+        if self.dirty.is_some() {
+            return Err(SdgError::State(
+                "checkpoint already in progress on this matrix".into(),
+            ));
+        }
+        self.dirty = Some(HashMap::new());
+        Ok(Arc::clone(&self.base))
+    }
+
+    /// Folds dirty writes into the base, ending dirty mode.
+    pub fn consolidate(&mut self) -> SdgResult<()> {
+        let dirty = self
+            .dirty
+            .take()
+            .ok_or_else(|| SdgError::State("consolidate without begin_checkpoint".into()))?;
+        let base = Arc::make_mut(&mut self.base);
+        for ((row, col), v) in dirty {
+            base.entry(row).or_default().insert(col, v);
+        }
+        Ok(())
+    }
+
+    /// Exports the visible state, one entry per row.
+    ///
+    /// The key is the encoded row index; the value encodes the row as a list
+    /// of `[col, value]` pairs.
+    pub fn export_entries(&self) -> Vec<StateEntry> {
+        let mut out = Vec::new();
+        for row in self.row_indices() {
+            let cells = self.row(row);
+            if cells.is_empty() {
+                continue;
+            }
+            let value = Value::List(
+                cells
+                    .into_iter()
+                    .map(|(c, v)| Value::List(vec![Value::Int(c), Value::Float(v)]))
+                    .collect(),
+            );
+            out.push(StateEntry::new(
+                encode_to_vec(&Key::Int(row)),
+                encode_to_vec(&value),
+            ));
+        }
+        out
+    }
+
+    /// Imports entries produced by [`SparseMatrix::export_entries`].
+    pub fn import_entries(&mut self, entries: &[StateEntry]) -> SdgResult<()> {
+        for e in entries {
+            let key: Key = decode_from_slice(&e.key)?;
+            let Key::Int(row) = key else {
+                return Err(SdgError::State("matrix entry key must be Int".into()));
+            };
+            let value: Value = decode_from_slice(&e.value)?;
+            for cell in value.as_list()? {
+                let pair = cell.as_list()?;
+                if pair.len() != 2 {
+                    return Err(SdgError::State("matrix cell must be [col, value]".into()));
+                }
+                let col = pair[0].as_int()?;
+                let v = pair[1].as_float()?;
+                self.set(row, col, v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits the matrix into `n` disjoint partitions along `dim` by stable
+    /// hash of the row (or column) index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn split_by_hash(&self, dim: PartitionDim, n: usize) -> Vec<SparseMatrix> {
+        assert!(n > 0, "partition count must be positive");
+        let mut parts: Vec<SparseMatrix> = (0..n).map(|_| SparseMatrix::new()).collect();
+        for row in self.row_indices() {
+            for (col, v) in self.row(row) {
+                let key = match dim {
+                    PartitionDim::Row => row,
+                    PartitionDim::Col => col,
+                };
+                let idx = (Key::Int(key).stable_hash() % n as u64) as usize;
+                parts[idx].set(row, col, v);
+            }
+        }
+        parts
+    }
+
+    /// Retains only the elements whose `dim` index hashes to partition
+    /// `idx` of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `idx >= n`.
+    pub fn retain_partition(&mut self, dim: PartitionDim, idx: usize, n: usize) {
+        assert!(n > 0 && idx < n, "invalid partition index");
+        let rows = self.row_indices();
+        let mut to_clear: Vec<(i64, i64)> = Vec::new();
+        for row in rows {
+            for (col, _) in self.row(row) {
+                let key = match dim {
+                    PartitionDim::Row => row,
+                    PartitionDim::Col => col,
+                };
+                if (Key::Int(key).stable_hash() % n as u64) as usize != idx {
+                    to_clear.push((row, col));
+                }
+            }
+        }
+        // Removal is only supported outside dirty mode; scale-out never
+        // overlaps a checkpoint (the runtime serialises the two).
+        let base = Arc::make_mut(&mut self.base);
+        for (row, col) in to_clear {
+            if let Some(r) = base.get_mut(&row) {
+                if r.remove(&col).is_some() {
+                    self.nnz -= 1;
+                }
+                if r.is_empty() {
+                    base.remove(&row);
+                }
+            }
+        }
+    }
+
+    /// Adds every element of `other` into `self` (elementwise sum).
+    ///
+    /// This is one natural reconciliation for partial co-occurrence
+    /// matrices, exposed for ablation experiments.
+    pub fn absorb_add(&mut self, other: &SparseMatrix) {
+        for row in other.row_indices() {
+            for (col, v) in other.row(row) {
+                self.add(row, col, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_defaults_to_zero() {
+        let m = SparseMatrix::new();
+        assert_eq!(m.get(5, 9), 0.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn set_get_add() {
+        let mut m = SparseMatrix::new();
+        m.set(1, 2, 3.0);
+        assert_eq!(m.get(1, 2), 3.0);
+        m.add(1, 2, 1.5);
+        assert_eq!(m.get(1, 2), 4.5);
+        m.add(0, 0, 2.0);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn nnz_counts_distinct_cells_once() {
+        let mut m = SparseMatrix::new();
+        m.set(1, 1, 1.0);
+        m.set(1, 1, 2.0);
+        assert_eq!(m.nnz(), 1);
+        m.set(1, 2, 1.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn row_is_sorted_by_column() {
+        let mut m = SparseMatrix::new();
+        m.set(3, 9, 1.0);
+        m.set(3, 1, 2.0);
+        m.set(3, 5, 3.0);
+        assert_eq!(m.row(3), vec![(1, 2.0), (5, 3.0), (9, 1.0)]);
+        assert!(m.row(99).is_empty());
+    }
+
+    #[test]
+    fn multiply_matches_dense_computation() {
+        // M = [[1,2],[0,3]] (rows 0,1; cols 0,1), x = [4, 5].
+        let mut m = SparseMatrix::new();
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 1, 3.0);
+        let result = m.multiply(&[(0, 4.0), (1, 5.0)]);
+        assert_eq!(result, vec![(0, 14.0), (1, 15.0)]);
+    }
+
+    #[test]
+    fn multiply_with_disjoint_support_is_empty() {
+        let mut m = SparseMatrix::new();
+        m.set(0, 0, 1.0);
+        assert!(m.multiply(&[(5, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn dirty_mode_merges_reads() {
+        let mut m = SparseMatrix::new();
+        m.set(1, 1, 1.0);
+        m.set(1, 2, 2.0);
+        let snap = m.begin_checkpoint().unwrap();
+        m.set(1, 1, 10.0);
+        m.set(2, 1, 5.0);
+
+        assert_eq!(m.get(1, 1), 10.0);
+        assert_eq!(m.get(2, 1), 5.0);
+        assert_eq!(m.row(1), vec![(1, 10.0), (2, 2.0)]);
+        assert_eq!(m.row_indices(), vec![1, 2]);
+
+        // The snapshot still holds the pre-checkpoint values.
+        assert_eq!(snap.get(&1).unwrap().get(&1), Some(&1.0));
+        assert!(!snap.contains_key(&2));
+
+        m.consolidate().unwrap();
+        assert_eq!(m.get(1, 1), 10.0);
+        assert_eq!(m.get(2, 1), 5.0);
+    }
+
+    #[test]
+    fn checkpoint_protocol_is_enforced() {
+        let mut m = SparseMatrix::new();
+        assert!(m.consolidate().is_err());
+        let _s = m.begin_checkpoint().unwrap();
+        assert!(m.begin_checkpoint().is_err());
+    }
+
+    #[test]
+    fn export_import_roundtrips() {
+        let mut m = SparseMatrix::new();
+        for r in 0..10 {
+            for c in 0..5 {
+                m.set(r, c, (r * 10 + c) as f64);
+            }
+        }
+        let entries = m.export_entries();
+        assert_eq!(entries.len(), 10); // One per row.
+        let mut m2 = SparseMatrix::new();
+        m2.import_entries(&entries).unwrap();
+        assert_eq!(m2.nnz(), m.nnz());
+        for r in 0..10 {
+            assert_eq!(m2.row(r), m.row(r));
+        }
+    }
+
+    #[test]
+    fn split_by_row_and_merge_preserves_elements() {
+        let mut m = SparseMatrix::new();
+        for r in 0..30 {
+            m.set(r, r % 7, 1.0 + r as f64);
+        }
+        let parts = m.split_by_hash(PartitionDim::Row, 3);
+        assert_eq!(parts.iter().map(SparseMatrix::nnz).sum::<usize>(), 30);
+        let mut merged = SparseMatrix::new();
+        for p in &parts {
+            merged.absorb_add(p);
+        }
+        for r in 0..30 {
+            assert_eq!(merged.get(r, r % 7), 1.0 + r as f64);
+        }
+    }
+
+    #[test]
+    fn split_by_col_partitions_on_column_hash() {
+        let mut m = SparseMatrix::new();
+        for c in 0..20 {
+            m.set(0, c, c as f64 + 1.0);
+        }
+        let parts = m.split_by_hash(PartitionDim::Col, 4);
+        for (idx, p) in parts.iter().enumerate() {
+            for (col, _) in p.row(0) {
+                assert_eq!((Key::Int(col).stable_hash() % 4) as usize, idx);
+            }
+        }
+    }
+
+    #[test]
+    fn retain_partition_matches_split() {
+        let mut m = SparseMatrix::new();
+        for r in 0..40 {
+            m.set(r, 0, r as f64);
+        }
+        let expected = m.split_by_hash(PartitionDim::Row, 4)[2].nnz();
+        let mut own = m.clone();
+        own.retain_partition(PartitionDim::Row, 2, 4);
+        assert_eq!(own.nnz(), expected);
+    }
+
+    #[test]
+    fn absorb_add_sums_overlapping_cells() {
+        let mut a = SparseMatrix::new();
+        a.set(1, 1, 2.0);
+        let mut b = SparseMatrix::new();
+        b.set(1, 1, 3.0);
+        b.set(2, 2, 4.0);
+        a.absorb_add(&b);
+        assert_eq!(a.get(1, 1), 5.0);
+        assert_eq!(a.get(2, 2), 4.0);
+    }
+}

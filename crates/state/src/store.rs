@@ -1,0 +1,377 @@
+//! A uniform, enum-dispatched view over all SE data structures.
+//!
+//! The runtime stores every SE instance as a [`StateStore`] so task-element
+//! code (interpreted or native) and the checkpoint subsystem can operate on
+//! state without knowing the concrete structure. Enum dispatch keeps the
+//! hot path free of virtual calls and the whole workspace free of `unsafe`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sdg_common::codec::encode_to_vec;
+use sdg_common::error::{SdgError, SdgResult};
+use sdg_common::value::{Key, Value};
+
+use crate::dense::DenseVector;
+use crate::entry::StateEntry;
+use crate::matrix::SparseMatrix;
+use crate::partition::PartitionDim;
+use crate::table::KeyedTable;
+
+/// The declared structure of a state element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateType {
+    /// A key/value dictionary ([`KeyedTable`]).
+    Table,
+    /// A sparse matrix ([`SparseMatrix`]).
+    Matrix,
+    /// A dense vector ([`DenseVector`]).
+    Vector,
+}
+
+impl std::fmt::Display for StateType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateType::Table => write!(f, "Table"),
+            StateType::Matrix => write!(f, "Matrix"),
+            StateType::Vector => write!(f, "Vector"),
+        }
+    }
+}
+
+/// One runtime instance of a state element.
+#[derive(Debug, Clone)]
+pub enum StateStore {
+    /// A key/value table.
+    Table(KeyedTable),
+    /// A sparse matrix.
+    Matrix(SparseMatrix),
+    /// A dense vector.
+    Vector(DenseVector),
+}
+
+impl StateStore {
+    /// Creates an empty store of the given type.
+    pub fn new(ty: StateType) -> Self {
+        match ty {
+            StateType::Table => StateStore::Table(KeyedTable::new()),
+            StateType::Matrix => StateStore::Matrix(SparseMatrix::new()),
+            StateType::Vector => StateStore::Vector(DenseVector::new()),
+        }
+    }
+
+    /// Returns the structure type.
+    pub fn state_type(&self) -> StateType {
+        match self {
+            StateStore::Table(_) => StateType::Table,
+            StateStore::Matrix(_) => StateType::Matrix,
+            StateStore::Vector(_) => StateType::Vector,
+        }
+    }
+
+    /// Approximates the in-memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            StateStore::Table(t) => t.approx_bytes(),
+            StateStore::Matrix(m) => m.approx_bytes(),
+            StateStore::Vector(v) => v.approx_bytes(),
+        }
+    }
+
+    /// Returns `true` while a checkpoint snapshot is outstanding.
+    pub fn is_checkpointing(&self) -> bool {
+        match self {
+            StateStore::Table(t) => t.is_checkpointing(),
+            StateStore::Matrix(m) => m.is_checkpointing(),
+            StateStore::Vector(v) => v.is_checkpointing(),
+        }
+    }
+
+    /// Accesses the table variant.
+    pub fn as_table(&mut self) -> SdgResult<&mut KeyedTable> {
+        match self {
+            StateStore::Table(t) => Ok(t),
+            other => Err(SdgError::type_mismatch("Table", other.type_name())),
+        }
+    }
+
+    /// Accesses the matrix variant.
+    pub fn as_matrix(&mut self) -> SdgResult<&mut SparseMatrix> {
+        match self {
+            StateStore::Matrix(m) => Ok(m),
+            other => Err(SdgError::type_mismatch("Matrix", other.type_name())),
+        }
+    }
+
+    /// Accesses the vector variant.
+    pub fn as_vector(&mut self) -> SdgResult<&mut DenseVector> {
+        match self {
+            StateStore::Vector(v) => Ok(v),
+            other => Err(SdgError::type_mismatch("Vector", other.type_name())),
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            StateStore::Table(_) => "Table",
+            StateStore::Matrix(_) => "Matrix",
+            StateStore::Vector(_) => "Vector",
+        }
+    }
+
+    /// Begins a checkpoint, returning an O(1) consistent snapshot and
+    /// flipping the structure into dirty mode (§5).
+    pub fn begin_checkpoint(&mut self) -> SdgResult<StateSnapshot> {
+        match self {
+            StateStore::Table(t) => Ok(StateSnapshot::Table(t.begin_checkpoint()?)),
+            StateStore::Matrix(m) => Ok(StateSnapshot::Matrix(m.begin_checkpoint()?)),
+            StateStore::Vector(v) => Ok(StateSnapshot::Vector(v.begin_checkpoint()?)),
+        }
+    }
+
+    /// Folds dirty writes into the base structure, ending dirty mode.
+    pub fn consolidate(&mut self) -> SdgResult<()> {
+        match self {
+            StateStore::Table(t) => t.consolidate(),
+            StateStore::Matrix(m) => m.consolidate(),
+            StateStore::Vector(v) => v.consolidate(),
+        }
+    }
+
+    /// Exports the visible state as canonical entries.
+    pub fn export_entries(&self) -> Vec<StateEntry> {
+        match self {
+            StateStore::Table(t) => t.export_entries(),
+            StateStore::Matrix(m) => m.export_entries(),
+            StateStore::Vector(v) => v.export_entries(),
+        }
+    }
+
+    /// Imports entries previously produced by the same structure type.
+    pub fn import_entries(&mut self, entries: &[StateEntry]) -> SdgResult<()> {
+        match self {
+            StateStore::Table(t) => t.import_entries(entries),
+            StateStore::Matrix(m) => m.import_entries(entries),
+            StateStore::Vector(v) => v.import_entries(entries),
+        }
+    }
+
+    /// Splits a partitioned SE into `n` disjoint instances.
+    ///
+    /// `dim` selects the matrix axis and is ignored for tables. Dense
+    /// vectors do not support partitioning (they are partial-only state) and
+    /// report an error.
+    pub fn split_by_hash(&self, n: usize, dim: PartitionDim) -> SdgResult<Vec<StateStore>> {
+        match self {
+            StateStore::Table(t) => {
+                Ok(t.split_by_hash(n).into_iter().map(StateStore::Table).collect())
+            }
+            StateStore::Matrix(m) => Ok(m
+                .split_by_hash(dim, n)
+                .into_iter()
+                .map(StateStore::Matrix)
+                .collect()),
+            StateStore::Vector(_) => Err(SdgError::State(
+                "dense vectors cannot be partitioned; declare them @Partial".into(),
+            )),
+        }
+    }
+
+    /// Drops all entries not belonging to partition `idx` of `n`.
+    pub fn retain_partition(&mut self, idx: usize, n: usize, dim: PartitionDim) -> SdgResult<()> {
+        match self {
+            StateStore::Table(t) => {
+                t.retain_partition(idx, n);
+                Ok(())
+            }
+            StateStore::Matrix(m) => {
+                m.retain_partition(dim, idx, n);
+                Ok(())
+            }
+            StateStore::Vector(_) => Err(SdgError::State(
+                "dense vectors cannot be partitioned; declare them @Partial".into(),
+            )),
+        }
+    }
+}
+
+/// An immutable, consistent snapshot of one SE instance.
+///
+/// Snapshots are `Arc` clones of the base structure, so they can be
+/// serialised from a checkpoint thread while processing continues on the
+/// dirty overlay.
+#[derive(Debug, Clone)]
+pub enum StateSnapshot {
+    /// Snapshot of a [`KeyedTable`].
+    Table(Arc<HashMap<Key, Value>>),
+    /// Snapshot of a [`SparseMatrix`] (rows map).
+    Matrix(Arc<HashMap<i64, HashMap<i64, f64>>>),
+    /// Snapshot of a [`DenseVector`].
+    Vector(Arc<Vec<f64>>),
+}
+
+impl StateSnapshot {
+    /// Returns the structure type the snapshot came from.
+    pub fn state_type(&self) -> StateType {
+        match self {
+            StateSnapshot::Table(_) => StateType::Table,
+            StateSnapshot::Matrix(_) => StateType::Matrix,
+            StateSnapshot::Vector(_) => StateType::Vector,
+        }
+    }
+
+    /// Approximates the snapshot size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            StateSnapshot::Table(map) => map
+                .iter()
+                .map(|(k, v)| k.approx_size() + v.approx_size() + 16)
+                .sum(),
+            StateSnapshot::Matrix(rows) => {
+                rows.values().map(|r| r.len() * 32).sum()
+            }
+            StateSnapshot::Vector(v) => v.len() * 8,
+        }
+    }
+
+    /// Serialises the snapshot into canonical state entries.
+    ///
+    /// This runs on the checkpoint thread, off the processing path.
+    pub fn to_entries(&self) -> Vec<StateEntry> {
+        match self {
+            StateSnapshot::Table(map) => {
+                let mut out = Vec::with_capacity(map.len());
+                for (k, v) in map.iter() {
+                    out.push(StateEntry::new(encode_to_vec(k), encode_to_vec(v)));
+                }
+                out
+            }
+            StateSnapshot::Matrix(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                let mut row_ids: Vec<i64> = rows.keys().copied().collect();
+                row_ids.sort_unstable();
+                for row in row_ids {
+                    let mut cells: Vec<(i64, f64)> =
+                        rows[&row].iter().map(|(&c, &v)| (c, v)).collect();
+                    if cells.is_empty() {
+                        continue;
+                    }
+                    cells.sort_by_key(|&(c, _)| c);
+                    let value = Value::List(
+                        cells
+                            .into_iter()
+                            .map(|(c, v)| Value::List(vec![Value::Int(c), Value::Float(v)]))
+                            .collect(),
+                    );
+                    out.push(StateEntry::new(
+                        encode_to_vec(&Key::Int(row)),
+                        encode_to_vec(&value),
+                    ));
+                }
+                out
+            }
+            StateSnapshot::Vector(v) => {
+                // Reuse the vector's own export by wrapping the snapshot.
+                DenseVector::from_vec(v.as_ref().clone()).export_entries()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_creates_matching_type() {
+        for ty in [StateType::Table, StateType::Matrix, StateType::Vector] {
+            assert_eq!(StateStore::new(ty).state_type(), ty);
+        }
+    }
+
+    #[test]
+    fn typed_accessors_enforce_variant() {
+        let mut s = StateStore::new(StateType::Table);
+        assert!(s.as_table().is_ok());
+        assert!(s.as_matrix().is_err());
+        assert!(s.as_vector().is_err());
+    }
+
+    #[test]
+    fn snapshot_entries_match_live_export() {
+        let mut s = StateStore::new(StateType::Table);
+        let t = s.as_table().unwrap();
+        for i in 0..10 {
+            t.put(Key::Int(i), Value::Int(i * 2));
+        }
+        let mut live = s.export_entries();
+        let snap = s.begin_checkpoint().unwrap();
+        let mut from_snap = snap.to_entries();
+        live.sort_by(|a, b| a.key.cmp(&b.key));
+        from_snap.sort_by(|a, b| a.key.cmp(&b.key));
+        assert_eq!(live, from_snap);
+        s.consolidate().unwrap();
+    }
+
+    #[test]
+    fn matrix_snapshot_roundtrips_through_entries() {
+        let mut s = StateStore::new(StateType::Matrix);
+        let m = s.as_matrix().unwrap();
+        m.set(1, 2, 3.0);
+        m.set(4, 5, 6.0);
+        let snap = s.begin_checkpoint().unwrap();
+        let entries = snap.to_entries();
+        s.consolidate().unwrap();
+        let mut restored = StateStore::new(StateType::Matrix);
+        restored.import_entries(&entries).unwrap();
+        assert_eq!(restored.as_matrix().unwrap().get(1, 2), 3.0);
+        assert_eq!(restored.as_matrix().unwrap().get(4, 5), 6.0);
+    }
+
+    #[test]
+    fn vector_snapshot_roundtrips_through_entries() {
+        let mut s = StateStore::new(StateType::Vector);
+        s.as_vector().unwrap().set(300, 1.5);
+        let snap = s.begin_checkpoint().unwrap();
+        let entries = snap.to_entries();
+        s.consolidate().unwrap();
+        let mut restored = StateStore::new(StateType::Vector);
+        restored.import_entries(&entries).unwrap();
+        assert_eq!(restored.as_vector().unwrap().get(300), 1.5);
+        assert_eq!(restored.as_vector().unwrap().len(), 301);
+    }
+
+    #[test]
+    fn vectors_refuse_partitioning() {
+        let s = StateStore::new(StateType::Vector);
+        assert!(s.split_by_hash(2, PartitionDim::Row).is_err());
+        let mut s = s;
+        assert!(s.retain_partition(0, 2, PartitionDim::Row).is_err());
+    }
+
+    #[test]
+    fn table_split_through_store_api() {
+        let mut s = StateStore::new(StateType::Table);
+        for i in 0..40 {
+            s.as_table().unwrap().put(Key::Int(i), Value::Int(i));
+        }
+        let parts = s.split_by_hash(4, PartitionDim::Row).unwrap();
+        let total: usize = parts
+            .iter()
+            .map(|p| match p {
+                StateStore::Table(t) => t.len(),
+                _ => panic!("expected table parts"),
+            })
+            .sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn snapshot_size_reflects_contents() {
+        let mut s = StateStore::new(StateType::Vector);
+        s.as_vector().unwrap().set(999, 1.0);
+        let snap = s.begin_checkpoint().unwrap();
+        assert_eq!(snap.approx_bytes(), 1000 * 8);
+        assert_eq!(snap.state_type(), StateType::Vector);
+    }
+}

@@ -1,0 +1,74 @@
+//! Failure recovery demo: asynchronous checkpoints, node failure, replay.
+//!
+//! A partitioned key/value store counts events. A checkpoint is taken,
+//! more events arrive (these live only in upstream output buffers), then a
+//! partition's node "fails", losing its in-memory state. Recovery restores
+//! the checkpoint and replays buffered items; timestamp-based duplicate
+//! filtering makes the counts exact — nothing lost, nothing double-counted.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerant_kv
+//! ```
+
+use std::time::Duration;
+
+use sdg::apps::kv::KvApp;
+use sdg::prelude::RuntimeConfig;
+
+fn total_count(app: &KvApp) -> i64 {
+    let mut total = 0;
+    for replica in 0..app.deployment().state_instances(app.state()) {
+        app.deployment()
+            .with_state(app.state(), replica as u32, |s| {
+                s.as_table().unwrap().for_each(|_, v| {
+                    total += v.as_int().unwrap();
+                });
+            })
+            .expect("read state");
+    }
+    total
+}
+
+fn main() {
+    let mut cfg = RuntimeConfig::default();
+    cfg.checkpoint.enabled = true;
+    cfg.checkpoint.interval = Duration::from_secs(3600); // Manual below.
+    cfg.checkpoint.backup_fanout = 2;
+    let app = KvApp::start(2, cfg).expect("deploy KV");
+
+    println!("counting 10_000 events across 2 partitions...");
+    for n in 0..10_000i64 {
+        app.bump(n % 100).expect("bump");
+    }
+    assert!(app.quiesce(Duration::from_secs(60)));
+    println!("total = {}", total_count(&app));
+
+    println!("taking an asynchronous checkpoint (dirty-state, m-to-n chunks)...");
+    app.deployment().checkpoint_now().expect("checkpoint");
+
+    println!("5_000 more events after the checkpoint...");
+    for n in 0..5_000i64 {
+        app.bump(n % 100).expect("bump");
+    }
+    assert!(app.quiesce(Duration::from_secs(60)));
+    assert_eq!(total_count(&app), 15_000);
+
+    println!("failing partition 0's node (its in-memory state is lost)...");
+    let report = app
+        .deployment()
+        .fail_and_recover(app.state(), 0)
+        .expect("recover");
+    println!(
+        "recovered: state restore took {:?}, {} items replayed from upstream \
+         buffers, total recovery {:?}",
+        report.restore, report.replayed, report.total
+    );
+    assert!(app.quiesce(Duration::from_secs(60)));
+
+    let total = total_count(&app);
+    println!("total after recovery = {total} (exactly-once: no loss, no duplication)");
+    assert_eq!(total, 15_000);
+
+    app.shutdown();
+    println!("done");
+}

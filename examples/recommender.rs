@@ -1,0 +1,68 @@
+//! Online collaborative filtering: the paper's running example (Alg. 1).
+//!
+//! Streams Zipf-distributed ratings into the partitioned `userItem` matrix
+//! and the partial `coOcc` matrix, serves fresh recommendations through
+//! `@Global` access + merge, then scales the co-occurrence stage out at
+//! runtime and shows that answers stay correct.
+//!
+//! ```text
+//! cargo run --release --example recommender
+//! ```
+
+use std::time::Duration;
+
+use sdg::apps::cf::{CfApp, CfReference};
+use sdg::apps::workloads::ratings;
+use sdg::prelude::RuntimeConfig;
+
+fn main() {
+    // 2 userItem partitions, 2 partial coOcc instances.
+    let app = CfApp::start(2, 2, RuntimeConfig::default()).expect("deploy CF");
+    let mut reference = CfReference::new();
+
+    println!("streaming 5000 ratings (Zipf users and items)...");
+    for r in ratings(5_000, 400, 150, 7) {
+        reference.add_rating(r);
+        app.add_rating(r).expect("rating");
+    }
+    assert!(app.quiesce(Duration::from_secs(60)));
+
+    for user in [0, 1, 5] {
+        let recs = app.get_rec(user, Duration::from_secs(10)).expect("recs");
+        let top: Vec<_> = {
+            let mut r = recs.clone();
+            r.sort_by(|a, b| b.1.total_cmp(&a.1));
+            r.into_iter().take(5).collect()
+        };
+        println!("user {user}: top recommendations {top:?}");
+        assert_eq!(recs, reference.recommend(user), "user {user}");
+    }
+
+    // Scale the partial co-occurrence state out at runtime: a new (empty)
+    // partial instance is added and reconciled on every read.
+    let co_occ_task = app
+        .deployment()
+        .scale_events()
+        .first()
+        .map(|e| e.task)
+        .unwrap_or_else(|| {
+            sdg::common::ids::TaskId(1) // addRating_1 updates coOcc.
+        });
+    app.deployment().scale_task(co_occ_task).expect("scale out");
+    println!(
+        "scaled coOcc to {} instances; streaming 2000 more ratings...",
+        app.deployment().state_instances(app.co_occ())
+    );
+    for r in ratings(2_000, 400, 150, 8) {
+        reference.add_rating(r);
+        app.add_rating(r).expect("rating");
+    }
+    assert!(app.quiesce(Duration::from_secs(60)));
+
+    let recs = app.get_rec(1, Duration::from_secs(10)).expect("recs");
+    assert_eq!(recs, reference.recommend(1), "post-scale answers must match");
+    println!("post-scale recommendations still match the reference model");
+
+    app.shutdown();
+    println!("done");
+}

@@ -1,0 +1,170 @@
+//! `sdgc` — the StateLang compiler and runner CLI.
+//!
+//! The command-line face of the java2sdg pipeline:
+//!
+//! ```text
+//! sdgc check <file.sl>                 # parse + semantic checks
+//! sdgc dot <file.sl>                   # translated SDG as Graphviz DOT
+//! sdgc explain <file.sl>               # tasks, state, dispatch, allocation
+//! sdgc run <file.sl> 'put k=1 v=hi' 'get k=1'   # deploy, fire requests
+//! ```
+//!
+//! Each quoted request is `entry name=value ...`; values parse as
+//! integers, floats, `true`/`false`, or fall back to strings. All requests
+//! run against one deployment, in order.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sdg::common::record;
+use sdg::common::value::{Record, Value};
+use sdg::graph::model::{Distribution, TaskKind};
+use sdg::prelude::RuntimeConfig;
+use sdg::SdgProgram;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sdgc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: sdgc <check|dot|explain|run> <file> [entry] [name=value ...]";
+    let command = args.first().ok_or(usage)?;
+    let path = args.get(1).ok_or(usage)?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let program = SdgProgram::compile(&source).map_err(|e| e.to_string())?;
+
+    match command.as_str() {
+        "check" => {
+            println!(
+                "ok: {} state element(s), {} task element(s), {} dataflow(s)",
+                program.graph().states.len(),
+                program.graph().tasks.len(),
+                program.graph().flows.len()
+            );
+            Ok(())
+        }
+        "dot" => {
+            print!("{}", program.to_dot());
+            Ok(())
+        }
+        "explain" => {
+            explain(&program);
+            Ok(())
+        }
+        "run" => {
+            if args.len() < 3 {
+                return Err("run needs at least one request: 'entry name=value ...'".into());
+            }
+            run_requests(program, &args[2..])
+        }
+        other => Err(format!("unknown command `{other}`; {usage}")),
+    }
+}
+
+fn explain(program: &SdgProgram) {
+    println!("state elements:");
+    for state in &program.graph().states {
+        let dist = match state.dist {
+            Distribution::Local => "local".to_string(),
+            Distribution::Partitioned { dim } => format!("partitioned by {dim}"),
+            Distribution::Partial => "partial (replicated, merge to reconcile)".to_string(),
+        };
+        println!("  {:<12} {} — {dist}", state.name, state.ty);
+    }
+    println!("task elements:");
+    for task in &program.graph().tasks {
+        let role = match &task.kind {
+            TaskKind::Entry { method } => format!("entry point of {method}()"),
+            TaskKind::Compute => "pipeline stage".to_string(),
+        };
+        let access = match &task.access {
+            None => "stateless".to_string(),
+            Some(a) => {
+                let state = program
+                    .graph()
+                    .state(a.state)
+                    .map(|s| s.name.clone())
+                    .unwrap_or_else(|_| a.state.to_string());
+                let rw = if a.writes { "read/write" } else { "read" };
+                format!("{rw} {state} ({:?})", a.mode)
+            }
+        };
+        println!("  {:<14} {role}; {access}", task.name);
+    }
+    println!("dataflows:");
+    for flow in &program.graph().flows {
+        let from = &program.graph().task(flow.from).expect("valid").name;
+        let to = &program.graph().task(flow.to).expect("valid").name;
+        println!(
+            "  {from} -> {to}  [{}] carrying {{{}}}",
+            flow.dispatch,
+            flow.live_vars.join(", ")
+        );
+    }
+    let allocation = sdg::graph::allocate(program.graph());
+    println!("allocation: {} node(s)", allocation.num_nodes);
+    for task in &program.graph().tasks {
+        println!("  {:<14} -> {}", task.name, allocation.node_of_task(task.id));
+    }
+}
+
+fn parse_payload(pairs: &[String]) -> Result<Record, String> {
+    let mut payload = record! {};
+    for pair in pairs {
+        let (name, raw) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("argument `{pair}` is not name=value"))?;
+        let value = if let Ok(i) = raw.parse::<i64>() {
+            Value::Int(i)
+        } else if let Ok(x) = raw.parse::<f64>() {
+            Value::Float(x)
+        } else if raw == "true" || raw == "false" {
+            Value::Bool(raw == "true")
+        } else {
+            Value::str(raw)
+        };
+        payload.set(name, value);
+    }
+    Ok(payload)
+}
+
+fn run_requests(program: SdgProgram, requests: &[String]) -> Result<(), String> {
+    let deployment = program
+        .deploy(RuntimeConfig::default())
+        .map_err(|e| e.to_string())?;
+    for request in requests {
+        let mut parts = request.split_whitespace();
+        let entry = parts
+            .next()
+            .ok_or_else(|| format!("empty request `{request}`"))?;
+        let pairs: Vec<String> = parts.map(str::to_owned).collect();
+        let payload = parse_payload(&pairs)?;
+        deployment
+            .submit(entry, payload)
+            .map_err(|e| e.to_string())?;
+        if !deployment.quiesce(Duration::from_secs(30)) {
+            return Err("deployment did not drain within 30s".into());
+        }
+        while let Ok(event) = deployment.outputs().try_recv() {
+            println!(
+                "{entry} -> {} (latency {:?})",
+                event.value,
+                event.latency.unwrap_or_default()
+            );
+        }
+    }
+    let errors = deployment.error_count();
+    deployment.shutdown();
+    if errors > 0 {
+        return Err(format!("{errors} task error(s) during execution"));
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! # sdg — Stateful Dataflow Graphs
+//!
+//! A from-scratch Rust reproduction of *"Making State Explicit for
+//! Imperative Big Data Processing"* (Fernandez, Migliavacca, Kalyvianaki,
+//! Pietzuch — USENIX ATC 2014).
+//!
+//! Imperative programs with annotated mutable state (`@Partitioned`,
+//! `@Partial`, `@Global`, `@Collection`) are statically analysed and
+//! translated into **stateful dataflow graphs**: pipelined task elements
+//! with explicit, distributed state elements, executed on a simulated
+//! cluster with reactive scaling and asynchronous checkpoint-based failure
+//! recovery.
+//!
+//! This umbrella crate re-exports the whole workspace; see [`core`] for
+//! the high-level entry point [`core::SdgProgram`] and [`apps`] for the
+//! paper's applications (collaborative filtering, key/value store,
+//! wordcount, logistic regression).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The paper's applications, ready to deploy.
+pub use sdg_apps as apps;
+
+/// Comparison engines (micro-batch, Naiad-like, Spark-like).
+pub use sdg_baselines as baselines;
+
+/// Failure recovery: checkpoints, buffers, m-to-n restore.
+pub use sdg_checkpoint as checkpoint;
+
+/// Shared data model and utilities.
+pub use sdg_common as common;
+
+/// High-level facade (compile + deploy).
+pub use sdg_core as core;
+
+/// SDG structure, validation and allocation.
+pub use sdg_graph as graph;
+
+/// StateLang language and analyses.
+pub use sdg_ir as ir;
+
+/// The pipelined execution engine.
+pub use sdg_runtime as runtime;
+
+/// State element data structures.
+pub use sdg_state as state;
+
+/// Program-to-SDG translation.
+pub use sdg_translate as translate;
+
+pub use sdg_core::prelude;
+pub use sdg_core::SdgProgram;
