@@ -235,9 +235,7 @@ mod tests {
         }
         assert!(app.quiesce(Duration::from_secs(10)));
         // Issue several requests before reading any answers.
-        let corrs: Vec<(i64, u64)> = (0..4)
-            .map(|u| (u, app.request_rec(u).unwrap()))
-            .collect();
+        let corrs: Vec<(i64, u64)> = (0..4).map(|u| (u, app.request_rec(u).unwrap())).collect();
         // Await them out of order.
         for (user, corr) in corrs.into_iter().rev() {
             let event = app.await_output(corr, Duration::from_secs(10)).unwrap();

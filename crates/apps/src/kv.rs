@@ -96,15 +96,20 @@ impl KvApp {
     /// Asynchronously writes `value` under `key`.
     pub fn put(&self, key: i64, value: &str) -> SdgResult<()> {
         self.deployment
-            .submit("put", record! {"k" => Value::Int(key), "v" => Value::str(value)})
+            .submit(
+                "put",
+                record! {"k" => Value::Int(key), "v" => Value::str(value)},
+            )
             .map(|_| ())
     }
 
     /// Writes `value` under `key` and emits an acknowledgement, so the
     /// output sink observes the update's client-visible latency.
     pub fn put_ack(&self, key: i64, value: &str) -> SdgResult<u64> {
-        self.deployment
-            .submit("putAck", record! {"k" => Value::Int(key), "v" => Value::str(value)})
+        self.deployment.submit(
+            "putAck",
+            record! {"k" => Value::Int(key), "v" => Value::str(value)},
+        )
     }
 
     /// Asynchronously increments the counter at `key`.
@@ -116,7 +121,8 @@ impl KvApp {
 
     /// Issues a read and returns its correlation id.
     pub fn request_get(&self, key: i64) -> SdgResult<u64> {
-        self.deployment.submit("get", record! {"k" => Value::Int(key)})
+        self.deployment
+            .submit("get", record! {"k" => Value::Int(key)})
     }
 
     /// Blocking read; returns `None` for absent keys.

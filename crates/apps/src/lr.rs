@@ -107,7 +107,10 @@ impl LrApp {
     pub fn train(&self, ex: &LabelledExample) -> SdgResult<()> {
         let x = Value::List(ex.features.iter().map(|&v| Value::Float(v)).collect());
         self.deployment
-            .submit("train", record! {"x" => x, "label" => Value::Float(ex.label)})
+            .submit(
+                "train",
+                record! {"x" => x, "label" => Value::Float(ex.label)},
+            )
             .map(|_| ())
     }
 
@@ -115,12 +118,7 @@ impl LrApp {
     pub fn weights(&self, timeout: Duration) -> SdgResult<Vec<f64>> {
         let corr = self.deployment.submit("getWeights", record! {})?;
         let event = self.stash.await_output(&self.deployment, corr, timeout)?;
-        event
-            .value
-            .as_list()?
-            .iter()
-            .map(Value::as_float)
-            .collect()
+        event.value.as_list()?.iter().map(Value::as_float).collect()
     }
 
     /// Classifies `features` with the given weights.

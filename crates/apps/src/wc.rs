@@ -24,6 +24,25 @@ use sdg_runtime::deploy::Deployment;
 use sdg_state::partition::PartitionDim;
 use sdg_state::store::StateType;
 
+/// The annotated StateLang source of the counting half of wordcount.
+///
+/// The line splitter stays a native task (a StateLang TE forwards exactly
+/// one record per input, so flat-map stages cannot be expressed), which is
+/// why the StateLang program starts at word granularity: `addWord` bumps
+/// the partitioned table and `getCount` reads a single word's tally back.
+pub const WC_SOURCE: &str = r#"
+    @Partitioned Table counts;
+
+    void addWord(string w, int n) {
+        counts.inc(w, n);
+    }
+
+    int getCount(string w) {
+        let c = counts.get(w);
+        emit c;
+    }
+"#;
+
 /// Splits a line into lowercase words and forwards one record per word.
 struct SplitTask;
 
@@ -194,6 +213,16 @@ mod tests {
         assert_eq!(app.count("world").unwrap(), 1);
         assert_eq!(app.count("absent").unwrap(), 0);
         app.shutdown();
+    }
+
+    #[test]
+    fn statelang_wordcount_translates_and_lints_clean() {
+        let prog = sdg_ir::parser::parse_program(WC_SOURCE).unwrap();
+        assert!(sdg_ir::analysis::lint_program(&prog).is_empty());
+        let sdg = sdg_translate::translate(&prog).unwrap();
+        assert!(sdg_graph::lint(&sdg).is_empty());
+        let counts = sdg.state_by_name("counts").unwrap();
+        assert!(matches!(counts.dist, Distribution::Partitioned { .. }));
     }
 
     #[test]

@@ -166,7 +166,12 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Rank 0 must dominate rank 50 heavily under θ = 1.
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         assert_eq!(counts.iter().sum::<usize>(), 10_000);
     }
 
@@ -207,7 +212,10 @@ mod tests {
     #[test]
     fn kv_requests_respect_read_fraction() {
         let reqs = kv_requests(2_000, 100, 8, 0.25, 5);
-        let reads = reqs.iter().filter(|r| matches!(r, KvRequest::Get { .. })).count();
+        let reads = reqs
+            .iter()
+            .filter(|r| matches!(r, KvRequest::Get { .. }))
+            .count();
         let fraction = reads as f64 / reqs.len() as f64;
         assert!((0.2..0.3).contains(&fraction), "{fraction}");
         for r in &reqs {

@@ -118,7 +118,10 @@ impl SparkLikeLogisticRegression {
                         grad
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("task")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("task"))
+                    .collect()
             });
             // Reduce: fold the partial gradients into new weights (a new
             // immutable vector each iteration).
@@ -178,7 +181,11 @@ pub fn synthetic_dataset(
             .map(|_| (next() % 2_000) as f64 / 1_000.0 - 1.0)
             .collect();
         // True separator: sum of features.
-        let label = if features.iter().sum::<f64>() >= 0.0 { 1.0 } else { -1.0 };
+        let label = if features.iter().sum::<f64>() >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        };
         out[i % partitions].push(Example { features, label });
     }
     out

@@ -17,7 +17,9 @@ fn cell_with_entries(n: usize) -> StateCell {
     let payload = "z".repeat(256);
     for k in 0..n {
         cell.apply(EdgeId(0), (k + 1) as u64, |s| {
-            s.as_table().unwrap().put(Key::Int(k as i64), Value::str(&payload));
+            s.as_table()
+                .unwrap()
+                .put(Key::Int(k as i64), Value::str(&payload));
         });
     }
     cell

@@ -54,28 +54,30 @@ pub fn run(scale: Scale) -> Fig10Result {
         .expect("updateCoOcc task")
         .id;
 
-    let mut cfg = RuntimeConfig::default();
-    cfg.channel_capacity = 64;
     // The CF graph occupies nodes 0-2; the first scale-out lands on node 3,
     // which is the slow machine (speed 0.3).
-    cfg.cluster = ClusterSpec {
-        nodes: vec![
-            NodeSpec { speed: 1.0 },
-            NodeSpec { speed: 1.0 },
-            NodeSpec { speed: 1.0 },
-            NodeSpec { speed: 0.3 },
-            NodeSpec { speed: 1.0 },
-            NodeSpec { speed: 1.0 },
-        ],
+    let mut cfg = RuntimeConfig {
+        channel_capacity: 64,
+        cluster: ClusterSpec {
+            nodes: vec![
+                NodeSpec { speed: 1.0 },
+                NodeSpec { speed: 1.0 },
+                NodeSpec { speed: 1.0 },
+                NodeSpec { speed: 0.3 },
+                NodeSpec { speed: 1.0 },
+                NodeSpec { speed: 1.0 },
+            ],
+        },
+        scaling: ScalingConfig {
+            enabled: true,
+            check_interval: Duration::from_millis(100),
+            high_watermark: 0.5,
+            patience: 2,
+            max_instances: 4,
+        },
+        ..Default::default()
     };
     cfg.work_ns.insert(bottleneck, scale.pick(150_000, 300_000));
-    cfg.scaling = ScalingConfig {
-        enabled: true,
-        check_interval: Duration::from_millis(100),
-        high_watermark: 0.5,
-        patience: 2,
-        max_instances: 4,
-    };
     let deployment = Arc::new(program.deploy(cfg).expect("deploy CF"));
 
     // Preload a few ratings so the matrices are non-trivial.

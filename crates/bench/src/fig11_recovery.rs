@@ -69,8 +69,7 @@ pub fn run(scale: Scale) -> Vec<Fig11Row> {
             let stores: Vec<Arc<BackupStore>> = (0..m)
                 .map(|_| {
                     Arc::new(
-                        BackupStore::in_memory()
-                            .with_bandwidth(Some(write_bps), Some(read_bps)),
+                        BackupStore::in_memory().with_bandwidth(Some(write_bps), Some(read_bps)),
                     )
                 })
                 .collect();
@@ -151,10 +150,7 @@ mod tests {
         };
         let r11 = at(1, 1);
         let r22 = at(2, 2);
-        assert!(
-            r22 < r11,
-            "2-to-2 ({r22:?}) must beat 1-to-1 ({r11:?})"
-        );
+        assert!(r22 < r11, "2-to-2 ({r22:?}) must beat 1-to-1 ({r11:?})");
         print(&rows);
     }
 

@@ -53,15 +53,18 @@ pub fn run(scale: Scale) -> Fig13Result {
         .into_iter()
         .map(|interval| FreqRow {
             interval,
-            point: measure_sdg_kv_median(&KvMeasure {
-                state_bytes: fixed_bytes,
-                value_bytes: 64,
-                measure,
-                ckpt_interval: interval,
-                synchronous: false,
-                per_request: Some(PER_REQUEST),
-                channel_capacity: 256,
-            }, 3),
+            point: measure_sdg_kv_median(
+                &KvMeasure {
+                    state_bytes: fixed_bytes,
+                    value_bytes: 64,
+                    measure,
+                    ckpt_interval: interval,
+                    synchronous: false,
+                    per_request: Some(PER_REQUEST),
+                    channel_capacity: 256,
+                },
+                3,
+            ),
         })
         .collect();
 
@@ -73,15 +76,18 @@ pub fn run(scale: Scale) -> Fig13Result {
             let bytes = mb * 1024 * 1024;
             SizeRow {
                 state_bytes: bytes,
-                point: measure_sdg_kv_median(&KvMeasure {
-                    state_bytes: bytes,
-                    value_bytes: 64,
-                    measure,
-                    ckpt_interval: Some(fixed_interval),
-                    synchronous: false,
-                    per_request: Some(PER_REQUEST),
-                    channel_capacity: 256,
-                }, 3),
+                point: measure_sdg_kv_median(
+                    &KvMeasure {
+                        state_bytes: bytes,
+                        value_bytes: 64,
+                        measure,
+                        ckpt_interval: Some(fixed_interval),
+                        synchronous: false,
+                        per_request: Some(PER_REQUEST),
+                        channel_capacity: 256,
+                    },
+                    3,
+                ),
             }
         })
         .collect();

@@ -76,7 +76,7 @@ pub fn run(scale: Scale) -> Vec<Fig5Row> {
 /// Prints the figure's series.
 pub fn print(rows: &[Fig5Row]) {
     println!("# Fig 5 — CF throughput/latency vs read:write ratio");
-    println!("{:<8} {:>14}  {}", "ratio", "throughput", "getRec latency");
+    println!("{:<8} {:>14}  getRec latency", "ratio", "throughput");
     for row in rows {
         println!(
             "{:<8} {:>14}  {}",

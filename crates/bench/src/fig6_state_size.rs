@@ -204,7 +204,12 @@ pub fn run(scale: Scale) -> Vec<Fig6Row> {
                         write_bps: disk_bps,
                     },
                 ),
-                naiad_nodisk: measure_naiad(bytes, measure, interval, NaiadCheckpointTarget::Memory),
+                naiad_nodisk: measure_naiad(
+                    bytes,
+                    measure,
+                    interval,
+                    NaiadCheckpointTarget::Memory,
+                ),
             }
         })
         .collect()

@@ -120,8 +120,8 @@ pub fn run(scale: Scale) -> Vec<Fig7Row> {
 pub fn print(rows: &[Fig7Row]) {
     println!("# Fig 7 — KV throughput/latency vs partitions (fixed state per node)");
     println!(
-        "{:<6} {:>12} {:>14}  {}",
-        "nodes", "state", "throughput", "read latency"
+        "{:<6} {:>12} {:>14}  read latency",
+        "nodes", "state", "throughput"
     );
     for row in rows {
         println!(

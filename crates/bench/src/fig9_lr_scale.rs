@@ -9,9 +9,7 @@ use std::time::{Duration, Instant};
 
 use sdg_apps::lr::LrApp;
 use sdg_apps::workloads::lr_examples;
-use sdg_baselines::sparklike::{
-    synthetic_dataset, SparkLikeConfig, SparkLikeLogisticRegression,
-};
+use sdg_baselines::sparklike::{synthetic_dataset, SparkLikeConfig, SparkLikeLogisticRegression};
 use sdg_runtime::config::RuntimeConfig;
 
 use crate::Scale;
@@ -56,18 +54,16 @@ pub fn run(scale: Scale) -> Vec<Fig9Row> {
             std::thread::scope(|scope| {
                 for t in 0..threads {
                     let app = Arc::clone(&app);
-                    let chunk: Vec<_> = data
-                        .iter()
-                        .skip(t)
-                        .step_by(threads)
-                        .cloned()
-                        .collect();
+                    let chunk: Vec<_> = data.iter().skip(t).step_by(threads).cloned().collect();
                     scope.spawn(move || {
                         let mut handle = app.deployment().ingest_handle().expect("handle");
                         for _ in 0..iterations {
                             for ex in &chunk {
                                 let x = sdg_common::value::Value::List(
-                                    ex.features.iter().map(|&v| sdg_common::value::Value::Float(v)).collect(),
+                                    ex.features
+                                        .iter()
+                                        .map(|&v| sdg_common::value::Value::Float(v))
+                                        .collect(),
                                 );
                                 handle
                                     .submit(

@@ -123,8 +123,8 @@ fn tick(b: bool) -> &'static str {
 pub fn print() {
     println!("# Table 1 — design space of data-parallel frameworks");
     println!(
-        "{:<16} {:<12} {:<16} {:<6} {:<6} {:<20} {:<5} {:<5} {}",
-        "system", "model", "state", "large", "fine", "execution", "lowL", "iter", "recovery"
+        "{:<16} {:<12} {:<16} {:<6} {:<6} {:<20} {:<5} {:<5} recovery",
+        "system", "model", "state", "large", "fine", "execution", "lowL", "iter"
     );
     for r in rows() {
         println!(

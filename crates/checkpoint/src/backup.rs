@@ -99,10 +99,8 @@ impl BackupStore {
                 map.lock().insert(key, bytes);
                 Ok(())
             }
-            Medium::Disk(dir) => {
-                fs::write(dir.join(key.to_string()), bytes)
-                    .map_err(|e| SdgError::Recovery(format!("chunk write failed: {e}")))
-            }
+            Medium::Disk(dir) => fs::write(dir.join(key.to_string()), bytes)
+                .map_err(|e| SdgError::Recovery(format!("chunk write failed: {e}"))),
         }
     }
 
@@ -185,7 +183,9 @@ pub fn decode_entries(bytes: &[u8]) -> SdgResult<Vec<StateEntry>> {
     let mut r = Reader::new(bytes);
     let count = r.read_varint()? as usize;
     if count > bytes.len() {
-        return Err(SdgError::Codec(format!("entry count {count} exceeds input")));
+        return Err(SdgError::Codec(format!(
+            "entry count {count} exceeds input"
+        )));
     }
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {

@@ -154,7 +154,10 @@ mod tests {
         let mut b = buf_with(&[1, 2, 3, 4, 5]);
         b.trim(3);
         assert_eq!(b.len(), 2);
-        assert_eq!(b.replay_after(0).iter().map(|i| i.ts).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(
+            b.replay_after(0).iter().map(|i| i.ts).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
         b.trim(100);
         assert!(b.is_empty());
         assert_eq!(b.buffered_bytes(), 0);
@@ -172,7 +175,10 @@ mod tests {
     fn replay_after_filters_by_watermark() {
         let b = buf_with(&[10, 20, 30]);
         let replay = b.replay_after(15);
-        assert_eq!(replay.iter().map(|i| i.ts).collect::<Vec<_>>(), vec![20, 30]);
+        assert_eq!(
+            replay.iter().map(|i| i.ts).collect::<Vec<_>>(),
+            vec![20, 30]
+        );
         assert!(b.replay_after(30).is_empty());
     }
 
@@ -181,7 +187,10 @@ mod tests {
         let mut b = buf_with(&[1, 2, 3, 4, 5]);
         b.cap(2);
         assert_eq!(b.len(), 2);
-        assert_eq!(b.replay_after(0).iter().map(|i| i.ts).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(
+            b.replay_after(0).iter().map(|i| i.ts).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
         b.cap(10); // No-op when under the cap.
         assert_eq!(b.len(), 2);
     }
@@ -196,7 +205,6 @@ mod tests {
         assert_eq!(restored.buffered_bytes(), b.buffered_bytes());
         assert_eq!(restored.last_ts(), 3);
         // Restored buffers continue accepting newer items.
-        let mut restored = restored;
         restored.push(4, vec![0]);
         assert_eq!(restored.len(), 4);
     }

@@ -74,7 +74,9 @@ impl CheckpointConfig {
             return Err(SdgError::Config("serialise_threads must be ≥ 1".into()));
         }
         if self.interval.is_zero() {
-            return Err(SdgError::Config("checkpoint interval must be positive".into()));
+            return Err(SdgError::Config(
+                "checkpoint interval must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -98,21 +100,29 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = CheckpointConfig::default();
-        c.backup_fanout = 0;
+        let c = CheckpointConfig {
+            backup_fanout: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CheckpointConfig::default();
-        c.chunks = 1;
-        c.backup_fanout = 2;
+        let c = CheckpointConfig {
+            chunks: 1,
+            backup_fanout: 2,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CheckpointConfig::default();
-        c.serialise_threads = 0;
+        let c = CheckpointConfig {
+            serialise_threads: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CheckpointConfig::default();
-        c.interval = Duration::ZERO;
+        let c = CheckpointConfig {
+            interval: Duration::ZERO,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

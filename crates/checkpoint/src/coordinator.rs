@@ -67,7 +67,14 @@ pub fn take_checkpoint(
     // Steps 2–4 run off the processing path.
     let entries = snapshot.to_entries();
     let chunks = partition_entries(entries, cfg.chunks);
-    let result = write_chunks(&chunks, instance, seq, stores, fanout, cfg.serialise_threads);
+    let result = write_chunks(
+        &chunks,
+        instance,
+        seq,
+        stores,
+        fanout,
+        cfg.serialise_threads,
+    );
 
     // Step 5: consolidate even if a write failed, so the cell stays usable.
     cell.with(|inner| inner.store.consolidate())?;
@@ -101,8 +108,14 @@ fn take_sync(
         let state_type = inner.store.state_type();
         let entries = inner.store.export_entries();
         let chunks = partition_entries(entries, cfg.chunks);
-        let (chunk_locations, state_bytes) =
-            write_chunks(&chunks, instance, seq, stores, fanout, cfg.serialise_threads)?;
+        let (chunk_locations, state_bytes) = write_chunks(
+            &chunks,
+            instance,
+            seq,
+            stores,
+            fanout,
+            cfg.serialise_threads,
+        )?;
         Ok(BackupSet {
             instance,
             seq,
@@ -125,8 +138,9 @@ fn write_chunks(
     threads: usize,
 ) -> SdgResult<(Vec<(usize, ChunkKey)>, usize)> {
     let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<SdgResult<usize>>>> =
-        (0..chunks.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<parking_lot::Mutex<Option<SdgResult<usize>>>> = (0..chunks.len())
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1).min(chunks.len().max(1)) {
@@ -217,8 +231,7 @@ mod tests {
         let cell = populated_cell(50);
         let stores = stores(2);
         let mut cfg = CheckpointConfig::default();
-        let async_set =
-            take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        let async_set = take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
         cfg.synchronous = true;
         let sync_set = take_checkpoint(&cell, instance(), 2, Vec::new, &stores, &cfg).unwrap();
         assert_eq!(async_set.state_bytes, sync_set.state_bytes);
@@ -232,10 +245,12 @@ mod tests {
         let cfg = CheckpointConfig::default();
         let outs = vec![(
             EdgeId(7),
-            vec![BufferedItem { ts: 3, bytes: vec![1, 2] }],
+            vec![BufferedItem {
+                ts: 3,
+                bytes: vec![1, 2],
+            }],
         )];
-        let set =
-            take_checkpoint(&cell, instance(), 1, move || outs, &stores, &cfg).unwrap();
+        let set = take_checkpoint(&cell, instance(), 1, move || outs, &stores, &cfg).unwrap();
         assert_eq!(set.out_buffers.len(), 1);
         assert_eq!(set.out_buffers[0].0, EdgeId(7));
         assert_eq!(set.out_buffers[0].1[0].ts, 3);
@@ -254,11 +269,13 @@ mod tests {
             &CheckpointConfig::default(),
         )
         .unwrap();
-        assert_eq!(set.state_bytes as u64, set
-            .chunk_locations
-            .iter()
-            .map(|(s, k)| stores[*s].read_chunk(*k).unwrap().len() as u64)
-            .sum::<u64>());
+        assert_eq!(
+            set.state_bytes as u64,
+            set.chunk_locations
+                .iter()
+                .map(|(s, k)| stores[*s].read_chunk(*k).unwrap().len() as u64)
+                .sum::<u64>()
+        );
     }
 
     #[test]
@@ -279,9 +296,11 @@ mod tests {
     fn fanout_larger_than_stores_is_clamped() {
         let cell = populated_cell(20);
         let stores = stores(1);
-        let mut cfg = CheckpointConfig::default();
-        cfg.backup_fanout = 4;
-        cfg.chunks = 4;
+        let cfg = CheckpointConfig {
+            backup_fanout: 4,
+            chunks: 4,
+            ..Default::default()
+        };
         let set = take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
         assert!(set.chunk_locations.iter().all(|(s, _)| *s == 0));
     }

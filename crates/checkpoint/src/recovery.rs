@@ -69,7 +69,9 @@ pub fn restore_state_with(
     options: RestoreOptions,
 ) -> SdgResult<Vec<(StateStore, VectorTs)>> {
     if n == 0 {
-        return Err(SdgError::Recovery("cannot restore to zero instances".into()));
+        return Err(SdgError::Recovery(
+            "cannot restore to zero instances".into(),
+        ));
     }
 
     // Group chunk keys by their holding store so each store streams its

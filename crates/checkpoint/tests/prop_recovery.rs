@@ -129,7 +129,7 @@ proptest! {
         prop_assert_eq!(restored.len(), n);
         let mut merged = StateStore::new(StateType::Table);
         let mut vector = sdg_common::time::VectorTs::new();
-        for (mut store, v) in restored {
+        for (store, v) in restored {
             let entries = store.export_entries();
             merged.import_entries(&entries).unwrap();
             vector.merge_max(&v);

@@ -270,7 +270,9 @@ impl Codec for Record {
     fn decode(r: &mut Reader<'_>) -> SdgResult<Self> {
         let len = r.read_varint()? as usize;
         if len > r.remaining() {
-            return Err(SdgError::Codec(format!("record length {len} exceeds input")));
+            return Err(SdgError::Codec(format!(
+                "record length {len} exceeds input"
+            )));
         }
         let mut rec = Record::with_capacity(len);
         for _ in 0..len {
@@ -295,7 +297,9 @@ impl Codec for VectorTs {
     fn decode(r: &mut Reader<'_>) -> SdgResult<Self> {
         let len = r.read_varint()? as usize;
         if len > r.remaining() {
-            return Err(SdgError::Codec(format!("vector length {len} exceeds input")));
+            return Err(SdgError::Codec(format!(
+                "vector length {len} exceeds input"
+            )));
         }
         let mut v = VectorTs::new();
         for _ in 0..len {

@@ -34,7 +34,15 @@ pub enum SdgError {
     },
     /// Semantic analysis of a StateLang program failed (unknown variable,
     /// annotation misuse, conflicting partitioning strategies, ...).
-    Analysis(String),
+    Analysis {
+        /// 1-based source line of the offending construct (0 when the
+        /// violation has no single source position, e.g. recursion).
+        line: u32,
+        /// 1-based source column (0 when positionless).
+        col: u32,
+        /// Human-readable description.
+        message: String,
+    },
     /// Translating an analysed program into an SDG failed.
     Translate(String),
     /// The constructed SDG violates a structural invariant (e.g. a task
@@ -70,6 +78,16 @@ impl SdgError {
             message: message.into(),
         }
     }
+
+    /// Builds a [`SdgError::Analysis`] error at the given source position
+    /// (use `0, 0` when the violation has no single position).
+    pub fn analysis(line: u32, col: u32, message: impl Into<String>) -> Self {
+        SdgError::Analysis {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for SdgError {
@@ -82,7 +100,13 @@ impl fmt::Display for SdgError {
             SdgError::Parse { line, col, message } => {
                 write!(f, "parse error at {line}:{col}: {message}")
             }
-            SdgError::Analysis(m) => write!(f, "analysis error: {m}"),
+            SdgError::Analysis { line, col, message } => {
+                if *line == 0 {
+                    write!(f, "analysis error: {message}")
+                } else {
+                    write!(f, "analysis error at {line}:{col}: {message}")
+                }
+            }
             SdgError::Translate(m) => write!(f, "translation error: {m}"),
             SdgError::InvalidGraph(m) => write!(f, "invalid SDG: {m}"),
             SdgError::NotFound(m) => write!(f, "not found: {m}"),
@@ -108,6 +132,14 @@ mod tests {
 
         let e = SdgError::parse(3, 14, "unexpected token `@`");
         assert_eq!(e.to_string(), "parse error at 3:14: unexpected token `@`");
+
+        let e = SdgError::analysis(7, 9, "undefined variable `x`");
+        assert_eq!(
+            e.to_string(),
+            "analysis error at 7:9: undefined variable `x`"
+        );
+        let e = SdgError::analysis(0, 0, "recursive call");
+        assert_eq!(e.to_string(), "analysis error: recursive call");
     }
 
     #[test]
@@ -122,9 +154,6 @@ mod tests {
             SdgError::Codec("short read".into()),
             SdgError::Codec("short read".into())
         );
-        assert_ne!(
-            SdgError::Codec("a".into()),
-            SdgError::Analysis("a".into())
-        );
+        assert_ne!(SdgError::Codec("a".into()), SdgError::analysis(0, 0, "a"));
     }
 }

@@ -109,7 +109,10 @@ impl Value {
                 let keys = items.iter().map(Value::to_key).collect::<SdgResult<_>>()?;
                 Ok(Key::Composite(keys))
             }
-            other => Err(SdgError::type_mismatch("key (Bool|Int|Str|List)", other.type_name())),
+            other => Err(SdgError::type_mismatch(
+                "key (Bool|Int|Str|List)",
+                other.type_name(),
+            )),
         }
     }
 
@@ -346,7 +349,10 @@ impl Record {
 
     /// Returns the value bound to `name`, if any.
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.fields.iter().find(|(n, _)| &**n == name).map(|(_, v)| v)
+        self.fields
+            .iter()
+            .find(|(n, _)| &**n == name)
+            .map(|(_, v)| v)
     }
 
     /// Returns the value bound to `name`, or a [`SdgError::NotFound`].
@@ -440,7 +446,7 @@ mod tests {
         assert_eq!(Value::Int(7).as_int().unwrap(), 7);
         assert!(Value::str("x").as_int().is_err());
         assert_eq!(Value::Int(7).as_float().unwrap(), 7.0);
-        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert!(Value::Bool(true).as_bool().unwrap());
         assert_eq!(Value::str("hi").as_str().unwrap(), "hi");
         assert!(Value::Null.truthy().is_err());
     }
@@ -508,9 +514,18 @@ mod tests {
     #[test]
     fn compare_widens_numerics() {
         use std::cmp::Ordering::*;
-        assert_eq!(compare_values(&Value::Int(1), &Value::Float(1.5)), Some(Less));
-        assert_eq!(compare_values(&Value::Float(2.0), &Value::Int(2)), Some(Equal));
-        assert_eq!(compare_values(&Value::str("b"), &Value::str("a")), Some(Greater));
+        assert_eq!(
+            compare_values(&Value::Int(1), &Value::Float(1.5)),
+            Some(Less)
+        );
+        assert_eq!(
+            compare_values(&Value::Float(2.0), &Value::Int(2)),
+            Some(Equal)
+        );
+        assert_eq!(
+            compare_values(&Value::str("b"), &Value::str("a")),
+            Some(Greater)
+        );
         assert_eq!(compare_values(&Value::Int(1), &Value::str("1")), None);
     }
 

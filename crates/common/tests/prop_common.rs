@@ -13,7 +13,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<bool>().prop_map(Value::Bool),
         any::<i64>().prop_map(Value::Int),
         any::<f64>()
-            .prop_filter("NaN breaks PartialEq-based roundtrip checks", |x| !x.is_nan())
+            .prop_filter("NaN breaks PartialEq-based roundtrip checks", |x| !x
+                .is_nan())
             .prop_map(Value::Float),
         "[a-zA-Z0-9 _:/-]{0,24}".prop_map(Value::str),
     ];

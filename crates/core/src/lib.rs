@@ -36,6 +36,7 @@ use sdg_common::error::SdgResult;
 use sdg_common::ids::StateId;
 use sdg_graph::model::Sdg;
 use sdg_ir::ast::Program;
+use sdg_ir::opt::OptReport;
 use sdg_runtime::config::RuntimeConfig;
 use sdg_runtime::deploy::Deployment;
 
@@ -75,6 +76,19 @@ impl SdgProgram {
         Ok(SdgProgram { program, sdg })
     }
 
+    /// Like [`SdgProgram::compile`], but runs the pre-translation
+    /// optimization passes (constant folding/propagation, dead-code and
+    /// dead-branch elimination) before cutting the program into task
+    /// elements. Returns the per-pass counters alongside the program.
+    ///
+    /// [`SdgProgram::ast`] still returns the original, unoptimized AST;
+    /// only the translated graph reflects the rewrites.
+    pub fn compile_optimized(source: &str) -> SdgResult<(SdgProgram, OptReport)> {
+        let program = sdg_ir::parser::parse_program(source)?;
+        let (sdg, report) = sdg_translate::translate_optimized(&program)?;
+        Ok((SdgProgram { program, sdg }, report))
+    }
+
     /// The parsed AST.
     pub fn ast(&self) -> &Program {
         &self.program
@@ -93,6 +107,12 @@ impl SdgProgram {
     /// Renders the graph in Graphviz DOT format (like Fig. 1).
     pub fn to_dot(&self) -> String {
         sdg_graph::dot::to_dot(&self.sdg)
+    }
+
+    /// Renders the graph as DOT with `SL02xx` lint findings drawn onto
+    /// the offending task and state elements.
+    pub fn to_dot_with_lints(&self) -> String {
+        sdg_graph::dot::to_dot_with_lints(&self.sdg, &sdg_graph::lint_findings(&self.sdg))
     }
 
     /// Deploys the program on the simulated cluster.

@@ -77,8 +77,8 @@ pub fn allocate(sdg: &Sdg) -> Allocation {
 
     // Step 2: remaining SEs on separate nodes.
     for state in &sdg.states {
-        if !state_nodes.contains_key(&state.id) {
-            state_nodes.insert(state.id, NodeId(next_node));
+        if let std::collections::btree_map::Entry::Vacant(e) = state_nodes.entry(state.id) {
+            e.insert(NodeId(next_node));
             next_node += 1;
         }
     }
@@ -93,8 +93,8 @@ pub fn allocate(sdg: &Sdg) -> Allocation {
 
     // Step 4: remaining TEs on separate nodes.
     for task in &sdg.tasks {
-        if !task_nodes.contains_key(&task.id) {
-            task_nodes.insert(task.id, NodeId(next_node));
+        if let std::collections::btree_map::Entry::Vacant(e) = task_nodes.entry(task.id) {
+            e.insert(NodeId(next_node));
             next_node += 1;
         }
     }
@@ -128,7 +128,9 @@ mod tests {
         let user_item = b.add_state(
             "userItem",
             StateType::Matrix,
-            Distribution::Partitioned { dim: PartitionDim::Row },
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
         );
         let co_occ = b.add_state("coOcc", StateType::Matrix, Distribution::Partial);
 
@@ -138,7 +140,10 @@ mod tests {
             TaskCode::Passthrough,
             Some(StateAccessEdge {
                 state: user_item,
-                mode: AccessMode::Partitioned { key: "user".into(), dim: PartitionDim::Row },
+                mode: AccessMode::Partitioned {
+                    key: "user".into(),
+                    dim: PartitionDim::Row,
+                },
                 writes: true,
             }),
         );
@@ -158,7 +163,10 @@ mod tests {
             TaskCode::Passthrough,
             Some(StateAccessEdge {
                 state: user_item,
-                mode: AccessMode::Partitioned { key: "user".into(), dim: PartitionDim::Row },
+                mode: AccessMode::Partitioned {
+                    key: "user".into(),
+                    dim: PartitionDim::Row,
+                },
                 writes: false,
             }),
         );
@@ -174,12 +182,19 @@ mod tests {
         );
         let merge = b.add_task("merge", TaskKind::Compute, TaskCode::Passthrough, None);
 
-        b.connect(upd_ui, upd_co, Dispatch::OneToAny, vec!["item".into(), "userRow".into()]);
+        b.connect(
+            upd_ui,
+            upd_co,
+            Dispatch::OneToAny,
+            vec!["item".into(), "userRow".into()],
+        );
         b.connect(get_uv, get_rv, Dispatch::OneToAll, vec!["userRow".into()]);
         b.connect(
             get_rv,
             merge,
-            Dispatch::AllToOne { collect_var: "userRec".into() },
+            Dispatch::AllToOne {
+                collect_var: "userRec".into(),
+            },
             vec!["userRec".into()],
         );
         let sdg = b.build().unwrap();
@@ -209,13 +224,21 @@ mod tests {
             "iterA",
             TaskKind::Compute,
             TaskCode::Passthrough,
-            Some(StateAccessEdge { state: s1, mode: AccessMode::Local, writes: true }),
+            Some(StateAccessEdge {
+                state: s1,
+                mode: AccessMode::Local,
+                writes: true,
+            }),
         );
         let t2 = b.add_task(
             "iterB",
             TaskKind::Compute,
             TaskCode::Passthrough,
-            Some(StateAccessEdge { state: s2, mode: AccessMode::Local, writes: true }),
+            Some(StateAccessEdge {
+                state: s2,
+                mode: AccessMode::Local,
+                writes: true,
+            }),
         );
         b.connect(src, t1, Dispatch::OneToAny, vec![]);
         b.connect(t1, t2, Dispatch::OneToAny, vec![]);
@@ -255,7 +278,11 @@ mod tests {
             "upd",
             TaskKind::Compute,
             TaskCode::Passthrough,
-            Some(StateAccessEdge { state: s, mode: AccessMode::Local, writes: true }),
+            Some(StateAccessEdge {
+                state: s,
+                mode: AccessMode::Local,
+                writes: true,
+            }),
         );
         b.connect(t0, t1, Dispatch::OneToAny, vec![]);
         let sdg = b.build().unwrap();

@@ -1,8 +1,11 @@
 //! Graphviz DOT export for SDGs, in the style of the paper's Fig. 1.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use crate::lint::{LintFinding, LintSubject};
 use crate::model::{Distribution, Sdg, TaskKind};
+use sdg_ir::diag::Severity;
 
 /// Renders `sdg` as a Graphviz DOT digraph.
 ///
@@ -10,13 +13,63 @@ use crate::model::{Distribution, Sdg, TaskKind};
 /// dashed, dataflow edges are solid and labelled with their dispatch
 /// semantics.
 pub fn to_dot(sdg: &Sdg) -> String {
+    render(sdg, &[])
+}
+
+/// Renders `sdg` with lint findings drawn onto the offending elements:
+/// errors colour the node red, warnings orange, and the diagnostic codes
+/// are appended to the node's label. Findings usually come from
+/// [`crate::lint::lint_findings`].
+pub fn to_dot_with_lints(sdg: &Sdg, findings: &[LintFinding]) -> String {
+    render(sdg, findings)
+}
+
+/// Highest-severity colour and the codes attached to one graph element.
+struct Marks {
+    severity: Severity,
+    codes: Vec<&'static str>,
+}
+
+fn render(sdg: &Sdg, findings: &[LintFinding]) -> String {
+    let mut marks: HashMap<LintSubject, Marks> = HashMap::new();
+    for finding in findings {
+        let entry = marks.entry(finding.subject).or_insert(Marks {
+            severity: finding.diag.severity,
+            codes: Vec::new(),
+        });
+        entry.severity = entry.severity.max(finding.diag.severity);
+        if !entry.codes.contains(&finding.diag.code) {
+            entry.codes.push(finding.diag.code);
+        }
+    }
+    let decoration = |subject: LintSubject| -> (String, String) {
+        match marks.get(&subject) {
+            None => (String::new(), String::new()),
+            Some(m) => {
+                let colour = match m.severity {
+                    Severity::Error => "red",
+                    Severity::Warning => "orange",
+                };
+                (
+                    format!("\\n[{}]", m.codes.join(", ")),
+                    format!(", color={colour}"),
+                )
+            }
+        }
+    };
+
     let mut out = String::from("digraph sdg {\n  rankdir=LR;\n");
     for task in &sdg.tasks {
         let shape = match task.kind {
             TaskKind::Entry { .. } => "box, style=bold",
             TaskKind::Compute => "box",
         };
-        let _ = writeln!(out, "  {} [label=\"{}\", shape={shape}];", task.id, task.name);
+        let (label_suffix, attrs) = decoration(LintSubject::Task(task.id));
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}{label_suffix}\", shape={shape}{attrs}];",
+            task.id, task.name
+        );
     }
     for state in &sdg.states {
         let suffix = match state.dist {
@@ -24,9 +77,10 @@ pub fn to_dot(sdg: &Sdg) -> String {
             Distribution::Partitioned { .. } => " (partitioned)",
             Distribution::Partial => " (partial)",
         };
+        let (label_suffix, attrs) = decoration(LintSubject::State(state.id));
         let _ = writeln!(
             out,
-            "  {} [label=\"{}{suffix}\", shape=ellipse];",
+            "  {} [label=\"{}{suffix}{label_suffix}\", shape=ellipse{attrs}];",
             state.id, state.name
         );
     }
@@ -54,6 +108,7 @@ pub fn to_dot(sdg: &Sdg) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lint::lint_findings;
     use crate::model::{
         AccessMode, Dispatch, Distribution, SdgBuilder, StateAccessEdge, TaskCode, TaskKind,
     };
@@ -65,7 +120,9 @@ mod tests {
         let s = b.add_state("kv", StateType::Table, Distribution::Partial);
         let t0 = b.add_task(
             "src",
-            TaskKind::Entry { method: "put".into() },
+            TaskKind::Entry {
+                method: "put".into(),
+            },
             TaskCode::Passthrough,
             None,
         );
@@ -73,7 +130,11 @@ mod tests {
             "upd",
             TaskKind::Compute,
             TaskCode::Passthrough,
-            Some(StateAccessEdge { state: s, mode: AccessMode::PartialLocal, writes: true }),
+            Some(StateAccessEdge {
+                state: s,
+                mode: AccessMode::PartialLocal,
+                writes: true,
+            }),
         );
         b.connect(t0, t1, Dispatch::OneToAny, vec![]);
         let dot = to_dot(&b.build_unchecked());
@@ -83,5 +144,31 @@ mod tests {
         assert!(dot.contains("t0 -> t1 [label=\"one-to-any\"]"));
         assert!(dot.contains("t1 -> s0 [style=dashed"));
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn lint_findings_are_drawn_on_the_graph() {
+        let mut b = SdgBuilder::new();
+        b.add_state("ghost", StateType::Table, Distribution::Local);
+        b.add_task(
+            "src",
+            TaskKind::Entry {
+                method: "put".into(),
+            },
+            TaskCode::Passthrough,
+            None,
+        );
+        b.add_task("orphan", TaskKind::Compute, TaskCode::Passthrough, None);
+        let sdg = b.build_unchecked();
+        let findings = lint_findings(&sdg);
+        let dot = to_dot_with_lints(&sdg, &findings);
+        // The orphan task is an error (red), the dead state a warning
+        // (orange); both carry their code in the label.
+        assert!(dot.contains("orphan\\n[SL0201]"), "{dot}");
+        assert!(dot.contains("color=red"), "{dot}");
+        assert!(dot.contains("ghost\\n[SL0202]"), "{dot}");
+        assert!(dot.contains("color=orange"), "{dot}");
+        // Without findings nothing is coloured.
+        assert!(!to_dot(&sdg).contains("color="));
     }
 }

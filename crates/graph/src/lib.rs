@@ -6,19 +6,22 @@
 //! read or update, and *dataflow edges* between TEs carrying data items.
 //!
 //! This crate defines the graph structure ([`model`]), the structural
-//! invariants the paper imposes ([`mod@validate`]), the four-step TE/SE-to-node
-//! allocation algorithm of §3.3 ([`alloc`]), and a Graphviz exporter
-//! ([`dot`]).
+//! invariants the paper imposes ([`mod@validate`]), a suite of softer
+//! `SL02xx` lints over whole graphs ([`mod@lint`]), the four-step
+//! TE/SE-to-node allocation algorithm of §3.3 ([`alloc`]), and a Graphviz
+//! exporter ([`dot`]) that can annotate lint findings.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alloc;
 pub mod dot;
+pub mod lint;
 pub mod model;
 pub mod validate;
 
 pub use alloc::{allocate, Allocation};
+pub use lint::{lint, lint_findings, LintFinding, LintSubject};
 pub use model::{
     AccessMode, Dispatch, Distribution, FlowDecl, NativeTask, Sdg, SdgBuilder, StateAccessEdge,
     StateDecl, TaskCode, TaskContext, TaskDecl, TaskKind,

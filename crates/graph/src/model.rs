@@ -272,11 +272,7 @@ impl Sdg {
         let mut result = Vec::new();
         for start in 0..n {
             let start_id = TaskId(start as u32);
-            let mut stack: Vec<TaskId> = self
-                .flows_from(start_id)
-                .iter()
-                .map(|f| f.to)
-                .collect();
+            let mut stack: Vec<TaskId> = self.flows_from(start_id).iter().map(|f| f.to).collect();
             let mut seen = vec![false; n];
             let mut found = false;
             while let Some(t) = stack.pop() {
@@ -386,9 +382,7 @@ mod tests {
     use super::*;
 
     fn entry() -> TaskKind {
-        TaskKind::Entry {
-            method: "m".into(),
-        }
+        TaskKind::Entry { method: "m".into() }
     }
 
     #[test]

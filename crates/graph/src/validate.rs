@@ -39,8 +39,12 @@ fn err(msg: impl Into<String>) -> SdgError {
 
 fn check_edges_reference_elements(sdg: &Sdg) -> SdgResult<()> {
     for flow in &sdg.flows {
-        sdg.task(flow.from)
-            .map_err(|_| err(format!("flow {} starts at unknown task {}", flow.id, flow.from)))?;
+        sdg.task(flow.from).map_err(|_| {
+            err(format!(
+                "flow {} starts at unknown task {}",
+                flow.id, flow.from
+            ))
+        })?;
         sdg.task(flow.to)
             .map_err(|_| err(format!("flow {} ends at unknown task {}", flow.id, flow.to)))?;
         if flow.from == flow.to {
@@ -81,7 +85,10 @@ fn check_access_modes(sdg: &Sdg) -> SdgResult<()> {
         let compatible = matches!(
             (&access.mode, &state.dist),
             (AccessMode::Local, Distribution::Local)
-                | (AccessMode::Partitioned { .. }, Distribution::Partitioned { .. })
+                | (
+                    AccessMode::Partitioned { .. },
+                    Distribution::Partitioned { .. }
+                )
                 | (AccessMode::PartialLocal, Distribution::Partial)
                 | (AccessMode::PartialGlobal, Distribution::Partial)
         );
@@ -243,7 +250,10 @@ mod tests {
 
     fn check_err(sdg: &Sdg, needle: &str) {
         let e = validate(sdg).unwrap_err();
-        assert!(e.to_string().contains(needle), "expected `{needle}` in `{e}`");
+        assert!(
+            e.to_string().contains(needle),
+            "expected `{needle}` in `{e}`"
+        );
     }
 
     #[test]
@@ -252,7 +262,9 @@ mod tests {
         let s = b.add_state(
             "userItem",
             StateType::Matrix,
-            Distribution::Partitioned { dim: PartitionDim::Row },
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
         );
         let t0 = b.add_task("ingest", entry(), TaskCode::Passthrough, None);
         let t1 = b.add_task(
@@ -261,11 +273,19 @@ mod tests {
             TaskCode::Passthrough,
             Some(StateAccessEdge {
                 state: s,
-                mode: AccessMode::Partitioned { key: "user".into(), dim: PartitionDim::Row },
+                mode: AccessMode::Partitioned {
+                    key: "user".into(),
+                    dim: PartitionDim::Row,
+                },
                 writes: true,
             }),
         );
-        b.connect(t0, t1, Dispatch::Partitioned { key: "user".into() }, vec!["user".into(), "item".into()]);
+        b.connect(
+            t0,
+            t1,
+            Dispatch::Partitioned { key: "user".into() },
+            vec!["user".into(), "item".into()],
+        );
         validate(&b.build_unchecked()).unwrap();
     }
 
@@ -285,7 +305,11 @@ mod tests {
             "a",
             entry(),
             TaskCode::Passthrough,
-            Some(StateAccessEdge { state: s, mode: AccessMode::Local, writes: false }),
+            Some(StateAccessEdge {
+                state: s,
+                mode: AccessMode::Local,
+                writes: false,
+            }),
         );
         let _ = t;
         check_err(&b.build_unchecked(), "incompatible");
@@ -297,7 +321,9 @@ mod tests {
         let s = b.add_state(
             "weights",
             StateType::Vector,
-            Distribution::Partitioned { dim: PartitionDim::Row },
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
         );
         b.add_task(
             "a",
@@ -305,7 +331,10 @@ mod tests {
             TaskCode::Passthrough,
             Some(StateAccessEdge {
                 state: s,
-                mode: AccessMode::Partitioned { key: "k".into(), dim: PartitionDim::Row },
+                mode: AccessMode::Partitioned {
+                    key: "k".into(),
+                    dim: PartitionDim::Row,
+                },
                 writes: true,
             }),
         );
@@ -318,7 +347,9 @@ mod tests {
         let s = b.add_state(
             "m",
             StateType::Matrix,
-            Distribution::Partitioned { dim: PartitionDim::Row },
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
         );
         b.add_task(
             "byCol",
@@ -326,7 +357,10 @@ mod tests {
             TaskCode::Passthrough,
             Some(StateAccessEdge {
                 state: s,
-                mode: AccessMode::Partitioned { key: "c".into(), dim: PartitionDim::Col },
+                mode: AccessMode::Partitioned {
+                    key: "c".into(),
+                    dim: PartitionDim::Col,
+                },
                 writes: true,
             }),
         );
@@ -339,7 +373,9 @@ mod tests {
         let s = b.add_state(
             "kv",
             StateType::Table,
-            Distribution::Partitioned { dim: PartitionDim::Row },
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
         );
         let t0 = b.add_task("src", entry(), TaskCode::Passthrough, None);
         let t1 = b.add_task(
@@ -348,7 +384,10 @@ mod tests {
             TaskCode::Passthrough,
             Some(StateAccessEdge {
                 state: s,
-                mode: AccessMode::Partitioned { key: "k".into(), dim: PartitionDim::Row },
+                mode: AccessMode::Partitioned {
+                    key: "k".into(),
+                    dim: PartitionDim::Row,
+                },
                 writes: true,
             }),
         );
@@ -362,7 +401,9 @@ mod tests {
         let s = b.add_state(
             "kv",
             StateType::Table,
-            Distribution::Partitioned { dim: PartitionDim::Row },
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
         );
         let t0 = b.add_task("src", entry(), TaskCode::Passthrough, None);
         let t1 = b.add_task(
@@ -371,11 +412,19 @@ mod tests {
             TaskCode::Passthrough,
             Some(StateAccessEdge {
                 state: s,
-                mode: AccessMode::Partitioned { key: "k".into(), dim: PartitionDim::Row },
+                mode: AccessMode::Partitioned {
+                    key: "k".into(),
+                    dim: PartitionDim::Row,
+                },
                 writes: true,
             }),
         );
-        b.connect(t0, t1, Dispatch::Partitioned { key: "k".into() }, vec!["v".into()]);
+        b.connect(
+            t0,
+            t1,
+            Dispatch::Partitioned { key: "k".into() },
+            vec!["v".into()],
+        );
         check_err(&b.build_unchecked(), "does not carry");
     }
 
@@ -388,7 +437,11 @@ mod tests {
             "mult",
             TaskKind::Compute,
             TaskCode::Passthrough,
-            Some(StateAccessEdge { state: s, mode: AccessMode::PartialGlobal, writes: false }),
+            Some(StateAccessEdge {
+                state: s,
+                mode: AccessMode::PartialGlobal,
+                writes: false,
+            }),
         );
         b.connect(t0, t1, Dispatch::OneToAny, vec![]);
         check_err(&b.build_unchecked(), "one-to-all");
@@ -402,7 +455,9 @@ mod tests {
         b.connect(
             t0,
             t1,
-            Dispatch::AllToOne { collect_var: "rec".into() },
+            Dispatch::AllToOne {
+                collect_var: "rec".into(),
+            },
             vec!["other".into()],
         );
         check_err(&b.build_unchecked(), "does not list it");

@@ -4,20 +4,43 @@
 //! field's annotation:
 //!
 //! - `@Partitioned` fields yield [`AccessKind::Partitioned`] accesses whose
-//!   access key is resolved to a *variable root* by copy propagation — the
-//!   paper's "reaching expression analysis". The key variable determines the
-//!   dataflow partitioning of the TE that executes the access.
+//!   access key is resolved to a *variable root* by constant/copy
+//!   propagation over the method's control-flow graph ([`crate::cfg`]) —
+//!   the paper's "reaching expression analysis". The key variable
+//!   determines the dataflow partitioning of the TE that executes the
+//!   access. Because the propagation is a CFG-based *must* analysis,
+//!   aliases resolve correctly through branches: a copy made in only one
+//!   arm of an `if` does not leak past the join.
 //! - `@Partial` fields yield [`AccessKind::Global`] when the expression is
 //!   annotated `@Global` (apply to all instances, with a synchronisation
 //!   barrier) and [`AccessKind::PartialLocal`] otherwise (apply to the local
 //!   instance only).
 //! - Unannotated fields yield [`AccessKind::Local`].
+//!
+//! Violations are reported as `SL010x` [`Diagnostic`]s by
+//! [`collect_method_accesses`]; [`analyze_method_accesses`] is the
+//! fail-fast wrapper.
 
-use std::collections::HashMap;
+use sdg_common::error::SdgResult;
 
-use sdg_common::error::{SdgError, SdgResult};
+use crate::ast::{Expr, ExprKind, FieldAnn, Method, Program, Span, StateTy, Stmt};
+use crate::cfg::{resolve_copy, stmt_ref, Cfg, Env, StmtRef};
+use crate::diag::{Diagnostic, Diagnostics};
 
-use crate::ast::{Expr, ExprKind, FieldAnn, Method, Program, Span, StateTy, Stmt, StmtKind};
+/// `@Global` access to a `@Partitioned` field.
+pub const GLOBAL_ON_PARTITIONED: &str = "SL0102";
+/// `@Global` access to an unannotated (local) field.
+pub const GLOBAL_ON_LOCAL: &str = "SL0103";
+/// Access to an undeclared state field.
+pub const UNKNOWN_STATE_FIELD: &str = "SL0104";
+/// Unknown accessor method for the field's structure type.
+pub const UNKNOWN_ACCESSOR: &str = "SL0105";
+/// Wrong number of arguments to a state accessor.
+pub const ACCESSOR_ARITY: &str = "SL0106";
+/// Keyless access to a `@Partitioned` field.
+pub const KEYLESS_PARTITIONED_ACCESS: &str = "SL0107";
+/// Partition-access key is a compound expression, not a variable.
+pub const COMPOUND_ACCESS_KEY: &str = "SL0108";
 
 /// How a task element accesses a state element.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,84 +143,66 @@ pub fn state_method_info(ty: StateTy, method: &str) -> Option<StateMethodInfo> {
     }
 }
 
-/// Resolves a variable to its copy-propagation root.
-///
-/// Follows `let a = b;` chains backwards so that all aliases of a dataflow
-/// key map to the same canonical variable name. Parameters are their own
-/// roots.
-fn resolve_root<'a>(copies: &'a HashMap<String, String>, mut name: &'a str) -> &'a str {
-    let mut hops = 0;
-    while let Some(next) = copies.get(name) {
-        name = next;
-        hops += 1;
-        if hops > copies.len() {
-            // A cycle can only arise from self-assignment; stop.
-            break;
-        }
-    }
-    name
-}
-
 /// Analyses one method: returns, for each top-level statement, the state
 /// accesses it (and its nested blocks) perform.
 ///
 /// Also validates that every access uses a known accessor with the right
 /// arity and, for partitioned fields, that the access key resolves to a
-/// variable.
-pub fn analyze_method_accesses(
+/// variable. Returns the first violation as a span-carrying error.
+pub fn analyze_method_accesses(program: &Program, method: &Method) -> SdgResult<Vec<StmtAccesses>> {
+    let mut diags = Diagnostics::new();
+    let out = collect_method_accesses(program, method, &mut diags);
+    match diags.first_error() {
+        Some(d) => Err(d.to_analysis_error()),
+        None => Ok(out),
+    }
+}
+
+/// Collecting form of [`analyze_method_accesses`]: classifies what it can
+/// and reports every violation into `diags`.
+pub fn collect_method_accesses(
     program: &Program,
     method: &Method,
-) -> SdgResult<Vec<StmtAccesses>> {
-    let mut copies: HashMap<String, String> = HashMap::new();
+    diags: &mut Diagnostics,
+) -> Vec<StmtAccesses> {
+    let cfg = Cfg::build(&method.body);
+    let envs = cfg.const_copy_envs();
+    let empty = Env::new();
     let mut out = Vec::with_capacity(method.body.len());
     for stmt in &method.body {
         let mut acc = StmtAccesses::default();
-        collect_stmt(program, stmt, &mut copies, &mut acc)?;
+        collect_stmt(program, stmt, &envs, &empty, &mut acc, diags);
         out.push(acc);
     }
-    Ok(out)
+    out
 }
 
 fn collect_stmt(
     program: &Program,
     stmt: &Stmt,
-    copies: &mut HashMap<String, String>,
+    envs: &std::collections::HashMap<StmtRef, Env>,
+    empty: &Env,
     acc: &mut StmtAccesses,
-) -> SdgResult<()> {
-    // Record copy chains before descending so later statements resolve keys
-    // through earlier aliases.
-    if let StmtKind::Let { name, expr, .. } | StmtKind::Assign { name, expr } = &stmt.kind {
-        if let ExprKind::Var(src) = &expr.kind {
-            let root = resolve_root(copies, src).to_owned();
-            if root != *name {
-                copies.insert(name.clone(), root);
-            }
-        } else {
-            // The variable is defined by a non-copy; it becomes its own root.
-            copies.remove(name);
-        }
-    }
-    let mut result = Ok(());
-    stmt.visit_exprs(&mut |e| {
-        if result.is_ok() {
-            result = collect_expr(program, e, copies, acc);
-        }
-    });
-    result?;
+    diags: &mut Diagnostics,
+) {
+    // The environment holding just before this statement executes;
+    // unreachable statements have none and resolve keys to themselves.
+    let env = envs.get(&stmt_ref(stmt)).unwrap_or(empty);
+    stmt.visit_exprs(&mut |e| collect_expr(program, e, env, acc, diags));
     for block in stmt.child_blocks() {
         for inner in block {
-            collect_stmt(program, inner, copies, acc)?;
+            collect_stmt(program, inner, envs, empty, acc, diags);
         }
     }
-    Ok(())
 }
 
 fn collect_expr(
     program: &Program,
     expr: &Expr,
-    copies: &HashMap<String, String>,
+    env: &Env,
     acc: &mut StmtAccesses,
-) -> SdgResult<()> {
+    diags: &mut Diagnostics,
+) {
     if let ExprKind::StateCall {
         field,
         method,
@@ -205,87 +210,118 @@ fn collect_expr(
         global,
     } = &expr.kind
     {
-        let decl = program.field(field).ok_or_else(|| {
-            SdgError::Analysis(format!(
-                "unknown state field `{field}` at {} (all state must be declared)",
-                expr.span
-            ))
-        })?;
-        let info = state_method_info(decl.ty, method).ok_or_else(|| {
-            SdgError::Analysis(format!(
-                "`{}` has no accessor `{method}` on {} at {}",
-                field, decl.ty, expr.span
-            ))
-        })?;
-        if args.len() != info.arity {
-            return Err(SdgError::Analysis(format!(
-                "`{field}.{method}` expects {} arguments, found {} at {}",
-                info.arity,
-                args.len(),
-                expr.span
-            )));
-        }
-        let kind = match decl.ann {
-            FieldAnn::Local => {
-                if *global {
-                    return Err(SdgError::Analysis(format!(
-                        "`@Global` access to `{field}` at {} but the field is not @Partial",
-                        expr.span
-                    )));
-                }
-                AccessKind::Local
-            }
-            FieldAnn::Partial => {
-                if *global {
-                    AccessKind::Global
-                } else {
-                    AccessKind::PartialLocal
-                }
-            }
-            FieldAnn::Partitioned => {
-                if *global {
-                    return Err(SdgError::Analysis(format!(
-                        "`@Global` access to `{field}` at {} but the field is @Partitioned \
-                         (global access applies only to @Partial fields)",
-                        expr.span
-                    )));
-                }
-                if !info.keyed {
-                    return Err(SdgError::Analysis(format!(
-                        "`{field}.{method}` at {} has no access key, so the partition cannot \
-                         be inferred for the @Partitioned field",
-                        expr.span
-                    )));
-                }
-                let key_expr = &args[0];
-                let key_var = match &key_expr.kind {
-                    ExprKind::Var(v) => resolve_root(copies, v).to_owned(),
-                    _ => {
-                        return Err(SdgError::Analysis(format!(
-                            "access key for `{field}` at {} must be a variable so the \
-                             dataflow partitioning can be inferred (reaching-expression \
-                             analysis found a compound expression)",
-                            key_expr.span
-                        )))
-                    }
-                };
-                AccessKind::Partitioned { key_var }
-            }
-        };
-        acc.accesses.push(StateAccess {
-            field: field.clone(),
-            kind,
-            is_write: info.is_write,
-            span: expr.span,
-        });
+        collect_state_call(program, expr, field, method, args, *global, env, acc, diags);
     }
-    let mut result = Ok(());
-    expr.visit_children(&mut |c| {
-        if result.is_ok() {
-            result = collect_expr(program, c, copies, acc);
+    expr.visit_children(&mut |c| collect_expr(program, c, env, acc, diags));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect_state_call(
+    program: &Program,
+    expr: &Expr,
+    field: &str,
+    method: &str,
+    args: &[Expr],
+    global: bool,
+    env: &Env,
+    acc: &mut StmtAccesses,
+    diags: &mut Diagnostics,
+) {
+    let Some(decl) = program.field(field) else {
+        diags.push(Diagnostic::error(
+            UNKNOWN_STATE_FIELD,
+            expr.span,
+            format!("unknown state field `{field}` (all state must be declared)"),
+        ));
+        return;
+    };
+    let Some(info) = state_method_info(decl.ty, method) else {
+        diags.push(Diagnostic::error(
+            UNKNOWN_ACCESSOR,
+            expr.span,
+            format!("`{field}` has no accessor `{method}` on {}", decl.ty),
+        ));
+        return;
+    };
+    if args.len() != info.arity {
+        diags.push(Diagnostic::error(
+            ACCESSOR_ARITY,
+            expr.span,
+            format!(
+                "`{field}.{method}` expects {} arguments, found {}",
+                info.arity,
+                args.len()
+            ),
+        ));
+        return;
+    }
+    let kind = match decl.ann {
+        FieldAnn::Local => {
+            if global {
+                diags.push(Diagnostic::error(
+                    GLOBAL_ON_LOCAL,
+                    expr.span,
+                    format!("`@Global` access to `{field}` but the field is not @Partial"),
+                ));
+                return;
+            }
+            AccessKind::Local
         }
+        FieldAnn::Partial => {
+            if global {
+                AccessKind::Global
+            } else {
+                AccessKind::PartialLocal
+            }
+        }
+        FieldAnn::Partitioned => {
+            if global {
+                diags.push(Diagnostic::error(
+                    GLOBAL_ON_PARTITIONED,
+                    expr.span,
+                    format!(
+                        "`@Global` access to `{field}` but the field is @Partitioned \
+                         (global access applies only to @Partial fields)"
+                    ),
+                ));
+                return;
+            }
+            if !info.keyed {
+                diags.push(Diagnostic::error(
+                    KEYLESS_PARTITIONED_ACCESS,
+                    expr.span,
+                    format!(
+                        "`{field}.{method}` has no access key, so the partition cannot \
+                         be inferred for the @Partitioned field"
+                    ),
+                ));
+                return;
+            }
+            let key_expr = &args[0];
+            let key_var = match &key_expr.kind {
+                ExprKind::Var(v) => resolve_copy(env, v).to_owned(),
+                _ => {
+                    diags.push(Diagnostic::error(
+                        COMPOUND_ACCESS_KEY,
+                        key_expr.span,
+                        format!(
+                            "access key for `{field}` must be a variable so the \
+                             dataflow partitioning can be inferred (reaching-expression \
+                             analysis found a compound expression)"
+                        ),
+                    ));
+                    return;
+                }
+            };
+            AccessKind::Partitioned { key_var }
+        }
+    };
+    acc.accesses.push(StateAccess {
+        field: field.to_owned(),
+        kind,
+        is_write: info.is_write,
+        span: expr.span,
     });
-    result
 }
 
 #[cfg(test)]
@@ -350,7 +386,52 @@ mod tests {
         // After `u = user + 1`, u is its own root.
         assert_eq!(
             accs[2].accesses[0].kind,
-            AccessKind::Partitioned { key_var: "u".into() }
+            AccessKind::Partitioned {
+                key_var: "u".into()
+            }
+        );
+    }
+
+    #[test]
+    fn branch_local_copies_do_not_leak_past_the_join() {
+        // `k` aliases `a` in only one arm, so after the join it must
+        // resolve to itself — the flow-insensitive analysis this replaced
+        // kept whichever arm was walked last.
+        let accs = analyze(
+            "@Partitioned Table t;\n\
+             void f(int a, int c) {\n\
+               let k = a;\n\
+               if (c > 0) { k = c; }\n\
+               let x = t.get(k);\n\
+             }",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(
+            accs[2].accesses[0].kind,
+            AccessKind::Partitioned {
+                key_var: "k".into()
+            }
+        );
+    }
+
+    #[test]
+    fn agreeing_branches_keep_the_alias() {
+        let accs = analyze(
+            "@Partitioned Table t;\n\
+             void f(int a, int c) {\n\
+               let k = a;\n\
+               if (c > 0) { let unrelated = c; }\n\
+               let x = t.get(k);\n\
+             }",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(
+            accs[2].accesses[0].kind,
+            AccessKind::Partitioned {
+                key_var: "a".into()
+            }
         );
     }
 
@@ -373,11 +454,7 @@ mod tests {
 
     #[test]
     fn unannotated_field_is_local() {
-        let accs = analyze(
-            "Table counts;\nvoid f(string w) { counts.inc(w, 1); }",
-            "f",
-        )
-        .unwrap();
+        let accs = analyze("Table counts;\nvoid f(string w) { counts.inc(w, 1); }", "f").unwrap();
         assert_eq!(accs[0].accesses[0].kind, AccessKind::Local);
     }
 
@@ -407,11 +484,8 @@ mod tests {
 
     #[test]
     fn rejects_global_on_local_field() {
-        let err = analyze(
-            "Table t;\nvoid f(int k) { let x = @Global t.get(k); }",
-            "f",
-        )
-        .unwrap_err();
+        let err =
+            analyze("Table t;\nvoid f(int k) { let x = @Global t.get(k); }", "f").unwrap_err();
         assert!(err.to_string().contains("not @Partial"), "{err}");
     }
 
@@ -440,6 +514,23 @@ mod tests {
         assert!(analyze("Table t;\nvoid f() { let x = q.get(1); }", "f").is_err());
         assert!(analyze("Table t;\nvoid f() { let x = t.frobnicate(1); }", "f").is_err());
         assert!(analyze("Table t;\nvoid f() { let x = t.get(1, 2); }", "f").is_err());
+    }
+
+    #[test]
+    fn collects_multiple_access_errors() {
+        let prog = parse_program(
+            "@Partitioned Table t;\n\
+             void f(int k) {\n\
+               let a = @Global t.get(k);\n\
+               let b = t.get(k % 10);\n\
+             }",
+        )
+        .unwrap();
+        let m = prog.method("f").unwrap().clone();
+        let mut diags = Diagnostics::new();
+        collect_method_accesses(&prog, &m, &mut diags);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![GLOBAL_ON_PARTITIONED, COMPOUND_ACCESS_KEY]);
     }
 
     #[test]

@@ -10,23 +10,86 @@
 //!   must itself be declared `@Partial let`;
 //! - `@Collection` may only expose variables declared `@Partial let`, and
 //!   only as arguments to methods whose parameter is `@Collection`;
+//! - every `@Partial let` must eventually be merged through `@Collection`
+//!   (otherwise its per-instance values are never reconciled);
 //! - helper methods (those called by other methods) must be side-effect
 //!   free with respect to state, so they can be executed inside any TE;
 //! - compound statements (`if`/`while`/`foreach`) must confine their state
 //!   accesses to a single SE, because TE boundaries cannot cut through
 //!   control flow;
 //! - methods must not be recursive (the dataflow is acyclic per request).
+//!
+//! Violations are collected as [`Diagnostic`]s with stable `SL01xx` codes
+//! by [`check_program_diagnostics`]; the fail-fast [`check_program`]
+//! wrapper returns the first error for callers that just need a
+//! go/no-go answer.
 
 use std::collections::{HashMap, HashSet};
 
-use sdg_common::error::{SdgError, SdgResult};
+use sdg_common::error::SdgResult;
 
-use crate::ast::{Expr, ExprKind, Method, Program, Stmt, StmtKind};
+use crate::ast::{Expr, ExprKind, Method, Program, Span, Stmt, StmtKind};
 use crate::builtins::builtin_arity;
+use crate::diag::{Diagnostic, Diagnostics};
+
+/// `@Partial let` binding never merged through `@Collection`.
+pub const PARTIAL_NEVER_MERGED: &str = "SL0101";
+/// Duplicate field/method declaration.
+pub const DUPLICATE_DECLARATION: &str = "SL0110";
+/// Entry-point method takes a `@Collection` parameter.
+pub const ENTRY_COLLECTION_PARAM: &str = "SL0111";
+/// A parameter or `let` binding shadows a state field.
+pub const SHADOWED_STATE_FIELD: &str = "SL0112";
+/// `@Global` access assigned to a non-`@Partial` binding.
+pub const GLOBAL_REQUIRES_PARTIAL_LET: &str = "SL0113";
+/// `@Partial let` without a `@Global` access on the right-hand side.
+pub const PARTIAL_LET_REQUIRES_GLOBAL: &str = "SL0114";
+/// Reassignment of a `@Partial` variable.
+pub const PARTIAL_REASSIGNED: &str = "SL0115";
+/// A `@Partial` (multi-valued) variable used as a plain value.
+pub const PARTIAL_MULTI_VALUED: &str = "SL0116";
+/// `@Collection` outside a collection-parameter argument position.
+pub const COLLECTION_MISPLACED: &str = "SL0117";
+/// `@Collection` applied to a non-`@Partial` variable.
+pub const COLLECTION_REQUIRES_PARTIAL: &str = "SL0118";
+/// Argument/parameter `@Collection` annotation mismatch.
+pub const COLLECTION_ARG_MISMATCH: &str = "SL0119";
+/// Wrong number of arguments to a helper or builtin.
+pub const ARITY_MISMATCH: &str = "SL0120";
+/// Call to an unknown function.
+pub const UNKNOWN_FUNCTION: &str = "SL0121";
+/// A helper method accesses state.
+pub const HELPER_ACCESSES_STATE: &str = "SL0122";
+/// `emit` outside an entry-point method.
+pub const EMIT_OUTSIDE_ENTRY: &str = "SL0123";
+/// A compound statement touching more than one state element.
+pub const COMPOUND_MULTI_SE: &str = "SL0124";
+/// `@Global` access inside control flow.
+pub const GLOBAL_IN_CONTROL_FLOW: &str = "SL0125";
+/// Recursive method calls.
+pub const RECURSION: &str = "SL0126";
+/// Use of (or assignment to) an undefined variable.
+pub const UNDEFINED_VARIABLE: &str = "SL0127";
+/// A state field used as a plain value.
+pub const FIELD_AS_VALUE: &str = "SL0128";
+/// `@Global` access in a position other than a `@Partial let` initialiser.
+pub const GLOBAL_MISPLACED: &str = "SL0129";
 
 /// Validates `program`, returning the first violation found.
 pub fn check_program(program: &Program) -> SdgResult<()> {
-    check_unique_names(program)?;
+    let diags = check_program_diagnostics(program);
+    match diags.first_error() {
+        Some(d) => Err(d.to_analysis_error()),
+        None => Ok(()),
+    }
+}
+
+/// Validates `program`, collecting **every** violation instead of
+/// stopping at the first. Diagnostics appear in checking order, so the
+/// first entry matches [`check_program`]'s error.
+pub fn check_program_diagnostics(program: &Program) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    check_unique_names(program, &mut diags);
     let entry_names: HashSet<&str> = program
         .entry_points()
         .iter()
@@ -34,78 +97,115 @@ pub fn check_program(program: &Program) -> SdgResult<()> {
         .collect();
     for method in &program.methods {
         let is_entry = entry_names.contains(method.name.as_str());
-        check_method(program, method, is_entry)?;
+        check_method(program, method, is_entry, &mut diags);
     }
-    check_no_recursion(program)?;
-    Ok(())
+    check_no_recursion(program, &mut diags);
+    diags
 }
 
-fn check_unique_names(program: &Program) -> SdgResult<()> {
+fn check_unique_names(program: &Program, diags: &mut Diagnostics) {
     let mut seen: HashSet<&str> = HashSet::new();
     for f in &program.fields {
         if !seen.insert(&f.name) {
-            return Err(SdgError::Analysis(format!(
-                "duplicate declaration of `{}` at {}",
-                f.name, f.span
-            )));
+            diags.push(Diagnostic::error(
+                DUPLICATE_DECLARATION,
+                f.span,
+                format!("duplicate declaration of `{}`", f.name),
+            ));
         }
     }
     for m in &program.methods {
         if !seen.insert(&m.name) {
-            return Err(SdgError::Analysis(format!(
-                "duplicate declaration of `{}` at {}",
-                m.name, m.span
-            )));
+            diags.push(Diagnostic::error(
+                DUPLICATE_DECLARATION,
+                m.span,
+                format!("duplicate declaration of `{}`", m.name),
+            ));
         }
     }
-    Ok(())
 }
 
-struct MethodChecker<'a> {
+struct MethodChecker<'a, 'd> {
     program: &'a Program,
     method: &'a Method,
     is_entry: bool,
     /// Variables in scope, innermost last. Each scope maps name → is_partial.
     scopes: Vec<HashMap<String, bool>>,
+    /// `@Partial let` bindings not yet consumed by `@Collection`:
+    /// name → declaration span.
+    unmerged_partials: HashMap<String, Span>,
+    diags: &'d mut Diagnostics,
 }
 
-fn check_method(program: &Program, method: &Method, is_entry: bool) -> SdgResult<()> {
+fn check_method(program: &Program, method: &Method, is_entry: bool, diags: &mut Diagnostics) {
     if is_entry && method.takes_collection() {
-        return Err(SdgError::Analysis(format!(
-            "entry point `{}` cannot take @Collection parameters (they are \
-             produced by merge dataflows, not external input)",
-            method.name
-        )));
+        diags.push(Diagnostic::error(
+            ENTRY_COLLECTION_PARAM,
+            method.span,
+            format!(
+                "entry point `{}` cannot take @Collection parameters (they are \
+                 produced by merge dataflows, not external input)",
+                method.name
+            ),
+        ));
     }
     let mut checker = MethodChecker {
         program,
         method,
         is_entry,
         scopes: vec![HashMap::new()],
+        unmerged_partials: HashMap::new(),
+        diags,
     };
     for p in &method.params {
         if program.field(&p.name).is_some() {
-            return Err(SdgError::Analysis(format!(
-                "parameter `{}` of `{}` shadows a state field",
-                p.name, method.name
-            )));
+            checker.diags.push(Diagnostic::error(
+                SHADOWED_STATE_FIELD,
+                p.span,
+                format!(
+                    "parameter `{}` of `{}` shadows a state field",
+                    p.name, method.name
+                ),
+            ));
         }
         checker.scopes[0].insert(p.name.clone(), false);
     }
-    checker.check_block(&method.body, true)?;
-    Ok(())
+    checker.check_block(&method.body, true);
+    // Every partial value must be reconciled exactly once via @Collection
+    // (§4.1); unmerged ones would leave per-instance values dangling.
+    let mut unmerged: Vec<(String, Span)> = checker.unmerged_partials.drain().collect();
+    unmerged.sort_by_key(|(_, span)| (span.line, span.col));
+    for (name, span) in unmerged {
+        checker.diags.push(
+            Diagnostic::error(
+                PARTIAL_NEVER_MERGED,
+                span,
+                format!(
+                    "in `{}`: partial value `{name}` is never merged, so its \
+                     per-instance values are never reconciled; pass it to a \
+                     helper as `@Collection {name}`",
+                    method.name
+                ),
+            )
+            .with_note(
+                "@Partial bindings hold one value per state instance; without a \
+                 @Collection merge those values are never reconciled",
+            ),
+        );
+    }
 }
 
-impl<'a> MethodChecker<'a> {
-    fn err(&self, span: crate::ast::Span, msg: impl std::fmt::Display) -> SdgError {
-        SdgError::Analysis(format!("in `{}` at {span}: {msg}", self.method.name))
+impl MethodChecker<'_, '_> {
+    fn err(&mut self, code: &'static str, span: Span, msg: impl std::fmt::Display) {
+        self.diags.push(Diagnostic::error(
+            code,
+            span,
+            format!("in `{}`: {msg}", self.method.name),
+        ));
     }
 
     fn lookup(&self, name: &str) -> Option<bool> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).copied())
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
     }
 
     fn define(&mut self, name: &str, is_partial: bool) {
@@ -115,14 +215,13 @@ impl<'a> MethodChecker<'a> {
             .insert(name.to_owned(), is_partial);
     }
 
-    fn check_block(&mut self, block: &[Stmt], top_level: bool) -> SdgResult<()> {
+    fn check_block(&mut self, block: &[Stmt], top_level: bool) {
         for stmt in block {
-            self.check_stmt(stmt, top_level)?;
+            self.check_stmt(stmt, top_level);
         }
-        Ok(())
     }
 
-    fn check_stmt(&mut self, stmt: &Stmt, top_level: bool) -> SdgResult<()> {
+    fn check_stmt(&mut self, stmt: &Stmt, top_level: bool) {
         // Compound statements must confine state access to one SE so TE
         // extraction never has to cut inside control flow.
         if top_level && !stmt.child_blocks().is_empty() {
@@ -130,21 +229,23 @@ impl<'a> MethodChecker<'a> {
             if fields.len() > 1 {
                 let mut names: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
                 names.sort_unstable();
-                return Err(self.err(
+                self.err(
+                    COMPOUND_MULTI_SE,
                     stmt.span,
                     format!(
                         "a compound statement may access at most one state element, \
                          found {{{}}} (split the statement so each block touches one SE)",
                         names.join(", ")
                     ),
-                ));
+                );
             }
             if contains_global_in_nested(stmt) {
-                return Err(self.err(
+                self.err(
+                    GLOBAL_IN_CONTROL_FLOW,
                     stmt.span,
                     "@Global access inside control flow is not translatable \
                      (it would place a synchronisation barrier inside a loop or branch)",
-                ));
+                );
             }
         }
         match &stmt.kind {
@@ -154,55 +255,70 @@ impl<'a> MethodChecker<'a> {
                 is_partial,
             } => {
                 if self.program.field(name).is_some() {
-                    return Err(self.err(stmt.span, format!("`{name}` shadows a state field")));
+                    self.err(
+                        SHADOWED_STATE_FIELD,
+                        stmt.span,
+                        format!("`{name}` shadows a state field"),
+                    );
                 }
-                self.check_expr(expr, ExprPosition::Rhs)?;
+                self.check_expr(expr, ExprPosition::Rhs);
                 let has_global = expr.contains_global_access();
                 if has_global && !is_partial {
-                    return Err(self.err(
+                    self.err(
+                        GLOBAL_REQUIRES_PARTIAL_LET,
                         stmt.span,
                         format!(
                             "`{name}` is assigned from @Global access and becomes \
                              multi-valued; declare it `@Partial let {name} = ...`"
                         ),
-                    ));
+                    );
                 }
                 if *is_partial && !has_global {
-                    return Err(self.err(
+                    self.err(
+                        PARTIAL_LET_REQUIRES_GLOBAL,
                         stmt.span,
                         format!(
                             "`@Partial let {name}` requires a @Global state access on \
                              the right-hand side"
                         ),
-                    ));
+                    );
+                }
+                if *is_partial {
+                    self.unmerged_partials.insert(name.clone(), stmt.span);
                 }
                 self.define(name, *is_partial);
             }
             StmtKind::Assign { name, expr } => {
-                let Some(is_partial) = self.lookup(name) else {
-                    return Err(self.err(stmt.span, format!("assignment to undefined `{name}`")));
-                };
-                if is_partial {
-                    return Err(self.err(
+                match self.lookup(name) {
+                    None => self.err(
+                        UNDEFINED_VARIABLE,
+                        stmt.span,
+                        format!("assignment to undefined `{name}`"),
+                    ),
+                    Some(true) => self.err(
+                        PARTIAL_REASSIGNED,
                         stmt.span,
                         format!("partial variable `{name}` cannot be reassigned"),
-                    ));
+                    ),
+                    Some(false) => {}
                 }
-                self.check_expr(expr, ExprPosition::Rhs)?;
+                self.check_expr(expr, ExprPosition::Rhs);
                 if expr.contains_global_access() {
-                    return Err(self.err(
+                    self.err(
+                        GLOBAL_MISPLACED,
                         stmt.span,
                         "@Global access may only initialise a `@Partial let` binding",
-                    ));
+                    );
                 }
             }
             StmtKind::Expr(expr) => {
-                self.check_expr(expr, ExprPosition::Rhs)?;
+                self.check_expr(expr, ExprPosition::Rhs);
                 if expr.contains_global_access() {
-                    return Err(self.err(
+                    self.err(
+                        GLOBAL_MISPLACED,
                         stmt.span,
                         "@Global access may only initialise a `@Partial let` binding",
-                    ));
+                    );
                 }
             }
             StmtKind::If {
@@ -210,173 +326,193 @@ impl<'a> MethodChecker<'a> {
                 then_block,
                 else_block,
             } => {
-                self.check_expr(cond, ExprPosition::Rhs)?;
+                self.check_expr(cond, ExprPosition::Rhs);
                 self.scopes.push(HashMap::new());
-                self.check_block(then_block, false)?;
+                self.check_block(then_block, false);
                 self.scopes.pop();
                 self.scopes.push(HashMap::new());
-                self.check_block(else_block, false)?;
+                self.check_block(else_block, false);
                 self.scopes.pop();
             }
             StmtKind::While { cond, body } => {
-                self.check_expr(cond, ExprPosition::Rhs)?;
+                self.check_expr(cond, ExprPosition::Rhs);
                 self.scopes.push(HashMap::new());
-                self.check_block(body, false)?;
+                self.check_block(body, false);
                 self.scopes.pop();
             }
             StmtKind::Foreach { var, iter, body } => {
-                self.check_expr(iter, ExprPosition::Rhs)?;
+                self.check_expr(iter, ExprPosition::Rhs);
                 self.scopes.push(HashMap::new());
                 self.define(var, false);
-                self.check_block(body, false)?;
+                self.check_block(body, false);
                 self.scopes.pop();
             }
             StmtKind::Return(expr) => {
                 if let Some(e) = expr {
-                    self.check_expr(e, ExprPosition::Rhs)?;
+                    self.check_expr(e, ExprPosition::Rhs);
                 }
             }
             StmtKind::Emit(expr) => {
                 if !self.is_entry {
-                    return Err(self.err(
+                    self.err(
+                        EMIT_OUTSIDE_ENTRY,
                         stmt.span,
                         "`emit` is only allowed in entry-point methods; helpers return values",
-                    ));
+                    );
                 }
-                self.check_expr(expr, ExprPosition::Rhs)?;
+                self.check_expr(expr, ExprPosition::Rhs);
             }
         }
-        Ok(())
     }
 
-    fn check_expr(&mut self, expr: &Expr, pos: ExprPosition) -> SdgResult<()> {
+    fn check_expr(&mut self, expr: &Expr, pos: ExprPosition) {
         match &expr.kind {
             ExprKind::Var(name) => {
                 if self.program.field(name).is_some() {
-                    return Err(self.err(
+                    self.err(
+                        FIELD_AS_VALUE,
                         expr.span,
                         format!(
                             "state field `{name}` cannot be used as a plain value; \
                              access it through its methods"
                         ),
-                    ));
-                }
-                if self.lookup(name).is_none() {
-                    return Err(self.err(expr.span, format!("undefined variable `{name}`")));
-                }
-                if self.lookup(name) == Some(true) {
-                    return Err(self.err(
-                        expr.span,
-                        format!(
-                            "partial variable `{name}` is multi-valued; use \
-                             `@Collection {name}` to reconcile its instances"
+                    );
+                } else {
+                    match self.lookup(name) {
+                        None => self.err(
+                            UNDEFINED_VARIABLE,
+                            expr.span,
+                            format!("undefined variable `{name}`"),
                         ),
-                    ));
+                        Some(true) => self.err(
+                            PARTIAL_MULTI_VALUED,
+                            expr.span,
+                            format!(
+                                "partial variable `{name}` is multi-valued; use \
+                                 `@Collection {name}` to reconcile its instances"
+                            ),
+                        ),
+                        Some(false) => {}
+                    }
                 }
             }
             ExprKind::Collection(name) => {
                 if pos != ExprPosition::CollectionArg {
-                    return Err(self.err(
+                    self.err(
+                        COLLECTION_MISPLACED,
                         expr.span,
                         "`@Collection` may only appear as an argument to a method \
                          whose parameter is @Collection",
-                    ));
+                    );
                 }
                 match self.lookup(name) {
-                    Some(true) => {}
-                    Some(false) => {
-                        return Err(self.err(
-                            expr.span,
-                            format!("`@Collection {name}` requires `{name}` to be @Partial"),
-                        ))
+                    Some(true) => {
+                        self.unmerged_partials.remove(name);
                     }
-                    None => {
-                        return Err(self.err(expr.span, format!("undefined variable `{name}`")))
-                    }
+                    Some(false) => self.err(
+                        COLLECTION_REQUIRES_PARTIAL,
+                        expr.span,
+                        format!("`@Collection {name}` requires `{name}` to be @Partial"),
+                    ),
+                    None => self.err(
+                        UNDEFINED_VARIABLE,
+                        expr.span,
+                        format!("undefined variable `{name}`"),
+                    ),
                 }
             }
             ExprKind::Call { callee, args } => {
                 if let Some(target) = self.program.method(callee) {
                     if target.params.len() != args.len() {
-                        return Err(self.err(
+                        self.err(
+                            ARITY_MISMATCH,
                             expr.span,
                             format!(
                                 "`{callee}` expects {} arguments, found {}",
                                 target.params.len(),
                                 args.len()
                             ),
-                        ));
+                        );
                     }
-                    for (param, arg) in target.params.iter().zip(args) {
+                    let params = target.params.clone();
+                    for (param, arg) in params.iter().zip(args) {
                         let want_collection = param.is_collection;
                         let is_collection = matches!(&arg.kind, ExprKind::Collection(_));
                         if want_collection && !is_collection {
-                            return Err(self.err(
+                            self.err(
+                                COLLECTION_ARG_MISMATCH,
                                 arg.span,
                                 format!(
                                     "parameter `{}` of `{callee}` is @Collection; pass \
                                      `@Collection <partial-var>`",
                                     param.name
                                 ),
-                            ));
+                            );
                         }
                         if !want_collection && is_collection {
-                            return Err(self.err(
+                            self.err(
+                                COLLECTION_ARG_MISMATCH,
                                 arg.span,
                                 format!(
                                     "parameter `{}` of `{callee}` is not @Collection",
                                     param.name
                                 ),
-                            ));
+                            );
                         }
                         let pos = if want_collection {
                             ExprPosition::CollectionArg
                         } else {
                             ExprPosition::Rhs
                         };
-                        self.check_expr(arg, pos)?;
+                        self.check_expr(arg, pos);
                     }
                     // Helper methods must be state-free so they can execute
                     // inside whichever TE calls them.
                     if method_accesses_state(target) {
-                        return Err(self.err(
+                        self.err(
+                            HELPER_ACCESSES_STATE,
                             expr.span,
                             format!(
                                 "helper method `{callee}` accesses state; only entry \
                                  points may access state elements"
                             ),
-                        ));
+                        );
                     }
                 } else if let Some(arity) = builtin_arity(callee) {
                     if args.len() != arity {
-                        return Err(self.err(
+                        self.err(
+                            ARITY_MISMATCH,
                             expr.span,
-                            format!("builtin `{callee}` expects {arity} arguments, found {}", args.len()),
-                        ));
+                            format!(
+                                "builtin `{callee}` expects {arity} arguments, found {}",
+                                args.len()
+                            ),
+                        );
                     }
                     for arg in args {
-                        self.check_expr(arg, ExprPosition::Rhs)?;
+                        self.check_expr(arg, ExprPosition::Rhs);
                     }
                 } else {
-                    return Err(self.err(expr.span, format!("unknown function `{callee}`")));
+                    self.err(
+                        UNKNOWN_FUNCTION,
+                        expr.span,
+                        format!("unknown function `{callee}`"),
+                    );
                 }
             }
             ExprKind::StateCall { args, .. } => {
                 for arg in args {
-                    self.check_expr(arg, ExprPosition::Rhs)?;
+                    self.check_expr(arg, ExprPosition::Rhs);
                 }
             }
             _ => {
-                let mut result = Ok(());
-                expr.visit_children(&mut |c| {
-                    if result.is_ok() {
-                        result = self.check_expr(c, ExprPosition::Rhs);
-                    }
-                });
-                result?;
+                let mut children = Vec::new();
+                expr.visit_children(&mut |c| children.push(c));
+                for c in children {
+                    self.check_expr(c, ExprPosition::Rhs);
+                }
             }
         }
-        Ok(())
     }
 }
 
@@ -414,7 +550,7 @@ fn contains_global_in_nested(stmt: &Stmt) -> bool {
     found
 }
 
-fn visit_stmt_deep<'a>(stmt: &'a Stmt, on_expr: &mut impl FnMut(&'a Expr)) {
+pub(crate) fn visit_stmt_deep<'a>(stmt: &'a Stmt, on_expr: &mut impl FnMut(&'a Expr)) {
     stmt.visit_exprs(on_expr);
     for block in stmt.child_blocks() {
         for inner in block {
@@ -438,7 +574,7 @@ fn method_accesses_state(method: &Method) -> bool {
     found
 }
 
-fn check_no_recursion(program: &Program) -> SdgResult<()> {
+fn check_no_recursion(program: &Program, diags: &mut Diagnostics) {
     // Depth-first search over the call graph with an explicit stack colour.
     #[derive(Clone, Copy, PartialEq)]
     enum Colour {
@@ -471,13 +607,18 @@ fn check_no_recursion(program: &Program) -> SdgResult<()> {
         program: &'a Program,
         name: &'a str,
         colour: &mut HashMap<&'a str, Colour>,
-    ) -> SdgResult<()> {
+        diags: &mut Diagnostics,
+    ) {
         match colour.get(name) {
-            Some(Colour::Black) | None => return Ok(()),
+            Some(Colour::Black) | None => return,
             Some(Colour::Grey) => {
-                return Err(SdgError::Analysis(format!(
-                    "recursive call involving `{name}` is not translatable to a dataflow"
-                )))
+                let span = program.method(name).map(|m| m.span).unwrap_or_default();
+                diags.push(Diagnostic::error(
+                    RECURSION,
+                    span,
+                    format!("recursive call involving `{name}` is not translatable to a dataflow"),
+                ));
+                return;
             }
             Some(Colour::White) => {}
         }
@@ -485,19 +626,17 @@ fn check_no_recursion(program: &Program) -> SdgResult<()> {
         if let Some(m) = program.method(name) {
             for callee in callees(m) {
                 if program.method(callee).is_some() {
-                    dfs(program, callee, colour)?;
+                    dfs(program, callee, colour, diags);
                 }
             }
         }
         colour.insert(name, Colour::Black);
-        Ok(())
     }
 
     let names: Vec<&str> = program.methods.iter().map(|m| m.name.as_str()).collect();
     for name in names {
-        dfs(program, name, &mut colour)?;
+        dfs(program, name, &mut colour, diags);
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -515,6 +654,11 @@ mod tests {
             err.to_string().contains(needle),
             "expected `{needle}` in `{err}`"
         );
+    }
+
+    fn first_code(src: &str) -> &'static str {
+        let diags = check_program_diagnostics(&parse_program(src).unwrap());
+        diags.first_error().expect("expected an error").code
     }
 
     #[test]
@@ -551,17 +695,20 @@ mod tests {
     fn rejects_duplicate_names() {
         check_err("Table t;\nTable t;", "duplicate");
         check_err("Table t;\nvoid t() { }", "duplicate");
+        assert_eq!(first_code("Table t;\nTable t;"), DUPLICATE_DECLARATION);
     }
 
     #[test]
     fn rejects_undefined_variables() {
         check_err("void f() { emit x; }", "undefined variable `x`");
         check_err("void f() { x = 3; }", "assignment to undefined `x`");
+        assert_eq!(first_code("void f() { emit x; }"), UNDEFINED_VARIABLE);
     }
 
     #[test]
     fn rejects_field_used_as_value() {
         check_err("Table t;\nvoid f() { emit t; }", "plain value");
+        assert_eq!(first_code("Table t;\nvoid f() { emit t; }"), FIELD_AS_VALUE);
     }
 
     #[test]
@@ -594,6 +741,15 @@ mod tests {
              void f(list v) { @Partial let x = @Global m.multiply(v); x = v; }",
             "cannot be reassigned",
         );
+    }
+
+    #[test]
+    fn unmerged_partial_values_are_reported() {
+        // The partial is assigned but never reconciled with @Collection.
+        let src = "@Partial Matrix m;\n\
+                   void f(list v) { @Partial let x = @Global m.multiply(v); }";
+        check_err(src, "never merged");
+        assert_eq!(first_code(src), PARTIAL_NEVER_MERGED);
     }
 
     #[test]
@@ -671,10 +827,7 @@ mod tests {
 
     #[test]
     fn recursion_is_rejected() {
-        check_err(
-            "int f(int n) { let x = f(n); return x; }",
-            "recursive",
-        );
+        check_err("int f(int n) { let x = f(n); return x; }", "recursive");
         check_err(
             "int a(int n) { let x = b(n); return x; }\n\
              int b(int n) { let x = a(n); return x; }",
@@ -701,5 +854,31 @@ mod tests {
              }",
             "undefined variable `x`",
         );
+    }
+
+    #[test]
+    fn collects_every_violation_not_just_the_first() {
+        // Three independent problems in one program.
+        let src = "Table t;\n\
+                   void f(int k) {\n\
+                     emit t;\n\
+                     emit missing;\n\
+                     let x = mystery(k);\n\
+                   }";
+        let diags = check_program_diagnostics(&parse_program(src).unwrap());
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![FIELD_AS_VALUE, UNDEFINED_VARIABLE, UNKNOWN_FUNCTION]
+        );
+        // Every diagnostic carries a source position.
+        assert!(diags.iter().all(|d| d.span.is_some()));
+    }
+
+    #[test]
+    fn analysis_errors_carry_positions() {
+        let err = check("void f() {\n  emit missing;\n}").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("analysis error at 2:"), "{text}");
     }
 }

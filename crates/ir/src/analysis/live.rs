@@ -6,14 +6,16 @@
 //! the set of variables live immediately *before* it — i.e. the payload an
 //! edge feeding a TE starting at that statement must carry.
 //!
-//! The analysis is a standard backward dataflow over the structured AST:
-//! `live_in(s) = use(s) ∪ (live_out(s) − def(s))`, with loops iterated to a
-//! fixed point. State fields are not variables and never appear in live
-//! sets (they are reached through access edges, not dataflows).
+//! The analysis is a standard backward dataflow, run over the method's
+//! control-flow graph ([`crate::cfg`]): `live_in(s) = use(s) ∪ (live_out(s)
+//! − def(s))`, with loop back edges iterated to a fixed point. State fields
+//! are not variables and never appear in live sets (they are reached
+//! through access edges, not dataflows).
 
 use std::collections::HashSet;
 
-use crate::ast::{Expr, ExprKind, Method, Program, Stmt, StmtKind};
+use crate::ast::{Method, Program};
+use crate::cfg::{stmt_ref, Cfg};
 
 /// Computes the set of variables live before each top-level statement of
 /// `method`, plus (as the final element) the set live after the last
@@ -23,102 +25,24 @@ use crate::ast::{Expr, ExprKind, Method, Program, Stmt, StmtKind};
 /// result has `body.len() + 1` entries.
 pub fn live_before_each(program: &Program, method: &Method) -> Vec<HashSet<String>> {
     let fields: HashSet<&str> = program.fields.iter().map(|f| f.name.as_str()).collect();
-    let mut result = vec![HashSet::new(); method.body.len() + 1];
-    let mut live: HashSet<String> = HashSet::new();
-    for (i, stmt) in method.body.iter().enumerate().rev() {
-        live = live_before_stmt(stmt, &live, &fields);
-        result[i] = live.clone();
+    let cfg = Cfg::build(&method.body);
+    let per_stmt = cfg.live_in_per_stmt();
+    let mut result = Vec::with_capacity(method.body.len() + 1);
+    for stmt in &method.body {
+        let live = per_stmt
+            .get(&stmt_ref(stmt))
+            .map(|set| {
+                set.iter()
+                    .filter(|name| !fields.contains(name.as_str()))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        result.push(live);
     }
+    // Live after the last statement: the method exit, where nothing is live.
+    result.push(HashSet::new());
     result
-}
-
-fn live_before_block(
-    block: &[Stmt],
-    live_out: &HashSet<String>,
-    fields: &HashSet<&str>,
-) -> HashSet<String> {
-    let mut live = live_out.clone();
-    for stmt in block.iter().rev() {
-        live = live_before_stmt(stmt, &live, fields);
-    }
-    live
-}
-
-fn live_before_stmt(
-    stmt: &Stmt,
-    live_out: &HashSet<String>,
-    fields: &HashSet<&str>,
-) -> HashSet<String> {
-    match &stmt.kind {
-        StmtKind::Let { name, expr, .. } | StmtKind::Assign { name, expr } => {
-            let mut live = live_out.clone();
-            live.remove(name);
-            add_uses(expr, &mut live, fields);
-            live
-        }
-        StmtKind::Expr(expr) | StmtKind::Emit(expr) => {
-            let mut live = live_out.clone();
-            add_uses(expr, &mut live, fields);
-            live
-        }
-        StmtKind::Return(expr) => {
-            let mut live = live_out.clone();
-            if let Some(e) = expr {
-                add_uses(e, &mut live, fields);
-            }
-            live
-        }
-        StmtKind::If {
-            cond,
-            then_block,
-            else_block,
-        } => {
-            let mut live = live_before_block(then_block, live_out, fields);
-            live.extend(live_before_block(else_block, live_out, fields));
-            add_uses(cond, &mut live, fields);
-            live
-        }
-        StmtKind::While { cond, body } => {
-            // Iterate to a fixed point: variables used in later iterations
-            // are live at loop entry.
-            let mut live = live_out.clone();
-            loop {
-                let mut next = live_before_block(body, &live, fields);
-                next.extend(live_out.iter().cloned());
-                add_uses(cond, &mut next, fields);
-                if next == live {
-                    break;
-                }
-                live = next;
-            }
-            live
-        }
-        StmtKind::Foreach { var, iter, body } => {
-            let mut live = live_out.clone();
-            loop {
-                let mut next = live_before_block(body, &live, fields);
-                next.remove(var); // The loop variable is defined by the loop.
-                next.extend(live_out.iter().cloned());
-                if next == live {
-                    break;
-                }
-                live = next;
-            }
-            add_uses(iter, &mut live, fields);
-            live
-        }
-    }
-}
-
-fn add_uses(expr: &Expr, live: &mut HashSet<String>, fields: &HashSet<&str>) {
-    expr.walk(&mut |e| match &e.kind {
-        ExprKind::Var(name) | ExprKind::Collection(name) => {
-            if !fields.contains(name.as_str()) {
-                live.insert(name.clone());
-            }
-        }
-        _ => {}
-    });
 }
 
 #[cfg(test)]

@@ -6,11 +6,66 @@
 //!   cross each TE boundary;
 //! - [`check`] — semantic validation of annotation rules and the
 //!   translatability restrictions of §4.1.
+//!
+//! All three run on the control-flow graphs of [`crate::cfg`]. Violations
+//! carry stable `SL01xx` codes ([`crate::diag`]); [`lint_program`] is the
+//! collect-everything entry point used by the `lint` front-end.
 
 pub mod access;
 pub mod check;
 pub mod live;
 
-pub use access::{analyze_method_accesses, AccessKind, StateAccess, StmtAccesses};
-pub use check::check_program;
+pub use access::{
+    analyze_method_accesses, collect_method_accesses, AccessKind, StateAccess, StmtAccesses,
+};
+pub use check::{check_program, check_program_diagnostics};
 pub use live::live_before_each;
+
+use crate::ast::Program;
+use crate::diag::{Diagnostic, Diagnostics};
+
+/// Runs every program-level analysis in collecting mode and returns all
+/// diagnostics sorted by source position.
+///
+/// The semantic check runs over the whole program; the access analysis
+/// runs per entry-point method (helpers are state-free by rule SL0122, so
+/// their accesses — if any — are reported by the checker already).
+pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = check_program_diagnostics(program);
+    let mut access_diags = Diagnostics::new();
+    for method in program.entry_points() {
+        access::collect_method_accesses(program, method, &mut access_diags);
+    }
+    diags.extend(access_diags);
+    diags.into_sorted_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn lint_reports_check_and_access_violations_together() {
+        let src = "@Partitioned Table t;\n\
+                   void f(int k) {\n\
+                     emit missing;\n\
+                     let x = t.get(k % 10);\n\
+                   }";
+        let diags = lint_program(&parse_program(src).unwrap());
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![check::UNDEFINED_VARIABLE, access::COMPOUND_ACCESS_KEY]
+        );
+        // Sorted by position: line 3 before line 4.
+        assert!(diags[0].span.unwrap().line < diags[1].span.unwrap().line);
+    }
+
+    #[test]
+    fn lint_is_quiet_on_a_clean_program() {
+        let src = "Table counts;\n\
+                   void add(string w) { counts.inc(w, 1); emit w; }";
+        assert!(lint_program(&parse_program(src).unwrap()).is_empty());
+    }
+}

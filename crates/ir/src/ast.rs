@@ -525,7 +525,11 @@ mod tests {
             fields: vec![],
             methods: vec![helper, entry],
         };
-        let entries: Vec<&str> = prog.entry_points().iter().map(|m| m.name.as_str()).collect();
+        let entries: Vec<&str> = prog
+            .entry_points()
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
         assert_eq!(entries, vec!["getRec"]);
     }
 
@@ -556,7 +560,11 @@ mod tests {
             fields: vec![],
             methods: vec![helper, entry],
         };
-        let entries: Vec<&str> = prog.entry_points().iter().map(|m| m.name.as_str()).collect();
+        let entries: Vec<&str> = prog
+            .entry_points()
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
         assert_eq!(entries, vec!["update"]);
     }
 

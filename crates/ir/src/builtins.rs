@@ -15,8 +15,8 @@ pub fn builtin_arity(name: &str) -> Option<usize> {
     Some(match name {
         "len" | "abs" | "sqrt" | "exp" | "floor" | "to_int" | "to_float" | "lower" | "first"
         | "last" | "vec_zeros" | "sum" => 1,
-        "append" | "vec_add" | "vec_scale" | "dot" | "min" | "max" | "split" | "pair" | "get_at"
-        | "concat" | "pairs_add" => 2,
+        "append" | "vec_add" | "vec_scale" | "dot" | "min" | "max" | "split" | "pair"
+        | "get_at" | "concat" | "pairs_add" => 2,
         _ => return None,
     })
 }
@@ -59,7 +59,10 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> SdgResult<Value> {
                 .parse::<i64>()
                 .map(Value::Int)
                 .map_err(|_| SdgError::Eval(format!("cannot parse `{s}` as int"))),
-            other => Err(SdgError::type_mismatch("Int|Float|Bool|Str", other.type_name())),
+            other => Err(SdgError::type_mismatch(
+                "Int|Float|Bool|Str",
+                other.type_name(),
+            )),
         },
         "to_float" => Ok(Value::Float(args[0].as_float()?)),
         "lower" => Ok(Value::str(args[0].as_str()?.to_lowercase())),
@@ -82,7 +85,9 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> SdgResult<Value> {
         "vec_zeros" => {
             let n = args[0].as_int()?;
             if n < 0 {
-                return Err(SdgError::Eval("vec_zeros length must be non-negative".into()));
+                return Err(SdgError::Eval(
+                    "vec_zeros length must be non-negative".into(),
+                ));
             }
             Ok(Value::List(vec![Value::Float(0.0); n as usize]))
         }
@@ -129,7 +134,10 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> SdgResult<Value> {
             let parts: Vec<Value> = if sep.is_empty() {
                 s.split_whitespace().map(Value::str).collect()
             } else {
-                s.split(sep).filter(|p| !p.is_empty()).map(Value::str).collect()
+                s.split(sep)
+                    .filter(|p| !p.is_empty())
+                    .map(Value::str)
+                    .collect()
             };
             Ok(Value::List(parts))
         }
@@ -197,9 +205,29 @@ mod tests {
     #[test]
     fn arity_table_matches_dispatch() {
         for name in [
-            "len", "abs", "sqrt", "exp", "floor", "to_int", "to_float", "lower", "first", "last",
-            "sum", "vec_zeros", "append", "vec_add", "vec_scale", "dot", "min", "max", "split",
-            "pair", "get_at", "concat", "pairs_add",
+            "len",
+            "abs",
+            "sqrt",
+            "exp",
+            "floor",
+            "to_int",
+            "to_float",
+            "lower",
+            "first",
+            "last",
+            "sum",
+            "vec_zeros",
+            "append",
+            "vec_add",
+            "vec_scale",
+            "dot",
+            "min",
+            "max",
+            "split",
+            "pair",
+            "get_at",
+            "concat",
+            "pairs_add",
         ] {
             let arity = builtin_arity(name).unwrap();
             let args = vec![Value::Int(1); arity];
@@ -219,10 +247,10 @@ mod tests {
     #[test]
     fn list_builtins() {
         let list = Value::List(vec![Value::Int(1), Value::Int(2)]);
-        assert_eq!(ev("len", &[list.clone()]), Value::Int(2));
-        assert_eq!(ev("first", &[list.clone()]), Value::Int(1));
-        assert_eq!(ev("last", &[list.clone()]), Value::Int(2));
-        assert_eq!(ev("sum", &[list.clone()]), Value::Float(3.0));
+        assert_eq!(ev("len", std::slice::from_ref(&list)), Value::Int(2));
+        assert_eq!(ev("first", std::slice::from_ref(&list)), Value::Int(1));
+        assert_eq!(ev("last", std::slice::from_ref(&list)), Value::Int(2));
+        assert_eq!(ev("sum", std::slice::from_ref(&list)), Value::Float(3.0));
         assert_eq!(
             ev("append", &[list.clone(), Value::Int(3)]),
             Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
@@ -258,7 +286,10 @@ mod tests {
         assert_eq!(ev("abs", &[Value::Float(-1.5)]), Value::Float(1.5));
         assert_eq!(ev("sqrt", &[Value::Float(9.0)]), Value::Float(3.0));
         assert_eq!(ev("min", &[Value::Int(2), Value::Int(5)]), Value::Int(2));
-        assert_eq!(ev("max", &[Value::Int(2), Value::Float(5.0)]), Value::Float(5.0));
+        assert_eq!(
+            ev("max", &[Value::Int(2), Value::Float(5.0)]),
+            Value::Float(5.0)
+        );
         assert_eq!(ev("floor", &[Value::Float(2.9)]), Value::Float(2.0));
         assert_eq!(ev("to_int", &[Value::Float(2.9)]), Value::Int(2));
         assert_eq!(ev("to_int", &[Value::str("42")]), Value::Int(42));

@@ -300,7 +300,11 @@ pub fn lex(src: &str) -> SdgResult<Vec<SpannedTok>> {
                     end += 1;
                 }
                 if end == start {
-                    return Err(SdgError::parse(line, col, "expected annotation name after `@`"));
+                    return Err(SdgError::parse(
+                        line,
+                        col,
+                        "expected annotation name after `@`",
+                    ));
                 }
                 let name: String = bytes[start..end].iter().collect();
                 push!(Tok::Annotation(name), span);
@@ -393,7 +397,11 @@ pub fn lex(src: &str) -> SdgResult<Vec<SpannedTok>> {
                 advance(&mut i, &mut col, n);
             }
             c => {
-                return Err(SdgError::parse(line, col, format!("unexpected character `{c}`")));
+                return Err(SdgError::parse(
+                    line,
+                    col,
+                    format!("unexpected character `{c}`"),
+                ));
             }
         }
     }

@@ -42,9 +42,12 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
-pub mod builtins;
 pub mod ast;
+pub mod builtins;
+pub mod cfg;
+pub mod diag;
 pub mod lexer;
+pub mod opt;
 pub mod parser;
 pub mod printer;
 pub mod te;

@@ -1,0 +1,641 @@
+//! Pre-translation optimization passes over StateLang methods.
+//!
+//! These rewrites run between the semantic check and segmentation, shrinking
+//! the work a method body carries into its task elements:
+//!
+//! - **constant folding** — operator expressions whose operands are known
+//!   literals are replaced by their value;
+//! - **constant / copy propagation** — variable uses whose binding is known
+//!   (from the must-analysis of [`crate::cfg::Cfg::const_copy_envs`]) are
+//!   replaced by the literal or the alias root, which lets the access
+//!   analysis resolve keys and narrows edge payloads;
+//! - **constant-branch elimination** — `if` statements with a literal
+//!   condition are spliced into the taken arm, and `while (false)` loops are
+//!   deleted; eliminating a branch can remove a state access and with it a
+//!   whole task element;
+//! - **dead-code elimination** — pure `let`/assignment statements whose
+//!   variable is never read are removed, so the variable stops being live
+//!   and no longer travels on dataflow edges (payload narrowing).
+//!
+//! The passes iterate to a fixed point (each one can expose work for the
+//! others) and are semantics-preserving for checked programs: state calls,
+//! helper calls, `emit`, `@Partial` bindings and `@Collection` uses are
+//! never touched, and a bare variable used as a state-access argument is
+//! never replaced by a literal (partitioned keys must stay variables).
+//!
+//! Programs should be checked (see [`crate::analysis::check`]) before being
+//! optimized: on an invalid program the rewrites may delete the offending
+//! code (it is usually dead) and mask the error.
+
+use std::collections::HashSet;
+
+use crate::ast::{BinOp, Expr, ExprKind, Method, Program, Stmt, StmtKind};
+use crate::cfg::{eval_const, stmt_ref, Binding, Cfg, Env};
+
+/// Counters describing what the optimizer did to a program.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OptReport {
+    /// Operator expressions replaced by their literal value.
+    pub folded: usize,
+    /// Variable uses replaced by a literal or an alias root.
+    pub propagated: usize,
+    /// Statements removed (dead lets/assignments, empty compounds,
+    /// `while (false)` loops).
+    pub removed_stmts: usize,
+    /// `if` statements resolved to one arm.
+    pub eliminated_branches: usize,
+}
+
+impl OptReport {
+    /// Total number of individual rewrites.
+    pub fn total(&self) -> usize {
+        self.folded + self.propagated + self.removed_stmts + self.eliminated_branches
+    }
+
+    /// Accumulates another report's counters into this one.
+    pub fn absorb(&mut self, other: OptReport) {
+        self.folded += other.folded;
+        self.propagated += other.propagated;
+        self.removed_stmts += other.removed_stmts;
+        self.eliminated_branches += other.eliminated_branches;
+    }
+}
+
+impl std::fmt::Display for OptReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} folded, {} propagated, {} removed, {} branches eliminated",
+            self.folded, self.propagated, self.removed_stmts, self.eliminated_branches
+        )
+    }
+}
+
+/// Upper bound on fixed-point iterations per method; each iteration runs
+/// every pass once, so the bound is only a safety net.
+const MAX_PASSES: usize = 8;
+
+/// Optimizes every method of `program`, returning the rewritten program and
+/// the combined rewrite counters.
+pub fn optimize_program(program: &Program) -> (Program, OptReport) {
+    let mut report = OptReport::default();
+    let methods = program
+        .methods
+        .iter()
+        .map(|m| {
+            let (body, r) = optimize_body(m.body.clone());
+            report.absorb(r);
+            Method { body, ..m.clone() }
+        })
+        .collect();
+    (
+        Program {
+            fields: program.fields.clone(),
+            methods,
+        },
+        report,
+    )
+}
+
+/// Optimizes one method body to a fixed point.
+pub fn optimize_body(mut body: Vec<Stmt>) -> (Vec<Stmt>, OptReport) {
+    let mut report = OptReport::default();
+    for _ in 0..MAX_PASSES {
+        let mut round = OptReport::default();
+        body = propagate_and_fold(body, &mut round);
+        body = eliminate_dead_code(body, &mut round);
+        let progressed = round.total() > 0;
+        report.absorb(round);
+        if !progressed {
+            break;
+        }
+    }
+    (body, report)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: propagation, folding and constant-branch elimination.
+// ---------------------------------------------------------------------------
+
+/// Rewrites `body` using the per-statement constant/copy environments of its
+/// CFG, folding expressions and resolving constant branches in one walk.
+fn propagate_and_fold(body: Vec<Stmt>, report: &mut OptReport) -> Vec<Stmt> {
+    let envs = {
+        let cfg = Cfg::build(&body);
+        cfg.const_copy_envs()
+    };
+    // `envs` is keyed by statement address; the map outlives the walk
+    // because rewriting builds fresh statements and only *reads* the
+    // originals through their recorded keys.
+    rewrite_block(&body, &envs, report)
+}
+
+fn rewrite_block(
+    stmts: &[Stmt],
+    envs: &std::collections::HashMap<crate::cfg::StmtRef, Env>,
+    report: &mut OptReport,
+) -> Vec<Stmt> {
+    let empty = Env::new();
+    let mut out = Vec::with_capacity(stmts.len());
+    for stmt in stmts {
+        let env = envs.get(&stmt_ref(stmt)).unwrap_or(&empty);
+        match &stmt.kind {
+            StmtKind::Let {
+                name,
+                expr,
+                is_partial,
+            } => out.push(Stmt {
+                kind: StmtKind::Let {
+                    name: name.clone(),
+                    expr: rewrite_expr(expr, env, report),
+                    is_partial: *is_partial,
+                },
+                span: stmt.span,
+            }),
+            StmtKind::Assign { name, expr } => out.push(Stmt {
+                kind: StmtKind::Assign {
+                    name: name.clone(),
+                    expr: rewrite_expr(expr, env, report),
+                },
+                span: stmt.span,
+            }),
+            StmtKind::Expr(e) => out.push(Stmt {
+                kind: StmtKind::Expr(rewrite_expr(e, env, report)),
+                span: stmt.span,
+            }),
+            StmtKind::Emit(e) => out.push(Stmt {
+                kind: StmtKind::Emit(rewrite_expr(e, env, report)),
+                span: stmt.span,
+            }),
+            StmtKind::Return(e) => out.push(Stmt {
+                kind: StmtKind::Return(e.as_ref().map(|e| rewrite_expr(e, env, report))),
+                span: stmt.span,
+            }),
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                // The recorded env holds before the condition; nested
+                // statements carry their own envs.
+                let cond = rewrite_expr(cond, env, report);
+                let then_block = rewrite_block(then_block, envs, report);
+                let else_block = rewrite_block(else_block, envs, report);
+                if let ExprKind::Bool(b) = cond.kind {
+                    report.eliminated_branches += 1;
+                    out.extend(if b { then_block } else { else_block });
+                } else {
+                    out.push(Stmt {
+                        kind: StmtKind::If {
+                            cond,
+                            then_block,
+                            else_block,
+                        },
+                        span: stmt.span,
+                    });
+                }
+            }
+            StmtKind::While { cond, body } => {
+                // The env at a loop header is the meet over entry and back
+                // edge, so folding the condition here is sound even when the
+                // body rewrites variables it mentions.
+                let cond = rewrite_expr(cond, env, report);
+                let body = rewrite_block(body, envs, report);
+                if matches!(cond.kind, ExprKind::Bool(false)) {
+                    report.removed_stmts += 1;
+                } else {
+                    out.push(Stmt {
+                        kind: StmtKind::While { cond, body },
+                        span: stmt.span,
+                    });
+                }
+            }
+            StmtKind::Foreach { var, iter, body } => out.push(Stmt {
+                kind: StmtKind::Foreach {
+                    var: var.clone(),
+                    iter: rewrite_expr(iter, env, report),
+                    body: rewrite_block(body, envs, report),
+                },
+                span: stmt.span,
+            }),
+        }
+    }
+    out
+}
+
+/// Rewrites one expression bottom-up: propagate known variable bindings,
+/// then fold operators over literal operands.
+fn rewrite_expr(expr: &Expr, env: &Env, report: &mut OptReport) -> Expr {
+    let kind = match &expr.kind {
+        ExprKind::Var(name) => match env.get(name) {
+            Some(Binding::Const(lit)) => {
+                report.propagated += 1;
+                lit.to_expr_kind()
+            }
+            Some(Binding::Copy(root)) => {
+                report.propagated += 1;
+                ExprKind::Var(root.clone())
+            }
+            None => ExprKind::Var(name.clone()),
+        },
+        ExprKind::Binary { op, lhs, rhs } => {
+            let lhs = rewrite_expr(lhs, env, report);
+            let rhs = rewrite_expr(rhs, env, report);
+            let folded = Expr {
+                kind: ExprKind::Binary {
+                    op: *op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span: expr.span,
+            };
+            match eval_const(&folded, &Env::new()) {
+                Some(lit) => {
+                    report.folded += 1;
+                    lit.to_expr_kind()
+                }
+                None => folded.kind,
+            }
+        }
+        ExprKind::Unary { op, operand } => {
+            let operand = rewrite_expr(operand, env, report);
+            let folded = Expr {
+                kind: ExprKind::Unary {
+                    op: *op,
+                    operand: Box::new(operand),
+                },
+                span: expr.span,
+            };
+            match eval_const(&folded, &Env::new()) {
+                Some(lit) => {
+                    report.folded += 1;
+                    lit.to_expr_kind()
+                }
+                None => folded.kind,
+            }
+        }
+        ExprKind::Index { base, idx } => ExprKind::Index {
+            base: Box::new(rewrite_expr(base, env, report)),
+            idx: Box::new(rewrite_expr(idx, env, report)),
+        },
+        ExprKind::ListLit(items) => {
+            ExprKind::ListLit(items.iter().map(|e| rewrite_expr(e, env, report)).collect())
+        }
+        ExprKind::Call { callee, args } => ExprKind::Call {
+            callee: callee.clone(),
+            args: args.iter().map(|e| rewrite_expr(e, env, report)).collect(),
+        },
+        ExprKind::StateCall {
+            field,
+            method,
+            args,
+            global,
+        } => ExprKind::StateCall {
+            field: field.clone(),
+            method: method.clone(),
+            // A bare variable in state-argument position stays a variable:
+            // partitioned access keys must name a dataflow value, so only
+            // alias roots may be substituted, never literals.
+            args: args
+                .iter()
+                .map(|a| rewrite_state_arg(a, env, report))
+                .collect(),
+            global: *global,
+        },
+        // `@Collection` names a partial value by identity; never rewritten.
+        ExprKind::Collection(name) => ExprKind::Collection(name.clone()),
+        lit => lit.clone(),
+    };
+    Expr {
+        kind,
+        span: expr.span,
+    }
+}
+
+/// Rewrites a direct state-call argument. Bare variables are only replaced
+/// by their alias root (keeping them variables); anything else gets the
+/// full rewrite.
+fn rewrite_state_arg(arg: &Expr, env: &Env, report: &mut OptReport) -> Expr {
+    if let ExprKind::Var(name) = &arg.kind {
+        if let Some(Binding::Copy(root)) = env.get(name) {
+            report.propagated += 1;
+            return Expr {
+                kind: ExprKind::Var(root.clone()),
+                span: arg.span,
+            };
+        }
+        return arg.clone();
+    }
+    rewrite_expr(arg, env, report)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: dead-code elimination.
+// ---------------------------------------------------------------------------
+
+/// Removes pure `let`/assignment statements whose variable is never read
+/// anywhere in the body, plus compounds that became empty.
+fn eliminate_dead_code(body: Vec<Stmt>, report: &mut OptReport) -> Vec<Stmt> {
+    let mut reads = HashSet::new();
+    for stmt in &body {
+        collect_reads(stmt, &mut reads);
+    }
+    remove_dead(body, &reads, report)
+}
+
+/// Records every variable name read by `stmt`, anywhere in its expressions
+/// or nested blocks. Name-based and flow-insensitive: a variable read
+/// somewhere is kept everywhere, which is conservative but sound.
+fn collect_reads(stmt: &Stmt, reads: &mut HashSet<String>) {
+    stmt.visit_exprs(&mut |e: &Expr| {
+        e.walk(&mut |n| match &n.kind {
+            ExprKind::Var(name) | ExprKind::Collection(name) => {
+                reads.insert(name.clone());
+            }
+            _ => {}
+        });
+    });
+    for block in stmt.child_blocks() {
+        for inner in block {
+            collect_reads(inner, reads);
+        }
+    }
+}
+
+fn remove_dead(stmts: Vec<Stmt>, reads: &HashSet<String>, report: &mut OptReport) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for stmt in stmts {
+        match stmt.kind {
+            StmtKind::Let {
+                ref name,
+                ref expr,
+                is_partial: false,
+            }
+            | StmtKind::Assign { ref name, ref expr }
+                if !reads.contains(name) && is_pure(expr) =>
+            {
+                report.removed_stmts += 1;
+            }
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let then_block = remove_dead(then_block, reads, report);
+                let else_block = remove_dead(else_block, reads, report);
+                if then_block.is_empty() && else_block.is_empty() && is_pure(&cond) {
+                    report.removed_stmts += 1;
+                } else {
+                    out.push(Stmt {
+                        kind: StmtKind::If {
+                            cond,
+                            then_block,
+                            else_block,
+                        },
+                        span: stmt.span,
+                    });
+                }
+            }
+            StmtKind::While { cond, body } => {
+                // An empty `while` body may still loop forever; only its
+                // contents are cleaned, never the loop itself.
+                let body = remove_dead(body, reads, report);
+                out.push(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    span: stmt.span,
+                });
+            }
+            StmtKind::Foreach { var, iter, body } => {
+                let body = remove_dead(body, reads, report);
+                if body.is_empty() && is_pure(&iter) {
+                    report.removed_stmts += 1;
+                } else {
+                    out.push(Stmt {
+                        kind: StmtKind::Foreach { var, iter, body },
+                        span: stmt.span,
+                    });
+                }
+            }
+            kind => out.push(Stmt {
+                kind,
+                span: stmt.span,
+            }),
+        }
+    }
+    out
+}
+
+/// `true` when evaluating `expr` can neither touch state, call code, emit,
+/// nor fail at runtime — i.e. deleting the evaluation is unobservable.
+/// Division and remainder may trap on a zero divisor, indexing may go out
+/// of bounds, and calls may be arbitrarily expensive, so all are impure.
+fn is_pure(expr: &Expr) -> bool {
+    match &expr.kind {
+        ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Null
+        | ExprKind::Var(_) => true,
+        ExprKind::Binary { op, lhs, rhs } => {
+            !matches!(op, BinOp::Div | BinOp::Rem) && is_pure(lhs) && is_pure(rhs)
+        }
+        ExprKind::Unary { operand, .. } => is_pure(operand),
+        ExprKind::ListLit(items) => items.iter().all(is_pure),
+        ExprKind::Index { .. }
+        | ExprKind::Call { .. }
+        | ExprKind::StateCall { .. }
+        | ExprKind::Collection(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::printer::print_program;
+
+    fn optimize(src: &str) -> (Program, OptReport) {
+        let prog = parse_program(src).unwrap();
+        crate::analysis::check_program(&prog).unwrap();
+        optimize_program(&prog)
+    }
+
+    fn body_of<'p>(prog: &'p Program, name: &str) -> &'p [Stmt] {
+        &prog.method(name).unwrap().body
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let (prog, report) = optimize("void f() { emit 2 * 3 + 4; }");
+        let StmtKind::Emit(e) = &body_of(&prog, "f")[0].kind else {
+            panic!("expected emit");
+        };
+        assert_eq!(e.kind, ExprKind::Int(10));
+        assert_eq!(report.folded, 2);
+    }
+
+    #[test]
+    fn propagates_constants_through_lets() {
+        let (prog, report) = optimize(
+            "void f() {\n\
+               let a = 3;\n\
+               let b = a + 4;\n\
+               emit b;\n\
+             }",
+        );
+        // a and b fold away entirely; the dead lets are then removed.
+        assert_eq!(body_of(&prog, "f").len(), 1);
+        let StmtKind::Emit(e) = &body_of(&prog, "f")[0].kind else {
+            panic!("expected emit");
+        };
+        assert_eq!(e.kind, ExprKind::Int(7));
+        assert!(report.removed_stmts >= 2, "{report}");
+    }
+
+    #[test]
+    fn copy_propagation_rewrites_aliases_and_keys() {
+        let (prog, _) = optimize(
+            "@Partitioned Table t;\n\
+             void f(int k) {\n\
+               let k2 = k;\n\
+               let x = t.get(k2);\n\
+               emit x + k2;\n\
+             }",
+        );
+        let src = print_program(&prog);
+        // Every use of k2 was rewritten to k and the alias died.
+        assert!(!src.contains("k2"), "{src}");
+    }
+
+    #[test]
+    fn state_keys_are_never_replaced_by_literals() {
+        let (prog, _) = optimize(
+            "@Partitioned Table t;\n\
+             void f() {\n\
+               let k = 7;\n\
+               let x = t.get(k);\n\
+               emit x;\n\
+             }",
+        );
+        let src = print_program(&prog);
+        assert!(src.contains("t.get(k)"), "{src}");
+        // The let must survive: its variable is (still) read by the access.
+        assert!(src.contains("let k = 7"), "{src}");
+    }
+
+    #[test]
+    fn true_branch_is_spliced_into_the_body() {
+        let (prog, report) = optimize(
+            "Table t;\n\
+             void f(int k) {\n\
+               if (1 < 2) { t.put(k, 1); } else { t.put(k, 2); }\n\
+             }",
+        );
+        let body = body_of(&prog, "f");
+        assert_eq!(body.len(), 1);
+        assert!(matches!(body[0].kind, StmtKind::Expr(_)));
+        assert_eq!(report.eliminated_branches, 1);
+    }
+
+    #[test]
+    fn false_while_loops_are_deleted() {
+        let (prog, _) = optimize(
+            "void f(int x) {\n\
+               while (1 > 2) { x = x + 1; }\n\
+               emit x;\n\
+             }",
+        );
+        assert_eq!(body_of(&prog, "f").len(), 1);
+    }
+
+    #[test]
+    fn loop_conditions_are_not_folded_with_entry_values() {
+        // i is 0 on entry but changes in the body: the loop must survive.
+        let (prog, _) = optimize(
+            "void f() {\n\
+               let i = 0;\n\
+               let acc = 0;\n\
+               while (i < 3) { acc = acc + i; i = i + 1; }\n\
+               emit acc;\n\
+             }",
+        );
+        let body = body_of(&prog, "f");
+        assert!(
+            body.iter()
+                .any(|s| matches!(s.kind, StmtKind::While { .. })),
+            "loop was wrongly removed: {}",
+            print_program(&prog)
+        );
+    }
+
+    #[test]
+    fn impure_dead_lets_survive() {
+        let (prog, report) = optimize(
+            "Table t;\n\
+             void f(int k) {\n\
+               let unused = t.get(k);\n\
+               emit k;\n\
+             }",
+        );
+        assert_eq!(body_of(&prog, "f").len(), 2);
+        assert_eq!(report.removed_stmts, 0);
+    }
+
+    #[test]
+    fn partial_lets_are_never_removed() {
+        let (prog, _) = optimize(
+            "@Partial Matrix m;\n\
+             Vector g(@Collection Vector all) { return all; }\n\
+             void f(list v) {\n\
+               @Partial let r = @Global m.multiply(v);\n\
+               let out = g(@Collection r);\n\
+               emit out;\n\
+             }",
+        );
+        assert_eq!(body_of(&prog, "f").len(), 3);
+    }
+
+    #[test]
+    fn dead_branch_with_state_access_disappears() {
+        // The whole dead arm, state access included, vanishes — this is the
+        // rewrite that lets translation drop a task element.
+        let (prog, _) = optimize(
+            "Table log;\n\
+             Table t;\n\
+             void f(int k) {\n\
+               t.put(k, 1);\n\
+               if (1 > 2) { log.put(k, 0); }\n\
+             }",
+        );
+        assert_eq!(body_of(&prog, "f").len(), 1);
+    }
+
+    #[test]
+    fn division_is_not_folded_into_oblivion() {
+        let (prog, _) = optimize("void f(int x) { let d = x / 0; emit x; }");
+        // x / 0 cannot be removed (it traps at runtime).
+        assert_eq!(body_of(&prog, "f").len(), 2);
+    }
+
+    #[test]
+    fn fixpoint_chains_passes() {
+        // Branch elimination exposes constants for propagation, which
+        // exposes dead code: all three must land in one optimize() call.
+        let (prog, report) = optimize(
+            "void f() {\n\
+               let flag = 1 < 2;\n\
+               let x = 0;\n\
+               if (flag) { x = 5; } else { x = 6; }\n\
+               emit x + 1;\n\
+             }",
+        );
+        let body = body_of(&prog, "f");
+        assert_eq!(body.len(), 1, "{}", print_program(&prog));
+        let StmtKind::Emit(e) = &body[0].kind else {
+            panic!("expected emit");
+        };
+        assert_eq!(e.kind, ExprKind::Int(6));
+        assert!(report.eliminated_branches >= 1);
+    }
+}

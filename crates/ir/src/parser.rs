@@ -619,10 +619,9 @@ mod tests {
 
     #[test]
     fn parses_field_annotations() {
-        let prog = parse_program(
-            "@Partitioned Matrix userItem;\n@Partial Matrix coOcc;\nTable counts;",
-        )
-        .unwrap();
+        let prog =
+            parse_program("@Partitioned Matrix userItem;\n@Partial Matrix coOcc;\nTable counts;")
+                .unwrap();
         assert_eq!(prog.fields.len(), 3);
         assert_eq!(prog.fields[0].ann, FieldAnn::Partitioned);
         assert_eq!(prog.fields[0].ty, StateTy::Matrix);
@@ -650,7 +649,13 @@ mod tests {
         assert_eq!(m.body.len(), 1);
         match &m.body[0].kind {
             StmtKind::Expr(Expr {
-                kind: ExprKind::StateCall { field, method, args, global },
+                kind:
+                    ExprKind::StateCall {
+                        field,
+                        method,
+                        args,
+                        global,
+                    },
                 ..
             }) => {
                 assert_eq!(field, "userItem");
@@ -742,14 +747,16 @@ mod tests {
             panic!("expected let");
         };
         // Top level must be `&&`.
-        let ExprKind::Binary { op: BinOp::And, lhs, .. } = &expr.kind else {
+        let ExprKind::Binary {
+            op: BinOp::And,
+            lhs,
+            ..
+        } = &expr.kind
+        else {
             panic!("expected &&, got {expr:?}");
         };
         // Left of && must be `==`.
-        assert!(matches!(
-            &lhs.kind,
-            ExprKind::Binary { op: BinOp::Eq, .. }
-        ));
+        assert!(matches!(&lhs.kind, ExprKind::Binary { op: BinOp::Eq, .. }));
     }
 
     #[test]
@@ -821,7 +828,11 @@ mod tests {
         let prog = parse_program(src).unwrap();
         assert_eq!(prog.fields.len(), 2);
         assert_eq!(prog.methods.len(), 3);
-        let entries: Vec<&str> = prog.entry_points().iter().map(|m| m.name.as_str()).collect();
+        let entries: Vec<&str> = prog
+            .entry_points()
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
         assert_eq!(entries, vec!["addRating", "getRec"]);
     }
 }

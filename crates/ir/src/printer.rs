@@ -42,7 +42,13 @@ pub fn print_method(method: &Method) -> String {
             }
         })
         .collect();
-    let _ = writeln!(out, "{} {}({}) {{", method.ret_ty, method.name, params.join(", "));
+    let _ = writeln!(
+        out,
+        "{} {}({}) {{",
+        method.ret_ty,
+        method.name,
+        params.join(", ")
+    );
     for stmt in &method.body {
         print_stmt(stmt, 1, &mut out);
     }

@@ -156,8 +156,10 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = RuntimeConfig::default();
-        c.channel_capacity = 0;
+        let c = RuntimeConfig {
+            channel_capacity: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = RuntimeConfig::default();

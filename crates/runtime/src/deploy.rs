@@ -137,14 +137,15 @@ impl Deployment {
 
         // Backup stores for checkpoint chunks (the "disks" of spare nodes).
         let store_count = cfg.checkpoint.backup_fanout.max(2);
-        let stores: Vec<Arc<BackupStore>> = (0..store_count)
-            .map(|_| {
-                Arc::new(
-                    BackupStore::in_memory()
-                        .with_bandwidth(cfg.checkpoint.disk_write_bps, cfg.checkpoint.disk_read_bps),
-                )
-            })
-            .collect();
+        let stores: Vec<Arc<BackupStore>> =
+            (0..store_count)
+                .map(|_| {
+                    Arc::new(BackupStore::in_memory().with_bandwidth(
+                        cfg.checkpoint.disk_write_bps,
+                        cfg.checkpoint.disk_read_bps,
+                    ))
+                })
+                .collect();
 
         let mut targets = HashMap::new();
         let mut processed = HashMap::new();
@@ -461,10 +462,14 @@ impl Inner {
             None => None,
         };
 
-        let gather_var = self.sdg.flows_to(task_id).iter().find_map(|f| match &f.dispatch {
-            Dispatch::AllToOne { collect_var } => Some(collect_var.clone()),
-            _ => None,
-        });
+        let gather_var = self
+            .sdg
+            .flows_to(task_id)
+            .iter()
+            .find_map(|f| match &f.dispatch {
+                Dispatch::AllToOne { collect_var } => Some(collect_var.clone()),
+                _ => None,
+            });
 
         let buffered = self.cfg.checkpoint.enabled;
         let outs: Vec<OutEdge> = self
@@ -492,7 +497,9 @@ impl Inner {
             .collect();
 
         let alive = Arc::new(AtomicBool::new(true));
-        self.alive.write().insert((task_id, replica), Arc::clone(&alive));
+        self.alive
+            .write()
+            .insert((task_id, replica), Arc::clone(&alive));
         self.node_of_instance
             .write()
             .insert((task_id, replica), node);
@@ -539,7 +546,10 @@ impl Inner {
         &self,
         edge: EdgeId,
         src: u32,
-    ) -> Vec<(u32, Arc<parking_lot::Mutex<sdg_checkpoint::buffer::OutputBuffer>>)> {
+    ) -> Vec<(
+        u32,
+        Arc<parking_lot::Mutex<sdg_checkpoint::buffer::OutputBuffer>>,
+    )> {
         let mut out = Vec::new();
         // Probe destination replicas 0..current maximum (bounded by 1024).
         let max_dst = self
@@ -755,10 +765,7 @@ impl Inner {
             .map(|t| t.id)
             .collect();
         affected.sort();
-        let mut guards: Vec<_> = affected
-            .iter()
-            .map(|t| self.targets[t].write())
-            .collect();
+        let mut guards: Vec<_> = affected.iter().map(|t| self.targets[t].write()).collect();
 
         // Kill the old instances: their queues drain as discards.
         for &task in &affected {
@@ -775,7 +782,10 @@ impl Inner {
         self.cells
             .write()
             .get_mut(&state)
-            .and_then(|g| g.get_mut(replica as usize).map(|slot| *slot = Arc::clone(&new_cell)))
+            .and_then(|g| {
+                g.get_mut(replica as usize)
+                    .map(|slot| *slot = Arc::clone(&new_cell))
+            })
             .ok_or_else(|| SdgError::NotFound(format!("state instance {state}#{replica}")))?;
         let restore = restore_t0.elapsed();
 
@@ -792,8 +802,7 @@ impl Inner {
         let mut replayed = 0usize;
         for (i, &task_id) in affected.iter().enumerate() {
             let task = self.sdg.task(task_id)?;
-            let mut edges: Vec<EdgeId> =
-                self.sdg.flows_to(task_id).iter().map(|f| f.id).collect();
+            let mut edges: Vec<EdgeId> = self.sdg.flows_to(task_id).iter().map(|f| f.id).collect();
             if matches!(task.kind, TaskKind::Entry { .. }) {
                 edges.push(ingest_edge(task_id));
             }
@@ -898,11 +907,7 @@ impl Inner {
         let mut guards: Vec<_> = tasks.iter().map(|t| self.targets[t].write()).collect();
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
-            let queued: usize = guards
-                .iter()
-                .flat_map(|g| g.iter())
-                .map(|s| s.len())
-                .sum();
+            let queued: usize = guards.iter().flat_map(|g| g.iter()).map(|s| s.len()).sum();
             if queued == 0 && self.in_flight.load(Ordering::Acquire) == 0 {
                 break;
             }

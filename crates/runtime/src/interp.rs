@@ -87,7 +87,9 @@ impl<'a> Interp<'a> {
     fn tick(&mut self) -> SdgResult<()> {
         self.steps += 1;
         if self.steps > STEP_BUDGET {
-            return Err(SdgError::Eval("step budget exceeded (runaway loop?)".into()));
+            return Err(SdgError::Eval(
+                "step budget exceeded (runaway loop?)".into(),
+            ));
         }
         Ok(())
     }
@@ -563,10 +565,7 @@ mod tests {
         );
         let mut store = StateStore::new(StateType::Table);
         let fx = run_te(&te, &record! {"k" => Value::Int(1)}, Some(&mut store)).unwrap();
-        assert_eq!(
-            fx.emits,
-            vec![Value::Int(15), Value::Null, Value::Int(1)]
-        );
+        assert_eq!(fx.emits, vec![Value::Int(15), Value::Null, Value::Int(1)]);
     }
 
     #[test]

@@ -352,11 +352,21 @@ impl Worker {
         let first = replicas[0];
         let base = fragments.remove(&first)?;
         let mut collected: Vec<Value> = Vec::with_capacity(replicas.len());
-        collected.push(base.payload.get(collect_var).cloned().unwrap_or(Value::Null));
+        collected.push(
+            base.payload
+                .get(collect_var)
+                .cloned()
+                .unwrap_or(Value::Null),
+        );
         let mut submitted_at = base.submitted_at;
         for r in &replicas[1..] {
             let frag = fragments.remove(r)?;
-            collected.push(frag.payload.get(collect_var).cloned().unwrap_or(Value::Null));
+            collected.push(
+                frag.payload
+                    .get(collect_var)
+                    .cloned()
+                    .unwrap_or(Value::Null),
+            );
             submitted_at = submitted_at.or(frag.submitted_at);
         }
         let mut payload = base.payload;
@@ -377,9 +387,8 @@ impl Worker {
             // Accumulate service time and sleep it in ≥1 ms slices: short
             // sleeps overshoot badly (timer slack), which would distort the
             // modelled service rate.
-            self.work_debt += Duration::from_nanos(
-                (self.work_ns as f64 / self.speed.max(0.01)) as u64,
-            );
+            self.work_debt +=
+                Duration::from_nanos((self.work_ns as f64 / self.speed.max(0.01)) as u64);
             if self.work_debt >= Duration::from_millis(1) {
                 busy_work(self.work_debt);
                 self.work_debt = Duration::ZERO;
@@ -399,9 +408,14 @@ impl Worker {
                     Some(r) => r?,
                 }
             }
-            (Some(cell), false) => {
-                cell.with(|inner| execute(&self.code, &item.payload, Some(&mut inner.store), self.replica))?
-            }
+            (Some(cell), false) => cell.with(|inner| {
+                execute(
+                    &self.code,
+                    &item.payload,
+                    Some(&mut inner.store),
+                    self.replica,
+                )
+            })?,
             (None, _) => execute(&self.code, &item.payload, None, self.replica)?,
         };
         self.processed.inc();
@@ -415,7 +429,13 @@ impl Worker {
         }
         for record in &effects.forwards {
             for out in &mut self.outs {
-                out.send(self.replica, record, item.corr, item.expect, item.submitted_at)?;
+                out.send(
+                    self.replica,
+                    record,
+                    item.corr,
+                    item.expect,
+                    item.submitted_at,
+                )?;
             }
         }
         Ok(())
@@ -538,11 +558,7 @@ mod tests {
     fn native_ctx_emit_prefers_value_field() {
         struct Echo;
         impl sdg_graph::model::NativeTask for Echo {
-            fn process(
-                &self,
-                input: Record,
-                ctx: &mut dyn TaskContext,
-            ) -> SdgResult<()> {
+            fn process(&self, input: Record, ctx: &mut dyn TaskContext) -> SdgResult<()> {
                 ctx.emit(input.clone());
                 ctx.forward(input);
                 assert_eq!(ctx.replica(), 3);

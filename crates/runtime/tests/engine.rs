@@ -133,7 +133,8 @@ fn collaborative_filtering_end_to_end() {
     assert!(d.quiesce(Duration::from_secs(10)), "ratings must drain");
 
     for user in [1i64, 2, 3] {
-        d.submit("getRec", record! {"user" => Value::Int(user)}).unwrap();
+        d.submit("getRec", record! {"user" => Value::Int(user)})
+            .unwrap();
         let event = d
             .outputs()
             .recv_timeout(Duration::from_secs(10))
@@ -230,7 +231,8 @@ fn total_count(d: &Deployment, kv: StateId) -> i64 {
 fn kv_counts_are_exact_across_partitions() {
     let (d, kv) = deploy_kv(3, false);
     for n in 0..500i64 {
-        d.submit("bump", record! {"k" => Value::Int(n % 50)}).unwrap();
+        d.submit("bump", record! {"k" => Value::Int(n % 50)})
+            .unwrap();
     }
     assert!(d.quiesce(Duration::from_secs(10)));
     assert_eq!(total_count(&d, kv), 500);
@@ -256,7 +258,8 @@ fn kv_counts_are_exact_across_partitions() {
 fn failure_recovery_preserves_exactly_once_counts() {
     let (d, kv) = deploy_kv(2, true);
     for n in 0..400i64 {
-        d.submit("bump", record! {"k" => Value::Int(n % 20)}).unwrap();
+        d.submit("bump", record! {"k" => Value::Int(n % 20)})
+            .unwrap();
     }
     assert!(d.quiesce(Duration::from_secs(10)));
     d.checkpoint_now().unwrap();
@@ -264,7 +267,8 @@ fn failure_recovery_preserves_exactly_once_counts() {
     // More increments after the checkpoint: these live only in upstream
     // buffers and the soon-to-be-lost state.
     for n in 0..200i64 {
-        d.submit("bump", record! {"k" => Value::Int(n % 20)}).unwrap();
+        d.submit("bump", record! {"k" => Value::Int(n % 20)})
+            .unwrap();
     }
     assert!(d.quiesce(Duration::from_secs(10)));
     assert_eq!(total_count(&d, kv), 600);
@@ -273,12 +277,20 @@ fn failure_recovery_preserves_exactly_once_counts() {
     // exact counts (duplicates filtered, nothing lost).
     let report = d.fail_and_recover(kv, 0).unwrap();
     assert!(d.quiesce(Duration::from_secs(10)));
-    assert_eq!(total_count(&d, kv), 600, "recovery lost or duplicated updates");
-    assert!(report.replayed > 0, "post-checkpoint items must be replayed");
+    assert_eq!(
+        total_count(&d, kv),
+        600,
+        "recovery lost or duplicated updates"
+    );
+    assert!(
+        report.replayed > 0,
+        "post-checkpoint items must be replayed"
+    );
 
     // The deployment keeps processing normally afterwards.
     for n in 0..100i64 {
-        d.submit("bump", record! {"k" => Value::Int(n % 20)}).unwrap();
+        d.submit("bump", record! {"k" => Value::Int(n % 20)})
+            .unwrap();
     }
     assert!(d.quiesce(Duration::from_secs(10)));
     assert_eq!(total_count(&d, kv), 700);
@@ -300,7 +312,8 @@ fn partitioned_scale_out_preserves_and_repartitions_state() {
         // Find the bump task id for scaling.
         let mut id = None;
         for n in 0..300i64 {
-            d.submit("bump", record! {"k" => Value::Int(n % 30)}).unwrap();
+            d.submit("bump", record! {"k" => Value::Int(n % 30)})
+                .unwrap();
             id = Some(());
         }
         let _ = id;
@@ -328,7 +341,11 @@ fn partitioned_scale_out_preserves_and_repartitions_state() {
     };
     d.scale_task(sdg_task).unwrap();
     assert_eq!(d.state_instances(kv), 3);
-    assert_eq!(total_count(&d, kv), 300, "repartitioning must preserve state");
+    assert_eq!(
+        total_count(&d, kv),
+        300,
+        "repartitioning must preserve state"
+    );
 
     // Every instance now holds exactly its third of the key space.
     for replica in 0..3u32 {
@@ -342,7 +359,8 @@ fn partitioned_scale_out_preserves_and_repartitions_state() {
 
     // New traffic routes to the right partitions.
     for n in 0..300i64 {
-        d.submit("bump", record! {"k" => Value::Int(n % 30)}).unwrap();
+        d.submit("bump", record! {"k" => Value::Int(n % 30)})
+            .unwrap();
     }
     assert!(d.quiesce(Duration::from_secs(10)));
     assert_eq!(total_count(&d, kv), 600);
@@ -363,25 +381,21 @@ fn partial_scale_out_adds_empty_instance() {
     assert!(d.quiesce(Duration::from_secs(10)));
 
     // Scale the partial group through one of its accessing tasks.
-    let task = d
-        .scale_events()
-        .first()
-        .map(|e| e.task)
-        .unwrap_or_else(|| {
-            // Find a task accessing coOcc: addRating_1 exists with 2 instances.
-            let mut found = None;
-            for raw in 0..8u32 {
-                let t = sdg_common::ids::TaskId(raw);
-                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.instance_count(t)))
-                    .map(|n| n == 2)
-                    .unwrap_or(false)
-                {
-                    found = Some(t);
-                    break;
-                }
+    let task = d.scale_events().first().map(|e| e.task).unwrap_or_else(|| {
+        // Find a task accessing coOcc: addRating_1 exists with 2 instances.
+        let mut found = None;
+        for raw in 0..8u32 {
+            let t = sdg_common::ids::TaskId(raw);
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.instance_count(t)))
+                .map(|n| n == 2)
+                .unwrap_or(false)
+            {
+                found = Some(t);
+                break;
             }
-            found.expect("partial task")
-        });
+        }
+        found.expect("partial task")
+    });
     d.scale_task(task).unwrap();
     assert_eq!(d.state_instances(co_occ), 3);
 
@@ -403,7 +417,8 @@ fn partial_scale_out_adds_empty_instance() {
     for n in 0..20i64 {
         model.add_rating(n % 4, n % 6, 1);
     }
-    d.submit("getRec", record! {"user" => Value::Int(1)}).unwrap();
+    d.submit("getRec", record! {"user" => Value::Int(1)})
+        .unwrap();
     let event = d.outputs().recv_timeout(Duration::from_secs(10)).unwrap();
     assert_eq!(pairs_of(&event.value), model.recommend(1));
     d.shutdown();
@@ -413,22 +428,21 @@ fn partial_scale_out_adds_empty_instance() {
 fn reactive_scaling_reacts_to_bottlenecks() {
     // A stateless pipeline with an expensive stage and a tiny channel: the
     // monitor must add instances.
-    let prog = parse_program(
-        "void work(int x) { emit x * 2; }",
-    )
-    .unwrap();
+    let prog = parse_program("void work(int x) { emit x * 2; }").unwrap();
     let sdg = translate(&prog).unwrap();
     let task = sdg.task_by_name("work_0").unwrap().id;
-    let mut cfg = RuntimeConfig::default();
-    cfg.channel_capacity = 8;
-    cfg.work_ns.insert(task, 3_000_000); // 3 ms per item.
-    cfg.scaling = ScalingConfig {
-        enabled: true,
-        check_interval: Duration::from_millis(20),
-        high_watermark: 0.5,
-        patience: 2,
-        max_instances: 4,
+    let mut cfg = RuntimeConfig {
+        channel_capacity: 8,
+        scaling: ScalingConfig {
+            enabled: true,
+            check_interval: Duration::from_millis(20),
+            high_watermark: 0.5,
+            patience: 2,
+            max_instances: 4,
+        },
+        ..Default::default()
     };
+    cfg.work_ns.insert(task, 3_000_000); // 3 ms per item.
     let d = Deployment::start(sdg, cfg).unwrap();
     for n in 0..400i64 {
         d.submit("work", record! {"x" => Value::Int(n)}).unwrap();

@@ -29,10 +29,7 @@ impl NativeTask for DoubleTask {
     fn process(&self, input: Record, ctx: &mut dyn TaskContext) -> SdgResult<()> {
         let v = input.require("v")?.as_int()?;
         let limit = input.require("limit")?.as_int()?;
-        let table = ctx
-            .state()
-            .expect("double task has state")
-            .as_table()?;
+        let table = ctx.state().expect("double task has state").as_table()?;
         table.update(Key::str("steps"), |prev| {
             Value::Int(prev.map(|p| p.as_int().unwrap_or(0)).unwrap_or(0) + 1)
         });
@@ -89,10 +86,25 @@ fn build() -> (sdg_graph::model::Sdg, sdg_common::ids::StateId) {
         TaskCode::Native(Arc::new(CheckTask)),
         None,
     );
-    b.connect(seed, double, Dispatch::OneToAny, vec!["v".into(), "limit".into()]);
-    b.connect(double, check, Dispatch::OneToAny, vec!["v".into(), "limit".into()]);
+    b.connect(
+        seed,
+        double,
+        Dispatch::OneToAny,
+        vec!["v".into(), "limit".into()],
+    );
+    b.connect(
+        double,
+        check,
+        Dispatch::OneToAny,
+        vec!["v".into(), "limit".into()],
+    );
     // The iteration cycle: unfinished items go around again.
-    b.connect(check, double, Dispatch::OneToAny, vec!["v".into(), "limit".into()]);
+    b.connect(
+        check,
+        double,
+        Dispatch::OneToAny,
+        vec!["v".into(), "limit".into()],
+    );
     (b.build().expect("valid cyclic SDG"), counters)
 }
 
@@ -102,15 +114,21 @@ fn cycles_iterate_until_convergence() {
     let d = Deployment::start(sdg, RuntimeConfig::default()).unwrap();
 
     // 1 must double 10 times to reach 1024.
-    d.submit("double_until", record! {"v" => Value::Int(1), "limit" => Value::Int(1000)})
-        .unwrap();
+    d.submit(
+        "double_until",
+        record! {"v" => Value::Int(1), "limit" => Value::Int(1000)},
+    )
+    .unwrap();
     let out = d.outputs().recv_timeout(Duration::from_secs(10)).unwrap();
     assert_eq!(out.value, Value::Int(1024));
 
     // Several concurrent iterations with different depths.
     for v in [3i64, 7, 50] {
-        d.submit("double_until", record! {"v" => Value::Int(v), "limit" => Value::Int(500)})
-            .unwrap();
+        d.submit(
+            "double_until",
+            record! {"v" => Value::Int(v), "limit" => Value::Int(500)},
+        )
+        .unwrap();
     }
     let mut results = Vec::new();
     for _ in 0..3 {
@@ -130,7 +148,12 @@ fn cycles_iterate_until_convergence() {
     // The loop counter recorded every pass through `double`.
     let steps = d
         .with_state(counters, 0, |s| {
-            s.as_table().unwrap().get(&Key::str("steps")).unwrap().as_int().unwrap()
+            s.as_table()
+                .unwrap()
+                .get(&Key::str("steps"))
+                .unwrap()
+                .as_int()
+                .unwrap()
         })
         .unwrap();
     assert_eq!(steps, 10 + 8 + 7 + 4);

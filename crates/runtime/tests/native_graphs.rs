@@ -39,16 +39,22 @@ fn one_producer_feeds_two_consumers() {
     let left_state = b.add_state(
         "left",
         StateType::Table,
-        Distribution::Partitioned { dim: PartitionDim::Row },
+        Distribution::Partitioned {
+            dim: PartitionDim::Row,
+        },
     );
     let right_state = b.add_state(
         "right",
         StateType::Table,
-        Distribution::Partitioned { dim: PartitionDim::Row },
+        Distribution::Partitioned {
+            dim: PartitionDim::Row,
+        },
     );
     let source = b.add_task(
         "source",
-        TaskKind::Entry { method: "feed".into() },
+        TaskKind::Entry {
+            method: "feed".into(),
+        },
         TaskCode::Passthrough,
         None,
     );
@@ -58,7 +64,10 @@ fn one_producer_feeds_two_consumers() {
         TaskCode::Native(Arc::new(CountTask)),
         Some(StateAccessEdge {
             state: left_state,
-            mode: AccessMode::Partitioned { key: "k".into(), dim: PartitionDim::Row },
+            mode: AccessMode::Partitioned {
+                key: "k".into(),
+                dim: PartitionDim::Row,
+            },
             writes: true,
         }),
     );
@@ -68,12 +77,25 @@ fn one_producer_feeds_two_consumers() {
         TaskCode::Native(Arc::new(CountTask)),
         Some(StateAccessEdge {
             state: right_state,
-            mode: AccessMode::Partitioned { key: "k".into(), dim: PartitionDim::Row },
+            mode: AccessMode::Partitioned {
+                key: "k".into(),
+                dim: PartitionDim::Row,
+            },
             writes: true,
         }),
     );
-    b.connect(source, left, Dispatch::Partitioned { key: "k".into() }, vec!["k".into()]);
-    b.connect(source, right, Dispatch::Partitioned { key: "k".into() }, vec!["k".into()]);
+    b.connect(
+        source,
+        left,
+        Dispatch::Partitioned { key: "k".into() },
+        vec!["k".into()],
+    );
+    b.connect(
+        source,
+        right,
+        Dispatch::Partitioned { key: "k".into() },
+        vec!["k".into()],
+    );
     let sdg = b.build().unwrap();
 
     let mut cfg = RuntimeConfig::default();
@@ -81,7 +103,8 @@ fn one_producer_feeds_two_consumers() {
     cfg.se_instances.insert(right_state, 3);
     let d = Deployment::start(sdg, cfg).unwrap();
     for n in 0..200i64 {
-        d.submit("feed", record! {"k" => Value::Int(n % 10)}).unwrap();
+        d.submit("feed", record! {"k" => Value::Int(n % 10)})
+            .unwrap();
     }
     assert!(d.quiesce(Duration::from_secs(30)));
 
@@ -90,7 +113,9 @@ fn one_producer_feeds_two_consumers() {
         let mut total = 0i64;
         for replica in 0..instances {
             d.with_state(state, replica as u32, |s| {
-                s.as_table().unwrap().for_each(|_, v| total += v.as_int().unwrap());
+                s.as_table()
+                    .unwrap()
+                    .for_each(|_, v| total += v.as_int().unwrap());
             })
             .unwrap();
         }
@@ -128,11 +153,15 @@ fn flat_map_fans_out_items() {
     let counts = b.add_state(
         "counts",
         StateType::Table,
-        Distribution::Partitioned { dim: PartitionDim::Row },
+        Distribution::Partitioned {
+            dim: PartitionDim::Row,
+        },
     );
     let explode = b.add_task(
         "explode",
-        TaskKind::Entry { method: "explode".into() },
+        TaskKind::Entry {
+            method: "explode".into(),
+        },
         TaskCode::Native(Arc::new(ExplodeTask)),
         None,
     );
@@ -142,11 +171,19 @@ fn flat_map_fans_out_items() {
         TaskCode::Native(Arc::new(CountTask)),
         Some(StateAccessEdge {
             state: counts,
-            mode: AccessMode::Partitioned { key: "k".into(), dim: PartitionDim::Row },
+            mode: AccessMode::Partitioned {
+                key: "k".into(),
+                dim: PartitionDim::Row,
+            },
             writes: true,
         }),
     );
-    b.connect(explode, count, Dispatch::Partitioned { key: "k".into() }, vec!["k".into()]);
+    b.connect(
+        explode,
+        count,
+        Dispatch::Partitioned { key: "k".into() },
+        vec!["k".into()],
+    );
     let sdg = b.build().unwrap();
     let mut cfg = RuntimeConfig::default();
     cfg.se_instances.insert(counts, 2);
@@ -179,11 +216,15 @@ fn stateless_fanout_scales_independently_of_consumers() {
     let counts = b.add_state(
         "counts",
         StateType::Table,
-        Distribution::Partitioned { dim: PartitionDim::Row },
+        Distribution::Partitioned {
+            dim: PartitionDim::Row,
+        },
     );
     let parse = b.add_task(
         "parse",
-        TaskKind::Entry { method: "feed".into() },
+        TaskKind::Entry {
+            method: "feed".into(),
+        },
         TaskCode::Passthrough,
         None,
     );
@@ -193,11 +234,19 @@ fn stateless_fanout_scales_independently_of_consumers() {
         TaskCode::Native(Arc::new(CountTask)),
         Some(StateAccessEdge {
             state: counts,
-            mode: AccessMode::Partitioned { key: "k".into(), dim: PartitionDim::Row },
+            mode: AccessMode::Partitioned {
+                key: "k".into(),
+                dim: PartitionDim::Row,
+            },
             writes: true,
         }),
     );
-    b.connect(parse, count, Dispatch::Partitioned { key: "k".into() }, vec!["k".into()]);
+    b.connect(
+        parse,
+        count,
+        Dispatch::Partitioned { key: "k".into() },
+        vec!["k".into()],
+    );
     let sdg = b.build().unwrap();
     let parse_id = sdg.task_by_name("parse").unwrap().id;
     let mut cfg = RuntimeConfig::default();
@@ -207,13 +256,16 @@ fn stateless_fanout_scales_independently_of_consumers() {
     assert_eq!(d.instance_count(parse_id), 4);
 
     for n in 0..400i64 {
-        d.submit("feed", record! {"k" => Value::Int(n % 8)}).unwrap();
+        d.submit("feed", record! {"k" => Value::Int(n % 8)})
+            .unwrap();
     }
     assert!(d.quiesce(Duration::from_secs(30)));
     let mut total = 0i64;
     for replica in 0..2u32 {
         d.with_state(counts, replica, |s| {
-            s.as_table().unwrap().for_each(|_, v| total += v.as_int().unwrap());
+            s.as_table()
+                .unwrap()
+                .for_each(|_, v| total += v.as_int().unwrap());
         })
         .unwrap();
     }

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`BytesMut`] (a thin wrapper over `Vec<u8>`) and the
+//! [`BufMut`] write trait, covering the subset the SDG codec and
+//! checkpoint buffers use. The zero-copy split/freeze machinery of the
+//! real crate is intentionally absent — callers here only append and then
+//! copy out.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, appendable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Clears the buffer, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Consumes the buffer, returning the underlying vector ("freezing"
+    /// mirrors the real crate's name for finishing a write).
+    pub fn freeze(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> Self {
+        BytesMut { inner }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Self {
+        buf.inner
+    }
+}
+
+/// Append-only primitive writers (little-endian where sized).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends a `u32` little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a `u64` little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_and_reads_back() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_slice(&[2, 3]);
+        b.extend_from_slice(&[4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(b.freeze(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn vec_also_implements_bufmut() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u32_le(0x0102_0304);
+        assert_eq!(v, vec![4, 3, 2, 1]);
+    }
+}

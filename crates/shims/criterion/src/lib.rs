@@ -1,0 +1,293 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's `harness = false` benches
+//! use: [`Criterion::benchmark_group`], chainable `warm_up_time` /
+//! `measurement_time` / `sample_size`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: each sample times a batch of
+//! iterations and the report prints the median ns/iter with min/max.
+//! There is no plotting, no saved baselines, and no outlier analysis.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher<'a> {
+    config: &'a GroupConfig,
+    /// Filled in by `iter`: (median, min, max) ns per iteration.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, first warming up, then collecting
+    /// `sample_size` samples within the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, scaling the
+        // batch size up to keep timer overhead negligible.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+            if elapsed < Duration::from_millis(1) {
+                batch = batch.saturating_mul(2).min(1 << 20);
+            }
+        }
+
+        let samples = self.config.sample_size.max(2);
+        let per_sample = self.config.measurement_time / samples as u32;
+        let mut ns_per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let sample_deadline = Instant::now() + per_sample;
+            let mut iters: u64 = 0;
+            let start = Instant::now();
+            loop {
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                iters += batch;
+                if Instant::now() >= sample_deadline {
+                    break;
+                }
+            }
+            let total = start.elapsed().as_nanos() as f64;
+            ns_per_iter.push(total / iters as f64);
+        }
+        ns_per_iter.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
+        let median = ns_per_iter[ns_per_iter.len() / 2];
+        let min = ns_per_iter[0];
+        let max = *ns_per_iter.last().expect("at least two samples");
+        self.result = Some((median, min, max));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GroupConfig {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: GroupConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher {
+            config: &self.config,
+            result: None,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), bencher.result);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut bencher = Bencher {
+            config: &self.config,
+            result: None,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.to_string(), bencher.result);
+        self
+    }
+
+    /// Ends the group (reports stream as benches run, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, bench: &str, result: Option<(f64, f64, f64)>) {
+    match result {
+        Some((median, min, max)) => println!(
+            "{group}/{bench:<32} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        ),
+        None => println!("{group}/{bench:<32} (no measurement taken)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark driver; created by [`criterion_main!`] via `default()`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI arguments for compatibility with the
+    /// real harness's `--bench` flags.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: GroupConfig::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// No-op kept for API compatibility.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut ran = false;
+        group.bench_function("add", |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("multiply", 64).to_string(), "multiply/64");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,557 @@
+//! Value-generation strategies: the [`Strategy`] trait, combinators, and
+//! the built-in strategies the workspace's property tests rely on
+//! (scalars via [`any`], numeric ranges, tuples, `Just`, unions,
+//! collections, and a `[class]{m,n}` regex subset for `&str`).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// Generates values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// returns a finished value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`, retrying with fresh
+    /// ones. Panics (citing `reason`) if acceptance looks impossible.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and
+    /// `recurse` wraps a strategy for depth `d` into one for depth
+    /// `d + 1`. `_desired_size` / `_branch_size` are accepted for
+    /// call-site compatibility but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut levels = vec![self.boxed()];
+        for _ in 0..depth {
+            let prev = levels.last().expect("at least the leaf level").clone();
+            levels.push(recurse(prev).boxed());
+        }
+        Recursive { levels }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 10000 consecutive values: {}",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_recursive`]. Generates from a uniformly chosen
+/// nesting level, so both shallow and deep values appear.
+pub struct Recursive<T> {
+    levels: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.levels.len() as u64) as usize;
+        self.levels[idx].generate(rng)
+    }
+}
+
+/// Uniform choice between strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix of ordinary magnitudes and special values, NaN included —
+        // callers that cannot handle NaN filter it out explicitly.
+        match rng.below(16) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            4 => f64::NAN,
+            5 => f64::MIN_POSITIVE,
+            _ => {
+                let mag = (rng.unit_f64() - 0.5) * 2.0; // [-1, 1)
+                let exp = rng.i128_in(-60, 61) as i32;
+                mag * (2.0f64).powi(exp)
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.i128_in(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.i128_in(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Sizes accepted by [`vec`]: a fixed length, `lo..hi`, or `lo..=hi`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.usize_in(self.size.lo, self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Mirrors `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// `&str` literals act as regex strategies. Supported subset:
+/// concatenations of `[class]{m,n}` / `[class]{m}` / `[class]` /
+/// literal characters, where a class may contain ranges (`a-z`) and
+/// literal characters (`-` last is literal).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = rng.usize_in(piece.min, piece.max + 1);
+            for _ in 0..n {
+                let idx = rng.below(piece.chars.len() as u64) as usize;
+                out.push(piece.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct Piece {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Result<Vec<Piece>, String> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .ok_or("unterminated character class")?
+                + i;
+            let set = parse_class(&chars[i + 1..close])?;
+            i = close + 1;
+            set
+        } else if matches!(
+            chars[i],
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' | '^' | '$'
+        ) {
+            return Err(format!("unsupported regex metacharacter '{}'", chars[i]));
+        } else if chars[i] == '\\' {
+            i += 1;
+            let c = *chars.get(i).ok_or("dangling escape")?;
+            i += 1;
+            vec![c]
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unterminated repetition")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().map_err(|_| "bad repetition bound")?,
+                    hi.trim().parse().map_err(|_| "bad repetition bound")?,
+                ),
+                None => {
+                    let n: usize = body.trim().parse().map_err(|_| "bad repetition count")?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if min > max {
+            return Err("repetition lower bound exceeds upper bound".into());
+        }
+        if alphabet.is_empty() {
+            return Err("empty character class".into());
+        }
+        pieces.push(Piece {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    Ok(pieces)
+}
+
+fn parse_class(body: &[char]) -> Result<Vec<char>, String> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if body[i] == '\\' {
+            i += 1;
+            set.push(*body.get(i).ok_or("dangling escape in class")?);
+            i += 1;
+        } else if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            if lo > hi {
+                return Err(format!("inverted range {lo}-{hi}"));
+            }
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn regex_subset_respects_class_and_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9]{0,16}".generate(&mut r);
+            assert!(s.len() <= 16);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let t = "[a-zA-Z0-9 _:/-]{0,24}".generate(&mut r);
+            assert!(t.len() <= 24);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _:/-".contains(c)));
+
+            let u = "[a-z]{1,8}".generate(&mut r);
+            assert!((1..=8).contains(&u.len()));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut r = rng();
+        let s = (0usize..3, -5i64..5)
+            .prop_map(|(a, b)| a as i64 + b)
+            .prop_filter("must be even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn vec_sizes_and_recursive_depth() {
+        let mut r = rng();
+        let exact = vec(0i64..10, 6);
+        assert_eq!(exact.generate(&mut r).len(), 6);
+
+        let ranged = vec(any::<bool>(), 0..6);
+        for _ in 0..50 {
+            assert!(ranged.generate(&mut r).len() < 6);
+        }
+
+        // Depth-limited nesting: each level wraps values in a vec.
+        let nested = (0i64..3)
+            .prop_map(|n| vec![n])
+            .prop_recursive(3, 48, 6, |inner| {
+                inner.prop_map(|mut v: Vec<i64>| {
+                    v.push(-1);
+                    v
+                })
+            });
+        for _ in 0..50 {
+            let v = nested.generate(&mut r);
+            assert!((1..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_uses_every_arm() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(1i64).boxed(), Just(2i64).boxed()]);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[(u.generate(&mut r) - 1) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

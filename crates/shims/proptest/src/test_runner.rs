@@ -1,0 +1,122 @@
+//! Test-loop plumbing: configuration, case outcomes, and the
+//! deterministic generator behind every strategy.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+///
+/// Only `cases` changes behaviour; the other fields exist so call sites
+/// written against real proptest (`.. ProptestConfig::default()`) keep
+/// meaningful struct-update syntax.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of *accepted* cases to run per property.
+    pub cases: u32,
+    /// Upper bound on `prop_assume` rejections before the run aborts.
+    pub max_global_rejects: u32,
+    /// Unused (no shrinking in this implementation).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Outcome of one generated case, produced by the `prop_assert*` /
+/// `prop_assume!` macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case does not satisfy an assumption; generate another.
+    Reject,
+    /// The property is false for this case.
+    Fail(String),
+}
+
+/// Deterministic 64-bit generator (xorshift64*), seeded from the test
+/// name so each property explores a stable but distinct sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary string (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Seeds the generator from a raw 64-bit value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed | 1 }
+    }
+
+    /// Returns the next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform `usize` in `[lo, hi)`; the range must be non-empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty usize range");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `i128` in `[lo, hi)`; the range must be non-empty.
+    pub fn i128_in(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty integer range");
+        let span = (hi - lo) as u128;
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        lo + (wide % span) as i128
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("prop_x");
+        let mut b = TestRng::from_name("prop_x");
+        let mut c = TestRng::from_name("prop_y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(99);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+            let v = rng.i128_in(-5, 5);
+            assert!((-5..5).contains(&v));
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -163,9 +163,11 @@ impl StateStore {
     /// report an error.
     pub fn split_by_hash(&self, n: usize, dim: PartitionDim) -> SdgResult<Vec<StateStore>> {
         match self {
-            StateStore::Table(t) => {
-                Ok(t.split_by_hash(n).into_iter().map(StateStore::Table).collect())
-            }
+            StateStore::Table(t) => Ok(t
+                .split_by_hash(n)
+                .into_iter()
+                .map(StateStore::Table)
+                .collect()),
             StateStore::Matrix(m) => Ok(m
                 .split_by_hash(dim, n)
                 .into_iter()
@@ -227,9 +229,7 @@ impl StateSnapshot {
                 .iter()
                 .map(|(k, v)| k.approx_size() + v.approx_size() + 16)
                 .sum(),
-            StateSnapshot::Matrix(rows) => {
-                rows.values().map(|r| r.len() * 32).sum()
-            }
+            StateSnapshot::Matrix(rows) => rows.values().map(|r| r.len() * 32).sum(),
             StateSnapshot::Vector(v) => v.len() * 8,
         }
     }

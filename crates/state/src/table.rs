@@ -344,13 +344,7 @@ mod tests {
         let mut seen: Vec<(Key, Value)> = Vec::new();
         t.for_each(|k, v| seen.push((k.clone(), v.clone())));
         seen.sort_by(|a, b| a.0.cmp(&b.0));
-        assert_eq!(
-            seen,
-            vec![
-                (k(2), Value::Int(22)),
-                (k(3), Value::Int(3)),
-            ]
-        );
+        assert_eq!(seen, vec![(k(2), Value::Int(22)), (k(3), Value::Int(3)),]);
     }
 
     #[test]

@@ -7,9 +7,11 @@ use sdg_common::error::{SdgError, SdgResult};
 use sdg_graph::model::{
     AccessMode, Dispatch, Distribution, Sdg, SdgBuilder, StateAccessEdge, TaskCode, TaskKind,
 };
-use sdg_ir::analysis::check::check_program;
+use sdg_ir::analysis::check::{check_program_diagnostics, PARTIAL_NEVER_MERGED};
 use sdg_ir::analysis::live::live_before_each;
 use sdg_ir::ast::{Expr, ExprKind, FieldAnn, Method, Program, StateTy, Stmt, StmtKind};
+use sdg_ir::diag::Severity;
+use sdg_ir::opt::{optimize_program, OptReport};
 use sdg_ir::te::TeProgram;
 use sdg_state::partition::PartitionDim;
 use sdg_state::store::StateType;
@@ -24,7 +26,17 @@ use crate::segment::{segment_method, Segment, SegmentCtx};
 /// [`SdgError::Translate`] when the program cannot be cut into task
 /// elements (see the crate docs for the rules).
 pub fn translate(program: &Program) -> SdgResult<Sdg> {
-    check_program(program)?;
+    // Fail fast on semantic violations, but defer unmerged-partial errors
+    // (SL0101): when the `@Partial let` also misuses `@Global`, the access
+    // analysis below produces the more actionable report for the same
+    // statement, so it gets to run first.
+    let check_diags = check_program_diagnostics(program);
+    if let Some(err) = check_diags
+        .iter()
+        .find(|d| d.severity == Severity::Error && d.code != PARTIAL_NEVER_MERGED)
+    {
+        return Err(err.to_analysis_error());
+    }
     let mut builder = SdgBuilder::new();
 
     // Step 2: one SE per annotated field.
@@ -96,7 +108,7 @@ pub fn translate(program: &Program) -> SdgResult<Sdg> {
             output_vars.sort();
             let stmts: Vec<Stmt> = method.body[seg.stmt_range.clone()]
                 .iter()
-                .map(|s| rewrite_stmt(s))
+                .map(rewrite_stmt)
                 .collect();
             let code = TaskCode::Interpreted(TeProgram::new(
                 name.clone(),
@@ -124,7 +136,38 @@ pub fn translate(program: &Program) -> SdgResult<Sdg> {
         }
     }
 
+    // Deferred from the semantic check: every segmentation succeeded, so any
+    // remaining error is an unmerged partial value.
+    if let Some(err) = check_diags.first_error() {
+        return Err(err.to_analysis_error());
+    }
+
     builder.build()
+}
+
+/// Optimizes `program` (constant folding/propagation, branch and dead-code
+/// elimination — see [`sdg_ir::opt`]) and translates the result.
+///
+/// The returned [`OptReport`] counts the rewrites applied; the SDG can have
+/// fewer task elements and smaller edge payloads than [`translate`] would
+/// produce for the same source, but computes the same results.
+///
+/// # Errors
+///
+/// The program is checked *before* optimization, against the user's
+/// original source — the rewrites only run on programs with no semantic
+/// errors, so they cannot delete or distort offending code.
+pub fn translate_optimized(program: &Program) -> SdgResult<(Sdg, OptReport)> {
+    let check_diags = check_program_diagnostics(program);
+    if let Some(err) = check_diags
+        .iter()
+        .find(|d| d.severity == Severity::Error && d.code != PARTIAL_NEVER_MERGED)
+    {
+        return Err(err.to_analysis_error());
+    }
+    let (optimized, report) = optimize_program(program);
+    let sdg = translate(&optimized)?;
+    Ok((sdg, report))
 }
 
 fn access_edge(
@@ -311,7 +354,9 @@ mod tests {
         let user_item = sdg.state_by_name("userItem").unwrap();
         assert_eq!(
             user_item.dist,
-            Distribution::Partitioned { dim: PartitionDim::Row }
+            Distribution::Partitioned {
+                dim: PartitionDim::Row
+            }
         );
         let co_occ = sdg.state_by_name("coOcc").unwrap();
         assert_eq!(co_occ.dist, Distribution::Partial);
@@ -339,7 +384,9 @@ mod tests {
         let into_g2 = sdg.flows_to(g2.id);
         assert_eq!(
             into_g2[0].dispatch,
-            Dispatch::AllToOne { collect_var: "userRec".into() }
+            Dispatch::AllToOne {
+                collect_var: "userRec".into()
+            }
         );
         assert_eq!(into_g2[0].live_vars, vec!["userRec".to_string()]);
         assert!(g2.access.is_none());

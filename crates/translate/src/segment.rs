@@ -342,6 +342,8 @@ pub fn segment_method(program: &Program, method: &Method) -> SdgResult<Vec<Segme
         &defines_partial,
     );
 
+    let segments = fuse_adjacent_stateless(segments);
+
     // Every @Partial variable must be consumed by a @Collection in a later
     // segment; otherwise the global results are silently dropped.
     for (i, seg) in segments.iter().enumerate() {
@@ -361,6 +363,34 @@ pub fn segment_method(program: &Program, method: &Method) -> SdgResult<Vec<Segme
     Ok(segments)
 }
 
+/// Fuses adjacent stateless segments into one TE.
+///
+/// Two stateless segments may only sit next to each other when the later
+/// one consumes a `@Collection` (a gather barrier, which must keep its own
+/// TE). Any other adjacent stateless pair — as can arise when optimization
+/// deletes the state access that originally forced a cut — is merged, so
+/// segmentation never emits two consecutive TEs that a single one could
+/// run.
+fn fuse_adjacent_stateless(segments: Vec<Segment>) -> Vec<Segment> {
+    let mut out: Vec<Segment> = Vec::with_capacity(segments.len());
+    for seg in segments {
+        if let Some(prev) = out.last_mut() {
+            if prev.ctx == SegmentCtx::Stateless
+                && seg.ctx == SegmentCtx::Stateless
+                && seg.collects.is_none()
+                && prev.stmt_range.end == seg.stmt_range.start
+            {
+                prev.stmt_range.end = seg.stmt_range.end;
+                prev.writes |= seg.writes;
+                prev.defines_partial.extend(seg.defines_partial);
+                continue;
+            }
+        }
+        out.push(seg);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,7 +398,7 @@ mod tests {
 
     fn segs(src: &str, method: &str) -> SdgResult<Vec<Segment>> {
         let prog = parse_program(src).unwrap();
-        sdg_ir::analysis::check::check_program(&prog).unwrap();
+        sdg_ir::analysis::check::check_program(&prog)?;
         let m = prog.method(method).unwrap().clone();
         segment_method(&prog, &m)
     }
@@ -406,11 +436,19 @@ mod tests {
         assert_eq!(segs[0].stmt_range, 0..2);
         assert_eq!(
             segs[0].ctx,
-            SegmentCtx::Partitioned { field: "userItem".into(), key: "user".into() }
+            SegmentCtx::Partitioned {
+                field: "userItem".into(),
+                key: "user".into()
+            }
         );
         assert!(segs[0].writes);
         assert_eq!(segs[1].stmt_range, 2..3);
-        assert_eq!(segs[1].ctx, SegmentCtx::PartialLocal { field: "coOcc".into() });
+        assert_eq!(
+            segs[1].ctx,
+            SegmentCtx::PartialLocal {
+                field: "coOcc".into()
+            }
+        );
         assert!(segs[1].writes);
         assert_eq!(segs[1].collects, None);
     }
@@ -422,11 +460,19 @@ mod tests {
         // getUserVec: partitioned read of userItem.
         assert_eq!(
             segs[0].ctx,
-            SegmentCtx::Partitioned { field: "userItem".into(), key: "user".into() }
+            SegmentCtx::Partitioned {
+                field: "userItem".into(),
+                key: "user".into()
+            }
         );
         assert!(!segs[0].writes);
         // getRecVec: global access to coOcc, defines partial userRec.
-        assert_eq!(segs[1].ctx, SegmentCtx::Global { field: "coOcc".into() });
+        assert_eq!(
+            segs[1].ctx,
+            SegmentCtx::Global {
+                field: "coOcc".into()
+            }
+        );
         assert_eq!(segs[1].defines_partial, vec!["userRec".to_string()]);
         // merge: stateless, gathers userRec.
         assert_eq!(segs[2].ctx, SegmentCtx::Stateless);
@@ -449,11 +495,17 @@ mod tests {
         assert_eq!(segs.len(), 2);
         assert_eq!(
             segs[0].ctx,
-            SegmentCtx::Partitioned { field: "t".into(), key: "a".into() }
+            SegmentCtx::Partitioned {
+                field: "t".into(),
+                key: "a".into()
+            }
         );
         assert_eq!(
             segs[1].ctx,
-            SegmentCtx::Partitioned { field: "t".into(), key: "b".into() }
+            SegmentCtx::Partitioned {
+                field: "t".into(),
+                key: "b".into()
+            }
         );
     }
 
@@ -491,7 +543,10 @@ mod tests {
         assert_eq!(segs[0].ctx, SegmentCtx::Stateless);
         assert_eq!(
             segs[1].ctx,
-            SegmentCtx::Partitioned { field: "t".into(), key: "k".into() }
+            SegmentCtx::Partitioned {
+                field: "t".into(),
+                key: "k".into()
+            }
         );
     }
 
@@ -543,6 +598,31 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("multiple state elements"), "{err}");
+    }
+
+    #[test]
+    fn adjacent_stateless_segments_fuse_unless_gathering() {
+        let stateless = |range: std::ops::Range<usize>, collects: Option<&str>| Segment {
+            stmt_range: range,
+            ctx: SegmentCtx::Stateless,
+            writes: false,
+            collects: collects.map(str::to_owned),
+            defines_partial: Vec::new(),
+        };
+        let fused = fuse_adjacent_stateless(vec![
+            stateless(0..1, None),
+            stateless(1..3, None),
+            stateless(3..4, Some("r")),
+            stateless(4..5, None),
+        ]);
+        // 0..1 and 1..3 merge. The gather at 3..4 starts its own TE (its
+        // input edge is the all-to-one barrier), but the stateless tail at
+        // 4..5 folds into it: only the *later* segment's collects blocks
+        // fusion.
+        assert_eq!(fused.len(), 2);
+        assert_eq!(fused[0].stmt_range, 0..3);
+        assert_eq!(fused[1].stmt_range, 3..5);
+        assert_eq!(fused[1].collects.as_deref(), Some("r"));
     }
 
     #[test]

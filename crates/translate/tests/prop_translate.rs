@@ -46,7 +46,32 @@ enum Op {
 fn arb_ops() -> impl Strategy<Value = (usize, Vec<Op>)> {
     // 1..=3 table fields; a mix of partitioned/local is chosen per field
     // index (even = partitioned, odd = local) to keep generation simple.
-    (1usize..=3, prop::collection::vec(arb_op(), 1..7))
+    (1usize..=3, prop::collection::vec(arb_op(), 1..7)).prop_map(|(fields, mut ops)| {
+        // A put and an inc on the same (field, key) do not commute once
+        // they land in different TEs: requests may interleave between the
+        // two writes, so the final value would depend on scheduling. Keep
+        // each (field, key) write-homogeneous by demoting incs to puts
+        // wherever both kinds appear.
+        let put_targets: std::collections::BTreeSet<(usize, usize)> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Put { field, key, .. } => Some((field % fields, *key)),
+                _ => None,
+            })
+            .collect();
+        for op in &mut ops {
+            if let Op::Inc { field, key, by } = *op {
+                if put_targets.contains(&(field % fields, key)) {
+                    *op = Op::Put {
+                        field,
+                        key,
+                        add: by,
+                    };
+                }
+            }
+        }
+        (fields, ops)
+    })
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -103,7 +128,10 @@ fn run_and_collect(
     let sdg = translate(&program).expect("generated programs translate");
     let mut cfg = RuntimeConfig::default();
     for state in &sdg.states {
-        if matches!(state.dist, sdg_graph::model::Distribution::Partitioned { .. }) {
+        if matches!(
+            state.dist,
+            sdg_graph::model::Distribution::Partitioned { .. }
+        ) {
             cfg.se_instances.insert(state.id, partitions);
         }
     }

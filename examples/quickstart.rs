@@ -37,7 +37,10 @@ fn main() -> SdgResult<()> {
 
     // Writes are asynchronous and backpressured.
     for k in 0..100 {
-        deployment.submit("put", record! {"k" => Value::Int(k), "v" => Value::str(format!("value-{k}"))})?;
+        deployment.submit(
+            "put",
+            record! {"k" => Value::Int(k), "v" => Value::str(format!("value-{k}"))},
+        )?;
     }
     deployment.quiesce(Duration::from_secs(10));
 

@@ -60,7 +60,11 @@ fn main() {
     assert!(app.quiesce(Duration::from_secs(60)));
 
     let recs = app.get_rec(1, Duration::from_secs(10)).expect("recs");
-    assert_eq!(recs, reference.recommend(1), "post-scale answers must match");
+    assert_eq!(
+        recs,
+        reference.recommend(1),
+        "post-scale answers must match"
+    );
     println!("post-scale recommendations still match the reference model");
 
     app.shutdown();

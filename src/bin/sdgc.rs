@@ -4,10 +4,16 @@
 //!
 //! ```text
 //! sdgc check <file.sl>                 # parse + semantic checks
+//! sdgc lint <file.sl>                  # all diagnostics + optimization report
 //! sdgc dot <file.sl>                   # translated SDG as Graphviz DOT
 //! sdgc explain <file.sl>               # tasks, state, dispatch, allocation
 //! sdgc run <file.sl> 'put k=1 v=hi' 'get k=1'   # deploy, fire requests
 //! ```
+//!
+//! `lint` runs the whole static-analysis pipeline without deploying:
+//! program-level `SL01xx` diagnostics (rendered with source spans), the
+//! optimization passes, and the graph-level `SL02xx` lints, plus a
+//! before/after summary of what optimization bought.
 //!
 //! Each quoted request is `entry name=value ...`; values parse as
 //! integers, floats, `true`/`false`, or fall back to strings. All requests
@@ -18,7 +24,7 @@ use std::time::Duration;
 
 use sdg::common::record;
 use sdg::common::value::{Record, Value};
-use sdg::graph::model::{Distribution, TaskKind};
+use sdg::graph::model::{Distribution, Sdg, TaskKind};
 use sdg::prelude::RuntimeConfig;
 use sdg::SdgProgram;
 
@@ -34,11 +40,15 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: sdgc <check|dot|explain|run> <file> [entry] [name=value ...]";
+    let usage = "usage: sdgc <check|lint|dot|explain|run> <file> [entry] [name=value ...]";
     let command = args.first().ok_or(usage)?;
     let path = args.get(1).ok_or(usage)?;
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    // `lint` wants to show *all* diagnostics, not stop at the first
+    // compile error, so it handles the source itself.
+    if command == "lint" {
+        return lint_cmd(&source);
+    }
     let program = SdgProgram::compile(&source).map_err(|e| e.to_string())?;
 
     match command.as_str() {
@@ -52,7 +62,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "dot" => {
-            print!("{}", program.to_dot());
+            print!("{}", program.to_dot_with_lints());
             Ok(())
         }
         "explain" => {
@@ -67,6 +77,49 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command `{other}`; {usage}")),
     }
+}
+
+/// The `lint` subcommand: run every analysis layer, render everything it
+/// found, and summarise what the optimization passes changed.
+fn lint_cmd(source: &str) -> Result<(), String> {
+    use sdg::ir::diag::{render_diagnostics, Severity};
+
+    let program = sdg::ir::parser::parse_program(source).map_err(|e| e.to_string())?;
+    let diags = sdg::ir::analysis::lint_program(&program);
+    print!("{}", render_diagnostics(source, &diags));
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        return Err("program has lint errors; skipping translation".into());
+    }
+
+    let before = SdgProgram::compile(source).map_err(|e| e.to_string())?;
+    let (after, report) = SdgProgram::compile_optimized(source).map_err(|e| e.to_string())?;
+    let graph_diags = sdg::graph::lint(after.graph());
+    print!("{}", render_diagnostics(source, &graph_diags));
+
+    println!("optimization: {report}");
+    println!(
+        "task elements: {} -> {}",
+        before.graph().tasks.len(),
+        after.graph().tasks.len()
+    );
+    println!(
+        "edge payload slots: {} -> {}",
+        payload_slots(before.graph()),
+        payload_slots(after.graph())
+    );
+    if graph_diags.iter().any(|d| d.severity == Severity::Error) {
+        return Err("graph has lint errors".into());
+    }
+    if diags.is_empty() && graph_diags.is_empty() {
+        println!("ok: no diagnostics");
+    }
+    Ok(())
+}
+
+/// Total live variables carried across all dataflow edges — the metric
+/// the liveness-driven payload narrowing shrinks.
+fn payload_slots(sdg: &Sdg) -> usize {
+    sdg.flows.iter().map(|f| f.live_vars.len()).sum()
 }
 
 fn explain(program: &SdgProgram) {
@@ -112,7 +165,11 @@ fn explain(program: &SdgProgram) {
     let allocation = sdg::graph::allocate(program.graph());
     println!("allocation: {} node(s)", allocation.num_nodes);
     for task in &program.graph().tasks {
-        println!("  {:<14} -> {}", task.name, allocation.node_of_task(task.id));
+        println!(
+            "  {:<14} -> {}",
+            task.name,
+            allocation.node_of_task(task.id)
+        );
     }
 }
 

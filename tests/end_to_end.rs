@@ -154,13 +154,19 @@ fn deployment_reports_user_errors_without_crashing() {
         .unwrap()
         .deploy(RuntimeConfig::default())
         .unwrap();
-    d.submit("divide", record! {"k" => Value::Int(1), "d" => Value::Int(0)})
-        .unwrap();
+    d.submit(
+        "divide",
+        record! {"k" => Value::Int(1), "d" => Value::Int(0)},
+    )
+    .unwrap();
     assert!(d.quiesce(Duration::from_secs(10)));
     assert_eq!(d.error_count(), 1);
     // The deployment keeps serving afterwards.
-    d.submit("divide", record! {"k" => Value::Int(1), "d" => Value::Int(4)})
-        .unwrap();
+    d.submit(
+        "divide",
+        record! {"k" => Value::Int(1), "d" => Value::Int(4)},
+    )
+    .unwrap();
     let out = d.outputs().recv_timeout(Duration::from_secs(5)).unwrap();
     assert_eq!(out.value, Value::Int(25));
     d.shutdown();

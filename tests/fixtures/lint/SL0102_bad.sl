@@ -1,0 +1,5 @@
+@Partitioned Table t;
+
+void f(int k) {
+    @Partial let x = @Global t.get(k);
+}

@@ -1,0 +1,6 @@
+Table t;
+
+int f(int k) {
+    let x = t.get(k);
+    emit x;
+}

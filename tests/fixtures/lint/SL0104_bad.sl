@@ -1,0 +1,5 @@
+Table t;
+
+void f() {
+    let x = q.get(1);
+}

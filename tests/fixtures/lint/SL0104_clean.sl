@@ -1,0 +1,5 @@
+Table t;
+
+void f() {
+    t.put(1, 2);
+}

@@ -1,0 +1,5 @@
+Table t;
+
+void f() {
+    t.frobnicate(1);
+}

@@ -1,0 +1,5 @@
+Table t;
+
+void f() {
+    let x = t.get(1, 2);
+}

@@ -1,0 +1,6 @@
+Table t;
+
+int f() {
+    let x = t.get(1);
+    emit x;
+}

@@ -1,0 +1,5 @@
+@Partitioned Matrix m;
+
+void f(list v) {
+    let x = m.multiply(v);
+}

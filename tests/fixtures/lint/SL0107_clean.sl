@@ -1,0 +1,6 @@
+@Partitioned Matrix m;
+
+Vector f(int k) {
+    let x = m.row(k);
+    emit x;
+}

@@ -1,0 +1,5 @@
+@Partitioned Table t;
+
+void f(int k) {
+    let x = t.get(k % 10);
+}

@@ -1,0 +1,6 @@
+Table t;
+Table t;
+
+void f() {
+    t.put(1, 1);
+}

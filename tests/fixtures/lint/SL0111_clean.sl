@@ -1,0 +1,13 @@
+@Partial Vector w;
+
+Vector f(list v) {
+    @Partial let x = @Global w.toList();
+    let r = g(@Collection x);
+    emit r;
+}
+
+Vector g(@Collection Vector all) {
+    let acc = [];
+    foreach (cur : all) { acc = vec_add(acc, cur); }
+    return acc;
+}

@@ -1,0 +1,5 @@
+Table t;
+
+void f() {
+    let t = 1;
+}

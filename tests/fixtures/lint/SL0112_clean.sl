@@ -1,0 +1,6 @@
+Table t;
+
+void f() {
+    let u = 1;
+    t.put(u, 1);
+}

@@ -1,0 +1,5 @@
+@Partial Matrix m;
+
+void f(list v) {
+    let x = @Global m.multiply(v);
+}

@@ -1,0 +1,6 @@
+@Partial Matrix m;
+
+void f(list v) {
+    @Partial let x = @Global m.multiply(v);
+    emit x;
+}

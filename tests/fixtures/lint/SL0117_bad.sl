@@ -1,0 +1,3 @@
+void f(int a) {
+    let x = @Collection a;
+}

@@ -1,0 +1,7 @@
+Vector g(@Collection Vector all) {
+    return all;
+}
+
+void f(int a) {
+    let x = g(@Collection a);
+}

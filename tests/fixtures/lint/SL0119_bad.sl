@@ -1,0 +1,10 @@
+@Partial Matrix m;
+
+Vector g(Vector one) {
+    return one;
+}
+
+void f(list v) {
+    @Partial let x = @Global m.multiply(v);
+    let y = g(@Collection x);
+}

@@ -1,0 +1,13 @@
+@Partial Matrix m;
+
+Vector f(list v) {
+    @Partial let x = @Global m.multiply(v);
+    let r = merge(@Collection x);
+    emit r;
+}
+
+Vector merge(@Collection Vector all) {
+    let acc = [];
+    foreach (cur : all) { acc = vec_add(acc, cur); }
+    return acc;
+}

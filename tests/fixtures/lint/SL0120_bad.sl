@@ -1,0 +1,7 @@
+int g(int a, int b) {
+    return a;
+}
+
+void f() {
+    let x = g(1);
+}

@@ -1,0 +1,8 @@
+int g(int a, int b) {
+    return a;
+}
+
+int f() {
+    let x = g(1, 2);
+    emit x;
+}

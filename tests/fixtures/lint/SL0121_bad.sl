@@ -1,0 +1,3 @@
+void f() {
+    let x = mystery(1);
+}

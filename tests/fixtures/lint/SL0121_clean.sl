@@ -1,0 +1,4 @@
+int f() {
+    let x = len([1, 2]);
+    emit x;
+}

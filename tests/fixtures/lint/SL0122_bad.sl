@@ -1,0 +1,9 @@
+Table t;
+
+int g(int k) {
+    return t.get(k);
+}
+
+void f(int k) {
+    let x = g(k);
+}

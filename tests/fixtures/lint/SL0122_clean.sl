@@ -1,0 +1,11 @@
+Table t;
+
+int g(int k) {
+    return k + 1;
+}
+
+int f(int k) {
+    let x = g(k);
+    t.put(k, x);
+    emit x;
+}

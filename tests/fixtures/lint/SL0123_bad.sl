@@ -1,0 +1,8 @@
+int g(int k) {
+    emit k;
+    return k;
+}
+
+void f(int k) {
+    let x = g(k);
+}

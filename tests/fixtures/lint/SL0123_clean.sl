@@ -1,0 +1,8 @@
+int g(int k) {
+    return k;
+}
+
+int f(int k) {
+    let x = g(k);
+    emit x;
+}

@@ -1,0 +1,9 @@
+Table a;
+Table b;
+
+void f(int k) {
+    if (k > 0) {
+        a.put(k, 1);
+        b.put(k, 1);
+    }
+}

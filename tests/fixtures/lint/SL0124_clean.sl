@@ -1,0 +1,11 @@
+Table a;
+Table b;
+
+void f(int k) {
+    if (k > 0) {
+        a.put(k, 1);
+    }
+    if (k > 0) {
+        b.put(k, 1);
+    }
+}

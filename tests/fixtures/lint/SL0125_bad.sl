@@ -1,0 +1,7 @@
+@Partial Matrix m;
+
+void f(list v, int n) {
+    if (n > 0) {
+        @Partial let x = @Global m.multiply(v);
+    }
+}

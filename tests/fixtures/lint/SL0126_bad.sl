@@ -1,0 +1,4 @@
+int f(int n) {
+    let x = f(n);
+    return x;
+}

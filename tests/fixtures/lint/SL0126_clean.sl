@@ -1,0 +1,8 @@
+int g(int n) {
+    return n + 1;
+}
+
+int f(int n) {
+    let x = g(n);
+    emit x;
+}

@@ -1,0 +1,3 @@
+int f(int x) {
+    emit x;
+}

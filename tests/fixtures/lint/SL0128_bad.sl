@@ -1,0 +1,5 @@
+Table t;
+
+void f() {
+    emit t;
+}

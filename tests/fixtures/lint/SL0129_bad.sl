@@ -1,0 +1,5 @@
+@Partial Vector w;
+
+void f() {
+    @Global w.toList();
+}

@@ -1,0 +1,6 @@
+@Partitioned Table t;
+Table unused;
+
+void f(int k) {
+    t.put(k, 1);
+}

@@ -1,0 +1,5 @@
+@Partitioned Table t;
+
+void f(int k) {
+    t.put(k, 1);
+}

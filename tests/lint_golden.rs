@@ -1,0 +1,237 @@
+//! Golden-file tests for the rendered diagnostics of the lint pipeline.
+//!
+//! Every diagnostic code has two StateLang fixtures under
+//! `tests/fixtures/lint/`: `<CODE>_bad.sl` must produce at least one
+//! diagnostic with that code (the full rendered output is pinned by
+//! `<CODE>_bad.golden`), and `<CODE>_clean.sl` must lint with no
+//! diagnostics at all. Regenerate the goldens after an intentional
+//! renderer or message change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test lint_golden
+//! ```
+//!
+//! The four graph-only codes (`SL0201`, `SL0203`, `SL0204`, `SL0205`)
+//! cannot be reached from a StateLang source — the translator only emits
+//! validated, acyclic pipelines — so they are exercised from hand-built
+//! graphs instead.
+
+use std::fs;
+use std::path::PathBuf;
+
+use sdg::ir::diag::{render_diagnostics, Severity};
+use sdg::SdgProgram;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint")
+}
+
+/// Mirrors the `sdgc lint` pipeline: program-level diagnostics first;
+/// when those include no errors, translate and append graph-level lints.
+fn rendered_lint(source: &str) -> String {
+    let program = sdg::ir::parser::parse_program(source).expect("fixtures must parse");
+    let diags = sdg::ir::analysis::lint_program(&program);
+    let mut out = render_diagnostics(source, &diags);
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        return out;
+    }
+    let compiled = SdgProgram::compile(source).expect("error-free fixtures must translate");
+    out.push_str(&render_diagnostics(
+        source,
+        &sdg::graph::lint(compiled.graph()),
+    ));
+    out
+}
+
+fn fixture_paths(suffix: &str) -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(fixtures_dir())
+        .expect("fixture directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(suffix))
+        })
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// The number of codes with StateLang fixtures: SL0101–SL0108 (access),
+/// SL0110–SL0129 (semantic checks) and SL0202 (graph-level dead state).
+const FIXTURED_CODES: usize = 29;
+
+#[test]
+fn bad_fixtures_report_their_code_with_span_and_match_goldens() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut checked = 0;
+    for path in fixture_paths("_bad.sl") {
+        let name = path.file_name().unwrap().to_str().unwrap().to_owned();
+        let code = name.strip_suffix("_bad.sl").unwrap();
+        let source = fs::read_to_string(&path).unwrap();
+        let rendered = rendered_lint(&source);
+        assert!(
+            rendered.contains(&format!("[{code}]")),
+            "{name}: expected a {code} diagnostic in:\n{rendered}"
+        );
+        // Program-level diagnostics must carry a source span; SL02xx
+        // findings attach to graph elements instead.
+        if code.starts_with("SL01") {
+            assert!(
+                rendered.contains("--> line"),
+                "{name}: expected a source span in:\n{rendered}"
+            );
+        }
+        let golden_path = path.with_extension("golden");
+        if update {
+            fs::write(&golden_path, &rendered).unwrap();
+        } else {
+            let golden = fs::read_to_string(&golden_path)
+                .unwrap_or_else(|_| panic!("{name}: missing golden; run with UPDATE_GOLDEN=1"));
+            assert_eq!(
+                rendered, golden,
+                "{name}: rendered output diverged from its golden; \
+                 run with UPDATE_GOLDEN=1 to regenerate"
+            );
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, FIXTURED_CODES);
+}
+
+#[test]
+fn clean_fixtures_produce_no_diagnostics() {
+    let mut checked = 0;
+    for path in fixture_paths("_clean.sl") {
+        let name = path.file_name().unwrap().to_str().unwrap().to_owned();
+        let source = fs::read_to_string(&path).unwrap();
+        let rendered = rendered_lint(&source);
+        assert!(
+            rendered.is_empty(),
+            "{name}: expected no diagnostics, got:\n{rendered}"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, FIXTURED_CODES);
+}
+
+#[test]
+fn apps_programs_lint_clean() {
+    for (name, source) in [
+        ("kv", sdg_apps::kv::KV_SOURCE),
+        ("cf", sdg_apps::cf::CF_SOURCE),
+        ("lr", sdg_apps::lr::LR_SOURCE),
+        ("wc", sdg_apps::wc::WC_SOURCE),
+    ] {
+        let rendered = rendered_lint(source);
+        assert!(
+            rendered.is_empty(),
+            "{name}: expected no diagnostics, got:\n{rendered}"
+        );
+    }
+}
+
+#[test]
+fn graph_only_codes_render_from_built_graphs() {
+    use sdg::graph::model::{
+        AccessMode, Dispatch, SdgBuilder, StateAccessEdge, TaskCode, TaskKind,
+    };
+    use sdg::state::store::StateType;
+
+    fn entry(b: &mut SdgBuilder, name: &str) -> sdg::common::ids::TaskId {
+        b.add_task(
+            name,
+            TaskKind::Entry {
+                method: name.to_owned(),
+            },
+            TaskCode::Passthrough,
+            None,
+        )
+    }
+
+    // SL0201: a compute task no entry point can reach.
+    let mut b = SdgBuilder::new();
+    entry(&mut b, "src");
+    b.add_task("orphan", TaskKind::Compute, TaskCode::Passthrough, None);
+    let rendered = render_diagnostics("", &sdg::graph::lint(&b.build_unchecked()));
+    assert!(rendered.contains("[SL0201]"), "{rendered}");
+
+    // SL0203: global (one-to-all) state access inside a dataflow cycle.
+    let mut b = SdgBuilder::new();
+    let s = b.add_state(
+        "w",
+        StateType::Vector,
+        sdg::graph::model::Distribution::Partial,
+    );
+    let e = entry(&mut b, "src");
+    let g = b.add_task(
+        "gather",
+        TaskKind::Compute,
+        TaskCode::Passthrough,
+        Some(StateAccessEdge {
+            state: s,
+            mode: AccessMode::PartialGlobal,
+            writes: false,
+        }),
+    );
+    b.connect(e, g, Dispatch::OneToAll, vec![]);
+    b.connect(g, g, Dispatch::OneToAll, vec![]);
+    let rendered = render_diagnostics("", &sdg::graph::lint(&b.build_unchecked()));
+    assert!(rendered.contains("[SL0203]"), "{rendered}");
+
+    // SL0204: edges with disagreeing dispatch into one partitioned task.
+    let mut b = SdgBuilder::new();
+    let s = b.add_state(
+        "t",
+        StateType::Table,
+        sdg::graph::model::Distribution::Partitioned {
+            dim: sdg::state::partition::PartitionDim::Row,
+        },
+    );
+    let e1 = entry(&mut b, "a");
+    let e2 = entry(&mut b, "b");
+    let c = b.add_task(
+        "count",
+        TaskKind::Compute,
+        TaskCode::Passthrough,
+        Some(StateAccessEdge {
+            state: s,
+            mode: AccessMode::Partitioned {
+                key: "w".into(),
+                dim: sdg::state::partition::PartitionDim::Row,
+            },
+            writes: true,
+        }),
+    );
+    b.connect(
+        e1,
+        c,
+        Dispatch::Partitioned { key: "w".into() },
+        vec!["w".into()],
+    );
+    b.connect(e2, c, Dispatch::OneToAny, vec!["w".into()]);
+    let rendered = render_diagnostics("", &sdg::graph::lint(&b.build_unchecked()));
+    assert!(rendered.contains("[SL0204]"), "{rendered}");
+
+    // SL0205: a partial-state read whose values are never gathered.
+    let mut b = SdgBuilder::new();
+    let s = b.add_state(
+        "w",
+        StateType::Vector,
+        sdg::graph::model::Distribution::Partial,
+    );
+    let e = entry(&mut b, "src");
+    let r = b.add_task(
+        "read",
+        TaskKind::Compute,
+        TaskCode::Passthrough,
+        Some(StateAccessEdge {
+            state: s,
+            mode: AccessMode::PartialGlobal,
+            writes: false,
+        }),
+    );
+    b.connect(e, r, Dispatch::OneToAll, vec![]);
+    let rendered = render_diagnostics("", &sdg::graph::lint(&b.build_unchecked()));
+    assert!(rendered.contains("[SL0205]"), "{rendered}");
+}

@@ -1,0 +1,97 @@
+//! Printer/parser round-trip: `parse(print(parse(src)))` equals
+//! `parse(src)` up to source spans, for every `apps/` StateLang program.
+//! This is what lets optimized (or otherwise rewritten) programs be dumped
+//! back to readable, re-parseable source for debugging.
+
+use sdg::ir::ast::{Expr, ExprKind, Program, Span, Stmt, StmtKind};
+use sdg::ir::parser::parse_program;
+use sdg::ir::printer::print_program;
+
+/// Zeroes every span so the derived `PartialEq` compares structure only —
+/// reprinting changes the layout, so positions necessarily differ.
+fn strip_spans(program: &mut Program) {
+    for field in &mut program.fields {
+        field.span = Span::default();
+    }
+    for method in &mut program.methods {
+        method.span = Span::default();
+        for param in &mut method.params {
+            param.span = Span::default();
+        }
+        strip_block(&mut method.body);
+    }
+}
+
+fn strip_block(block: &mut [Stmt]) {
+    for stmt in block {
+        stmt.span = Span::default();
+        match &mut stmt.kind {
+            StmtKind::Let { expr, .. } | StmtKind::Assign { expr, .. } | StmtKind::Expr(expr) => {
+                strip_expr(expr)
+            }
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                strip_expr(cond);
+                strip_block(then_block);
+                strip_block(else_block);
+            }
+            StmtKind::While { cond, body } => {
+                strip_expr(cond);
+                strip_block(body);
+            }
+            StmtKind::Foreach { iter, body, .. } => {
+                strip_expr(iter);
+                strip_block(body);
+            }
+            StmtKind::Return(Some(expr)) | StmtKind::Emit(expr) => strip_expr(expr),
+            StmtKind::Return(None) => {}
+        }
+    }
+}
+
+fn strip_expr(expr: &mut Expr) {
+    expr.span = Span::default();
+    match &mut expr.kind {
+        ExprKind::Binary { lhs, rhs, .. } => {
+            strip_expr(lhs);
+            strip_expr(rhs);
+        }
+        ExprKind::Unary { operand, .. } => strip_expr(operand),
+        ExprKind::Index { base, idx } => {
+            strip_expr(base);
+            strip_expr(idx);
+        }
+        ExprKind::ListLit(items) => items.iter_mut().for_each(strip_expr),
+        ExprKind::Call { args, .. } | ExprKind::StateCall { args, .. } => {
+            args.iter_mut().for_each(strip_expr)
+        }
+        ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Null
+        | ExprKind::Var(_)
+        | ExprKind::Collection(_) => {}
+    }
+}
+
+#[test]
+fn apps_sources_round_trip_through_the_printer() {
+    for (name, source) in [
+        ("kv", sdg_apps::kv::KV_SOURCE),
+        ("cf", sdg_apps::cf::CF_SOURCE),
+        ("lr", sdg_apps::lr::LR_SOURCE),
+        ("wc", sdg_apps::wc::WC_SOURCE),
+    ] {
+        let mut original = parse_program(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let printed = print_program(&original);
+        let mut reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("{name} reprint: {e}\n{printed}"));
+        strip_spans(&mut original);
+        strip_spans(&mut reparsed);
+        assert_eq!(original, reparsed, "{name}: printed form:\n{printed}");
+    }
+}

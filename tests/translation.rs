@@ -38,10 +38,7 @@ fn cf_produces_the_papers_graph() {
 
     // The recommendation path: broadcast then gather.
     let get_rec_1 = sdg.task_by_name("getRec_1").unwrap();
-    assert_eq!(
-        sdg.flows_to(get_rec_1.id)[0].dispatch,
-        Dispatch::OneToAll
-    );
+    assert_eq!(sdg.flows_to(get_rec_1.id)[0].dispatch, Dispatch::OneToAll);
     let get_rec_2 = sdg.task_by_name("getRec_2").unwrap();
     assert!(matches!(
         &sdg.flows_to(get_rec_2.id)[0].dispatch,
