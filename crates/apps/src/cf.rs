@@ -221,7 +221,7 @@ mod tests {
             let got = app.get_rec(user, Duration::from_secs(10)).unwrap();
             assert_eq!(got, reference.recommend(user), "user {user}");
         }
-        assert_eq!(app.deployment().error_count(), 0);
+        assert_eq!(app.deployment().stats().errors, 0);
         app.shutdown();
     }
 

@@ -146,7 +146,10 @@ impl KvApp {
 
     /// Total bytes held across all partitions.
     pub fn state_bytes(&self) -> usize {
-        self.deployment.state_bytes(self.state)
+        self.deployment
+            .metrics()
+            .state_by_id(self.state)
+            .map_or(0, |s| s.bytes as usize)
     }
 
     /// Waits for in-flight work to drain.

@@ -163,7 +163,7 @@ mod tests {
             .count();
         let accuracy = correct as f64 / examples.len() as f64;
         assert!(accuracy > 0.85, "accuracy {accuracy}");
-        assert_eq!(app.deployment().error_count(), 0);
+        assert_eq!(app.deployment().stats().errors, 0);
         app.shutdown();
     }
 

@@ -143,7 +143,11 @@ impl WcApp {
     /// Returns the current count of `word` (post-quiesce for exactness).
     pub fn count(&self, word: &str) -> SdgResult<i64> {
         let key = Key::str(word.to_lowercase());
-        let n = self.deployment.state_instances(self.counts);
+        let n = self
+            .deployment
+            .metrics()
+            .state_by_id(self.counts)
+            .map_or(1, |s| s.instances as usize);
         let replica = (key.stable_hash() % n as u64) as u32;
         self.deployment.with_state(self.counts, replica, |s| {
             Ok(match s.as_table()?.get(&key) {
@@ -156,7 +160,11 @@ impl WcApp {
     /// Snapshot of all word counts across partitions.
     pub fn counts(&self) -> SdgResult<HashMap<String, i64>> {
         let mut out = HashMap::new();
-        let n = self.deployment.state_instances(self.counts);
+        let n = self
+            .deployment
+            .metrics()
+            .state_by_id(self.counts)
+            .map_or(1, |s| s.instances as usize);
         for replica in 0..n as u32 {
             self.deployment.with_state(self.counts, replica, |s| {
                 let table = s.as_table()?;
@@ -200,7 +208,7 @@ mod tests {
         }
         assert!(app.quiesce(Duration::from_secs(10)));
         assert_eq!(app.counts().unwrap(), expected);
-        assert_eq!(app.deployment().error_count(), 0);
+        assert_eq!(app.deployment().stats().errors, 0);
         app.shutdown();
     }
 

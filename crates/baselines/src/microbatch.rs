@@ -13,6 +13,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sdg_common::obs::{MetricsRegistry, MetricsSnapshot, TaskInstruments};
+
 /// Configuration of the micro-batch engine.
 #[derive(Debug, Clone)]
 pub struct MicroBatchConfig {
@@ -54,15 +56,23 @@ pub struct MicroBatchWordCount {
     /// Immutable state version; every batch replaces it wholesale.
     state: Arc<HashMap<String, u64>>,
     versions: u64,
+    obs: MetricsRegistry,
+    batch_task: Arc<TaskInstruments>,
 }
 
 impl MicroBatchWordCount {
     /// Creates an engine with the given configuration.
     pub fn new(cfg: MicroBatchConfig) -> Self {
+        let obs = MetricsRegistry::new();
+        let batch_task = obs.task("batch");
+        batch_task.instances.set(cfg.tasks_per_batch as u64);
+        obs.state("counts").instances.set(1);
         MicroBatchWordCount {
             cfg,
             state: Arc::new(HashMap::new()),
             versions: 0,
+            obs,
+            batch_task,
         }
     }
 
@@ -79,6 +89,18 @@ impl MicroBatchWordCount {
     /// Number of state versions created (one per batch).
     pub fn versions(&self) -> u64 {
         self.versions
+    }
+
+    /// Freezes the engine's instruments into the shared snapshot schema.
+    ///
+    /// Every state version is a wholesale clone, so the `counts` SE's
+    /// `checkpoints` counter doubles as the version count.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let s = self.obs.state("counts");
+        s.instances.set(1);
+        let bytes: usize = self.state.keys().map(|k| k.len() + 8).sum();
+        s.bytes.set(bytes as u64);
+        self.obs.snapshot()
     }
 
     /// Processes one batch of words, producing a new state version.
@@ -99,9 +121,14 @@ impl MicroBatchWordCount {
         }
         self.state = Arc::new(next);
         self.versions += 1;
+        let elapsed = start.elapsed();
+        self.batch_task.items_in.add(words.len() as u64);
+        self.batch_task.processed.add(words.len() as u64);
+        self.batch_task.service.record_duration(elapsed);
+        self.obs.state("counts").checkpoints.inc();
         BatchStats {
             items: words.len(),
-            elapsed: start.elapsed(),
+            elapsed,
         }
     }
 
@@ -178,6 +205,13 @@ mod tests {
         e.process_batch(&words(10));
         assert_eq!(e.count("w0"), 3);
         assert_eq!(e.versions(), 2);
+        let snap = e.metrics();
+        let batch = snap.task("batch").expect("batch task stats");
+        assert_eq!(batch.processed, 30);
+        assert_eq!(batch.service.count, 2);
+        let counts = snap.state("counts").expect("counts state stats");
+        assert_eq!(counts.checkpoints, 2, "one version clone per batch");
+        assert!(counts.bytes > 0);
     }
 
     #[test]

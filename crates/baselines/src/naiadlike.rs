@@ -9,9 +9,11 @@
 //! disk (`Naiad-Disk`) or memory (`Naiad-NoDisk`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sdg_common::metrics::Histogram;
+use sdg_common::obs::{EventKind, MetricsRegistry, MetricsSnapshot, TaskInstruments};
 
 /// Where synchronous checkpoints are written.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,23 +67,29 @@ pub struct NaiadKvStore {
     state_bytes: usize,
     last_checkpoint: Instant,
     pending: Vec<(i64, Vec<u8>)>,
-    /// Per-request latencies (batching delay + processing + checkpoint
-    /// stalls show up here).
-    pub latencies: Histogram,
-    checkpoints_taken: u64,
+    /// Instrument registry; reports through the same snapshot schema as
+    /// the SDG runtime and the other baselines.
+    obs: MetricsRegistry,
+    update_task: Arc<TaskInstruments>,
+    get_task: Arc<TaskInstruments>,
 }
 
 impl NaiadKvStore {
     /// Creates a store with the given configuration.
     pub fn new(cfg: NaiadConfig) -> Self {
+        let obs = MetricsRegistry::new();
+        let update_task = obs.task("update");
+        let get_task = obs.task("get");
+        obs.state("kv").instances.set(1);
         NaiadKvStore {
             cfg,
             state: HashMap::new(),
             state_bytes: 0,
             last_checkpoint: Instant::now(),
             pending: Vec::new(),
-            latencies: Histogram::new(),
-            checkpoints_taken: 0,
+            obs,
+            update_task,
+            get_task,
         }
     }
 
@@ -92,17 +100,41 @@ impl NaiadKvStore {
 
     /// Number of synchronous checkpoints taken so far.
     pub fn checkpoints_taken(&self) -> u64 {
-        self.checkpoints_taken
+        self.obs.checkpoints().taken.get()
+    }
+
+    /// Per-request latencies (batching delay + processing + checkpoint
+    /// stalls show up here). The same histogram feeds the snapshot's
+    /// `e2e_latency` summary.
+    pub fn latencies(&self) -> &Histogram {
+        self.obs.e2e_latency()
+    }
+
+    /// Resets timing histograms after warm-up, keeping counters.
+    pub fn reset_observations(&self) {
+        self.obs.reset_observations();
+    }
+
+    /// Freezes the engine's instruments into the shared snapshot schema.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let s = self.obs.state("kv");
+        s.instances.set(1);
+        s.bytes.set(self.state_bytes as u64);
+        self.update_task.queue_depth.set(self.pending.len() as u64);
+        self.obs.snapshot()
     }
 
     /// Reads a key (served from mutable state, no batching).
     pub fn get(&self, key: i64) -> Option<&[u8]> {
+        self.get_task.items_in.inc();
+        self.get_task.processed.inc();
         self.state.get(&key).map(Vec::as_slice)
     }
 
     /// Enqueues an update; the batch executes when full. Returns the batch
     /// stats when a batch was flushed.
     pub fn update(&mut self, key: i64, value: Vec<u8>) -> Option<Duration> {
+        self.update_task.items_in.inc();
         self.pending.push((key, value));
         if self.pending.len() >= self.cfg.batch_size {
             Some(self.flush())
@@ -138,9 +170,12 @@ impl NaiadKvStore {
         }
         let elapsed = start.elapsed();
         // All requests in the batch observe the batch's full latency.
+        self.update_task.service.record_duration(elapsed);
+        self.update_task.processed.add(n as u64);
         let per_request = elapsed;
         for _ in 0..n {
-            self.latencies.record_duration(per_request);
+            self.update_task.latency.record_duration(per_request);
+            self.obs.e2e_latency().record_duration(per_request);
         }
         elapsed
     }
@@ -149,6 +184,11 @@ impl NaiadKvStore {
     /// the world for the duration. Returns the pause length.
     pub fn synchronous_checkpoint(&mut self) -> Duration {
         let start = Instant::now();
+        let seq = self.obs.checkpoints().taken.get();
+        self.obs.record_event(EventKind::CheckpointBegin {
+            instance: "kv#0".to_string(),
+            seq,
+        });
         // Serialise everything (real work proportional to state size).
         let mut snapshot = Vec::with_capacity(self.state_bytes + self.state.len() * 16);
         for (k, v) in &self.state {
@@ -164,8 +204,20 @@ impl NaiadKvStore {
         }
         std::hint::black_box(&snapshot);
         self.last_checkpoint = Instant::now();
-        self.checkpoints_taken += 1;
-        start.elapsed()
+        let elapsed = start.elapsed();
+        let ckpt = self.obs.checkpoints();
+        ckpt.taken.inc();
+        ckpt.bytes.add(snapshot.len() as u64);
+        // A stop-the-world checkpoint is all barrier: the whole pause is
+        // spent synchronised, which is what the sync-phase timer captures.
+        ckpt.sync_ns.record_duration(elapsed);
+        self.obs.state("kv").checkpoints.inc();
+        self.obs.record_event(EventKind::CheckpointBackup {
+            instance: "kv#0".to_string(),
+            seq,
+            bytes: snapshot.len() as u64,
+        });
+        elapsed
     }
 }
 
@@ -177,20 +229,37 @@ impl NaiadKvStore {
 pub struct NaiadWordCount {
     cfg: NaiadConfig,
     counts: HashMap<String, u64>,
+    obs: MetricsRegistry,
+    count_task: Arc<TaskInstruments>,
 }
 
 impl NaiadWordCount {
     /// Creates a wordcount with the given configuration.
     pub fn new(cfg: NaiadConfig) -> Self {
+        let obs = MetricsRegistry::new();
+        let count_task = obs.task("count");
+        obs.state("counts").instances.set(1);
         NaiadWordCount {
             cfg,
             counts: HashMap::new(),
+            obs,
+            count_task,
         }
     }
 
     /// Returns the count of `word`.
     pub fn count(&self, word: &str) -> u64 {
         self.counts.get(word).copied().unwrap_or(0)
+    }
+
+    /// Freezes the engine's instruments into the shared snapshot schema.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let s = self.obs.state("counts");
+        s.instances.set(1);
+        // Count table footprint: key characters plus an 8-byte counter.
+        let bytes: usize = self.counts.keys().map(|k| k.len() + 8).sum();
+        s.bytes.set(bytes as u64);
+        self.obs.snapshot()
     }
 
     /// Processes one batch (of the configured size) drawn from `vocab`,
@@ -205,7 +274,11 @@ impl NaiadWordCount {
             let word = &vocab[i % vocab.len()];
             *self.counts.entry(word.clone()).or_insert(0) += 1;
         }
-        start.elapsed()
+        let elapsed = start.elapsed();
+        self.count_task.items_in.add(self.cfg.batch_size as u64);
+        self.count_task.processed.add(self.cfg.batch_size as u64);
+        self.count_task.service.record_duration(elapsed);
+        elapsed
     }
 
     /// Returns the throughput (items/s) when the window admits the batch
@@ -252,8 +325,14 @@ mod tests {
         assert!(kv.get(1).is_none(), "not yet flushed");
         assert!(kv.update(3, vec![3]).is_some());
         assert_eq!(kv.get(1), Some(&[1u8][..]));
-        assert_eq!(kv.latencies.count(), 3);
+        assert_eq!(kv.latencies().count(), 3);
         assert!(kv.state_bytes() > 0);
+        let snap = kv.metrics();
+        let update = snap.task("update").expect("update task stats");
+        assert_eq!(update.items_in, 3);
+        assert_eq!(update.processed, 3);
+        assert_eq!(snap.task("get").expect("get task stats").items_in, 2);
+        assert!(snap.state("kv").expect("kv state stats").bytes > 0);
     }
 
     #[test]

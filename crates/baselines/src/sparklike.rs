@@ -9,7 +9,10 @@
 //! The SDG counterpart keeps its TEs materialised and pipelined, so it
 //! skips the per-iteration re-instantiation — the gap Fig. 9 shows.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use sdg_common::obs::{MetricsRegistry, MetricsSnapshot, TaskInstruments};
 
 /// One labelled example.
 #[derive(Debug, Clone)]
@@ -63,12 +66,30 @@ pub struct LrRunStats {
 #[derive(Debug)]
 pub struct SparkLikeLogisticRegression {
     cfg: SparkLikeConfig,
+    obs: MetricsRegistry,
+    iter_task: Arc<TaskInstruments>,
 }
 
 impl SparkLikeLogisticRegression {
     /// Creates an engine.
     pub fn new(cfg: SparkLikeConfig) -> Self {
-        SparkLikeLogisticRegression { cfg }
+        let obs = MetricsRegistry::new();
+        let iter_task = obs.task("iteration");
+        iter_task.instances.set(cfg.nodes as u64);
+        // The broadcast weight vector is the engine's only "state"; it is
+        // rebuilt (not mutated) every iteration, which is the point of the
+        // comparison.
+        obs.state("weights").instances.set(1);
+        SparkLikeLogisticRegression {
+            cfg,
+            obs,
+            iter_task,
+        }
+    }
+
+    /// Freezes the engine's instruments into the shared snapshot schema.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Runs `iterations` of gradient descent over `partitions` of examples.
@@ -88,8 +109,10 @@ impl SparkLikeLogisticRegression {
         let bytes_per_iteration = total_examples * dims * 8;
 
         let mut weights = vec![0.0f64; dims];
+        self.obs.state("weights").bytes.set((dims * 8) as u64);
         let start = Instant::now();
         for _ in 0..iterations {
+            let iter_start = Instant::now();
             // Schedule: one fresh task per partition per node slot; each
             // launch pays the fixed cost (tasks are not reused).
             let gradients: Vec<Vec<f64>> = std::thread::scope(|scope| {
@@ -132,6 +155,12 @@ impl SparkLikeLogisticRegression {
                 }
             }
             weights = next;
+            self.iter_task.items_in.add(total_examples as u64);
+            self.iter_task.processed.add(total_examples as u64);
+            self.iter_task.service.record_duration(iter_start.elapsed());
+            // Each iteration replaces the broadcast state wholesale — the
+            // stateless engine's analogue of a checkpointed version.
+            self.obs.state("weights").checkpoints.inc();
         }
         let elapsed = start.elapsed();
         LrRunStats {
@@ -237,6 +266,13 @@ mod tests {
             correct
         );
         assert!(stats.throughput_bps > 0.0);
+        let snap = engine.metrics();
+        let iter = snap.task("iteration").expect("iteration task stats");
+        assert_eq!(iter.processed, 2_000 * 30);
+        assert_eq!(iter.service.count, 30);
+        let weights = snap.state("weights").expect("weights state stats");
+        assert_eq!(weights.checkpoints, 30, "one broadcast per iteration");
+        assert_eq!(weights.bytes, 8 * 8);
     }
 
     #[test]

@@ -1,18 +1,39 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment>... [--full]
+//! repro <experiment>... [--full] [--metrics json|text]
 //!
 //! experiments: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 all
-//! --full       larger state sizes and longer runs (default: quick)
+//! --full           larger state sizes and longer runs (default: quick)
+//! --metrics json   after each experiment, print one JSON line per engine
+//!                  snapshot: {"experiment":...,"label":...,"metrics":{...}}
+//! --metrics text   same, rendered as human-readable reports
 //! ```
 
 use std::time::Instant;
 
 use sdg_bench::{
     fig10_stragglers, fig11_recovery, fig12_sync_async, fig13_overhead, fig5_cf_ratio,
-    fig6_state_size, fig7_kv_scale, fig8_wc_window, fig9_lr_scale, table1, Scale,
+    fig6_state_size, fig7_kv_scale, fig8_wc_window, fig9_lr_scale, table1, util, Scale,
 };
+use sdg_common::obs::json::escape;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsMode {
+    Json,
+    Text,
+}
+
+fn parse_metrics_mode(v: &str) -> MetricsMode {
+    match v {
+        "json" => MetricsMode::Json,
+        "text" => MetricsMode::Text,
+        other => {
+            eprintln!("--metrics expects `json` or `text`, got `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,11 +42,23 @@ fn main() {
     } else {
         Scale::Quick
     };
-    let mut selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut metrics: Option<MetricsMode> = None;
+    let mut selected: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(v) = a.strip_prefix("--metrics=") {
+            metrics = Some(parse_metrics_mode(v));
+        } else if a == "--metrics" {
+            i += 1;
+            metrics = Some(parse_metrics_mode(
+                args.get(i).map(String::as_str).unwrap_or(""),
+            ));
+        } else if !a.starts_with("--") {
+            selected.push(a);
+        }
+        i += 1;
+    }
     if selected.is_empty() || selected.contains(&"all") {
         selected = vec![
             "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
@@ -53,6 +86,25 @@ fn main() {
                 eprintln!("unknown experiment `{other}`; see --help in the module docs");
                 std::process::exit(2);
             }
+        }
+        let snapshots = util::drain_snapshots();
+        match metrics {
+            Some(MetricsMode::Json) => {
+                for (label, snap) in &snapshots {
+                    println!(
+                        "{{\"experiment\":\"{name}\",\"label\":{},\"metrics\":{}}}",
+                        escape(label),
+                        snap.to_json()
+                    );
+                }
+            }
+            Some(MetricsMode::Text) => {
+                for (label, snap) in &snapshots {
+                    println!("== {name} / {label} ==");
+                    print!("{}", snap.to_text());
+                }
+            }
+            None => {}
         }
         println!("[{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
     }

@@ -14,11 +14,11 @@ use std::time::{Duration, Instant};
 
 use sdg_apps::cf::CF_SOURCE;
 use sdg_apps::workloads::ratings;
+use sdg_common::obs::{EventKind, ObsEvent};
 use sdg_common::record;
 use sdg_common::value::Value;
 use sdg_core::SdgProgram;
 use sdg_runtime::config::{ClusterSpec, NodeSpec, RuntimeConfig, ScalingConfig};
-use sdg_runtime::scaling::ScaleEvent;
 
 use crate::util::fmt_rate;
 use crate::Scale;
@@ -39,8 +39,9 @@ pub struct Fig10Sample {
 pub struct Fig10Result {
     /// Throughput/instances samples.
     pub timeline: Vec<Fig10Sample>,
-    /// Scale-out events with their placement.
-    pub events: Vec<ScaleEvent>,
+    /// Structured scale-out events (with bottleneck detections) from the
+    /// deployment's event log.
+    pub events: Vec<ObsEvent>,
 }
 
 /// Runs the straggler experiment.
@@ -56,9 +57,9 @@ pub fn run(scale: Scale) -> Fig10Result {
 
     // The CF graph occupies nodes 0-2; the first scale-out lands on node 3,
     // which is the slow machine (speed 0.3).
-    let mut cfg = RuntimeConfig {
-        channel_capacity: 64,
-        cluster: ClusterSpec {
+    let cfg = RuntimeConfig::builder()
+        .channel_capacity(64)
+        .cluster(ClusterSpec {
             nodes: vec![
                 NodeSpec { speed: 1.0 },
                 NodeSpec { speed: 1.0 },
@@ -67,17 +68,16 @@ pub fn run(scale: Scale) -> Fig10Result {
                 NodeSpec { speed: 1.0 },
                 NodeSpec { speed: 1.0 },
             ],
-        },
-        scaling: ScalingConfig {
+        })
+        .scaling(ScalingConfig {
             enabled: true,
             check_interval: Duration::from_millis(100),
             high_watermark: 0.5,
             patience: 2,
             max_instances: 4,
-        },
-        ..Default::default()
-    };
-    cfg.work_ns.insert(bottleneck, scale.pick(150_000, 300_000));
+        })
+        .work_ns(bottleneck, scale.pick(150_000, 300_000))
+        .build();
     let deployment = Arc::new(program.deploy(cfg).expect("deploy CF"));
 
     // Preload a few ratings so the matrices are non-trivial.
@@ -124,22 +124,37 @@ pub fn run(scale: Scale) -> Fig10Result {
     let sample_every = Duration::from_millis(250);
     let mut timeline = Vec::new();
     let started = Instant::now();
-    let mut last_processed = deployment.processed(bottleneck);
+    let sample = |d: &sdg_runtime::deploy::Deployment| -> (u64, u32) {
+        let snap = d.metrics();
+        let t = snap.task_by_id(bottleneck).expect("bottleneck task stats");
+        (t.processed, t.instances as u32)
+    };
+    let (mut last_processed, _) = sample(&deployment);
     while started.elapsed() < duration {
         std::thread::sleep(sample_every);
-        let now_processed = deployment.processed(bottleneck);
+        let (now_processed, instances) = sample(&deployment);
         let delta = now_processed - last_processed;
         last_processed = now_processed;
         timeline.push(Fig10Sample {
             at: started.elapsed(),
             throughput: delta as f64 / sample_every.as_secs_f64(),
-            instances: deployment.instance_count(bottleneck) as u32,
+            instances,
         });
     }
     stop.store(true, Ordering::Release);
     let _ = feeder.join();
     let _ = deployment.quiesce(Duration::from_secs(60));
-    let events = deployment.scale_events();
+    let events: Vec<ObsEvent> = deployment
+        .events()
+        .into_iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::ScaleOut { .. } | EventKind::BottleneckDetected { .. }
+            )
+        })
+        .collect();
+    crate::util::publish_snapshot("sdg-cf straggler", deployment.metrics());
     Arc::try_unwrap(deployment)
         .ok()
         .expect("feeder joined")
@@ -161,13 +176,21 @@ pub fn print(result: &Fig10Result) {
     }
     println!("scale events:");
     for e in &result.events {
-        println!(
-            "  t={:.2}s task {} -> {} instances (node n{})",
-            e.at.as_secs_f64(),
-            e.task,
-            e.instances,
-            e.node
-        );
+        match &e.kind {
+            EventKind::ScaleOut {
+                task,
+                instances,
+                node,
+            } => println!(
+                "  t={:.2}s task {task} -> {instances} instances (node n{node})",
+                e.at.as_secs_f64(),
+            ),
+            EventKind::BottleneckDetected { task, fill } => println!(
+                "  t={:.2}s bottleneck {task} (queue fill {fill:.2})",
+                e.at.as_secs_f64(),
+            ),
+            _ => {}
+        }
     }
 }
 

@@ -12,9 +12,10 @@ use std::time::{Duration, Instant};
 use sdg_checkpoint::backup::BackupStore;
 use sdg_checkpoint::cell::StateCell;
 use sdg_checkpoint::config::CheckpointConfig;
-use sdg_checkpoint::coordinator::take_checkpoint;
-use sdg_checkpoint::recovery::{restore_state_with, RestoreOptions};
+use sdg_checkpoint::coordinator::take_checkpoint_observed;
+use sdg_checkpoint::recovery::{restore_state_observed, RestoreOptions};
 use sdg_common::ids::{EdgeId, InstanceId, TaskId};
+use sdg_common::obs::MetricsRegistry;
 use sdg_common::value::{Key, Value};
 use sdg_state::store::StateType;
 
@@ -73,19 +74,20 @@ pub fn run(scale: Scale) -> Vec<Fig11Row> {
                     )
                 })
                 .collect();
-            let cfg = CheckpointConfig {
-                backup_fanout: m,
-                chunks: 16.max(m),
-                serialise_threads: 4,
-                ..CheckpointConfig::default()
-            };
-            let set = take_checkpoint(
+            let obs = MetricsRegistry::new();
+            let cfg = CheckpointConfig::builder()
+                .backup_fanout(m)
+                .chunks(16.max(m))
+                .serialise_threads(4)
+                .build();
+            let set = take_checkpoint_observed(
                 &cell,
                 InstanceId::new(TaskId(0), 0),
                 1,
                 Vec::new,
                 &stores,
                 &cfg,
+                Some(obs.checkpoints()),
             )
             .expect("checkpoint");
 
@@ -94,13 +96,14 @@ pub fn run(scale: Scale) -> Vec<Fig11Row> {
             let mut times: Vec<Duration> = (0..3)
                 .map(|_| {
                     let t0 = Instant::now();
-                    let restored = restore_state_with(
+                    let restored = restore_state_observed(
                         &set,
                         &stores,
                         n,
                         RestoreOptions {
                             rebuild_bps: Some(rebuild_bps),
                         },
+                        Some(obs.checkpoints()),
                     )
                     .expect("restore");
                     assert_eq!(restored.len(), n);
@@ -108,6 +111,7 @@ pub fn run(scale: Scale) -> Vec<Fig11Row> {
                 })
                 .collect();
             times.sort();
+            crate::util::publish_snapshot(&format!("ckpt {m}-to-{n} {mb}MB"), obs.snapshot());
             rows.push(Fig11Row {
                 state_bytes: set.state_bytes,
                 m,

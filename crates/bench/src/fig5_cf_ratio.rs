@@ -44,6 +44,7 @@ pub fn run(scale: Scale) -> Vec<Fig5Row> {
         assert!(app.quiesce(Duration::from_secs(60)), "preload must drain");
 
         let drainer = OutputDrainer::start(app.deployment());
+        app.deployment().reset_observations();
         let stream = ratings(ops, users, items, 43);
         let user_dist = Zipf::new(users, 0.8);
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
@@ -62,12 +63,14 @@ pub fn run(scale: Scale) -> Vec<Fig5Row> {
         }
         assert!(app.quiesce(Duration::from_secs(120)), "mix must drain");
         let elapsed = t0.elapsed();
-        let (_seen, latency) = drainer.finish();
+        drainer.finish();
+        let snapshot = app.deployment().metrics();
         rows.push(Fig5Row {
             ratio,
             throughput: submitted as f64 / elapsed.as_secs_f64(),
-            latency,
+            latency: snapshot.e2e_latency,
         });
+        crate::util::publish_snapshot(&format!("sdg-cf {}:{}", ratio.0, ratio.1), snapshot);
         app.shutdown();
     }
     rows

@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use sdg_apps::kv::KvApp;
 use sdg_baselines::naiadlike::{NaiadCheckpointTarget, NaiadConfig, NaiadKvStore};
+use sdg_checkpoint::config::CheckpointConfig;
 use sdg_common::metrics::Summary;
 use sdg_runtime::config::RuntimeConfig;
 
@@ -92,14 +93,19 @@ pub fn measure_sdg_kv_median(m: &KvMeasure, trials: usize) -> EnginePoint {
 /// wall-clock window (so several checkpoint cycles are captured). Also
 /// used by the Fig. 12 and Fig. 13 experiments.
 pub fn measure_sdg_kv(m: &KvMeasure) -> EnginePoint {
-    let mut cfg = RuntimeConfig::default();
-    cfg.checkpoint.enabled = m.ckpt_interval.is_some();
-    cfg.checkpoint.interval = m.ckpt_interval.unwrap_or(Duration::from_secs(3600));
-    cfg.checkpoint.synchronous = m.synchronous;
     // Checkpoints stream to a simulated 150 MB/s disk. Asynchronous mode
     // hides the write behind processing; synchronous mode stalls for it.
-    cfg.checkpoint.disk_write_bps = Some(150_000_000);
-    cfg.channel_capacity = m.channel_capacity;
+    let cfg = RuntimeConfig::builder()
+        .channel_capacity(m.channel_capacity)
+        .checkpoint(
+            CheckpointConfig::builder()
+                .enabled(m.ckpt_interval.is_some())
+                .interval(m.ckpt_interval.unwrap_or(Duration::from_secs(3600)))
+                .synchronous(m.synchronous)
+                .disk_write_bps(Some(150_000_000))
+                .build(),
+        )
+        .build();
     let app = KvApp::start_tuned(1, m.per_request, cfg).expect("deploy KV");
     let keys = (m.state_bytes / m.value_bytes).max(1);
     let payload = "x".repeat(m.value_bytes);
@@ -124,7 +130,7 @@ pub fn measure_sdg_kv(m: &KvMeasure) -> EnginePoint {
         app.put_ack((ops % keys) as i64, &payload).expect("warmup");
         ops += 1;
     }
-    drainer.histogram().reset();
+    app.deployment().reset_observations();
     let t0 = Instant::now();
     let mut ops = 0usize;
     while t0.elapsed() < m.measure {
@@ -133,11 +139,13 @@ pub fn measure_sdg_kv(m: &KvMeasure) -> EnginePoint {
     }
     assert!(app.quiesce(Duration::from_secs(600)));
     let elapsed = t0.elapsed();
-    let (_, latency) = drainer.finish();
+    drainer.finish();
+    let snapshot = app.deployment().metrics();
     let point = EnginePoint {
         throughput: ops as f64 / elapsed.as_secs_f64(),
-        latency,
+        latency: snapshot.e2e_latency,
     };
+    crate::util::publish_snapshot("sdg-kv", snapshot);
     app.shutdown();
     point
 }
@@ -160,7 +168,7 @@ fn measure_naiad(
         kv.update(k as i64, vec![0u8; VALUE_BYTES]);
     }
     kv.flush();
-    kv.latencies.reset();
+    kv.reset_observations();
 
     let t0 = Instant::now();
     let mut ops = 0usize;
@@ -170,10 +178,13 @@ fn measure_naiad(
     }
     kv.flush();
     let elapsed = t0.elapsed();
-    EnginePoint {
+    let snapshot = kv.metrics();
+    let point = EnginePoint {
         throughput: ops as f64 / elapsed.as_secs_f64(),
-        latency: kv.latencies.summary(),
-    }
+        latency: snapshot.e2e_latency,
+    };
+    crate::util::publish_snapshot("naiad-kv", snapshot);
+    point
 }
 
 /// Runs the state-size sweep.

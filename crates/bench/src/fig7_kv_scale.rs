@@ -61,6 +61,7 @@ pub fn run(scale: Scale) -> Vec<Fig7Row> {
             // One submitter thread per partition drives aggregate load;
             // every 16th request is a read so latency is observable.
             let drainer = OutputDrainer::start(app.deployment());
+            app.deployment().reset_observations();
             let total_ops = ops_per_partition * partitions;
             let threads = partitions.min(8);
             let t0 = Instant::now();
@@ -99,14 +100,16 @@ pub fn run(scale: Scale) -> Vec<Fig7Row> {
             });
             assert!(app.quiesce(Duration::from_secs(300)));
             let elapsed = t0.elapsed();
-            let (_, read_latency) = drainer.finish();
+            drainer.finish();
+            let snapshot = app.deployment().metrics();
 
             let row = Fig7Row {
                 partitions,
                 total_state_bytes,
                 throughput: total_ops as f64 / elapsed.as_secs_f64(),
-                read_latency,
+                read_latency: snapshot.e2e_latency,
             };
+            crate::util::publish_snapshot(&format!("sdg-kv {partitions}p"), snapshot);
             Arc::try_unwrap(app)
                 .map(KvApp::shutdown)
                 .ok()

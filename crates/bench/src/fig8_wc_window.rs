@@ -44,6 +44,7 @@ pub fn sdg_throughput(scale: Scale) -> f64 {
     }
     assert!(app.quiesce(Duration::from_secs(300)));
     let rate = words as f64 / t0.elapsed().as_secs_f64();
+    crate::util::publish_snapshot("sdg-wc", app.deployment().metrics());
     app.shutdown();
     rate
 }
@@ -91,6 +92,11 @@ pub fn run(scale: Scale) -> Vec<Fig8Row> {
                 ..NaiadConfig::default()
             });
             let naiad_high = high.sustainable_throughput(window, &vocab);
+
+            let win = format!("{window:?}");
+            crate::util::publish_snapshot(&format!("microbatch-wc {win}"), spark.metrics());
+            crate::util::publish_snapshot(&format!("naiad-wc-low {win}"), low.metrics());
+            crate::util::publish_snapshot(&format!("naiad-wc-high {win}"), high.metrics());
 
             Fig8Row {
                 window,

@@ -82,6 +82,7 @@ pub fn run(scale: Scale) -> Vec<Fig9Row> {
             assert!(app.quiesce(Duration::from_secs(600)));
             let sdg_bytes = examples * dims * 8 * iterations;
             let sdg_mbps = sdg_bytes as f64 / t0.elapsed().as_secs_f64() / 1e6;
+            crate::util::publish_snapshot(&format!("sdg-lr {nodes}n"), app.deployment().metrics());
             Arc::try_unwrap(app)
                 .map(LrApp::shutdown)
                 .ok()
@@ -93,14 +94,15 @@ pub fn run(scale: Scale) -> Vec<Fig9Row> {
             let dataset = synthetic_dataset(examples, dims, 16, 17);
             // Both engines get the same 40 µs per-example service time; the
             // difference is scheduling per iteration vs pipelining.
-            let stats = SparkLikeLogisticRegression::new(SparkLikeConfig {
+            let engine = SparkLikeLogisticRegression::new(SparkLikeConfig {
                 nodes,
                 task_launch: Duration::from_millis(25),
                 per_example: Duration::from_micros(40),
                 learning_rate: 0.5,
-            })
-            .run(&dataset, iterations);
+            });
+            let stats = engine.run(&dataset, iterations);
             let spark_mbps = stats.throughput_bps / 1e6;
+            crate::util::publish_snapshot(&format!("sparklike-lr {nodes}n"), engine.metrics());
 
             Fig9Row {
                 nodes,

@@ -1,12 +1,32 @@
 //! Shared measurement utilities for the experiments.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use sdg_common::metrics::{Histogram, Summary};
+use sdg_common::metrics::Summary;
+use sdg_common::obs::MetricsSnapshot;
 use sdg_runtime::deploy::Deployment;
+
+/// Snapshots published by experiments since the last drain, labelled by
+/// engine. The `repro` binary drains this after each experiment when
+/// `--metrics` is requested.
+static SNAPSHOTS: Mutex<Vec<(String, MetricsSnapshot)>> = Mutex::new(Vec::new());
+
+/// Publishes an engine's metrics snapshot under `label` for the harness
+/// to render after the experiment finishes (`repro --metrics json|text`).
+pub fn publish_snapshot(label: &str, snapshot: MetricsSnapshot) {
+    SNAPSHOTS
+        .lock()
+        .expect("snapshot collector")
+        .push((label.to_string(), snapshot));
+}
+
+/// Removes and returns every snapshot published since the last call.
+pub fn drain_snapshots() -> Vec<(String, MetricsSnapshot)> {
+    std::mem::take(&mut *SNAPSHOTS.lock().expect("snapshot collector"))
+}
 
 /// Formats a byte count as a human-readable string.
 pub fn fmt_bytes(bytes: usize) -> String {
@@ -42,66 +62,49 @@ pub fn fmt_latency(s: &Summary) -> String {
     )
 }
 
-/// A background thread draining a deployment's output sink into a latency
-/// histogram (client-visible request latencies).
+/// A background thread draining a deployment's output sink so submitters
+/// never stall on a full output channel. Client-visible latencies are
+/// recorded by the runtime itself — read them from the deployment's
+/// [`MetricsSnapshot::e2e_latency`] — so the drainer only counts events.
 pub struct OutputDrainer {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<u64>>,
-    histogram: Arc<Histogram>,
 }
 
 impl OutputDrainer {
     /// Starts draining `deployment`'s outputs.
     pub fn start(deployment: &Deployment) -> OutputDrainer {
         let stop = Arc::new(AtomicBool::new(false));
-        let histogram = Arc::new(Histogram::new());
         let rx = deployment.outputs().clone();
-        let h = Arc::clone(&histogram);
         let s = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
             let mut seen = 0u64;
             while !s.load(Ordering::Acquire) {
                 match rx.recv_timeout(Duration::from_millis(20)) {
-                    Ok(event) => {
-                        seen += 1;
-                        if let Some(latency) = event.latency {
-                            h.record_duration(latency);
-                        }
-                    }
+                    Ok(_) => seen += 1,
                     Err(_) => continue,
                 }
             }
             // Drain whatever is left without blocking.
-            while let Ok(event) = rx.try_recv() {
+            while rx.try_recv().is_ok() {
                 seen += 1;
-                if let Some(latency) = event.latency {
-                    h.record_duration(latency);
-                }
             }
             seen
         });
         OutputDrainer {
             stop,
             handle: Some(handle),
-            histogram,
         }
     }
 
-    /// The latency histogram being filled.
-    pub fn histogram(&self) -> &Histogram {
-        &self.histogram
-    }
-
-    /// Stops draining and returns (outputs seen, latency summary).
-    pub fn finish(mut self) -> (u64, Summary) {
+    /// Stops draining and returns the number of outputs seen.
+    pub fn finish(mut self) -> u64 {
         self.stop.store(true, Ordering::Release);
-        let seen = self
-            .handle
+        self.handle
             .take()
             .expect("finish called once")
             .join()
-            .unwrap_or(0);
-        (seen, self.histogram.summary())
+            .unwrap_or(0)
     }
 }
 
@@ -117,6 +120,7 @@ impl Drop for OutputDrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sdg_common::metrics::Histogram;
 
     #[test]
     fn byte_and_rate_formatting() {

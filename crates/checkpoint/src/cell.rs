@@ -74,6 +74,12 @@ impl StateCell {
     pub fn approx_bytes(&self) -> usize {
         self.inner.lock().store.approx_bytes()
     }
+
+    /// Returns the approximate bytes held by the dirty overlay (0 when no
+    /// checkpoint is in flight).
+    pub fn dirty_bytes(&self) -> usize {
+        self.inner.lock().store.dirty_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,26 @@ impl CheckpointConfig {
         }
     }
 
+    /// Starts a chained builder from the default configuration:
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use sdg_checkpoint::config::CheckpointConfig;
+    ///
+    /// let cfg = CheckpointConfig::builder()
+    ///     .interval(Duration::from_secs(2))
+    ///     .backup_fanout(4)
+    ///     .chunks(16)
+    ///     .build();
+    /// assert!(cfg.enabled);
+    /// assert_eq!(cfg.backup_fanout, 4);
+    /// ```
+    pub fn builder() -> CheckpointConfigBuilder {
+        CheckpointConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> SdgResult<()> {
         if !self.enabled {
@@ -82,9 +102,96 @@ impl CheckpointConfig {
     }
 }
 
+/// Chained builder for [`CheckpointConfig`] (see
+/// [`CheckpointConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointConfigBuilder {
+    cfg: CheckpointConfig,
+}
+
+impl CheckpointConfigBuilder {
+    /// Turns checkpointing on or off.
+    pub fn enabled(mut self, on: bool) -> Self {
+        self.cfg.enabled = on;
+        self
+    }
+
+    /// Sets the per-instance checkpoint interval.
+    pub fn interval(mut self, interval: Duration) -> Self {
+        self.cfg.interval = interval;
+        self
+    }
+
+    /// Selects synchronous (stop-the-world) mode.
+    pub fn synchronous(mut self, on: bool) -> Self {
+        self.cfg.synchronous = on;
+        self
+    }
+
+    /// Sets the backup-store fanout (`m`).
+    pub fn backup_fanout(mut self, m: usize) -> Self {
+        self.cfg.backup_fanout = m;
+        self
+    }
+
+    /// Sets the chunk count per checkpoint.
+    pub fn chunks(mut self, n: usize) -> Self {
+        self.cfg.chunks = n;
+        self
+    }
+
+    /// Sets the serialisation thread-pool size.
+    pub fn serialise_threads(mut self, n: usize) -> Self {
+        self.cfg.serialise_threads = n;
+        self
+    }
+
+    /// Sets the simulated per-store disk write bandwidth (`None` =
+    /// unthrottled).
+    pub fn disk_write_bps(mut self, bps: Option<u64>) -> Self {
+        self.cfg.disk_write_bps = bps;
+        self
+    }
+
+    /// Sets the simulated per-store disk read bandwidth (`None` =
+    /// unthrottled).
+    pub fn disk_read_bps(mut self, bps: Option<u64>) -> Self {
+        self.cfg.disk_read_bps = bps;
+        self
+    }
+
+    /// Finishes the chain. Consistency is still checked by
+    /// [`CheckpointConfig::validate`] at deploy time.
+    pub fn build(self) -> CheckpointConfig {
+        self.cfg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_chains_every_knob() {
+        let cfg = CheckpointConfig::builder()
+            .enabled(true)
+            .interval(Duration::from_millis(250))
+            .synchronous(true)
+            .backup_fanout(3)
+            .chunks(9)
+            .serialise_threads(4)
+            .disk_write_bps(Some(1_000_000))
+            .disk_read_bps(Some(2_000_000))
+            .build();
+        assert!(cfg.enabled && cfg.synchronous);
+        assert_eq!(cfg.interval, Duration::from_millis(250));
+        assert_eq!(cfg.backup_fanout, 3);
+        assert_eq!(cfg.chunks, 9);
+        assert_eq!(cfg.serialise_threads, 4);
+        assert_eq!(cfg.disk_write_bps, Some(1_000_000));
+        assert_eq!(cfg.disk_read_bps, Some(2_000_000));
+        cfg.validate().unwrap();
+    }
 
     #[test]
     fn default_is_valid() {

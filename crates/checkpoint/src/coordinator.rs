@@ -16,9 +16,11 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use sdg_common::error::{SdgError, SdgResult};
 use sdg_common::ids::{EdgeId, InstanceId};
+use sdg_common::obs::CheckpointInstruments;
 use sdg_state::entry::partition_entries;
 
 use crate::backup::{encode_entries, BackupSet, BackupStore, ChunkKey};
@@ -46,6 +48,48 @@ pub fn take_checkpoint(
     stores: &[Arc<BackupStore>],
     cfg: &CheckpointConfig,
 ) -> SdgResult<BackupSet> {
+    take_checkpoint_observed(cell, instance, seq, capture_outputs, stores, cfg, None)
+}
+
+/// [`take_checkpoint`] with an optional observability probe.
+///
+/// When `obs` is given, the protocol's phase timings land in its
+/// histograms — `snapshot_ns` (lock-held initiation), `persist_ns`
+/// (off-path serialise + backup), `consolidate_ns` (lock-held overlay
+/// fold), or `sync_ns` (the whole stop-the-world span in synchronous
+/// mode) — and `taken`/`failed`/`bytes` are counted.
+pub fn take_checkpoint_observed(
+    cell: &StateCell,
+    instance: InstanceId,
+    seq: u64,
+    capture_outputs: impl FnOnce() -> Vec<(EdgeId, Vec<BufferedItem>)>,
+    stores: &[Arc<BackupStore>],
+    cfg: &CheckpointConfig,
+    obs: Option<&CheckpointInstruments>,
+) -> SdgResult<BackupSet> {
+    let result = take_checkpoint_inner(cell, instance, seq, capture_outputs, stores, cfg, obs);
+    if let Some(obs) = obs {
+        match &result {
+            Ok(set) => {
+                obs.taken.inc();
+                obs.bytes.add(set.state_bytes as u64);
+            }
+            Err(_) => obs.failed.inc(),
+        }
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn take_checkpoint_inner(
+    cell: &StateCell,
+    instance: InstanceId,
+    seq: u64,
+    capture_outputs: impl FnOnce() -> Vec<(EdgeId, Vec<BufferedItem>)>,
+    stores: &[Arc<BackupStore>],
+    cfg: &CheckpointConfig,
+    obs: Option<&CheckpointInstruments>,
+) -> SdgResult<BackupSet> {
     cfg.validate()?;
     if stores.is_empty() {
         return Err(SdgError::Recovery("no backup stores configured".into()));
@@ -53,18 +97,28 @@ pub fn take_checkpoint(
     let fanout = cfg.backup_fanout.min(stores.len());
 
     if cfg.synchronous {
-        return take_sync(cell, instance, seq, capture_outputs, stores, fanout, cfg);
+        let t0 = Instant::now();
+        let result = take_sync(cell, instance, seq, capture_outputs, stores, fanout, cfg);
+        if let Some(obs) = obs {
+            obs.sync_ns.record_duration(t0.elapsed());
+        }
+        return result;
     }
 
     // Step 1: O(1) snapshot under the lock; processing resumes on the
     // dirty overlay as soon as the lock drops.
+    let t0 = Instant::now();
     let (snapshot, vector, out_buffers) = cell.with(|inner| {
         let snapshot = inner.store.begin_checkpoint()?;
         Ok::<_, SdgError>((snapshot, inner.vector.clone(), capture_outputs()))
     })?;
+    if let Some(obs) = obs {
+        obs.snapshot_ns.record_duration(t0.elapsed());
+    }
     let state_type = snapshot.state_type();
 
     // Steps 2–4 run off the processing path.
+    let t1 = Instant::now();
     let entries = snapshot.to_entries();
     let chunks = partition_entries(entries, cfg.chunks);
     let result = write_chunks(
@@ -75,9 +129,16 @@ pub fn take_checkpoint(
         fanout,
         cfg.serialise_threads,
     );
+    if let Some(obs) = obs {
+        obs.persist_ns.record_duration(t1.elapsed());
+    }
 
     // Step 5: consolidate even if a write failed, so the cell stays usable.
+    let t2 = Instant::now();
     cell.with(|inner| inner.store.consolidate())?;
+    if let Some(obs) = obs {
+        obs.consolidate_ns.record_duration(t2.elapsed());
+    }
     let (chunk_locations, state_bytes) = result?;
 
     Ok(BackupSet {
@@ -276,6 +337,64 @@ mod tests {
                 .map(|(s, k)| stores[*s].read_chunk(*k).unwrap().len() as u64)
                 .sum::<u64>()
         );
+    }
+
+    #[test]
+    fn observed_checkpoint_records_phase_timings() {
+        let cell = populated_cell(200);
+        let stores = stores(2);
+        let obs = CheckpointInstruments::default();
+
+        // Async mode fills the three async-phase histograms.
+        take_checkpoint_observed(
+            &cell,
+            instance(),
+            1,
+            Vec::new,
+            &stores,
+            &CheckpointConfig::default(),
+            Some(&obs),
+        )
+        .unwrap();
+        assert_eq!(obs.taken.get(), 1);
+        assert!(obs.bytes.get() > 0);
+        assert_eq!(obs.snapshot_ns.count(), 1);
+        assert_eq!(obs.persist_ns.count(), 1);
+        assert_eq!(obs.consolidate_ns.count(), 1);
+        assert_eq!(obs.sync_ns.count(), 0);
+
+        // Synchronous mode records the stop-the-world span instead.
+        let sync_cfg = CheckpointConfig {
+            synchronous: true,
+            ..Default::default()
+        };
+        take_checkpoint_observed(
+            &cell,
+            instance(),
+            2,
+            Vec::new,
+            &stores,
+            &sync_cfg,
+            Some(&obs),
+        )
+        .unwrap();
+        assert_eq!(obs.taken.get(), 2);
+        assert_eq!(obs.sync_ns.count(), 1);
+        assert_eq!(obs.snapshot_ns.count(), 1);
+
+        // Failures are counted, not recorded as taken.
+        let r = take_checkpoint_observed(
+            &cell,
+            instance(),
+            3,
+            Vec::new,
+            &[],
+            &CheckpointConfig::default(),
+            Some(&obs),
+        );
+        assert!(r.is_err());
+        assert_eq!(obs.failed.get(), 1);
+        assert_eq!(obs.taken.get(), 2);
     }
 
     #[test]

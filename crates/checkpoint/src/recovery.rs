@@ -61,6 +61,25 @@ pub fn restore_state(
     restore_state_with(set, stores, n, RestoreOptions::default())
 }
 
+/// [`restore_state_with`] with an optional observability probe: the whole
+/// fetch + rebuild span is recorded into `restore_ns`.
+pub fn restore_state_observed(
+    set: &BackupSet,
+    stores: &[Arc<BackupStore>],
+    n: usize,
+    options: RestoreOptions,
+    obs: Option<&sdg_common::obs::CheckpointInstruments>,
+) -> SdgResult<Vec<(StateStore, VectorTs)>> {
+    let t0 = std::time::Instant::now();
+    let result = restore_state_with(set, stores, n, options);
+    if let Some(obs) = obs {
+        if result.is_ok() {
+            obs.restore_ns.record_duration(t0.elapsed());
+        }
+    }
+    result
+}
+
 /// [`restore_state`] with explicit [`RestoreOptions`].
 pub fn restore_state_with(
     set: &BackupSet,

@@ -12,6 +12,9 @@
 //!   inter-node data items;
 //! - [`metrics`] — counters, gauges and percentile sketches used by the
 //!   runtime monitor and by the benchmark harness;
+//! - [`obs`] — the deployment-wide observability layer: instrument
+//!   registries, the bounded structured event log, and the
+//!   [`obs::MetricsSnapshot`] schema every engine reports through;
 //! - [`error`] — the workspace-wide error type.
 //!
 //! The design corresponds to §3 and §5 of *"Making State Explicit for
@@ -26,6 +29,7 @@ pub mod codec;
 pub mod error;
 pub mod ids;
 pub mod metrics;
+pub mod obs;
 pub mod time;
 pub mod value;
 

@@ -72,6 +72,7 @@ pub struct Histogram {
     buckets: Box<[AtomicU64; BUCKET_COUNT]>,
     count: AtomicU64,
     sum: AtomicU64,
+    min: AtomicU64,
     max: AtomicU64,
 }
 
@@ -94,6 +95,7 @@ impl Histogram {
             buckets,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }
     }
@@ -128,6 +130,7 @@ impl Histogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -141,20 +144,39 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Computes a percentile in `[0, 100]` over the recorded samples.
+    /// Returns the smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Computes a percentile over the recorded samples.
     ///
-    /// Returns 0 when the histogram is empty.
+    /// `p` is clamped into `[0, 100]`: `p <= 0` returns the exact minimum
+    /// recorded sample and `p > 100` behaves like `p = 100`. Returns 0 when
+    /// the histogram is empty.
     pub fn percentile(&self, p: f64) -> u64 {
         let total = self.count();
         if total == 0 {
             return 0;
         }
-        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        if p <= 0.0 {
+            return self.min();
+        }
+        let rank = ((p.min(100.0) / 100.0) * total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (idx, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                return Self::value_of(idx).min(self.max.load(Ordering::Relaxed));
+                // Bucket midpoints can fall outside the observed range;
+                // clamp to the exact extremes.
+                return Self::value_of(idx)
+                    .min(self.max.load(Ordering::Relaxed))
+                    .max(self.min());
             }
         }
         self.max.load(Ordering::Relaxed)
@@ -175,6 +197,7 @@ impl Histogram {
         Summary {
             count: self.count(),
             mean: self.mean(),
+            min: self.min(),
             p5: self.percentile(5.0),
             p25: self.percentile(25.0),
             p50: self.percentile(50.0),
@@ -192,6 +215,7 @@ impl Histogram {
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
     }
 }
@@ -203,6 +227,8 @@ pub struct Summary {
     pub count: u64,
     /// Arithmetic mean.
     pub mean: f64,
+    /// Minimum sample.
+    pub min: u64,
     /// 5th percentile.
     pub p5: u64,
     /// 25th percentile.
@@ -338,6 +364,55 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn percentile_zero_returns_recorded_minimum() {
+        let h = Histogram::new();
+        h.record(700);
+        h.record(1_000);
+        h.record(50_000);
+        // Regression: p=0 used to land in the first non-empty bucket via a
+        // `max(1.0)` rank accident, which reports the bucket midpoint, not
+        // the recorded minimum.
+        assert_eq!(h.percentile(0.0), 700);
+        assert_eq!(h.percentile(-7.5), 700);
+        assert_eq!(h.min(), 700);
+    }
+
+    #[test]
+    fn percentile_above_hundred_clamps_to_max() {
+        let h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(150.0), h.percentile(100.0));
+        assert_eq!(h.percentile(f64::INFINITY), h.percentile(100.0));
+        assert_eq!(h.percentile(100.0), 1_000);
+    }
+
+    #[test]
+    fn percentiles_never_leave_the_observed_range() {
+        let h = Histogram::new();
+        h.record(1_023); // Bucket midpoint is below the sample.
+        for p in [0.0, 5.0, 50.0, 95.0, 100.0, 101.0] {
+            assert_eq!(h.percentile(p), 1_023, "p{p}");
+        }
+        let s = h.summary();
+        assert_eq!(s.min, 1_023);
+        assert_eq!(s.max, 1_023);
+    }
+
+    #[test]
+    fn min_resets_and_is_zero_when_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.percentile(0.0), 0);
+        h.record(42);
+        assert_eq!(h.min(), 42);
+        h.reset();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.summary().min, 0);
     }
 
     #[test]

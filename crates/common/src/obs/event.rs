@@ -1,0 +1,253 @@
+//! The bounded structured event log.
+//!
+//! Control-plane occurrences — scale-outs, straggler detection, checkpoint
+//! phases, failure/recovery phases — are recorded as typed [`ObsEvent`]s
+//! with timestamps monotonic per registry (offsets from registry creation).
+//! The log is bounded: once `capacity` events are held, the oldest is
+//! evicted and counted in [`EventLog::dropped`], so a long-running
+//! deployment never grows without bound.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::metrics::Counter;
+
+/// Default bound on retained events per registry.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// What happened. Task, state and SE-instance labels are plain strings so
+/// the same schema serves the SDG runtime and the baseline engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// The scaling monitor flagged `task` as the pipeline bottleneck
+    /// (saturated queues with no downstream backpressure) — either its TEs
+    /// are computationally expensive or an instance sits on a straggler
+    /// node (§3.3).
+    BottleneckDetected {
+        /// Saturated task.
+        task: String,
+        /// Mean queue fill of its instances in `[0, 1]`.
+        fill: f64,
+    },
+    /// A new TE instance was added to `task`.
+    ScaleOut {
+        /// Scaled task.
+        task: String,
+        /// Instance count after scaling.
+        instances: u32,
+        /// The node the new instance was placed on.
+        node: u32,
+    },
+    /// A partitioned scale-out drained in-flight items behind a barrier
+    /// before repartitioning.
+    RepartitionDrain {
+        /// Task whose producers were paused.
+        task: String,
+        /// How long the drain barrier was held.
+        waited: Duration,
+    },
+    /// Checkpoint of an SE instance started (step 1 of §5's protocol).
+    CheckpointBegin {
+        /// SE instance label, e.g. `kv#0`.
+        instance: String,
+        /// Checkpoint sequence number.
+        seq: u64,
+    },
+    /// A checkpoint's chunks were persisted to the backup stores (steps
+    /// 2–4).
+    CheckpointBackup {
+        /// SE instance label.
+        instance: String,
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Serialised state bytes written.
+        bytes: u64,
+    },
+    /// The dirty overlay was consolidated into the base structure (step 5).
+    CheckpointConsolidate {
+        /// SE instance label.
+        instance: String,
+        /// Checkpoint sequence number.
+        seq: u64,
+    },
+    /// A node failure was injected for an SE instance.
+    FailureInjected {
+        /// SE instance label.
+        instance: String,
+    },
+    /// State was reconstituted from the `m` backup stores (steps R1–R2).
+    RecoveryRestored {
+        /// SE instance label.
+        instance: String,
+        /// Fetch + rebuild time.
+        took: Duration,
+    },
+    /// Upstream output buffers were replayed past the restored watermark
+    /// (step R3).
+    RecoveryReplayed {
+        /// SE instance label.
+        instance: String,
+        /// Items re-sent from upstream buffers.
+        items: u64,
+    },
+    /// End-to-end recovery finished and processing resumed.
+    RecoveryComplete {
+        /// SE instance label.
+        instance: String,
+        /// Pause-to-resume time.
+        took: Duration,
+    },
+}
+
+impl EventKind {
+    /// Stable lowercase identifier used by the renderers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::BottleneckDetected { .. } => "bottleneck_detected",
+            EventKind::ScaleOut { .. } => "scale_out",
+            EventKind::RepartitionDrain { .. } => "repartition_drain",
+            EventKind::CheckpointBegin { .. } => "checkpoint_begin",
+            EventKind::CheckpointBackup { .. } => "checkpoint_backup",
+            EventKind::CheckpointConsolidate { .. } => "checkpoint_consolidate",
+            EventKind::FailureInjected { .. } => "failure_injected",
+            EventKind::RecoveryRestored { .. } => "recovery_restored",
+            EventKind::RecoveryReplayed { .. } => "recovery_replayed",
+            EventKind::RecoveryComplete { .. } => "recovery_complete",
+        }
+    }
+}
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsEvent {
+    /// Monotonic sequence number (0-based, never reused; survives
+    /// eviction, so gaps reveal dropped events).
+    pub seq: u64,
+    /// Offset from registry creation — monotonic within a registry.
+    pub at: Duration,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Bounded FIFO of [`ObsEvent`]s.
+#[derive(Debug)]
+pub struct EventLog {
+    inner: Mutex<VecDeque<ObsEvent>>,
+    capacity: usize,
+    logged: Counter,
+    dropped: Counter,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// Creates a log retaining at most `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            logged: Counter::new(),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// Appends an event at offset `at`, evicting the oldest when full.
+    pub fn push(&self, at: Duration, kind: EventKind) {
+        let mut q = self.inner.lock();
+        let seq = self.logged.get();
+        self.logged.inc();
+        if q.len() >= self.capacity {
+            q.pop_front();
+            self.dropped.inc();
+        }
+        q.push_back(ObsEvent { seq, at, kind });
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<ObsEvent> {
+        self.inner.lock().iter().cloned().collect()
+    }
+
+    /// Total events ever logged (including evicted ones).
+    pub fn logged(&self) -> u64 {
+        self.logged.get()
+    }
+
+    /// Events evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_log_evicts_oldest() {
+        let log = EventLog::with_capacity(3);
+        for i in 0..5u64 {
+            log.push(
+                Duration::from_millis(i),
+                EventKind::FailureInjected {
+                    instance: format!("kv#{i}"),
+                },
+            );
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(log.logged(), 5);
+        assert_eq!(log.dropped(), 2);
+        // The two oldest were evicted; sequence numbers are preserved.
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(events[2].seq, 4);
+        // Timestamps are monotonic.
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let log = EventLog::with_capacity(0);
+        log.push(
+            Duration::ZERO,
+            EventKind::ScaleOut {
+                task: "t".into(),
+                instances: 2,
+                node: 1,
+            },
+        );
+        assert_eq!(log.snapshot().len(), 1);
+        assert_eq!(log.capacity(), 1);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(
+            EventKind::CheckpointBegin {
+                instance: "s#0".into(),
+                seq: 1
+            }
+            .name(),
+            "checkpoint_begin"
+        );
+        assert_eq!(
+            EventKind::RecoveryComplete {
+                instance: "s#0".into(),
+                took: Duration::ZERO
+            }
+            .name(),
+            "recovery_complete"
+        );
+    }
+}

@@ -1,0 +1,421 @@
+//! The per-deployment instrument registry.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::ids::{StateId, TaskId};
+use crate::metrics::{Counter, Gauge, Histogram};
+
+use super::event::{EventKind, EventLog, ObsEvent, DEFAULT_EVENT_CAPACITY};
+use super::snapshot::{CheckpointStats, MetricsSnapshot, StateStats, TaskStats};
+
+/// Instruments of one task element (shared by all of its instances).
+///
+/// Counters are cumulative; gauges are refreshed by the owner right before
+/// a snapshot; histograms are nanosecond-valued.
+#[derive(Debug)]
+pub struct TaskInstruments {
+    /// Task label (unique within a registry).
+    pub name: String,
+    /// Graph task id, when the owner is the SDG runtime.
+    pub id: Option<TaskId>,
+    /// Items received by the task's instances (gather fragments included).
+    pub items_in: Counter,
+    /// Items forwarded downstream along dataflow edges.
+    pub items_out: Counter,
+    /// Values emitted on the external output sink.
+    pub emits: Counter,
+    /// Items fully processed (duplicates filtered during replay count,
+    /// matching the engine's historical accounting).
+    pub processed: Counter,
+    /// Task-code execution errors.
+    pub errors: Counter,
+    /// Gather-barrier waits: fragments parked until the barrier filled.
+    pub gather_waits: Counter,
+    /// Queued items across the task's input channels (sampled).
+    pub queue_depth: Gauge,
+    /// Running instance count (sampled).
+    pub instances: Gauge,
+    /// Per-item service time in nanoseconds.
+    pub service: Histogram,
+    /// End-to-end request latency in nanoseconds, recorded at emit.
+    pub latency: Histogram,
+}
+
+impl TaskInstruments {
+    fn new(name: &str, id: Option<TaskId>) -> Self {
+        TaskInstruments {
+            name: name.to_string(),
+            id,
+            items_in: Counter::new(),
+            items_out: Counter::new(),
+            emits: Counter::new(),
+            processed: Counter::new(),
+            errors: Counter::new(),
+            gather_waits: Counter::new(),
+            queue_depth: Gauge::new(),
+            instances: Gauge::new(),
+            service: Histogram::new(),
+            latency: Histogram::new(),
+        }
+    }
+}
+
+/// Instruments of one state element (all replicas together).
+#[derive(Debug)]
+pub struct StateInstruments {
+    /// State label (unique within a registry).
+    pub name: String,
+    /// Graph state id, when the owner is the SDG runtime.
+    pub id: Option<StateId>,
+    /// SE instance count (sampled).
+    pub instances: Gauge,
+    /// Approximate bytes held across all instances (sampled).
+    pub bytes: Gauge,
+    /// Bytes in dirty overlays of instances currently checkpointing
+    /// (sampled; zero outside a checkpoint).
+    pub dirty_bytes: Gauge,
+    /// Checkpoints taken of this SE's instances.
+    pub checkpoints: Counter,
+}
+
+impl StateInstruments {
+    fn new(name: &str, id: Option<StateId>) -> Self {
+        StateInstruments {
+            name: name.to_string(),
+            id,
+            instances: Gauge::new(),
+            bytes: Gauge::new(),
+            dirty_bytes: Gauge::new(),
+            checkpoints: Counter::new(),
+        }
+    }
+}
+
+/// Phase timers and totals of the checkpoint/recovery subsystem (§5).
+#[derive(Debug, Default)]
+pub struct CheckpointInstruments {
+    /// Checkpoints completed.
+    pub taken: Counter,
+    /// Checkpoints that failed.
+    pub failed: Counter,
+    /// Serialised state bytes written to backup stores.
+    pub bytes: Counter,
+    /// Items replayed from upstream buffers during recoveries.
+    pub replayed: Counter,
+    /// Lock-held snapshot initiation time (async step 1), ns.
+    pub snapshot_ns: Histogram,
+    /// Off-path serialise + backup time (async steps 2–4), ns.
+    pub persist_ns: Histogram,
+    /// Lock-held overlay consolidation time (async step 5), ns.
+    pub consolidate_ns: Histogram,
+    /// Stop-the-world total for synchronous checkpoints, ns.
+    pub sync_ns: Histogram,
+    /// State fetch + rebuild time during recovery (steps R1–R2), ns.
+    pub restore_ns: Histogram,
+}
+
+/// A deployment's registry of instruments and events.
+///
+/// One registry is owned per engine (SDG deployment or baseline). Hot-path
+/// recording goes straight through the shared [`TaskInstruments`] /
+/// [`StateInstruments`] handles; the registry's own maps are locked only
+/// when an instrument is first created or a snapshot is taken.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    started: Instant,
+    tasks: RwLock<BTreeMap<String, Arc<TaskInstruments>>>,
+    states: RwLock<BTreeMap<String, Arc<StateInstruments>>>,
+    checkpoints: Arc<CheckpointInstruments>,
+    e2e_latency: Arc<Histogram>,
+    events: EventLog,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry with the default event-log bound.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Creates an empty registry retaining at most `capacity` events.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        MetricsRegistry {
+            started: Instant::now(),
+            tasks: RwLock::new(BTreeMap::new()),
+            states: RwLock::new(BTreeMap::new()),
+            checkpoints: Arc::new(CheckpointInstruments::default()),
+            e2e_latency: Arc::new(Histogram::new()),
+            events: EventLog::with_capacity(capacity),
+        }
+    }
+
+    /// Time elapsed since the registry was created.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Returns (creating on first use) the instruments of task `name`.
+    pub fn task(&self, name: &str) -> Arc<TaskInstruments> {
+        self.task_with_id(name, None)
+    }
+
+    /// [`MetricsRegistry::task`] with a graph id attached on creation.
+    pub fn task_with_id(&self, name: &str, id: Option<TaskId>) -> Arc<TaskInstruments> {
+        if let Some(t) = self.tasks.read().get(name) {
+            return Arc::clone(t);
+        }
+        Arc::clone(
+            self.tasks
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(TaskInstruments::new(name, id))),
+        )
+    }
+
+    /// Returns (creating on first use) the instruments of state `name`.
+    pub fn state(&self, name: &str) -> Arc<StateInstruments> {
+        self.state_with_id(name, None)
+    }
+
+    /// [`MetricsRegistry::state`] with a graph id attached on creation.
+    pub fn state_with_id(&self, name: &str, id: Option<StateId>) -> Arc<StateInstruments> {
+        if let Some(s) = self.states.read().get(name) {
+            return Arc::clone(s);
+        }
+        Arc::clone(
+            self.states
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(StateInstruments::new(name, id))),
+        )
+    }
+
+    /// The checkpoint/recovery phase instruments.
+    pub fn checkpoints(&self) -> &Arc<CheckpointInstruments> {
+        &self.checkpoints
+    }
+
+    /// The deployment-wide end-to-end latency histogram (all tasks merged).
+    pub fn e2e_latency(&self) -> &Arc<Histogram> {
+        &self.e2e_latency
+    }
+
+    /// Logs a structured event stamped with the registry's monotonic clock.
+    pub fn record_event(&self, kind: EventKind) {
+        self.events.push(self.started.elapsed(), kind);
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.events.snapshot()
+    }
+
+    /// Resets every histogram (service, latency, checkpoint phases) while
+    /// leaving counters, gauges and the event log untouched. Benches call
+    /// this after warm-up so percentiles cover only the measured window.
+    pub fn reset_observations(&self) {
+        for t in self.tasks.read().values() {
+            t.service.reset();
+            t.latency.reset();
+        }
+        self.e2e_latency.reset();
+        let c = &self.checkpoints;
+        c.snapshot_ns.reset();
+        c.persist_ns.reset();
+        c.consolidate_ns.reset();
+        c.sync_ns.reset();
+        c.restore_ns.reset();
+    }
+
+    /// Freezes all instruments into a plain-data [`MetricsSnapshot`].
+    ///
+    /// Gauges report whatever the owner last sampled; engines refresh them
+    /// immediately before calling this.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let tasks: Vec<TaskStats> = self
+            .tasks
+            .read()
+            .values()
+            .map(|t| TaskStats {
+                name: t.name.clone(),
+                id: t.id,
+                instances: t.instances.get(),
+                items_in: t.items_in.get(),
+                items_out: t.items_out.get(),
+                emits: t.emits.get(),
+                processed: t.processed.get(),
+                errors: t.errors.get(),
+                gather_waits: t.gather_waits.get(),
+                queue_depth: t.queue_depth.get(),
+                service: t.service.summary(),
+                latency: t.latency.summary(),
+            })
+            .collect();
+        let states: Vec<StateStats> = self
+            .states
+            .read()
+            .values()
+            .map(|s| StateStats {
+                name: s.name.clone(),
+                id: s.id,
+                instances: s.instances.get(),
+                bytes: s.bytes.get(),
+                dirty_bytes: s.dirty_bytes.get(),
+                checkpoints: s.checkpoints.get(),
+            })
+            .collect();
+        let c = &self.checkpoints;
+        MetricsSnapshot {
+            uptime: self.started.elapsed(),
+            tasks,
+            states,
+            checkpoints: CheckpointStats {
+                taken: c.taken.get(),
+                failed: c.failed.get(),
+                bytes: c.bytes.get(),
+                replayed: c.replayed.get(),
+                snapshot: c.snapshot_ns.summary(),
+                persist: c.persist_ns.summary(),
+                consolidate: c.consolidate_ns.summary(),
+                sync: c.sync_ns.summary(),
+                restore: c.restore_ns.summary(),
+            },
+            e2e_latency: self.e2e_latency.summary(),
+            events: self.events.snapshot(),
+            events_logged: self.events.logged(),
+            events_dropped: self.events.dropped(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.task_with_id("put", Some(TaskId(3)));
+        let b = reg.task("put");
+        a.processed.add(5);
+        assert_eq!(b.processed.get(), 5);
+        assert_eq!(b.id, Some(TaskId(3)));
+        // An id passed after creation does not overwrite the original.
+        let c = reg.task_with_id("put", Some(TaskId(9)));
+        assert_eq!(c.id, Some(TaskId(3)));
+    }
+
+    #[test]
+    fn snapshot_reflects_recordings() {
+        let reg = MetricsRegistry::new();
+        let t = reg.task("get");
+        t.items_in.add(10);
+        t.processed.add(9);
+        t.errors.inc();
+        t.instances.set(2);
+        t.service.record(1_000);
+        let s = reg.state_with_id("kv", Some(StateId(0)));
+        s.bytes.set(4096);
+        s.instances.set(2);
+        reg.checkpoints().taken.inc();
+        reg.checkpoints().snapshot_ns.record(500);
+        reg.record_event(EventKind::CheckpointBegin {
+            instance: "kv#0".into(),
+            seq: 1,
+        });
+
+        let snap = reg.snapshot();
+        let task = snap.task("get").unwrap();
+        assert_eq!(task.items_in, 10);
+        assert_eq!(task.processed, 9);
+        assert_eq!(task.errors, 1);
+        assert_eq!(task.instances, 2);
+        assert_eq!(task.service.count, 1);
+        let state = snap.state("kv").unwrap();
+        assert_eq!(state.bytes, 4096);
+        assert_eq!(state.id, Some(StateId(0)));
+        assert_eq!(snap.checkpoints.taken, 1);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events_logged, 1);
+    }
+
+    #[test]
+    fn reset_observations_keeps_counters() {
+        let reg = MetricsRegistry::new();
+        let t = reg.task("f");
+        t.processed.add(7);
+        t.latency.record(123);
+        reg.e2e_latency().record(123);
+        reg.reset_observations();
+        assert_eq!(t.processed.get(), 7);
+        assert_eq!(t.latency.count(), 0);
+        assert_eq!(reg.e2e_latency().count(), 0);
+    }
+
+    #[test]
+    fn concurrent_record_and_snapshot_race() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        // Four writers hammer instruments (two of them creating new ones
+        // by name) while two readers snapshot concurrently.
+        for w in 0..4u64 {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let t = reg.task(if w < 2 { "hot" } else { "cold" });
+                    t.items_in.inc();
+                    t.processed.inc();
+                    t.service.record(i % 10_000);
+                    if i.is_multiple_of(64) {
+                        reg.state("s").bytes.set(i);
+                        reg.record_event(EventKind::ScaleOut {
+                            task: "hot".into(),
+                            instances: 2,
+                            node: w as u32,
+                        });
+                    }
+                    i += 1;
+                }
+                i
+            }));
+        }
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut snaps = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let snap = reg.snapshot();
+                    // Internal consistency: processed never exceeds in.
+                    for t in &snap.tasks {
+                        assert!(t.processed <= t.items_in);
+                    }
+                    snaps += 1;
+                }
+                snaps
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let written: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let snaps: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(snaps > 0);
+        // After the dust settles the final snapshot is exact.
+        let snap = reg.snapshot();
+        let total: u64 = snap.tasks.iter().map(|t| t.processed).sum();
+        assert_eq!(total, written);
+    }
+}

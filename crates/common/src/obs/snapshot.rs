@@ -1,0 +1,670 @@
+//! Plain-data snapshots of a registry, with text and JSON renderers.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::ids::{StateId, TaskId};
+use crate::metrics::Summary;
+
+use super::event::{EventKind, ObsEvent};
+
+/// Frozen per-task statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskStats {
+    /// Task label.
+    pub name: String,
+    /// Graph task id, when known.
+    pub id: Option<TaskId>,
+    /// Running instances at snapshot time.
+    pub instances: u64,
+    /// Items received.
+    pub items_in: u64,
+    /// Items forwarded downstream.
+    pub items_out: u64,
+    /// Values emitted externally.
+    pub emits: u64,
+    /// Items fully processed.
+    pub processed: u64,
+    /// Execution errors.
+    pub errors: u64,
+    /// Gather-barrier waits.
+    pub gather_waits: u64,
+    /// Queued items at snapshot time.
+    pub queue_depth: u64,
+    /// Service-time candlestick (ns).
+    pub service: Summary,
+    /// End-to-end latency candlestick (ns).
+    pub latency: Summary,
+}
+
+/// Frozen per-state statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateStats {
+    /// State label.
+    pub name: String,
+    /// Graph state id, when known.
+    pub id: Option<StateId>,
+    /// SE instances at snapshot time.
+    pub instances: u64,
+    /// Approximate bytes held.
+    pub bytes: u64,
+    /// Dirty-overlay bytes (non-zero only mid-checkpoint).
+    pub dirty_bytes: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+}
+
+/// Frozen checkpoint/recovery statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointStats {
+    /// Checkpoints completed.
+    pub taken: u64,
+    /// Checkpoints failed.
+    pub failed: u64,
+    /// Serialised bytes written.
+    pub bytes: u64,
+    /// Items replayed during recoveries.
+    pub replayed: u64,
+    /// Snapshot-initiation times (ns).
+    pub snapshot: Summary,
+    /// Serialise + backup times (ns).
+    pub persist: Summary,
+    /// Consolidation times (ns).
+    pub consolidate: Summary,
+    /// Stop-the-world totals for synchronous mode (ns).
+    pub sync: Summary,
+    /// Restore times (ns).
+    pub restore: Summary,
+}
+
+/// One coherent freeze of a deployment's instruments and events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Registry age when the snapshot was taken.
+    pub uptime: Duration,
+    /// Per-task statistics, sorted by name.
+    pub tasks: Vec<TaskStats>,
+    /// Per-state statistics, sorted by name.
+    pub states: Vec<StateStats>,
+    /// Checkpoint/recovery statistics.
+    pub checkpoints: CheckpointStats,
+    /// Deployment-wide end-to-end latency candlestick (ns).
+    pub e2e_latency: Summary,
+    /// Retained events, oldest first.
+    pub events: Vec<ObsEvent>,
+    /// Total events ever logged.
+    pub events_logged: u64,
+    /// Events evicted by the log bound.
+    pub events_dropped: u64,
+}
+
+/// One-line aggregate across a whole deployment — the typed replacement
+/// for the old scattered `Deployment` getters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeploymentStats {
+    /// Registry age.
+    pub uptime: Duration,
+    /// Items processed across all tasks.
+    pub processed: u64,
+    /// Execution errors across all tasks.
+    pub errors: u64,
+    /// Running TE instances across all tasks.
+    pub task_instances: u64,
+    /// SE instances across all states.
+    pub state_instances: u64,
+    /// Approximate bytes across all states.
+    pub state_bytes: u64,
+    /// Scale-out events logged.
+    pub scale_outs: u64,
+    /// Checkpoints completed.
+    pub checkpoints_taken: u64,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a task's statistics by label.
+    pub fn task(&self, name: &str) -> Option<&TaskStats> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a task's statistics by graph id.
+    pub fn task_by_id(&self, id: TaskId) -> Option<&TaskStats> {
+        self.tasks.iter().find(|t| t.id == Some(id))
+    }
+
+    /// Looks up a state's statistics by label.
+    pub fn state(&self, name: &str) -> Option<&StateStats> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a state's statistics by graph id.
+    pub fn state_by_id(&self, id: StateId) -> Option<&StateStats> {
+        self.states.iter().find(|s| s.id == Some(id))
+    }
+
+    /// Items processed across all tasks.
+    pub fn processed_total(&self) -> u64 {
+        self.tasks.iter().map(|t| t.processed).sum()
+    }
+
+    /// Execution errors across all tasks.
+    pub fn errors_total(&self) -> u64 {
+        self.tasks.iter().map(|t| t.errors).sum()
+    }
+
+    /// Approximate bytes across all states.
+    pub fn state_bytes_total(&self) -> u64 {
+        self.states.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Scale-out events among the retained + evicted log entries is not
+    /// recoverable; this counts retained scale-outs.
+    pub fn scale_outs(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ScaleOut { .. }))
+            .count() as u64
+    }
+
+    /// Collapses the snapshot into the one-line [`DeploymentStats`].
+    pub fn deployment_stats(&self) -> DeploymentStats {
+        DeploymentStats {
+            uptime: self.uptime,
+            processed: self.processed_total(),
+            errors: self.errors_total(),
+            task_instances: self.tasks.iter().map(|t| t.instances).sum(),
+            state_instances: self.states.iter().map(|s| s.instances).sum(),
+            state_bytes: self.state_bytes_total(),
+            scale_outs: self.scale_outs(),
+            checkpoints_taken: self.checkpoints.taken,
+        }
+    }
+
+    /// Renders a human-readable multi-line report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "deployment metrics (uptime {:.1}s, {} processed, {} errors)",
+            self.uptime.as_secs_f64(),
+            self.processed_total(),
+            self.errors_total()
+        );
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>4} {:>10} {:>10} {:>8} {:>6} {:>6}  {:>20} {:>20}",
+            "task",
+            "inst",
+            "in",
+            "processed",
+            "out",
+            "err",
+            "queue",
+            "service p50/p95",
+            "latency p50/p95"
+        );
+        for t in &self.tasks {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>4} {:>10} {:>10} {:>8} {:>6} {:>6}  {:>20} {:>20}",
+                t.name,
+                t.instances,
+                t.items_in,
+                t.processed,
+                t.items_out,
+                t.errors,
+                t.queue_depth,
+                fmt_p50_p95(&t.service),
+                fmt_p50_p95(&t.latency),
+            );
+        }
+        if !self.states.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>4} {:>12} {:>12} {:>6}",
+                "state", "inst", "bytes", "dirty", "ckpts"
+            );
+            for s in &self.states {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>4} {:>12} {:>12} {:>6}",
+                    s.name, s.instances, s.bytes, s.dirty_bytes, s.checkpoints
+                );
+            }
+        }
+        let c = &self.checkpoints;
+        let _ = writeln!(
+            out,
+            "  checkpoints: {} taken, {} failed, {} bytes, {} replayed",
+            c.taken, c.failed, c.bytes, c.replayed
+        );
+        if c.taken > 0 {
+            let _ = writeln!(
+                out,
+                "    phases p50 (ms): snapshot {:.3}, persist {:.3}, consolidate {:.3}, sync {:.3}, restore {:.3}",
+                ns_to_ms(c.snapshot.p50),
+                ns_to_ms(c.persist.p50),
+                ns_to_ms(c.consolidate.p50),
+                ns_to_ms(c.sync.p50),
+                ns_to_ms(c.restore.p50),
+            );
+        }
+        if self.e2e_latency.count > 0 {
+            let l = &self.e2e_latency;
+            let _ = writeln!(
+                out,
+                "  e2e latency (ms): p5 {:.3}  p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}  ({} samples)",
+                ns_to_ms(l.p5),
+                ns_to_ms(l.p50),
+                ns_to_ms(l.p95),
+                ns_to_ms(l.p99),
+                ns_to_ms(l.max),
+                l.count
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  events: {} logged, {} dropped",
+            self.events_logged, self.events_dropped
+        );
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "    [{:>10.3}s] #{} {}",
+                e.at.as_secs_f64(),
+                e.seq,
+                render_event_detail(&e.kind)
+            );
+        }
+        out
+    }
+
+    /// Renders the snapshot as a single-line JSON object with a stable key
+    /// order (parseable by [`super::json::parse`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        let _ = write!(out, "\"uptime_ms\":{:.3},", ms(self.uptime));
+        out.push_str("\"tasks\":[");
+        for (i, t) in self.tasks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"task_id\":{},\"instances\":{},\"items_in\":{},\"items_out\":{},\
+                 \"emits\":{},\"processed\":{},\"errors\":{},\"gather_waits\":{},\"queue_depth\":{},\
+                 \"service_ns\":{},\"latency_ns\":{}}}",
+                super::json::escape(&t.name),
+                t.id.map(|id| id.raw().to_string())
+                    .unwrap_or_else(|| "null".into()),
+                t.instances,
+                t.items_in,
+                t.items_out,
+                t.emits,
+                t.processed,
+                t.errors,
+                t.gather_waits,
+                t.queue_depth,
+                summary_json(&t.service),
+                summary_json(&t.latency),
+            );
+        }
+        out.push_str("],\"states\":[");
+        for (i, s) in self.states.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"state_id\":{},\"instances\":{},\"bytes\":{},\"dirty_bytes\":{},\
+                 \"checkpoints\":{}}}",
+                super::json::escape(&s.name),
+                s.id.map(|id| id.raw().to_string())
+                    .unwrap_or_else(|| "null".into()),
+                s.instances,
+                s.bytes,
+                s.dirty_bytes,
+                s.checkpoints,
+            );
+        }
+        let c = &self.checkpoints;
+        let _ = write!(
+            out,
+            "],\"checkpoints\":{{\"taken\":{},\"failed\":{},\"bytes\":{},\"replayed\":{},\
+             \"snapshot_ns\":{},\"persist_ns\":{},\"consolidate_ns\":{},\"sync_ns\":{},\
+             \"restore_ns\":{}}},",
+            c.taken,
+            c.failed,
+            c.bytes,
+            c.replayed,
+            summary_json(&c.snapshot),
+            summary_json(&c.persist),
+            summary_json(&c.consolidate),
+            summary_json(&c.sync),
+            summary_json(&c.restore),
+        );
+        let _ = write!(
+            out,
+            "\"e2e_latency_ns\":{},",
+            summary_json(&self.e2e_latency)
+        );
+        let _ = write!(
+            out,
+            "\"events_logged\":{},\"events_dropped\":{},\"events\":[",
+            self.events_logged, self.events_dropped
+        );
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&event_json(e));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn fmt_p50_p95(s: &Summary) -> String {
+    if s.count == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.3}/{:.3}ms", ns_to_ms(s.p50), ns_to_ms(s.p95))
+    }
+}
+
+fn summary_json(s: &Summary) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{:.3},\"min\":{},\"p5\":{},\"p25\":{},\"p50\":{},\"p75\":{},\
+         \"p95\":{},\"p99\":{},\"max\":{}}}",
+        s.count, s.mean, s.min, s.p5, s.p25, s.p50, s.p75, s.p95, s.p99, s.max
+    )
+}
+
+fn render_event_detail(kind: &EventKind) -> String {
+    match kind {
+        EventKind::BottleneckDetected { task, fill } => {
+            format!("bottleneck_detected task={task} fill={fill:.3}")
+        }
+        EventKind::ScaleOut {
+            task,
+            instances,
+            node,
+        } => format!("scale_out task={task} instances={instances} node={node}"),
+        EventKind::RepartitionDrain { task, waited } => {
+            format!("repartition_drain task={task} waited={:.3}ms", ms(*waited))
+        }
+        EventKind::CheckpointBegin { instance, seq } => {
+            format!("checkpoint_begin instance={instance} seq={seq}")
+        }
+        EventKind::CheckpointBackup {
+            instance,
+            seq,
+            bytes,
+        } => format!("checkpoint_backup instance={instance} seq={seq} bytes={bytes}"),
+        EventKind::CheckpointConsolidate { instance, seq } => {
+            format!("checkpoint_consolidate instance={instance} seq={seq}")
+        }
+        EventKind::FailureInjected { instance } => {
+            format!("failure_injected instance={instance}")
+        }
+        EventKind::RecoveryRestored { instance, took } => {
+            format!(
+                "recovery_restored instance={instance} took={:.3}ms",
+                ms(*took)
+            )
+        }
+        EventKind::RecoveryReplayed { instance, items } => {
+            format!("recovery_replayed instance={instance} items={items}")
+        }
+        EventKind::RecoveryComplete { instance, took } => {
+            format!(
+                "recovery_complete instance={instance} took={:.3}ms",
+                ms(*took)
+            )
+        }
+    }
+}
+
+fn event_json(e: &ObsEvent) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"at_ms\":{:.3},\"kind\":\"{}\"",
+        e.seq,
+        ms(e.at),
+        e.kind.name()
+    );
+    match &e.kind {
+        EventKind::BottleneckDetected { task, fill } => {
+            let _ = write!(
+                out,
+                ",\"task\":{},\"fill\":{:.3}",
+                super::json::escape(task),
+                fill
+            );
+        }
+        EventKind::ScaleOut {
+            task,
+            instances,
+            node,
+        } => {
+            let _ = write!(
+                out,
+                ",\"task\":{},\"instances\":{},\"node\":{}",
+                super::json::escape(task),
+                instances,
+                node
+            );
+        }
+        EventKind::RepartitionDrain { task, waited } => {
+            let _ = write!(
+                out,
+                ",\"task\":{},\"waited_ms\":{:.3}",
+                super::json::escape(task),
+                ms(*waited)
+            );
+        }
+        EventKind::CheckpointBegin { instance, seq }
+        | EventKind::CheckpointConsolidate { instance, seq } => {
+            let _ = write!(
+                out,
+                ",\"instance\":{},\"ckpt_seq\":{}",
+                super::json::escape(instance),
+                seq
+            );
+        }
+        EventKind::CheckpointBackup {
+            instance,
+            seq,
+            bytes,
+        } => {
+            let _ = write!(
+                out,
+                ",\"instance\":{},\"ckpt_seq\":{},\"bytes\":{}",
+                super::json::escape(instance),
+                seq,
+                bytes
+            );
+        }
+        EventKind::FailureInjected { instance } => {
+            let _ = write!(out, ",\"instance\":{}", super::json::escape(instance));
+        }
+        EventKind::RecoveryRestored { instance, took }
+        | EventKind::RecoveryComplete { instance, took } => {
+            let _ = write!(
+                out,
+                ",\"instance\":{},\"took_ms\":{:.3}",
+                super::json::escape(instance),
+                ms(*took)
+            );
+        }
+        EventKind::RecoveryReplayed { instance, items } => {
+            let _ = write!(
+                out,
+                ",\"instance\":{},\"items\":{}",
+                super::json::escape(instance),
+                items
+            );
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(count: u64) -> Summary {
+        Summary {
+            count,
+            mean: 10.0,
+            min: if count > 0 { 5 } else { 0 },
+            p5: 5,
+            p25: 7,
+            p50: 10,
+            p75: 12,
+            p95: 15,
+            p99: 16,
+            max: 17,
+        }
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime: Duration::from_millis(1500),
+            tasks: vec![TaskStats {
+                name: "put".into(),
+                id: Some(TaskId(0)),
+                instances: 2,
+                items_in: 100,
+                items_out: 90,
+                emits: 10,
+                processed: 100,
+                errors: 0,
+                gather_waits: 0,
+                queue_depth: 3,
+                service: summary(100),
+                latency: summary(10),
+            }],
+            states: vec![StateStats {
+                name: "kv".into(),
+                id: Some(StateId(0)),
+                instances: 2,
+                bytes: 4096,
+                dirty_bytes: 0,
+                checkpoints: 1,
+            }],
+            checkpoints: CheckpointStats {
+                taken: 1,
+                failed: 0,
+                bytes: 2048,
+                replayed: 0,
+                snapshot: summary(1),
+                persist: summary(1),
+                consolidate: summary(1),
+                sync: summary(0),
+                restore: summary(0),
+            },
+            e2e_latency: summary(10),
+            events: vec![ObsEvent {
+                seq: 0,
+                at: Duration::from_millis(750),
+                kind: EventKind::CheckpointBackup {
+                    instance: "kv#0".into(),
+                    seq: 1,
+                    bytes: 2048,
+                },
+            }],
+            events_logged: 1,
+            events_dropped: 0,
+        }
+    }
+
+    /// Golden test: the JSON renderer's byte-exact output is part of the
+    /// snapshot schema contract (the CI smoke check parses it).
+    #[test]
+    fn json_renderer_golden() {
+        let expected = concat!(
+            "{\"uptime_ms\":1500.000,",
+            "\"tasks\":[{\"name\":\"put\",\"task_id\":0,\"instances\":2,\"items_in\":100,",
+            "\"items_out\":90,\"emits\":10,\"processed\":100,\"errors\":0,\"gather_waits\":0,",
+            "\"queue_depth\":3,",
+            "\"service_ns\":{\"count\":100,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",
+            "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
+            "\"latency_ns\":{\"count\":10,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",
+            "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17}}],",
+            "\"states\":[{\"name\":\"kv\",\"state_id\":0,\"instances\":2,\"bytes\":4096,",
+            "\"dirty_bytes\":0,\"checkpoints\":1}],",
+            "\"checkpoints\":{\"taken\":1,\"failed\":0,\"bytes\":2048,\"replayed\":0,",
+            "\"snapshot_ns\":{\"count\":1,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",
+            "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
+            "\"persist_ns\":{\"count\":1,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",
+            "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
+            "\"consolidate_ns\":{\"count\":1,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",
+            "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
+            "\"sync_ns\":{\"count\":0,\"mean\":10.000,\"min\":0,\"p5\":5,\"p25\":7,\"p50\":10,",
+            "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
+            "\"restore_ns\":{\"count\":0,\"mean\":10.000,\"min\":0,\"p5\":5,\"p25\":7,\"p50\":10,",
+            "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17}},",
+            "\"e2e_latency_ns\":{\"count\":10,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,",
+            "\"p50\":10,\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
+            "\"events_logged\":1,\"events_dropped\":0,",
+            "\"events\":[{\"seq\":0,\"at_ms\":750.000,\"kind\":\"checkpoint_backup\",",
+            "\"instance\":\"kv#0\",\"ckpt_seq\":1,\"bytes\":2048}]}",
+        );
+        assert_eq!(sample_snapshot().to_json(), expected);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let snap = sample_snapshot();
+        let parsed = super::super::json::parse(&snap.to_json()).unwrap();
+        assert_eq!(parsed.get("tasks").unwrap().as_array().unwrap().len(), 1);
+        let task = &parsed.get("tasks").unwrap().as_array().unwrap()[0];
+        assert_eq!(task.get("processed").unwrap().as_u64(), Some(100));
+        assert_eq!(task.get("name").unwrap().as_str(), Some("put"));
+        assert_eq!(
+            parsed.get("events").unwrap().as_array().unwrap()[0]
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("checkpoint_backup")
+        );
+    }
+
+    #[test]
+    fn text_renderer_mentions_every_section() {
+        let text = sample_snapshot().to_text();
+        assert!(text.contains("deployment metrics"));
+        assert!(text.contains("put"));
+        assert!(text.contains("kv"));
+        assert!(text.contains("checkpoints: 1 taken"));
+        assert!(text.contains("e2e latency"));
+        assert!(text.contains("checkpoint_backup"));
+    }
+
+    #[test]
+    fn aggregate_stats_sum_tasks_and_states() {
+        let snap = sample_snapshot();
+        let stats = snap.deployment_stats();
+        assert_eq!(stats.processed, 100);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.task_instances, 2);
+        assert_eq!(stats.state_instances, 2);
+        assert_eq!(stats.state_bytes, 4096);
+        assert_eq!(stats.checkpoints_taken, 1);
+        assert_eq!(stats.scale_outs, 0);
+        assert_eq!(snap.task_by_id(TaskId(0)).unwrap().name, "put");
+        assert_eq!(snap.state_by_id(StateId(0)).unwrap().bytes, 4096);
+        assert!(snap.task("nope").is_none());
+    }
+}

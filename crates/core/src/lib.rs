@@ -135,11 +135,17 @@ impl SdgProgram {
 /// Commonly used items for downstream code.
 pub mod prelude {
     pub use crate::SdgProgram;
+    pub use sdg_checkpoint::config::{CheckpointConfig, CheckpointConfigBuilder};
     pub use sdg_common::error::{SdgError, SdgResult};
+    pub use sdg_common::obs::{
+        DeploymentStats, EventKind, MetricsSnapshot, ObsEvent, StateStats, TaskStats,
+    };
     pub use sdg_common::record;
     pub use sdg_common::value::{Key, Record, Value};
     pub use sdg_graph::model::{Dispatch, Distribution, Sdg, SdgBuilder, TaskCode, TaskKind};
-    pub use sdg_runtime::config::{ClusterSpec, NodeSpec, RuntimeConfig, ScalingConfig};
+    pub use sdg_runtime::config::{
+        ClusterSpec, NodeSpec, RuntimeConfig, RuntimeConfigBuilder, ScalingConfig,
+    };
     pub use sdg_runtime::deploy::{Deployment, OutputEvent};
 }
 

@@ -92,6 +92,9 @@ pub struct RuntimeConfig {
     pub scaling: ScalingConfig,
     /// Checkpointing settings.
     pub checkpoint: CheckpointConfig,
+    /// Bound on the deployment's structured observability event log
+    /// (oldest events are evicted past this).
+    pub event_log_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -104,15 +107,38 @@ impl Default for RuntimeConfig {
             cluster: ClusterSpec::default(),
             scaling: ScalingConfig::default(),
             checkpoint: CheckpointConfig::disabled(),
+            event_log_capacity: sdg_common::obs::DEFAULT_EVENT_CAPACITY,
         }
     }
 }
 
 impl RuntimeConfig {
+    /// Starts a chained builder from the default configuration:
+    ///
+    /// ```
+    /// use sdg_runtime::config::RuntimeConfig;
+    /// use sdg_common::ids::TaskId;
+    ///
+    /// let cfg = RuntimeConfig::builder()
+    ///     .nodes(4)
+    ///     .channel_capacity(64)
+    ///     .work_ns(TaskId(0), 50_000)
+    ///     .build();
+    /// assert_eq!(cfg.cluster.nodes.len(), 4);
+    /// ```
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> SdgResult<()> {
         if self.channel_capacity == 0 {
             return Err(SdgError::Config("channel_capacity must be ≥ 1".into()));
+        }
+        if self.event_log_capacity == 0 {
+            return Err(SdgError::Config("event_log_capacity must be ≥ 1".into()));
         }
         for (&se, &n) in &self.se_instances {
             if n == 0 {
@@ -135,6 +161,74 @@ impl RuntimeConfig {
     }
 }
 
+/// Chained builder for [`RuntimeConfig`] (see [`RuntimeConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct RuntimeConfigBuilder {
+    cfg: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Sets the bounded channel capacity between TE instances.
+    pub fn channel_capacity(mut self, n: usize) -> Self {
+        self.cfg.channel_capacity = n;
+        self
+    }
+
+    /// Uses a uniform cluster of `n` normal-speed nodes.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.cfg.cluster = ClusterSpec::uniform(n);
+        self
+    }
+
+    /// Uses an explicit cluster specification.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cfg.cluster = cluster;
+        self
+    }
+
+    /// Sets the initial SE instance count of `state`.
+    pub fn se_instances(mut self, state: StateId, n: usize) -> Self {
+        self.cfg.se_instances.insert(state, n);
+        self
+    }
+
+    /// Sets the initial instance count of stateless `task`.
+    pub fn task_instances(mut self, task: TaskId, n: usize) -> Self {
+        self.cfg.task_instances.insert(task, n);
+        self
+    }
+
+    /// Sets the synthetic per-item CPU cost of `task` in nanoseconds.
+    pub fn work_ns(mut self, task: TaskId, ns: u64) -> Self {
+        self.cfg.work_ns.insert(task, ns);
+        self
+    }
+
+    /// Replaces the reactive-scaling settings.
+    pub fn scaling(mut self, scaling: ScalingConfig) -> Self {
+        self.cfg.scaling = scaling;
+        self
+    }
+
+    /// Replaces the checkpointing settings.
+    pub fn checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.cfg.checkpoint = checkpoint;
+        self
+    }
+
+    /// Bounds the structured observability event log.
+    pub fn event_log_capacity(mut self, n: usize) -> Self {
+        self.cfg.event_log_capacity = n;
+        self
+    }
+
+    /// Finishes the chain. Consistency is still checked by
+    /// [`RuntimeConfig::validate`] at deploy time.
+    pub fn build(self) -> RuntimeConfig {
+        self.cfg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +236,37 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         RuntimeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn builder_chains_every_knob() {
+        let cfg = RuntimeConfig::builder()
+            .channel_capacity(32)
+            .nodes(4)
+            .se_instances(StateId(1), 2)
+            .task_instances(TaskId(2), 3)
+            .work_ns(TaskId(2), 10_000)
+            .scaling(ScalingConfig {
+                enabled: true,
+                ..Default::default()
+            })
+            .checkpoint(CheckpointConfig::default())
+            .event_log_capacity(64)
+            .build();
+        assert_eq!(cfg.channel_capacity, 32);
+        assert_eq!(cfg.cluster.nodes.len(), 4);
+        assert_eq!(cfg.se_instances[&StateId(1)], 2);
+        assert_eq!(cfg.task_instances[&TaskId(2)], 3);
+        assert_eq!(cfg.work_ns[&TaskId(2)], 10_000);
+        assert!(cfg.scaling.enabled && cfg.checkpoint.enabled);
+        assert_eq!(cfg.event_log_capacity, 64);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_event_log_capacity_is_rejected() {
+        let cfg = RuntimeConfig::builder().event_log_capacity(0).build();
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

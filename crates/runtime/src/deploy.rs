@@ -16,11 +16,13 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use sdg_checkpoint::backup::{BackupSet, BackupStore};
 use sdg_checkpoint::cell::StateCell;
-use sdg_checkpoint::coordinator::take_checkpoint;
-use sdg_checkpoint::recovery::restore_state;
+use sdg_checkpoint::coordinator::take_checkpoint_observed;
+use sdg_checkpoint::recovery::{restore_state_observed, RestoreOptions};
 use sdg_common::error::{SdgError, SdgResult};
 use sdg_common::ids::{EdgeId, InstanceId, StateId, TaskId};
-use sdg_common::metrics::Counter;
+use sdg_common::obs::{
+    DeploymentStats, EventKind, MetricsRegistry, MetricsSnapshot, ObsEvent, TaskInstruments,
+};
 use sdg_common::time::TsGen;
 use sdg_common::value::Record;
 use sdg_graph::alloc::allocate;
@@ -74,9 +76,12 @@ pub(crate) struct Inner {
     pub cells: RwLock<HashMap<StateId, Vec<Arc<StateCell>>>>,
     /// Liveness flag per TE instance.
     alive: RwLock<HashMap<(TaskId, u32), Arc<AtomicBool>>>,
-    /// Processed counter per task (shared by its instances).
-    pub processed: HashMap<TaskId, Arc<Counter>>,
-    pub errors: Arc<Counter>,
+    /// The deployment's instrument registry: per-task and per-state
+    /// instruments, checkpoint phase timers, and the structured event log.
+    pub obs: Arc<MetricsRegistry>,
+    /// Per-task instrument handles, resolved once at start so workers and
+    /// the monitor never touch the registry maps on the hot path.
+    pub instruments: HashMap<TaskId, Arc<TaskInstruments>>,
     pub buffers: Arc<BufferRegistry>,
     sink_tx: Sender<OutputEvent>,
     corr: AtomicU64,
@@ -147,16 +152,21 @@ impl Deployment {
                 })
                 .collect();
 
+        // The deployment's instrument registry. Task and state instruments
+        // are created eagerly so a snapshot always lists every element,
+        // even before its first item.
+        let obs = Arc::new(MetricsRegistry::with_event_capacity(cfg.event_log_capacity));
         let mut targets = HashMap::new();
-        let mut processed = HashMap::new();
+        let mut instruments = HashMap::new();
         for task in &sdg.tasks {
             targets.insert(task.id, Arc::new(RwLock::new(Vec::new())) as Targets);
-            processed.insert(task.id, Arc::new(Counter::new()));
+            instruments.insert(task.id, obs.task_with_id(&task.name, Some(task.id)));
         }
 
         // SE instances.
         let mut cells: HashMap<StateId, Vec<Arc<StateCell>>> = HashMap::new();
         for state in &sdg.states {
+            let _ = obs.state_with_id(&state.name, Some(state.id));
             let n = cfg.se_instances.get(&state.id).copied().unwrap_or(1);
             cells.insert(
                 state.id,
@@ -170,8 +180,8 @@ impl Deployment {
             targets,
             cells: RwLock::new(cells),
             alive: RwLock::new(HashMap::new()),
-            processed,
-            errors: Arc::new(Counter::new()),
+            obs,
+            instruments,
             buffers: Arc::new(BufferRegistry::new(100_000)),
             sink_tx,
             corr: AtomicU64::new(1),
@@ -317,37 +327,82 @@ impl Deployment {
         self.inner.scale_task(task)
     }
 
+    /// Freezes every instrument into a plain-data [`MetricsSnapshot`]:
+    /// per-TE counters and timing summaries, per-SE sizes, checkpoint phase
+    /// timers, the deployment-wide latency summary, and the retained
+    /// events. Sampled gauges (queue depths, instance counts, state bytes,
+    /// dirty-overlay bytes) are refreshed immediately before the freeze.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.refresh_gauges();
+        self.inner.obs.snapshot()
+    }
+
+    /// The retained structured events, oldest first.
+    ///
+    /// The log is bounded (see `RuntimeConfig::event_log_capacity`); the
+    /// snapshot's `events_dropped` counter reveals eviction.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.inner.obs.events()
+    }
+
+    /// One-line deployment aggregates, derived from [`Deployment::metrics`].
+    pub fn stats(&self) -> DeploymentStats {
+        self.metrics().deployment_stats()
+    }
+
+    /// Resets every timing histogram (service, latency, checkpoint phases)
+    /// while keeping counters, gauges and events. Benchmarks call this
+    /// after warm-up so percentiles cover only the measured window.
+    pub fn reset_observations(&self) {
+        self.inner.obs.reset_observations();
+    }
+
     /// Current instance count of `task`.
+    #[deprecated(note = "use `metrics()` and `MetricsSnapshot::task_by_id` instead")]
     pub fn instance_count(&self, task: TaskId) -> usize {
         self.inner.targets[&task].read().len()
     }
 
     /// Items processed by all instances of `task`.
+    #[deprecated(note = "use `metrics()` and `MetricsSnapshot::task_by_id` instead")]
     pub fn processed(&self, task: TaskId) -> u64 {
-        self.inner.processed[&task].get()
+        self.inner.instruments[&task].processed.get()
     }
 
     /// Total items processed across all tasks.
+    #[deprecated(note = "use `stats()` or `MetricsSnapshot::processed_total` instead")]
     pub fn processed_total(&self) -> u64 {
-        self.inner.processed.values().map(|c| c.get()).sum()
+        self.inner
+            .instruments
+            .values()
+            .map(|t| t.processed.get())
+            .sum()
     }
 
     /// Task-level execution errors observed so far.
+    #[deprecated(note = "use `stats()` or `MetricsSnapshot::errors_total` instead")]
     pub fn error_count(&self) -> u64 {
-        self.inner.errors.get()
+        self.inner
+            .instruments
+            .values()
+            .map(|t| t.errors.get())
+            .sum()
     }
 
     /// Scale events recorded by the monitor and manual scaling.
+    #[deprecated(note = "use `events()` and filter `EventKind::ScaleOut` instead")]
     pub fn scale_events(&self) -> Vec<ScaleEvent> {
         self.inner.events.lock().clone()
     }
 
     /// Number of SE instances of `state`.
+    #[deprecated(note = "use `metrics()` and `MetricsSnapshot::state_by_id` instead")]
     pub fn state_instances(&self, state: StateId) -> usize {
         self.inner.cells.read()[&state].len()
     }
 
     /// Approximate bytes held by all instances of `state`.
+    #[deprecated(note = "use `metrics()` and `MetricsSnapshot::state_by_id` instead")]
     pub fn state_bytes(&self, state: StateId) -> usize {
         self.inner.cells.read()[&state]
             .iter()
@@ -424,6 +479,37 @@ impl Deployment {
 }
 
 impl Inner {
+    /// Refreshes the sampled gauges (queue depths, instance counts, state
+    /// sizes) so a snapshot taken right after reflects current occupancy.
+    fn refresh_gauges(&self) {
+        for (task, instruments) in &self.instruments {
+            let targets = self.targets[task].read();
+            instruments.instances.set(targets.len() as u64);
+            instruments
+                .queue_depth
+                .set(targets.iter().map(|s| s.len() as u64).sum());
+        }
+        for (&state, group) in self.cells.read().iter() {
+            let Ok(decl) = self.sdg.state(state) else {
+                continue;
+            };
+            let s = self.obs.state_with_id(&decl.name, Some(state));
+            s.instances.set(group.len() as u64);
+            s.bytes
+                .set(group.iter().map(|c| c.approx_bytes() as u64).sum());
+            s.dirty_bytes
+                .set(group.iter().map(|c| c.dirty_bytes() as u64).sum());
+        }
+    }
+
+    /// Label of SE instance `(state, replica)` in event payloads.
+    fn se_label(&self, state: StateId, replica: u32) -> String {
+        match self.sdg.state(state) {
+            Ok(decl) => format!("{}#{replica}", decl.name),
+            Err(_) => format!("{state}#{replica}"),
+        }
+    }
+
     /// Spawns one TE instance worker; its sender is appended (or swapped in
     /// at `replica`) in the task's target list.
     fn spawn_instance(&self, task_id: TaskId, replica: u32, node: u32) -> SdgResult<()> {
@@ -516,8 +602,8 @@ impl Inner {
             work_ns: self.cfg.work_ns.get(&task_id).copied().unwrap_or(0),
             speed: self.cfg.cluster.speed_of(node as usize),
             alive,
-            processed: Arc::clone(&self.processed[&task_id]),
-            errors: Arc::clone(&self.errors),
+            obs: Arc::clone(&self.instruments[&task_id]),
+            e2e: Arc::clone(self.obs.e2e_latency()),
             dedupe: true,
             in_flight: Arc::clone(&self.in_flight),
             work_debt: Duration::ZERO,
@@ -681,14 +767,35 @@ impl Inner {
         for (state, group) in snapshot {
             for (replica, cell) in group.iter().enumerate() {
                 let seq = self.backup_seq.fetch_add(1, Ordering::Relaxed);
-                let set = take_checkpoint(
+                let label = self.se_label(state, replica as u32);
+                self.obs.record_event(EventKind::CheckpointBegin {
+                    instance: label.clone(),
+                    seq,
+                });
+                let set = take_checkpoint_observed(
                     cell,
                     se_instance_id(state, replica as u32),
                     seq,
                     Vec::new,
                     &self.stores,
                     &self.cfg.checkpoint,
+                    Some(self.obs.checkpoints()),
                 )?;
+                self.obs.record_event(EventKind::CheckpointBackup {
+                    instance: label.clone(),
+                    seq,
+                    bytes: set.state_bytes as u64,
+                });
+                self.obs.record_event(EventKind::CheckpointConsolidate {
+                    instance: label,
+                    seq,
+                });
+                if let Ok(decl) = self.sdg.state(state) {
+                    self.obs
+                        .state_with_id(&decl.name, Some(state))
+                        .checkpoints
+                        .inc();
+                }
                 // Trim upstream buffers covered by this checkpoint.
                 self.trim_for(state, replica as u32, &set);
                 // Garbage-collect the previous checkpoint's chunks.
@@ -742,6 +849,10 @@ impl Inner {
 
     fn fail_and_recover(&self, state: StateId, replica: u32) -> SdgResult<RecoveryReport> {
         let t0 = Instant::now();
+        let label = self.se_label(state, replica);
+        self.obs.record_event(EventKind::FailureInjected {
+            instance: label.clone(),
+        });
         let set = self
             .backups
             .lock()
@@ -776,7 +887,13 @@ impl Inner {
 
         // Restore state from the m backup stores.
         let restore_t0 = Instant::now();
-        let restored = restore_state(&set, &self.stores, 1)?;
+        let restored = restore_state_observed(
+            &set,
+            &self.stores,
+            1,
+            RestoreOptions::default(),
+            Some(self.obs.checkpoints()),
+        )?;
         let (store, vector) = restored.into_iter().next().expect("n=1 restore");
         let new_cell = Arc::new(StateCell::from_store(store, vector.clone()));
         self.cells
@@ -788,6 +905,10 @@ impl Inner {
             })
             .ok_or_else(|| SdgError::NotFound(format!("state instance {state}#{replica}")))?;
         let restore = restore_t0.elapsed();
+        self.obs.record_event(EventKind::RecoveryRestored {
+            instance: label.clone(),
+            took: restore,
+        });
 
         // Respawn workers on a fresh node, swapping senders in through the
         // held guards.
@@ -821,11 +942,21 @@ impl Inner {
             }
         }
         drop(guards);
+        self.obs.checkpoints().replayed.add(replayed as u64);
+        self.obs.record_event(EventKind::RecoveryReplayed {
+            instance: label.clone(),
+            items: replayed as u64,
+        });
+        let total = t0.elapsed();
+        self.obs.record_event(EventKind::RecoveryComplete {
+            instance: label,
+            took: total,
+        });
 
         Ok(RecoveryReport {
             restore,
             replayed,
-            total: t0.elapsed(),
+            total,
         })
     }
 
@@ -905,7 +1036,8 @@ impl Inner {
         // would let producers route by the old partition count against the
         // already-repartitioned state.
         let mut guards: Vec<_> = tasks.iter().map(|t| self.targets[t].write()).collect();
-        let deadline = Instant::now() + Duration::from_secs(5);
+        let drain_t0 = Instant::now();
+        let deadline = drain_t0 + Duration::from_secs(5);
         loop {
             let queued: usize = guards.iter().flat_map(|g| g.iter()).map(|s| s.len()).sum();
             if queued == 0 && self.in_flight.load(Ordering::Acquire) == 0 {
@@ -915,6 +1047,12 @@ impl Inner {
                 break; // Proceed; duplicate filtering keeps this safe.
             }
             std::thread::sleep(Duration::from_millis(1));
+        }
+        if let Ok(task) = self.sdg.task(trigger) {
+            self.obs.record_event(EventKind::RepartitionDrain {
+                task: task.name.clone(),
+                waited: drain_t0.elapsed(),
+            });
         }
 
         // Export all partitions, merge, re-split to p + 1.
@@ -972,6 +1110,15 @@ impl Inner {
 
     fn record_event(&self, task: TaskId, node: u32) {
         let instances = self.targets[&task].read().len() as u32;
+        let name = match self.sdg.task(task) {
+            Ok(decl) => decl.name.clone(),
+            Err(_) => task.to_string(),
+        };
+        self.obs.record_event(EventKind::ScaleOut {
+            task: name,
+            instances,
+            node,
+        });
         self.events.lock().push(ScaleEvent {
             at: self.started.elapsed(),
             task,

@@ -11,6 +11,7 @@ use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use sdg_common::ids::TaskId;
+use sdg_common::obs::EventKind;
 
 use crate::deploy::Inner;
 
@@ -68,7 +69,13 @@ pub(crate) fn run_scaling_monitor(inner: &Inner) {
                 streaks.insert(task.id, 0);
             }
         }
-        if let Some((task, _)) = worst {
+        if let Some((task, fill)) = worst {
+            if let Ok(decl) = inner.sdg.task(task) {
+                inner.obs.record_event(EventKind::BottleneckDetected {
+                    task: decl.name.clone(),
+                    fill,
+                });
+            }
             if inner.scale_task(task).is_ok() {
                 streaks.insert(task, 0);
             }

@@ -16,7 +16,8 @@ use sdg_checkpoint::buffer::OutputBuffer;
 use sdg_checkpoint::cell::StateCell;
 use sdg_common::error::{SdgError, SdgResult};
 use sdg_common::ids::EdgeId;
-use sdg_common::metrics::Counter;
+use sdg_common::metrics::Histogram;
+use sdg_common::obs::TaskInstruments;
 use sdg_common::time::TsGen;
 use sdg_common::value::{Record, Value};
 use sdg_graph::model::{Dispatch, TaskCode, TaskContext};
@@ -288,10 +289,11 @@ pub struct Worker {
     /// Cleared when the hosting node "fails": the worker then discards
     /// items, simulating loss of in-flight data.
     pub alive: Arc<AtomicBool>,
-    /// Processed-items counter (shared with the monitor).
-    pub processed: Arc<Counter>,
-    /// Error counter (shared with the deployment).
-    pub errors: Arc<Counter>,
+    /// Per-task instruments, shared with the deployment's registry: items
+    /// in/out, processed, errors, gather waits, service time, latency.
+    pub obs: Arc<TaskInstruments>,
+    /// Deployment-wide end-to-end latency histogram.
+    pub e2e: Arc<Histogram>,
     /// Dedupe switch: duplicate filtering needs a cell; stateless tasks
     /// pass everything through.
     pub dedupe: bool,
@@ -319,20 +321,27 @@ impl Worker {
     }
 
     fn handle(&mut self, item: Item) {
+        self.obs.items_in.inc();
         // Gather barriers assemble one logical item from `expect` fragments.
         let item = if let Some(var) = self.gather_var.clone() {
             match self.assemble(item, &var) {
                 Some(merged) => merged,
-                None => return, // Barrier still waiting.
+                None => {
+                    // Barrier still waiting on sibling fragments.
+                    self.obs.gather_waits.inc();
+                    return;
+                }
             }
         } else {
             item
         };
         self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let t0 = Instant::now();
         let r = self.process(&item);
+        self.obs.service.record(t0.elapsed().as_nanos() as u64);
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
         if r.is_err() {
-            self.errors.inc();
+            self.obs.errors.inc();
         }
     }
 
@@ -402,7 +411,7 @@ impl Worker {
                 }) {
                     None => {
                         // Duplicate from a replay: already applied.
-                        self.processed.inc();
+                        self.obs.processed.inc();
                         return Ok(());
                     }
                     Some(r) => r?,
@@ -418,15 +427,25 @@ impl Worker {
             })?,
             (None, _) => execute(&self.code, &item.payload, None, self.replica)?,
         };
-        self.processed.inc();
+        self.obs.processed.inc();
+        self.obs.emits.add(effects.emits.len() as u64);
         for value in effects.emits {
+            let latency = item.submitted_at.map(|t| t.elapsed());
+            if let Some(l) = latency {
+                let ns = l.as_nanos() as u64;
+                self.obs.latency.record(ns);
+                self.e2e.record(ns);
+            }
             let event = OutputEvent {
                 corr: item.corr,
                 value,
-                latency: item.submitted_at.map(|t| t.elapsed()),
+                latency,
             };
             let _ = self.sink.send(event);
         }
+        self.obs
+            .items_out
+            .add((effects.forwards.len() * self.outs.len()) as u64);
         for record in &effects.forwards {
             for out in &mut self.outs {
                 out.send(

@@ -12,6 +12,20 @@ use sdg_runtime::config::{RuntimeConfig, ScalingConfig};
 use sdg_runtime::deploy::Deployment;
 use sdg_translate::translate;
 
+/// Instruments-backed instance count of `task` (0 when absent).
+fn task_instances(d: &Deployment, task: sdg_common::ids::TaskId) -> usize {
+    d.metrics()
+        .task_by_id(task)
+        .map_or(0, |t| t.instances as usize)
+}
+
+/// Instruments-backed SE instance count of `state`.
+fn state_instances(d: &Deployment, state: StateId) -> usize {
+    d.metrics()
+        .state_by_id(state)
+        .map_or(0, |s| s.instances as usize)
+}
+
 const CF_SRC: &str = r#"
     @Partitioned Matrix userItem;
     @Partial Matrix coOcc;
@@ -144,7 +158,7 @@ fn collaborative_filtering_end_to_end() {
         assert_eq!(got, expected, "user {user}");
         assert!(event.latency.is_some());
     }
-    assert_eq!(d.error_count(), 0);
+    assert_eq!(d.stats().errors, 0);
     d.shutdown();
 }
 
@@ -175,7 +189,7 @@ fn cf_partial_instances_sum_to_global_counts() {
     assert!(d1.quiesce(Duration::from_secs(10)));
 
     let mut summed: HashMap<(i64, i64), f64> = HashMap::new();
-    for replica in 0..d.state_instances(co_occ) {
+    for replica in 0..state_instances(&d, co_occ) {
         d.with_state(co_occ, replica as u32, |s| {
             let m = s.as_matrix().unwrap();
             for r in m.row_indices() {
@@ -216,7 +230,7 @@ fn deploy_kv(partitions: usize, ft: bool) -> (Deployment, StateId) {
 
 fn total_count(d: &Deployment, kv: StateId) -> i64 {
     let mut total = 0;
-    for replica in 0..d.state_instances(kv) {
+    for replica in 0..state_instances(d, kv) {
         d.with_state(kv, replica as u32, |s| {
             s.as_table().unwrap().for_each(|_, v| {
                 total += v.as_int().unwrap();
@@ -294,7 +308,7 @@ fn failure_recovery_preserves_exactly_once_counts() {
     }
     assert!(d.quiesce(Duration::from_secs(10)));
     assert_eq!(total_count(&d, kv), 700);
-    assert_eq!(d.error_count(), 0);
+    assert_eq!(d.stats().errors, 0);
     d.shutdown();
 }
 
@@ -327,12 +341,11 @@ fn partitioned_scale_out_preserves_and_repartitions_state() {
     // Scale from 2 to 3 partitions via the accessing task.
     let sdg_task = {
         // bump_0 is task 0 or 1 depending on entry order; find by state.
+        let snap = d.metrics();
         let mut found = None;
         for raw in 0..4u32 {
-            if let Ok(n) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                d.instance_count(sdg_common::ids::TaskId(raw))
-            })) {
-                if n == 2 && found.is_none() {
+            if let Some(t) = snap.task_by_id(sdg_common::ids::TaskId(raw)) {
+                if t.instances == 2 && found.is_none() {
                     found = Some(sdg_common::ids::TaskId(raw));
                 }
             }
@@ -340,7 +353,7 @@ fn partitioned_scale_out_preserves_and_repartitions_state() {
         found.expect("a 2-instance task exists")
     };
     d.scale_task(sdg_task).unwrap();
-    assert_eq!(d.state_instances(kv), 3);
+    assert_eq!(state_instances(&d, kv), 3);
     assert_eq!(
         total_count(&d, kv),
         300,
@@ -364,7 +377,7 @@ fn partitioned_scale_out_preserves_and_repartitions_state() {
     }
     assert!(d.quiesce(Duration::from_secs(10)));
     assert_eq!(total_count(&d, kv), 600);
-    assert_eq!(d.error_count(), 0);
+    assert_eq!(d.stats().errors, 0);
     d.shutdown();
 }
 
@@ -381,23 +394,25 @@ fn partial_scale_out_adds_empty_instance() {
     assert!(d.quiesce(Duration::from_secs(10)));
 
     // Scale the partial group through one of its accessing tasks.
-    let task = d.scale_events().first().map(|e| e.task).unwrap_or_else(|| {
-        // Find a task accessing coOcc: addRating_1 exists with 2 instances.
-        let mut found = None;
-        for raw in 0..8u32 {
-            let t = sdg_common::ids::TaskId(raw);
-            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.instance_count(t)))
-                .map(|n| n == 2)
-                .unwrap_or(false)
-            {
-                found = Some(t);
-                break;
-            }
-        }
-        found.expect("partial task")
-    });
+    let snap = d.metrics();
+    let task = snap
+        .events
+        .iter()
+        .find_map(|e| match &e.kind {
+            sdg_common::obs::EventKind::ScaleOut { task, .. } => snap.task(task).and_then(|t| t.id),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            // Find a task accessing coOcc: addRating_1 exists with 2
+            // instances.
+            snap.tasks
+                .iter()
+                .find(|t| t.instances == 2)
+                .and_then(|t| t.id)
+                .expect("partial task")
+        });
     d.scale_task(task).unwrap();
-    assert_eq!(d.state_instances(co_occ), 3);
+    assert_eq!(state_instances(&d, co_occ), 3);
 
     // The new instance starts empty and fills with new traffic.
     for n in 0..20i64 {
@@ -449,12 +464,12 @@ fn reactive_scaling_reacts_to_bottlenecks() {
     }
     assert!(d.quiesce(Duration::from_secs(30)));
     assert!(
-        d.instance_count(task) > 1,
+        task_instances(&d, task) > 1,
         "monitor should have scaled the bottleneck task"
     );
-    assert!(!d.scale_events().is_empty());
+    assert!(d.stats().scale_outs > 0);
     // All items processed despite scaling.
-    assert_eq!(d.processed(task), 400);
+    assert_eq!(d.metrics().task_by_id(task).unwrap().processed, 400);
     d.shutdown();
 }
 
@@ -462,6 +477,6 @@ fn reactive_scaling_reacts_to_bottlenecks() {
 fn quiesce_and_shutdown_are_clean_on_idle_deployment() {
     let (d, _kv) = deploy_kv(1, false);
     assert!(d.quiesce(Duration::from_secs(1)));
-    assert_eq!(d.processed_total(), 0);
+    assert_eq!(d.stats().processed, 0);
     d.shutdown();
 }

@@ -157,7 +157,7 @@ fn cycles_iterate_until_convergence() {
         })
         .unwrap();
     assert_eq!(steps, 10 + 8 + 7 + 4);
-    assert_eq!(d.error_count(), 0);
+    assert_eq!(d.stats().errors, 0);
     d.shutdown();
 }
 

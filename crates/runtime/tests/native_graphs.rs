@@ -128,7 +128,7 @@ fn one_producer_feeds_two_consumers() {
             .unwrap();
         assert_eq!(count, Some(Value::Int(20)));
     }
-    assert_eq!(d.error_count(), 0);
+    assert_eq!(d.stats().errors, 0);
     d.shutdown();
 }
 
@@ -253,7 +253,7 @@ fn stateless_fanout_scales_independently_of_consumers() {
     cfg.se_instances.insert(counts, 2);
     cfg.task_instances.insert(parse_id, 4);
     let d = Deployment::start(sdg, cfg).unwrap();
-    assert_eq!(d.instance_count(parse_id), 4);
+    assert_eq!(d.metrics().task_by_id(parse_id).unwrap().instances, 4);
 
     for n in 0..400i64 {
         d.submit("feed", record! {"k" => Value::Int(n % 8)})
@@ -270,6 +270,6 @@ fn stateless_fanout_scales_independently_of_consumers() {
         .unwrap();
     }
     assert_eq!(total, 400);
-    assert_eq!(d.error_count(), 0);
+    assert_eq!(d.stats().errors, 0);
     d.shutdown();
 }

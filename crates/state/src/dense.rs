@@ -73,6 +73,12 @@ impl DenseVector {
         self.dirty.is_some()
     }
 
+    /// Approximate bytes held by the dirty overlay (0 outside a
+    /// checkpoint): index + value per overlaid slot.
+    pub fn dirty_bytes(&self) -> usize {
+        self.dirty.as_ref().map_or(0, |d| d.len() * 16)
+    }
+
     /// Reads element `i`; indices at or beyond the length read as `0.0`.
     pub fn get(&self, i: usize) -> f64 {
         if let Some(dirty) = &self.dirty {

@@ -55,6 +55,12 @@ impl SparseMatrix {
         self.dirty.is_some()
     }
 
+    /// Approximate bytes held by the dirty overlay (0 outside a
+    /// checkpoint).
+    pub fn dirty_bytes(&self) -> usize {
+        self.dirty.as_ref().map_or(0, |d| d.len() * 32)
+    }
+
     /// Reads element `(row, col)`; absent elements read as `0.0`.
     pub fn get(&self, row: i64, col: i64) -> f64 {
         if let Some(dirty) = &self.dirty {

@@ -87,6 +87,16 @@ impl StateStore {
         }
     }
 
+    /// Approximate bytes held by the dirty overlay (0 outside a
+    /// checkpoint).
+    pub fn dirty_bytes(&self) -> usize {
+        match self {
+            StateStore::Table(t) => t.dirty_bytes(),
+            StateStore::Matrix(m) => m.dirty_bytes(),
+            StateStore::Vector(v) => v.dirty_bytes(),
+        }
+    }
+
     /// Accesses the table variant.
     pub fn as_table(&mut self) -> SdgResult<&mut KeyedTable> {
         match self {

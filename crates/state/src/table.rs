@@ -57,6 +57,16 @@ impl KeyedTable {
         self.dirty.is_some()
     }
 
+    /// Approximate bytes held by the dirty overlay (0 outside a
+    /// checkpoint). Tombstones count their key only.
+    pub fn dirty_bytes(&self) -> usize {
+        self.dirty.as_ref().map_or(0, |d| {
+            d.iter()
+                .map(|(k, v)| k.approx_size() + v.as_ref().map_or(0, Value::approx_size))
+                .sum()
+        })
+    }
+
     /// Looks up `key`, consulting the dirty overlay first.
     pub fn get(&self, key: &Key) -> Option<Value> {
         if let Some(dirty) = &self.dirty {

@@ -146,11 +146,15 @@ fn run_and_collect(
         .expect("submit");
     }
     assert!(d.quiesce(Duration::from_secs(30)), "requests must drain");
-    assert_eq!(d.error_count(), 0, "no task errors");
+    assert_eq!(d.stats().errors, 0, "no task errors");
 
     let mut contents = BTreeMap::new();
     for (state, name) in state_names {
-        for replica in 0..d.state_instances(state) {
+        let replicas = d
+            .metrics()
+            .state_by_id(state)
+            .map_or(0, |s| s.instances as usize);
+        for replica in 0..replicas {
             d.with_state(state, replica as u32, |s| {
                 s.as_table().expect("table").for_each(|k, v| {
                     contents.insert((name.clone(), k.clone()), v.clone());

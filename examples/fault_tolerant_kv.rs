@@ -17,7 +17,12 @@ use sdg::prelude::RuntimeConfig;
 
 fn total_count(app: &KvApp) -> i64 {
     let mut total = 0;
-    for replica in 0..app.deployment().state_instances(app.state()) {
+    let replicas = app
+        .deployment()
+        .metrics()
+        .state_by_id(app.state())
+        .map_or(0, |s| s.instances as usize);
+    for replica in 0..replicas {
         app.deployment()
             .with_state(app.state(), replica as u32, |s| {
                 s.as_table().unwrap().for_each(|_, v| {

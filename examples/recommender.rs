@@ -40,18 +40,24 @@ fn main() {
 
     // Scale the partial co-occurrence state out at runtime: a new (empty)
     // partial instance is added and reconciled on every read.
-    let co_occ_task = app
-        .deployment()
-        .scale_events()
-        .first()
-        .map(|e| e.task)
-        .unwrap_or_else(|| {
-            sdg::common::ids::TaskId(1) // addRating_1 updates coOcc.
-        });
+    let snap = app.deployment().metrics();
+    let co_occ_task = snap
+        .events
+        .iter()
+        .find_map(|e| match &e.kind {
+            sdg::common::obs::EventKind::ScaleOut { task, .. } => {
+                snap.task(task).and_then(|t| t.id)
+            }
+            _ => None,
+        })
+        .unwrap_or(sdg::common::ids::TaskId(1)); // addRating_1 updates coOcc.
     app.deployment().scale_task(co_occ_task).expect("scale out");
     println!(
         "scaled coOcc to {} instances; streaming 2000 more ratings...",
-        app.deployment().state_instances(app.co_occ())
+        app.deployment()
+            .metrics()
+            .state_by_id(app.co_occ())
+            .map_or(0, |s| s.instances)
     );
     for r in ratings(2_000, 400, 150, 8) {
         reference.add_rating(r);

@@ -8,6 +8,7 @@
 //! sdgc dot <file.sl>                   # translated SDG as Graphviz DOT
 //! sdgc explain <file.sl>               # tasks, state, dispatch, allocation
 //! sdgc run <file.sl> 'put k=1 v=hi' 'get k=1'   # deploy, fire requests
+//! sdgc run <file.sl> 'put k=1 v=hi' --metrics json  # + metrics snapshot
 //! ```
 //!
 //! `lint` runs the whole static-analysis pipeline without deploying:
@@ -39,8 +40,44 @@ fn main() -> ExitCode {
     }
 }
 
+/// How `run` reports the deployment's metrics snapshot on exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsMode {
+    Json,
+    Text,
+}
+
+fn parse_metrics_mode(v: &str) -> Result<MetricsMode, String> {
+    match v {
+        "json" => Ok(MetricsMode::Json),
+        "text" => Ok(MetricsMode::Text),
+        other => Err(format!("--metrics expects `json` or `text`, got `{other}`")),
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: sdgc <check|lint|dot|explain|run> <file> [entry] [name=value ...]";
+    let usage =
+        "usage: sdgc <check|lint|dot|explain|run> <file> [entry] [name=value ...] [--metrics json|text]";
+    let mut metrics: Option<MetricsMode> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(v) = a.strip_prefix("--metrics=") {
+            metrics = Some(parse_metrics_mode(v)?);
+        } else if a == "--metrics" {
+            i += 1;
+            metrics = Some(parse_metrics_mode(
+                args.get(i).map(String::as_str).unwrap_or(""),
+            )?);
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}`; {usage}"));
+        } else {
+            positional.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let args = positional;
     let command = args.first().ok_or(usage)?;
     let path = args.get(1).ok_or(usage)?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
@@ -73,7 +110,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if args.len() < 3 {
                 return Err("run needs at least one request: 'entry name=value ...'".into());
             }
-            run_requests(program, &args[2..])
+            run_requests(program, &args[2..], metrics)
         }
         other => Err(format!("unknown command `{other}`; {usage}")),
     }
@@ -193,7 +230,11 @@ fn parse_payload(pairs: &[String]) -> Result<Record, String> {
     Ok(payload)
 }
 
-fn run_requests(program: SdgProgram, requests: &[String]) -> Result<(), String> {
+fn run_requests(
+    program: SdgProgram,
+    requests: &[String],
+    metrics: Option<MetricsMode>,
+) -> Result<(), String> {
     let deployment = program
         .deploy(RuntimeConfig::default())
         .map_err(|e| e.to_string())?;
@@ -218,7 +259,12 @@ fn run_requests(program: SdgProgram, requests: &[String]) -> Result<(), String> 
             );
         }
     }
-    let errors = deployment.error_count();
+    match metrics {
+        Some(MetricsMode::Json) => println!("{}", deployment.metrics().to_json()),
+        Some(MetricsMode::Text) => print!("{}", deployment.metrics().to_text()),
+        None => {}
+    }
+    let errors = deployment.stats().errors;
     deployment.shutdown();
     if errors > 0 {
         return Err(format!("{errors} task error(s) during execution"));

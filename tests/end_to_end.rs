@@ -55,7 +55,7 @@ fn compile_deploy_and_query_a_custom_program() {
         .unwrap();
     let out = d.outputs().recv_timeout(Duration::from_secs(5)).unwrap();
     assert_eq!(out.value, Value::Int(30));
-    assert_eq!(d.error_count(), 0);
+    assert_eq!(d.stats().errors, 0);
     d.shutdown();
 }
 
@@ -160,7 +160,7 @@ fn deployment_reports_user_errors_without_crashing() {
     )
     .unwrap();
     assert!(d.quiesce(Duration::from_secs(10)));
-    assert_eq!(d.error_count(), 1);
+    assert_eq!(d.stats().errors, 1);
     // The deployment keeps serving afterwards.
     d.submit(
         "divide",

@@ -15,7 +15,12 @@ fn ft_config(interval: Duration) -> RuntimeConfig {
 
 fn total_count(app: &KvApp) -> i64 {
     let mut total = 0;
-    for replica in 0..app.deployment().state_instances(app.state()) {
+    let replicas = app
+        .deployment()
+        .metrics()
+        .state_by_id(app.state())
+        .map_or(0, |s| s.instances as usize);
+    for replica in 0..replicas {
         app.deployment()
             .with_state(app.state(), replica as u32, |s| {
                 s.as_table().unwrap().for_each(|_, v| {
@@ -59,7 +64,7 @@ fn repeated_failures_of_different_partitions_stay_exact() {
             report.replayed
         );
     }
-    assert_eq!(app.deployment().error_count(), 0);
+    assert_eq!(app.deployment().stats().errors, 0);
     app.shutdown();
 }
 
@@ -137,6 +142,6 @@ fn state_survives_multiple_checkpoint_cycles() {
             "key {n}"
         );
     }
-    assert_eq!(app.deployment().error_count(), 0);
+    assert_eq!(app.deployment().stats().errors, 0);
     app.shutdown();
 }

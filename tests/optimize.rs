@@ -68,7 +68,7 @@ fn run_pipeline(program: SdgProgram) -> Vec<Value> {
     while let Ok(event) = deployment.outputs().try_recv() {
         out.push(event.value);
     }
-    assert_eq!(deployment.error_count(), 0);
+    assert_eq!(deployment.stats().errors, 0);
     deployment.shutdown();
     out
 }
