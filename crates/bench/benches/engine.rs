@@ -1,0 +1,113 @@
+//! Per-item execution-engine microbenchmarks: the slot-compiled engine
+//! against the tree-walking reference interpreter on the same TEs.
+//!
+//! These isolate the quantity the PR-3 tentpole targets — per-item
+//! processing cost (§3.3: throughput is bounded purely by it) — from the
+//! channel/locking costs measured by the pipeline benches.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdg_apps::kv::KV_SOURCE;
+use sdg_common::record;
+use sdg_common::value::Value;
+use sdg_ir::ast::Method;
+use sdg_ir::parser::parse_program;
+use sdg_ir::te::TeProgram;
+use sdg_ir::te_compiled::CompiledTe;
+use sdg_runtime::compile::run_compiled;
+use sdg_runtime::interp::run_te;
+use sdg_runtime::Scratch;
+use sdg_state::store::{StateStore, StateType};
+
+/// A compute-heavy TE: bounded loop, helper calls, arithmetic — the shape
+/// where environment-access cost dominates.
+const LOOP_SOURCE: &str = r#"
+    int weight(int a, int b) {
+        if (a < b) { return a + b; }
+        return a - b;
+    }
+
+    void score(int n0, int n1) {
+        let acc = 0;
+        let i = 0;
+        while (i < 32) {
+            acc = acc + weight(i, n0) * 3 - weight(n1, i);
+            i = i + 1;
+        }
+        let out = acc;
+    }
+"#;
+
+/// Builds the TE for `method` out of a StateLang source.
+fn te_of(src: &str, method: &str, out_vars: &[&str]) -> TeProgram {
+    let prog = parse_program(src).unwrap();
+    let entry = prog
+        .methods
+        .iter()
+        .find(|m| m.name == method)
+        .unwrap()
+        .clone();
+    let helpers: HashMap<String, Method> = prog
+        .methods
+        .iter()
+        .filter(|m| m.name != method)
+        .map(|m| (m.name.clone(), m.clone()))
+        .collect();
+    TeProgram::new(
+        entry.name,
+        entry.body,
+        Arc::new(helpers),
+        out_vars.iter().map(|s| s.to_string()).collect(),
+    )
+}
+
+fn engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(50);
+
+    // KV put: one state access, the Fig. 7 per-item kernel.
+    let put = te_of(KV_SOURCE, "put", &[]);
+    let put_compiled = CompiledTe::compile(&put);
+    let payload = "x".repeat(256);
+    let mut k = 0i64;
+    let mut store = StateStore::new(StateType::Table);
+    group.bench_function("kv_put_reference", |b| {
+        b.iter(|| {
+            k += 1;
+            let input = record! {"k" => Value::Int(k % 10_000), "v" => Value::str(&payload)};
+            black_box(run_te(&put, &input, Some(&mut store)).unwrap());
+        });
+    });
+    let mut store = StateStore::new(StateType::Table);
+    let mut scratch = Scratch::new();
+    group.bench_function("kv_put_compiled", |b| {
+        b.iter(|| {
+            k += 1;
+            let input = record! {"k" => Value::Int(k % 10_000), "v" => Value::str(&payload)};
+            black_box(run_compiled(&put_compiled, &input, Some(&mut store), &mut scratch).unwrap());
+        });
+    });
+
+    // Loop-heavy scoring: no state, pure environment traffic.
+    let score = te_of(LOOP_SOURCE, "score", &["out"]);
+    let score_compiled = CompiledTe::compile(&score);
+    let input = record! {"n0" => Value::Int(7), "n1" => Value::Int(13)};
+    group.bench_function("loop32_reference", |b| {
+        b.iter(|| black_box(run_te(&score, &input, None).unwrap()));
+    });
+    let mut scratch = Scratch::new();
+    group.bench_function("loop32_compiled", |b| {
+        b.iter(|| black_box(run_compiled(&score_compiled, &input, None, &mut scratch).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

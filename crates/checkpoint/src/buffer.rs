@@ -54,6 +54,18 @@ impl OutputBuffer {
         self.items.push_back(BufferedItem { ts, bytes });
     }
 
+    /// Appends a batch of items under one borrow of the buffer.
+    ///
+    /// Callers holding the buffer behind a lock amortise one lock
+    /// acquisition over the whole batch (the runtime's edge micro-batching
+    /// path). The same monotonicity rule as [`OutputBuffer::push`] applies
+    /// to the concatenation of existing and new items.
+    pub fn push_all(&mut self, items: impl IntoIterator<Item = (ScalarTs, Vec<u8>)>) {
+        for (ts, bytes) in items {
+            self.push(ts, bytes);
+        }
+    }
+
     /// Drops all items with `ts <= watermark` (they are covered by every
     /// downstream checkpoint).
     pub fn trim(&mut self, watermark: ScalarTs) {
@@ -147,6 +159,22 @@ mod tests {
     fn non_monotone_push_panics() {
         let mut b = buf_with(&[5]);
         b.push(5, vec![]);
+    }
+
+    #[test]
+    fn push_all_appends_a_batch() {
+        let mut b = buf_with(&[1]);
+        b.push_all([(2, vec![0; 2]), (3, vec![0; 3])]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.last_ts(), 3);
+        assert_eq!(b.buffered_bytes(), 4 + 2 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamps must increase")]
+    fn push_all_enforces_monotonicity_across_the_batch() {
+        let mut b = buf_with(&[5]);
+        b.push_all([(6, vec![]), (6, vec![])]);
     }
 
     #[test]

@@ -337,6 +337,17 @@ impl Record {
         }
     }
 
+    /// Appends `name = value` **without** scanning for an existing binding.
+    ///
+    /// Callers must guarantee `name` is not already present (e.g. when
+    /// building a record from a sorted, deduplicated live-variable set).
+    /// Taking an `Arc<str>` lets hot paths reuse interned names instead of
+    /// re-allocating them per item.
+    pub fn push_unchecked(&mut self, name: Arc<str>, value: Value) {
+        debug_assert!(self.get(&name).is_none(), "duplicate field `{name}`");
+        self.fields.push((name, value));
+    }
+
     /// Sets `name` to `value`, replacing any existing binding.
     pub fn set(&mut self, name: impl AsRef<str>, value: Value) {
         let name = name.as_ref();
@@ -380,6 +391,33 @@ impl Record {
     /// Iterates over `(name, value)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
         self.fields.iter().map(|(n, v)| (&**n, v))
+    }
+
+    /// Returns the field at `idx` (insertion order), if in bounds.
+    ///
+    /// The name comes back as the interned `Arc<str>` so callers can clone
+    /// it without re-allocating the string.
+    pub fn at(&self, idx: usize) -> Option<(&Arc<str>, &Value)> {
+        self.fields.get(idx).map(|(n, v)| (n, v))
+    }
+
+    /// Returns the insertion-order index of `name`, if present.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|(n, _)| &**n == name)
+    }
+
+    /// Returns `true` if the record's fields are exactly `names`, in order.
+    ///
+    /// Used to skip projection when an edge's live set already equals the
+    /// payload's field set (the common case for compiled TEs, whose output
+    /// records are built from the sorted live-variable list).
+    pub fn fields_match(&self, names: &[impl AsRef<str>]) -> bool {
+        self.fields.len() == names.len()
+            && self
+                .fields
+                .iter()
+                .zip(names)
+                .all(|((n, _), want)| &**n == want.as_ref())
     }
 
     /// Keeps only the fields whose names appear in `names` (the live set).

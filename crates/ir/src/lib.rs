@@ -51,7 +51,9 @@ pub mod opt;
 pub mod parser;
 pub mod printer;
 pub mod te;
+pub mod te_compiled;
 
 pub use ast::{Expr, FieldAnn, FieldDecl, Method, Program, Stmt};
 pub use parser::parse_program;
 pub use te::TeProgram;
+pub use te_compiled::CompiledTe;

@@ -72,6 +72,71 @@ impl Default for ScalingConfig {
     }
 }
 
+/// Which execution engine runs translated (StateLang) TE code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Deploy-time slot compilation: names are interned into per-TE symbol
+    /// tables, the per-item environment is a reused flat register file.
+    /// The default.
+    #[default]
+    Compiled,
+    /// The tree-walking reference interpreter over a `HashMap` environment.
+    /// Slower; kept as the semantic baseline and for debugging.
+    Reference,
+}
+
+impl ExecEngine {
+    /// Reads `SDG_ENGINE` (`compiled` | `reference`, case-insensitive);
+    /// unset or unrecognised values fall back to [`ExecEngine::Compiled`].
+    pub fn from_env() -> Self {
+        match std::env::var("SDG_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("reference") => ExecEngine::Reference,
+            _ => ExecEngine::Compiled,
+        }
+    }
+}
+
+/// Edge micro-batching settings.
+///
+/// Producers coalesce consecutive items per (edge, destination replica)
+/// into one channel message and one output-buffer append, flushing when
+/// `max_items` accumulate, when the oldest pending item has waited
+/// `linger`, or at shutdown. `max_items = 1` disables batching (each item
+/// is sent eagerly, the pre-batching behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush a destination's pending batch at this size. `1` disables
+    /// batching.
+    pub max_items: usize,
+    /// Flush pending batches when the oldest pending item has waited this
+    /// long (bounds added latency under low load).
+    pub linger: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_items: 1,
+            linger: Duration::from_millis(1),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Batching disabled: every item is sent eagerly.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Batch up to `max_items` with the default 1 ms linger.
+    pub fn with_max_items(max_items: usize) -> Self {
+        BatchConfig {
+            max_items,
+            ..Default::default()
+        }
+    }
+}
+
 /// Full runtime configuration for one deployment.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -95,6 +160,12 @@ pub struct RuntimeConfig {
     /// Bound on the deployment's structured observability event log
     /// (oldest events are evicted past this).
     pub event_log_capacity: usize,
+    /// Which engine executes translated TE code. Defaults to the
+    /// slot-compiled engine, overridable per process with
+    /// `SDG_ENGINE=reference`.
+    pub engine: ExecEngine,
+    /// Edge micro-batching settings (default: disabled).
+    pub batch: BatchConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -108,6 +179,8 @@ impl Default for RuntimeConfig {
             scaling: ScalingConfig::default(),
             checkpoint: CheckpointConfig::disabled(),
             event_log_capacity: sdg_common::obs::DEFAULT_EVENT_CAPACITY,
+            engine: ExecEngine::from_env(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -156,6 +229,16 @@ impl RuntimeConfig {
                     "task {t}: instance count must be in 1..=1024"
                 )));
             }
+        }
+        if self.batch.max_items == 0 {
+            return Err(SdgError::Config(
+                "batch.max_items must be ≥ 1 (1 disables batching)".into(),
+            ));
+        }
+        if self.batch.max_items > self.channel_capacity.saturating_mul(1024) {
+            return Err(SdgError::Config(
+                "batch.max_items is implausibly large".into(),
+            ));
         }
         self.checkpoint.validate()
     }
@@ -222,6 +305,18 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Selects the execution engine for translated TE code.
+    pub fn engine(mut self, engine: ExecEngine) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
+    /// Replaces the edge micro-batching settings.
+    pub fn batch(mut self, batch: BatchConfig) -> Self {
+        self.cfg.batch = batch;
+        self
+    }
+
     /// Finishes the chain. Consistency is still checked by
     /// [`RuntimeConfig::validate`] at deploy time.
     pub fn build(self) -> RuntimeConfig {
@@ -267,6 +362,26 @@ mod tests {
     fn zero_event_log_capacity_is_rejected() {
         let cfg = RuntimeConfig::builder().event_log_capacity(0).build();
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn batch_config_validation() {
+        let cfg = RuntimeConfig::builder()
+            .batch(BatchConfig {
+                max_items: 0,
+                linger: Duration::from_millis(1),
+            })
+            .build();
+        assert!(cfg.validate().is_err());
+
+        let cfg = RuntimeConfig::builder()
+            .batch(BatchConfig::with_max_items(16))
+            .engine(ExecEngine::Reference)
+            .build();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.batch.max_items, 16);
+        assert_eq!(cfg.engine, ExecEngine::Reference);
+        assert_eq!(BatchConfig::disabled().max_items, 1);
     }
 
     #[test]

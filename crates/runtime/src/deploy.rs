@@ -28,12 +28,14 @@ use sdg_common::value::Record;
 use sdg_graph::alloc::allocate;
 use sdg_graph::model::{AccessMode, Dispatch, Sdg, TaskKind};
 use sdg_graph::validate::validate;
+use sdg_ir::te_compiled::CompiledTe;
 use sdg_state::store::StateStore;
 
+use crate::compile::Scratch;
 use crate::config::RuntimeConfig;
 use crate::item::{lane, Item};
 use crate::scaling::{run_scaling_monitor, ScaleEvent};
-use crate::worker::{BufferKey, BufferRegistry, OutEdge, Targets, Worker, WorkerMsg};
+use crate::worker::{BufferKey, BufferRegistry, OutEdge, PreparedCode, Targets, Worker, WorkerMsg};
 
 pub use crate::worker::OutputEvent;
 
@@ -94,6 +96,10 @@ pub(crate) struct Inner {
     backups: Mutex<HashMap<(StateId, u32), BackupSet>>,
     pub events: Mutex<Vec<ScaleEvent>>,
     pub in_flight: Arc<AtomicU64>,
+    /// Deploy-time slot-compilation cache: one [`CompiledTe`] per task,
+    /// shared by all replicas (including respawns during recovery and
+    /// scale-out).
+    compiled: Mutex<HashMap<TaskId, Arc<CompiledTe>>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     stop: Arc<AtomicBool>,
     pub started: Instant,
@@ -194,6 +200,7 @@ impl Deployment {
             backups: Mutex::new(HashMap::new()),
             events: Mutex::new(Vec::new()),
             in_flight: Arc::new(AtomicU64::new(0)),
+            compiled: Mutex::new(HashMap::new()),
             threads: Mutex::new(Vec::new()),
             stop: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
@@ -569,16 +576,18 @@ impl Inner {
                 for (_, buf) in self.buffers_from(flow.id, replica) {
                     last = last.max(buf.lock().last_ts());
                 }
-                OutEdge {
-                    edge: flow.id,
-                    dispatch: flow.dispatch.clone(),
-                    live_vars: flow.live_vars.clone(),
-                    targets: Arc::clone(&self.targets[&flow.to]),
-                    ts: TsGen::resume_after(last),
-                    rr: replica as usize, // Stagger round-robin start points.
-                    buffers: Arc::clone(&self.buffers),
+                OutEdge::new(
+                    flow.id,
+                    flow.dispatch.clone(),
+                    flow.live_vars.clone(),
+                    Arc::clone(&self.targets[&flow.to]),
+                    TsGen::resume_after(last),
+                    replica as usize, // Stagger round-robin start points.
+                    Arc::clone(&self.buffers),
                     buffered,
-                }
+                    self.cfg.batch,
+                    Arc::clone(&self.in_flight),
+                )
             })
             .collect();
 
@@ -590,10 +599,22 @@ impl Inner {
             .write()
             .insert((task_id, replica), node);
 
+        // Prepare the task's code for the configured engine; compiled form
+        // is built once per task and shared by every replica.
+        let code = PreparedCode::prepare(&task.code, self.cfg.engine, |te| {
+            Arc::clone(
+                self.compiled
+                    .lock()
+                    .entry(task_id)
+                    .or_insert_with(|| Arc::new(CompiledTe::compile(te))),
+            )
+        });
+
         let worker = Worker {
             name: task.name.clone(),
             replica,
-            code: task.code.clone(),
+            code,
+            scratch: Scratch::new(),
             cell,
             outs,
             sink: self.sink_tx.clone(),

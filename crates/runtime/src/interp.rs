@@ -18,7 +18,7 @@ use sdg_state::store::StateStore;
 
 /// Upper bound on interpreter steps per item, guarding against unbounded
 /// `while` loops in user programs.
-const STEP_BUDGET: u64 = 50_000_000;
+pub(crate) const STEP_BUDGET: u64 = 50_000_000;
 
 /// The observable effects of running a TE block on one item.
 #[derive(Debug, Default, PartialEq)]
@@ -278,92 +278,110 @@ impl<'a> Interp<'a> {
     }
 
     fn state_call(&mut self, field: &str, method: &str, args: Vec<Value>) -> SdgResult<Value> {
-        let store = self.state.as_deref_mut().ok_or_else(|| {
-            SdgError::Eval(format!(
-                "state access to `{field}` in a TE without a state element \
-                 (translation bug or mis-wired native graph)"
-            ))
-        })?;
-        match store {
-            StateStore::Table(table) => match method {
-                "get" => Ok(table.get(&args[0].to_key()?).unwrap_or(Value::Null)),
-                "contains" => Ok(Value::Bool(table.contains(&args[0].to_key()?))),
-                "put" => {
-                    table.put(args[0].to_key()?, args[1].clone());
-                    Ok(Value::Null)
-                }
-                "remove" => Ok(table.remove(&args[0].to_key()?).unwrap_or(Value::Null)),
-                "inc" => {
-                    let key = args[0].to_key()?;
-                    let delta = args[1].clone();
-                    let current = table.get(&key);
-                    let next = match (current, &delta) {
-                        (None, Value::Int(d)) => Value::Int(*d),
-                        (None, d) => Value::Float(d.as_float()?),
-                        (Some(Value::Int(c)), Value::Int(d)) => Value::Int(c + d),
-                        (Some(c), d) => Value::Float(c.as_float()? + d.as_float()?),
-                    };
-                    table.put(key, next.clone());
-                    Ok(next)
-                }
-                "size" => Ok(Value::Int(table.len() as i64)),
-                _ => Err(unknown_accessor(field, method)),
-            },
-            StateStore::Matrix(matrix) => match method {
-                "get" => Ok(Value::Float(
-                    matrix.get(args[0].as_int()?, args[1].as_int()?),
-                )),
-                "set" => {
-                    matrix.set(args[0].as_int()?, args[1].as_int()?, args[2].as_float()?);
-                    Ok(Value::Null)
-                }
-                "add" => {
-                    matrix.add(args[0].as_int()?, args[1].as_int()?, args[2].as_float()?);
-                    Ok(Value::Null)
-                }
-                "row" => Ok(pairs_to_value(matrix.row(args[0].as_int()?))),
-                "multiply" => {
-                    let x = value_to_pairs(&args[0])?;
-                    Ok(pairs_to_value(matrix.multiply(&x)))
-                }
-                "nnz" => Ok(Value::Int(matrix.nnz() as i64)),
-                _ => Err(unknown_accessor(field, method)),
-            },
-            StateStore::Vector(vector) => match method {
-                "get" => Ok(Value::Float(vector.get(index_arg(&args[0])?))),
-                "set" => {
-                    vector.set(index_arg(&args[0])?, args[1].as_float()?);
-                    Ok(Value::Null)
-                }
-                "add" => {
-                    vector.add(index_arg(&args[0])?, args[1].as_float()?);
-                    Ok(Value::Null)
-                }
-                "axpy" => {
-                    let alpha = args[0].as_float()?;
-                    let xs: Vec<f64> = args[1]
-                        .as_list()?
-                        .iter()
-                        .map(Value::as_float)
-                        .collect::<SdgResult<_>>()?;
-                    vector.axpy(alpha, &xs);
-                    Ok(Value::Null)
-                }
-                "dot" => {
-                    let xs: Vec<f64> = args[0]
-                        .as_list()?
-                        .iter()
-                        .map(Value::as_float)
-                        .collect::<SdgResult<_>>()?;
-                    Ok(Value::Float(vector.dot(&xs)))
-                }
-                "size" => Ok(Value::Int(vector.len() as i64)),
-                "toList" => Ok(Value::List(
-                    vector.to_vec().into_iter().map(Value::Float).collect(),
-                )),
-                _ => Err(unknown_accessor(field, method)),
-            },
-        }
+        let store = self
+            .state
+            .as_deref_mut()
+            .ok_or_else(|| missing_state(field))?;
+        eval_state_call(store, field, method, args)
+    }
+}
+
+/// The error for a state access in a TE with no state element.
+pub(crate) fn missing_state(field: &str) -> SdgError {
+    SdgError::Eval(format!(
+        "state access to `{field}` in a TE without a state element \
+         (translation bug or mis-wired native graph)"
+    ))
+}
+
+/// Applies one state accessor to a store. Shared by the reference
+/// interpreter and the slot-compiled engine so accessor semantics can
+/// never diverge between them.
+pub(crate) fn eval_state_call(
+    store: &mut StateStore,
+    field: &str,
+    method: &str,
+    args: Vec<Value>,
+) -> SdgResult<Value> {
+    match store {
+        StateStore::Table(table) => match method {
+            "get" => Ok(table.get(&args[0].to_key()?).unwrap_or(Value::Null)),
+            "contains" => Ok(Value::Bool(table.contains(&args[0].to_key()?))),
+            "put" => {
+                table.put(args[0].to_key()?, args[1].clone());
+                Ok(Value::Null)
+            }
+            "remove" => Ok(table.remove(&args[0].to_key()?).unwrap_or(Value::Null)),
+            "inc" => {
+                let key = args[0].to_key()?;
+                let delta = args[1].clone();
+                let current = table.get(&key);
+                let next = match (current, &delta) {
+                    (None, Value::Int(d)) => Value::Int(*d),
+                    (None, d) => Value::Float(d.as_float()?),
+                    (Some(Value::Int(c)), Value::Int(d)) => Value::Int(c + d),
+                    (Some(c), d) => Value::Float(c.as_float()? + d.as_float()?),
+                };
+                table.put(key, next.clone());
+                Ok(next)
+            }
+            "size" => Ok(Value::Int(table.len() as i64)),
+            _ => Err(unknown_accessor(field, method)),
+        },
+        StateStore::Matrix(matrix) => match method {
+            "get" => Ok(Value::Float(
+                matrix.get(args[0].as_int()?, args[1].as_int()?),
+            )),
+            "set" => {
+                matrix.set(args[0].as_int()?, args[1].as_int()?, args[2].as_float()?);
+                Ok(Value::Null)
+            }
+            "add" => {
+                matrix.add(args[0].as_int()?, args[1].as_int()?, args[2].as_float()?);
+                Ok(Value::Null)
+            }
+            "row" => Ok(pairs_to_value(matrix.row(args[0].as_int()?))),
+            "multiply" => {
+                let x = value_to_pairs(&args[0])?;
+                Ok(pairs_to_value(matrix.multiply(&x)))
+            }
+            "nnz" => Ok(Value::Int(matrix.nnz() as i64)),
+            _ => Err(unknown_accessor(field, method)),
+        },
+        StateStore::Vector(vector) => match method {
+            "get" => Ok(Value::Float(vector.get(index_arg(&args[0])?))),
+            "set" => {
+                vector.set(index_arg(&args[0])?, args[1].as_float()?);
+                Ok(Value::Null)
+            }
+            "add" => {
+                vector.add(index_arg(&args[0])?, args[1].as_float()?);
+                Ok(Value::Null)
+            }
+            "axpy" => {
+                let alpha = args[0].as_float()?;
+                let xs: Vec<f64> = args[1]
+                    .as_list()?
+                    .iter()
+                    .map(Value::as_float)
+                    .collect::<SdgResult<_>>()?;
+                vector.axpy(alpha, &xs);
+                Ok(Value::Null)
+            }
+            "dot" => {
+                let xs: Vec<f64> = args[0]
+                    .as_list()?
+                    .iter()
+                    .map(Value::as_float)
+                    .collect::<SdgResult<_>>()?;
+                Ok(Value::Float(vector.dot(&xs)))
+            }
+            "size" => Ok(Value::Int(vector.len() as i64)),
+            "toList" => Ok(Value::List(
+                vector.to_vec().into_iter().map(Value::Float).collect(),
+            )),
+            _ => Err(unknown_accessor(field, method)),
+        },
     }
 }
 
@@ -400,7 +418,9 @@ fn value_to_pairs(v: &Value) -> SdgResult<Vec<(i64, f64)>> {
         .collect()
 }
 
-fn eval_binop(op: BinOp, l: &Value, r: &Value) -> SdgResult<Value> {
+/// Applies a binary operator; `And`/`Or` are short-circuited by callers.
+/// Shared with the slot-compiled engine.
+pub(crate) fn eval_binop(op: BinOp, l: &Value, r: &Value) -> SdgResult<Value> {
     use BinOp::*;
     match op {
         Add => match (l, r) {

@@ -10,8 +10,17 @@
 //!
 //! Runtime features:
 //!
-//! - **interpretation** of translated StateLang TE code ([`interp`]) — the
-//!   stand-in for the paper's generated bytecode;
+//! - **deploy-time slot compilation** of translated StateLang TE code
+//!   ([`compile`], the default engine): variable names are interned into
+//!   per-TE symbol tables at deploy time and the per-item environment is a
+//!   reused flat register file — the analogue of the paper's Javassist
+//!   bytecode generation step (§4.2 step 6);
+//! - a **reference tree-walking interpreter** ([`interp`]) kept as the
+//!   semantic baseline and debug engine
+//!   (select with [`config::ExecEngine::Reference`] or `SDG_ENGINE=reference`);
+//! - **edge micro-batching** ([`config::BatchConfig`]): producers coalesce
+//!   items per (edge, destination) and flush on a size bound, linger
+//!   timeout, or shutdown, amortising channel and output-buffer locking;
 //! - **reactive scaling** (§3.3): a monitor watches queue depths and adds
 //!   TE instances (and partial/partitioned SE instances) when a task
 //!   becomes a bottleneck or a node straggles ([`scaling`]);
@@ -22,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod config;
 pub mod deploy;
 pub mod interp;
@@ -29,6 +39,7 @@ pub mod item;
 pub mod scaling;
 pub mod worker;
 
-pub use config::{ClusterSpec, NodeSpec, RuntimeConfig, ScalingConfig};
+pub use compile::{run_compiled, Scratch};
+pub use config::{BatchConfig, ClusterSpec, ExecEngine, NodeSpec, RuntimeConfig, ScalingConfig};
 pub use deploy::{Deployment, OutputEvent};
 pub use item::Item;

@@ -10,7 +10,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
+use bytes::BytesMut;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
 use sdg_checkpoint::buffer::OutputBuffer;
 use sdg_checkpoint::cell::StateCell;
@@ -20,8 +21,11 @@ use sdg_common::metrics::Histogram;
 use sdg_common::obs::TaskInstruments;
 use sdg_common::time::TsGen;
 use sdg_common::value::{Record, Value};
-use sdg_graph::model::{Dispatch, TaskCode, TaskContext};
+use sdg_graph::model::{Dispatch, NativeTask, TaskCode, TaskContext};
+use sdg_ir::te_compiled::CompiledTe;
 
+use crate::compile::{run_compiled, Scratch};
+use crate::config::{BatchConfig, ExecEngine};
 use crate::interp::{run_te, Effects};
 use crate::item::{lane, Item};
 
@@ -30,6 +34,10 @@ use crate::item::{lane, Item};
 pub enum WorkerMsg {
     /// A data item to process.
     Item(Item),
+    /// A micro-batch of items, processed in order. One channel message —
+    /// producers coalesce per destination to amortise channel signalling
+    /// (see [`crate::config::BatchConfig`]).
+    Batch(Vec<Item>),
     /// Graceful stop.
     Stop,
 }
@@ -49,10 +57,24 @@ pub struct BufferKey {
     pub dst: u32,
 }
 
+/// A shared handle to one upstream output buffer.
+type BufferHandle = Arc<Mutex<OutputBuffer>>;
+
+/// Both registry maps live under one lock so they can never disagree.
+#[derive(Debug, Default)]
+struct RegistryMaps {
+    by_key: HashMap<BufferKey, BufferHandle>,
+    /// Secondary index: the buffers feeding each `(edge, consumer replica)`,
+    /// as `(src, buffer)` pairs in creation order. Keeps the recovery and
+    /// trim paths O(producers of one consumer) instead of a linear scan
+    /// over every buffer in the deployment.
+    by_consumer: HashMap<(EdgeId, u32), Vec<(u32, BufferHandle)>>,
+}
+
 /// Registry of all upstream output buffers in a deployment.
 #[derive(Debug, Default)]
 pub struct BufferRegistry {
-    buffers: Mutex<HashMap<BufferKey, Arc<Mutex<OutputBuffer>>>>,
+    maps: Mutex<RegistryMaps>,
     /// Maximum items kept per buffer for consumers that never checkpoint
     /// (stateless tasks); bounds the upstream-backup horizon.
     pub stateless_cap: usize,
@@ -62,48 +84,60 @@ impl BufferRegistry {
     /// Creates a registry with the given stateless-consumer cap.
     pub fn new(stateless_cap: usize) -> Self {
         BufferRegistry {
-            buffers: Mutex::new(HashMap::new()),
+            maps: Mutex::new(RegistryMaps::default()),
             stateless_cap,
         }
     }
 
     /// Returns (creating on demand) the buffer for `key`.
     pub fn get(&self, key: BufferKey) -> Arc<Mutex<OutputBuffer>> {
-        self.buffers
-            .lock()
-            .entry(key)
-            .or_insert_with(|| Arc::new(Mutex::new(OutputBuffer::new())))
-            .clone()
+        let mut maps = self.maps.lock();
+        if let Some(buf) = maps.by_key.get(&key) {
+            return Arc::clone(buf);
+        }
+        let buf = Arc::new(Mutex::new(OutputBuffer::new()));
+        maps.by_key.insert(key, Arc::clone(&buf));
+        maps.by_consumer
+            .entry((key.edge, key.dst))
+            .or_default()
+            .push((key.src, Arc::clone(&buf)));
+        buf
     }
 
     /// Returns all buffers feeding consumer replica `dst` on `edge`.
     pub fn buffers_into(&self, edge: EdgeId, dst: u32) -> Vec<(u32, Arc<Mutex<OutputBuffer>>)> {
-        self.buffers
+        self.maps
             .lock()
-            .iter()
-            .filter(|(k, _)| k.edge == edge && k.dst == dst)
-            .map(|(k, b)| (k.src, Arc::clone(b)))
-            .collect()
+            .by_consumer
+            .get(&(edge, dst))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Trims the buffer feeding `(edge, src → dst)` below `watermark`.
     pub fn trim(&self, key: BufferKey, watermark: u64) {
-        if let Some(buf) = self.buffers.lock().get(&key) {
+        let buf = self.maps.lock().by_key.get(&key).cloned();
+        if let Some(buf) = buf {
             buf.lock().trim(watermark);
         }
     }
 
     /// Total buffered bytes across all buffers (for tests and metrics).
     pub fn total_bytes(&self) -> usize {
-        self.buffers
-            .lock()
-            .values()
-            .map(|b| b.lock().buffered_bytes())
-            .sum()
+        let buffers: Vec<_> = self.maps.lock().by_key.values().cloned().collect();
+        buffers.iter().map(|b| b.lock().buffered_bytes()).sum()
     }
 }
 
 /// One outgoing edge of a worker, with its dispatch machinery.
+///
+/// When micro-batching is on (`batch.max_items > 1`), items are assigned
+/// their timestamp at enqueue time and parked in a per-destination pending
+/// list; a destination's batch flushes as one channel message and one
+/// output-buffer lock when it reaches `max_items`, when the linger timer
+/// expires (driven by the owning worker's loop), or at shutdown. Pending
+/// items are counted in the deployment's `in_flight` gauge so drain
+/// barriers ([`crate::Deployment::quiesce`]) observe them.
 pub struct OutEdge {
     /// Edge id.
     pub edge: EdgeId,
@@ -121,9 +155,115 @@ pub struct OutEdge {
     pub buffers: Arc<BufferRegistry>,
     /// Whether to record items in output buffers (fault tolerance on).
     pub buffered: bool,
+    /// Micro-batching knobs (`max_items = 1` sends eagerly).
+    batch: BatchConfig,
+    /// Pending (unsent) items per destination replica.
+    pending: Vec<Vec<Item>>,
+    /// Enqueue time of the oldest pending item since the last full flush.
+    pending_since: Option<Instant>,
+    /// Deployment-wide in-flight gauge; pending items are counted here.
+    in_flight: Arc<AtomicU64>,
+    /// Reused encode buffer for output-buffer appends.
+    enc_scratch: BytesMut,
+    /// Cached buffer handles per destination (the registry hands out one
+    /// `Arc` per key for the deployment's lifetime, so caching is safe and
+    /// removes the registry lock from the steady-state send path).
+    buf_cache: Vec<Option<Arc<Mutex<OutputBuffer>>>>,
+    /// Cached projection: positions of `live_vars` within the last payload
+    /// shape seen, revalidated per item by name.
+    proj_idx: Option<Vec<usize>>,
 }
 
 impl OutEdge {
+    /// Builds an edge dispatcher.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        edge: EdgeId,
+        dispatch: Dispatch,
+        live_vars: Vec<String>,
+        targets: Targets,
+        ts: TsGen,
+        rr: usize,
+        buffers: Arc<BufferRegistry>,
+        buffered: bool,
+        batch: BatchConfig,
+        in_flight: Arc<AtomicU64>,
+    ) -> Self {
+        OutEdge {
+            edge,
+            dispatch,
+            live_vars,
+            targets,
+            ts,
+            rr,
+            buffers,
+            buffered,
+            batch,
+            pending: Vec::new(),
+            pending_since: None,
+            in_flight,
+            enc_scratch: BytesMut::new(),
+            buf_cache: Vec::new(),
+            proj_idx: None,
+        }
+    }
+
+    /// Projects `payload` onto the edge's live set.
+    ///
+    /// Fast paths: an empty live set forwards everything, and a payload
+    /// whose fields already equal the live set (the common case for
+    /// compiled TEs, which build outputs from the sorted live-variable
+    /// list) is cloned without per-field lookups. Otherwise field positions
+    /// are cached from the previous item and revalidated by name, falling
+    /// back to a scanning projection when the shape changed or a live
+    /// variable is absent.
+    fn project(&mut self, payload: &Record) -> Record {
+        if self.live_vars.is_empty() || payload.fields_match(&self.live_vars) {
+            return payload.clone();
+        }
+        if let Some(idx) = &self.proj_idx {
+            if idx.len() == self.live_vars.len() {
+                let mut out = Record::with_capacity(idx.len());
+                let mut valid = true;
+                for (want, &pos) in self.live_vars.iter().zip(idx) {
+                    match payload.at(pos) {
+                        Some((name, value)) if &**name == want.as_str() => {
+                            out.push_unchecked(Arc::clone(name), value.clone());
+                        }
+                        _ => {
+                            valid = false;
+                            break;
+                        }
+                    }
+                }
+                if valid {
+                    return out;
+                }
+            }
+        }
+        let mut idx = Vec::with_capacity(self.live_vars.len());
+        for name in &self.live_vars {
+            match payload.position(name) {
+                Some(pos) => idx.push(pos),
+                None => {
+                    // A live variable is absent (e.g. gather fragments):
+                    // don't cache partial shapes.
+                    self.proj_idx = None;
+                    return payload.project(&self.live_vars);
+                }
+            }
+        }
+        let mut out = Record::with_capacity(idx.len());
+        for &pos in &idx {
+            let (name, value) = payload
+                .at(pos)
+                .expect("position() returned in-bounds index");
+            out.push_unchecked(Arc::clone(name), value.clone());
+        }
+        self.proj_idx = Some(idx);
+        out
+    }
+
     /// Dispatches `payload` according to the edge semantics.
     pub fn send(
         &mut self,
@@ -133,11 +273,7 @@ impl OutEdge {
         upstream_expect: u32,
         submitted_at: Option<Instant>,
     ) -> SdgResult<()> {
-        let projected = if self.live_vars.is_empty() {
-            payload.clone()
-        } else {
-            payload.project(&self.live_vars)
-        };
+        let projected = self.project(payload);
         let targets_arc = Arc::clone(&self.targets);
         let targets = targets_arc.read();
         let n = targets.len();
@@ -190,27 +326,24 @@ impl OutEdge {
             Dispatch::OneToAll => {
                 let ts = self.ts.tick();
                 let expect = n as u32;
-                for (idx, target) in targets.iter().enumerate() {
+                let mut projected = Some(projected);
+                for idx in 0..n {
+                    // Clone N−1 times; the last destination takes ownership.
+                    let payload = if idx + 1 == n {
+                        projected.take().expect("taken once")
+                    } else {
+                        projected.as_ref().expect("taken last").clone()
+                    };
                     let item = Item {
                         edge: self.edge,
                         src_replica,
                         ts,
                         corr,
                         expect,
-                        payload: projected.clone(),
+                        payload,
                         submitted_at,
                     };
-                    if self.buffered {
-                        let key = BufferKey {
-                            edge: self.edge,
-                            src: src_replica,
-                            dst: idx as u32,
-                        };
-                        self.buffers.get(key).lock().push(ts, item.encode_payload());
-                    }
-                    target
-                        .send(WorkerMsg::Item(item))
-                        .map_err(|_| SdgError::Runtime("consumer channel closed".into()))?;
+                    self.enqueue(&targets, idx, item)?;
                 }
                 Ok(())
             }
@@ -238,17 +371,123 @@ impl OutEdge {
             payload,
             submitted_at,
         };
-        if self.buffered {
-            let key = BufferKey {
-                edge: self.edge,
-                src: src_replica,
-                dst: idx as u32,
-            };
-            self.buffers.get(key).lock().push(ts, item.encode_payload());
+        self.enqueue(targets, idx, item)
+    }
+
+    /// Hands one timestamped item to destination `idx`: eagerly when
+    /// batching is off, otherwise parked until a flush condition.
+    fn enqueue(&mut self, targets: &[Sender<WorkerMsg>], idx: usize, item: Item) -> SdgResult<()> {
+        if self.batch.max_items <= 1 {
+            if self.buffered {
+                let bytes = item.encode_payload_into(&mut self.enc_scratch);
+                self.buffer_for(item.src_replica, idx)
+                    .lock()
+                    .push(item.ts, bytes);
+            }
+            return targets[idx]
+                .send(WorkerMsg::Item(item))
+                .map_err(|_| SdgError::Runtime("consumer channel closed".into()));
         }
-        targets[idx]
-            .send(WorkerMsg::Item(item))
-            .map_err(|_| SdgError::Runtime("consumer channel closed".into()))
+        if self.pending.len() <= idx {
+            self.pending.resize_with(idx + 1, Vec::new);
+        }
+        // Count the parked item as in-flight *before* it leaves the
+        // channel-visible world, so drain barriers never observe a gap.
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.pending[idx].push(item);
+        if self.pending_since.is_none() {
+            self.pending_since = Some(Instant::now());
+        }
+        if self.pending[idx].len() >= self.batch.max_items {
+            self.flush_dst(targets, idx)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes destination `idx`'s pending batch: one output-buffer lock
+    /// for all appends, one channel message for all items.
+    fn flush_dst(&mut self, targets: &[Sender<WorkerMsg>], idx: usize) -> SdgResult<()> {
+        let Some(slot) = self.pending.get_mut(idx) else {
+            return Ok(());
+        };
+        if slot.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(slot);
+        let n = batch.len();
+        if self.buffered {
+            let buf = self.buffer_for(batch[0].src_replica, idx);
+            let enc = &mut self.enc_scratch;
+            buf.lock()
+                .push_all(batch.iter().map(|i| (i.ts, i.encode_payload_into(enc))));
+        }
+        let result = if n == 1 {
+            let item = batch.into_iter().next().expect("len checked");
+            targets[idx].send(WorkerMsg::Item(item))
+        } else {
+            targets[idx].send(WorkerMsg::Batch(batch))
+        };
+        // Items are now visible in the channel (or lost with it): hand the
+        // accounting back either way.
+        self.in_flight.fetch_sub(n as u64, Ordering::AcqRel);
+        result.map_err(|_| SdgError::Runtime("consumer channel closed".into()))
+    }
+
+    /// Flushes every destination's pending batch and clears the linger
+    /// deadline.
+    pub fn flush_all(&mut self) -> SdgResult<()> {
+        self.pending_since = None;
+        if !self.has_pending() {
+            return Ok(());
+        }
+        let targets_arc = Arc::clone(&self.targets);
+        let targets = targets_arc.read();
+        for idx in 0..self.pending.len() {
+            self.flush_dst(&targets, idx)?;
+        }
+        Ok(())
+    }
+
+    /// Drops every pending item without sending or buffering it, modelling
+    /// the loss of in-flight data when the hosting node dies. The dropped
+    /// timestamps were never buffered, so a respawned producer resuming
+    /// from the buffered high-water mark stays monotone.
+    pub fn discard_pending(&mut self) {
+        let n: usize = self.pending.iter().map(Vec::len).sum();
+        if n > 0 {
+            for slot in &mut self.pending {
+                slot.clear();
+            }
+            self.in_flight.fetch_sub(n as u64, Ordering::AcqRel);
+        }
+        self.pending_since = None;
+    }
+
+    /// Whether any destination has parked items.
+    pub fn has_pending(&self) -> bool {
+        self.pending.iter().any(|p| !p.is_empty())
+    }
+
+    /// When the oldest pending item must be flushed (absent when nothing
+    /// has been parked since the last flush).
+    pub fn linger_deadline(&self) -> Option<Instant> {
+        self.pending_since.map(|t| t + self.batch.linger)
+    }
+
+    fn buffer_for(&mut self, src: u32, dst: usize) -> Arc<Mutex<OutputBuffer>> {
+        if self.buf_cache.len() <= dst {
+            self.buf_cache.resize(dst + 1, None);
+        }
+        if let Some(buf) = &self.buf_cache[dst] {
+            return Arc::clone(buf);
+        }
+        let buf = self.buffers.get(BufferKey {
+            edge: self.edge,
+            src,
+            dst: dst as u32,
+        });
+        self.buf_cache[dst] = Some(Arc::clone(&buf));
+        buf
     }
 }
 
@@ -263,14 +502,56 @@ pub struct OutputEvent {
     pub latency: Option<Duration>,
 }
 
+/// A task's executable payload after deploy-time preparation.
+///
+/// Translated (StateLang) code is lowered once per task into slot-addressed
+/// form and shared by every instance via `Arc` — the engine analogue of the
+/// paper's per-TE bytecode generation. The reference interpreter remains
+/// selectable ([`ExecEngine::Reference`]) as the semantic baseline.
+#[derive(Clone)]
+pub enum PreparedCode {
+    /// Forward the input unchanged.
+    Passthrough,
+    /// Tree-walking reference interpreter over the translated AST.
+    Reference(sdg_ir::te::TeProgram),
+    /// Slot-compiled TE, executed against a reused register file.
+    Compiled(Arc<CompiledTe>),
+    /// Handwritten native task.
+    Native(Arc<dyn NativeTask>),
+}
+
+impl PreparedCode {
+    /// Prepares `code` for execution under `engine`.
+    ///
+    /// `compile` resolves a task's compiled form; deployments pass a
+    /// memoising closure so all replicas of a task share one
+    /// [`CompiledTe`].
+    pub fn prepare(
+        code: &TaskCode,
+        engine: ExecEngine,
+        compile: impl FnOnce(&sdg_ir::te::TeProgram) -> Arc<CompiledTe>,
+    ) -> PreparedCode {
+        match code {
+            TaskCode::Passthrough => PreparedCode::Passthrough,
+            TaskCode::Native(task) => PreparedCode::Native(Arc::clone(task)),
+            TaskCode::Interpreted(te) => match engine {
+                ExecEngine::Reference => PreparedCode::Reference(te.clone()),
+                ExecEngine::Compiled => PreparedCode::Compiled(compile(te)),
+            },
+        }
+    }
+}
+
 /// Everything one worker thread needs.
 pub struct Worker {
     /// Task name (diagnostics).
     pub name: String,
     /// Replica index of this instance.
     pub replica: u32,
-    /// Executable payload.
-    pub code: TaskCode,
+    /// Executable payload, prepared at deploy time.
+    pub code: PreparedCode,
+    /// Reused register file + helper-frame pool for the compiled engine.
+    pub scratch: Scratch,
     /// Local SE instance, when the task has an access edge.
     pub cell: Option<Arc<StateCell>>,
     /// Outgoing edges.
@@ -305,18 +586,83 @@ pub struct Worker {
 
 impl Worker {
     /// Runs the worker loop until `Stop` or channel disconnect.
+    ///
+    /// With micro-batching enabled the loop waits with a timeout while any
+    /// outgoing edge holds pending items, so a batch never lingers past its
+    /// deadline even when no further input arrives. `Stop` flushes pending
+    /// batches (graceful shutdown); a dead node discards them instead,
+    /// modelling loss of in-flight data.
     pub fn run(mut self, rx: Receiver<WorkerMsg>) {
-        while let Ok(msg) = rx.recv() {
+        loop {
+            let msg = if self.has_pending() {
+                let deadline = self
+                    .earliest_deadline()
+                    .unwrap_or_else(|| Instant::now() + Duration::from_millis(1));
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.flush_or_discard();
+                        break;
+                    }
+                }
+            } else {
+                match rx.recv() {
+                    Ok(msg) => Some(msg),
+                    Err(_) => break,
+                }
+            };
             match msg {
-                WorkerMsg::Stop => break,
-                WorkerMsg::Item(item) => {
+                None => self.flush_or_discard(), // Linger expired.
+                Some(WorkerMsg::Stop) => {
+                    self.flush_or_discard();
+                    break;
+                }
+                Some(WorkerMsg::Item(item)) => {
                     if !self.alive.load(Ordering::Acquire) {
-                        // Simulated dead node: in-flight items are lost.
+                        // Simulated dead node: in-flight items are lost,
+                        // including anything parked for batching.
+                        self.discard_all_pending();
                         continue;
                     }
                     self.handle(item);
                 }
+                Some(WorkerMsg::Batch(items)) => {
+                    if !self.alive.load(Ordering::Acquire) {
+                        self.discard_all_pending();
+                        continue;
+                    }
+                    for item in items {
+                        self.handle(item);
+                    }
+                }
             }
+        }
+    }
+
+    fn has_pending(&self) -> bool {
+        self.outs.iter().any(OutEdge::has_pending)
+    }
+
+    fn earliest_deadline(&self) -> Option<Instant> {
+        self.outs.iter().filter_map(OutEdge::linger_deadline).min()
+    }
+
+    fn flush_or_discard(&mut self) {
+        if self.alive.load(Ordering::Acquire) {
+            for out in &mut self.outs {
+                // Send failures here mean consumers already shut down.
+                let _ = out.flush_all();
+            }
+        } else {
+            self.discard_all_pending();
+        }
+    }
+
+    fn discard_all_pending(&mut self) {
+        for out in &mut self.outs {
+            out.discard_pending();
         }
     }
 
@@ -403,11 +749,16 @@ impl Worker {
                 self.work_debt = Duration::ZERO;
             }
         }
+        // Split the borrows up front: the state-cell closures need the code
+        // (shared) and the scratch (exclusive) while `self.cell` is held.
+        let code = &self.code;
+        let scratch = &mut self.scratch;
+        let replica = self.replica;
         let effects = match (&self.cell, self.dedupe) {
             (Some(cell), true) => {
                 let lane = lane(item.edge, item.src_replica);
                 match cell.apply(lane, item.ts, |store| {
-                    execute(&self.code, &item.payload, Some(store), self.replica)
+                    execute_prepared(code, &item.payload, Some(store), replica, scratch)
                 }) {
                     None => {
                         // Duplicate from a replay: already applied.
@@ -418,14 +769,15 @@ impl Worker {
                 }
             }
             (Some(cell), false) => cell.with(|inner| {
-                execute(
-                    &self.code,
+                execute_prepared(
+                    code,
                     &item.payload,
                     Some(&mut inner.store),
-                    self.replica,
+                    replica,
+                    scratch,
                 )
             })?,
-            (None, _) => execute(&self.code, &item.payload, None, self.replica)?,
+            (None, _) => execute_prepared(code, &item.payload, None, replica, scratch)?,
         };
         self.obs.processed.inc();
         self.obs.emits.add(effects.emits.len() as u64);
@@ -461,7 +813,8 @@ impl Worker {
     }
 }
 
-/// Executes a task's code against one input.
+/// Executes a task's code against one input (reference path; translated
+/// code runs through the tree-walking interpreter).
 pub fn execute(
     code: &TaskCode,
     input: &Record,
@@ -474,16 +827,43 @@ pub fn execute(
             emits: Vec::new(),
         }),
         TaskCode::Interpreted(te) => run_te(te, input, state),
-        TaskCode::Native(task) => {
-            let mut ctx = NativeCtx {
-                state,
-                effects: Effects::default(),
-                replica,
-            };
-            task.process(input.clone(), &mut ctx)?;
-            Ok(ctx.effects)
-        }
+        TaskCode::Native(task) => run_native(task.as_ref(), input, state, replica),
     }
+}
+
+/// Executes prepared code against one input, reusing `scratch` on the
+/// compiled path.
+pub fn execute_prepared(
+    code: &PreparedCode,
+    input: &Record,
+    state: Option<&mut sdg_state::store::StateStore>,
+    replica: u32,
+    scratch: &mut Scratch,
+) -> SdgResult<Effects> {
+    match code {
+        PreparedCode::Passthrough => Ok(Effects {
+            forwards: vec![input.clone()],
+            emits: Vec::new(),
+        }),
+        PreparedCode::Reference(te) => run_te(te, input, state),
+        PreparedCode::Compiled(te) => run_compiled(te, input, state, scratch),
+        PreparedCode::Native(task) => run_native(task.as_ref(), input, state, replica),
+    }
+}
+
+fn run_native(
+    task: &dyn NativeTask,
+    input: &Record,
+    state: Option<&mut sdg_state::store::StateStore>,
+    replica: u32,
+) -> SdgResult<Effects> {
+    let mut ctx = NativeCtx {
+        state,
+        effects: Effects::default(),
+        replica,
+    };
+    task.process(input.clone(), &mut ctx)?;
+    Ok(ctx.effects)
 }
 
 struct NativeCtx<'a> {

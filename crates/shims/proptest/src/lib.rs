@@ -26,6 +26,14 @@ pub mod prop {
     pub mod collection {
         pub use crate::strategy::vec;
     }
+    /// Fixed-size array strategies.
+    pub mod array {
+        pub use crate::strategy::{uniform2, uniform3, uniform4};
+    }
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
 }
 
 /// Re-export surface mirroring `proptest::prelude`.
@@ -102,9 +110,15 @@ macro_rules! prop_assume {
     };
 }
 
-/// Uniformly chooses between several strategies with the same value type.
+/// Chooses between several strategies with the same value type: uniformly
+/// for plain arms, proportionally for `weight => strategy` arms.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
     ($($strategy:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $($crate::strategy::Strategy::boxed($strategy)),+

@@ -178,6 +178,86 @@ impl<T> Strategy for Union<T> {
     }
 }
 
+/// Weighted choice between strategies; built by `prop_oneof!` with
+/// `weight => strategy` arms.
+pub struct WeightedUnion<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> WeightedUnion<T> {
+    /// Creates a weighted union over `arms` (total weight must be > 0).
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! weights must sum to > 0");
+        WeightedUnion { arms, total }
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut r = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            if r < u64::from(*w) {
+                return arm.generate(rng);
+            }
+            r -= u64::from(*w);
+        }
+        unreachable!("below(total) is always covered by some arm")
+    }
+}
+
+/// Uniformly selects one of the given values; see [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].clone()
+    }
+}
+
+/// Mirrors `proptest::sample::select`: a strategy yielding one of
+/// `options` uniformly (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+/// Fixed-size array of independently generated elements; see
+/// [`uniform2`]/[`uniform3`]/[`uniform4`].
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+/// Mirrors `proptest::array::uniform2`.
+pub fn uniform2<S: Strategy>(element: S) -> UniformArray<S, 2> {
+    UniformArray(element)
+}
+
+/// Mirrors `proptest::array::uniform3`.
+pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+    UniformArray(element)
+}
+
+/// Mirrors `proptest::array::uniform4`.
+pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+    UniformArray(element)
+}
+
 /// Always generates a clone of the given value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
@@ -542,6 +622,37 @@ mod tests {
             let v = nested.generate(&mut r);
             assert!((1..=4).contains(&v.len()));
         }
+    }
+
+    #[test]
+    fn weighted_union_respects_weights() {
+        let mut r = rng();
+        let u = WeightedUnion::new(vec![(9, Just(0usize).boxed()), (1, Just(1usize).boxed())]);
+        let mut counts = [0u32; 2];
+        for _ in 0..1000 {
+            counts[u.generate(&mut r)] += 1;
+        }
+        // Both arms fire, and the 9:1 weighting is roughly respected.
+        assert!(counts[1] > 0);
+        assert!(counts[0] > counts[1] * 4, "counts: {counts:?}");
+    }
+
+    #[test]
+    fn select_and_uniform_arrays() {
+        let mut r = rng();
+        let s = select(vec!["a", "b", "c"]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 3);
+
+        let arr = uniform3(-5i64..5);
+        for _ in 0..50 {
+            assert!(arr.generate(&mut r).iter().all(|v| (-5..5).contains(v)));
+        }
+        assert_eq!(uniform2(Just(7u8)).generate(&mut r), [7, 7]);
+        assert_eq!(uniform4(Just(1u8)).generate(&mut r).len(), 4);
     }
 
     #[test]

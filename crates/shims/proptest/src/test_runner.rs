@@ -26,6 +26,16 @@ impl Default for ProptestConfig {
     }
 }
 
+impl ProptestConfig {
+    /// A default configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
 /// Outcome of one generated case, produced by the `prop_assert*` /
 /// `prop_assume!` macros.
 #[derive(Debug)]
@@ -34,6 +44,14 @@ pub enum TestCaseError {
     Reject,
     /// The property is false for this case.
     Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure with the given message (mirrors the upstream
+    /// `TestCaseError::fail` constructor).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
 }
 
 /// Deterministic 64-bit generator (xorshift64*), seeded from the test
