@@ -1,0 +1,89 @@
+//! Microbenchmarks of the striped state cell and the incremental
+//! (delta) checkpoint path — the two PR 4 acceptance kernels (see
+//! `sdg_bench::pr4` and `BENCH_pr4.json`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdg_bench::pr4::{
+    contended_cell, contended_ops_per_sec, delta_cell, delta_writes, measure_delta_bytes,
+    take_generation, DELTA_CHUNKS, SERVICE,
+};
+use sdg_checkpoint::backup::BackupStore;
+use sdg_checkpoint::config::CheckpointConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Contended put/get: four accessing replicas against a 16-stripe cell
+/// vs the single-mutex baseline. The modelled per-request service time
+/// spans the lock hold (as the worker's task body does); the `raw`
+/// arms do no modelled work and only separate on multi-core hosts.
+fn contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_cell");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    for (stripes, ops, service) in [
+        (16usize, 64usize, Some(SERVICE)),
+        (1, 64, Some(SERVICE)),
+        (16, 4_096, None),
+        (1, 4_096, None),
+    ] {
+        let label = if service.is_some() {
+            "put_get_x4"
+        } else {
+            "raw_put_get_x4"
+        };
+        let cell = contended_cell(stripes);
+        group.bench_with_input(
+            BenchmarkId::new(label, format!("stripes{stripes}")),
+            &stripes,
+            |b, _| {
+                b.iter(|| black_box(contended_ops_per_sec(&cell, 4, ops, service)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Full vs delta checkpoint cycle on the 10 %-write KV workload: each
+/// iteration rewrites ~10 % of the keys and takes one generation.
+fn delta_vs_full(c: &mut Criterion) {
+    let bytes = measure_delta_bytes();
+    println!(
+        "delta_ckpt bytes: base {} delta {} ratio {:.3}",
+        bytes.base_bytes,
+        bytes.delta_bytes,
+        bytes.ratio()
+    );
+
+    let mut group = c.benchmark_group("delta_ckpt");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    for (name, force_full) in [("full_cycle", true), ("delta_cycle", false)] {
+        group.bench_function(name, |b| {
+            let (cell, mut ts) = delta_cell();
+            let stores = vec![Arc::new(BackupStore::in_memory())];
+            let cfg = CheckpointConfig::builder()
+                .incremental(true)
+                .delta_chunks(DELTA_CHUNKS)
+                .build();
+            let mut seq = 0u64;
+            // Establish the base the delta cycles build on.
+            seq += 1;
+            take_generation(&cell, &stores, &cfg, seq, true);
+            b.iter(|| {
+                delta_writes(&cell, &mut ts);
+                seq += 1;
+                black_box(take_generation(&cell, &stores, &cfg, seq, force_full));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, contended, delta_vs_full);
+criterion_main!(benches);

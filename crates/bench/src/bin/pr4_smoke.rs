@@ -1,0 +1,114 @@
+//! Bench-smoke for PR 4's acceptance criteria; writes `BENCH_pr4.json`.
+//!
+//! ```text
+//! pr4_smoke [output.json]
+//! ```
+//!
+//! Measures the two criteria (contended striped vs single-mutex
+//! throughput; delta vs full checkpoint bytes on a 10 %-write KV
+//! workload), runs the Fig. 12 quick sweep with the incremental series,
+//! writes the JSON record to `output.json` (default `BENCH_pr4.json`),
+//! and exits non-zero if either criterion fails.
+
+use sdg_bench::fig12_sync_async;
+use sdg_bench::pr4::{
+    measure_delta_bytes, run_contended, DELTA_CHUNKS, DELTA_KEYS, SERVICE, VALUE_BYTES,
+};
+use sdg_bench::Scale;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr4.json".into());
+
+    eprintln!("pr4_smoke: contended striped vs single-mutex (4 replicas)...");
+    let contended = run_contended(4, 400, 3);
+    let speedup = contended.speedup();
+    eprintln!(
+        "  striped {:.0} ops/s, single-mutex {:.0} ops/s, speedup {speedup:.2}x (raw: {:.0} vs {:.0})",
+        contended.striped_ops_per_sec,
+        contended.single_ops_per_sec,
+        contended.raw_striped_ops_per_sec,
+        contended.raw_single_ops_per_sec,
+    );
+
+    eprintln!("pr4_smoke: delta vs full checkpoint bytes (10% writes)...");
+    let delta = measure_delta_bytes();
+    eprintln!(
+        "  base {} B, delta {} B, ratio {:.3}",
+        delta.base_bytes,
+        delta.delta_bytes,
+        delta.ratio()
+    );
+
+    eprintln!("pr4_smoke: fig12 quick sweep (async / incremental / sync)...");
+    let fig12 = fig12_sync_async::run(Scale::Quick);
+    fig12_sync_async::print(&fig12);
+    let _ = sdg_bench::util::drain_snapshots();
+
+    let speedup_pass = speedup >= 1.5;
+    let ratio_pass = delta.ratio() < 0.25;
+    let fig12_rows: Vec<String> = fig12
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"state_mb\": {}, \"async\": {:.0}, \"incr\": {:.0}, \"sync\": {:.0}}}",
+                r.state_bytes / (1024 * 1024),
+                r.asynchronous.throughput,
+                r.incremental.throughput,
+                r.synchronous.throughput
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "experiment": "pr4-striped-cells-incremental-ckpt",
+  "criteria": {{
+    "contended_speedup_4_replicas": {{"unit": "x", "value": {speedup:.2}, "threshold_min": 1.5, "pass": {speedup_pass}}},
+    "delta_over_full_bytes_10pct_writes": {{"unit": "ratio", "value": {ratio:.3}, "threshold_max": 0.25, "pass": {ratio_pass}}}
+  }},
+  "contended": {{
+    "unit": "ops/s", "threads": {threads}, "stripes": {stripes}, "service_us": {service_us},
+    "striped": {striped:.0}, "single_mutex": {single:.0},
+    "raw_striped": {raw_striped:.0}, "raw_single_mutex": {raw_single:.0}
+  }},
+  "delta_checkpoint": {{
+    "unit": "bytes", "keys": {keys}, "value_bytes": {value_bytes}, "delta_chunks": {chunks},
+    "base": {base}, "delta": {delta}
+  }},
+  "fig12_incremental_smoke": {{
+    "unit": "ops/s",
+    "rows": [
+{rows}
+    ]
+  }}
+}}
+"#,
+        ratio = delta.ratio(),
+        threads = contended.threads,
+        stripes = contended.stripes,
+        service_us = SERVICE.as_micros(),
+        striped = contended.striped_ops_per_sec,
+        single = contended.single_ops_per_sec,
+        raw_striped = contended.raw_striped_ops_per_sec,
+        raw_single = contended.raw_single_ops_per_sec,
+        keys = DELTA_KEYS,
+        value_bytes = VALUE_BYTES,
+        chunks = DELTA_CHUNKS,
+        base = delta.base_bytes,
+        delta = delta.delta_bytes,
+        rows = fig12_rows.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("write bench record");
+    println!("{json}");
+    eprintln!("pr4_smoke: wrote {out}");
+
+    if !(speedup_pass && ratio_pass) {
+        eprintln!(
+            "pr4_smoke: criteria FAILED (speedup {speedup:.2} >= 1.5: {speedup_pass}; \
+             ratio {:.3} < 0.25: {ratio_pass})",
+            delta.ratio()
+        );
+        std::process::exit(1);
+    }
+}

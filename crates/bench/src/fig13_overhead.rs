@@ -33,14 +33,22 @@ pub struct SizeRow {
 /// The two panels of the figure.
 #[derive(Debug, Clone)]
 pub struct Fig13Result {
+    /// Whether the sweeps ran with incremental (delta) checkpoints.
+    pub incremental: bool,
     /// Latency vs checkpoint frequency (fixed state size).
     pub by_frequency: Vec<FreqRow>,
     /// Latency vs state size (fixed frequency).
     pub by_size: Vec<SizeRow>,
 }
 
-/// Runs both sweeps.
+/// Runs both sweeps with full checkpoints (the paper's setup).
 pub fn run(scale: Scale) -> Fig13Result {
+    run_mode(scale, false)
+}
+
+/// Runs both sweeps; `incremental` checkpoints only the chunks dirtied
+/// since the last base (the PR 4 delta path).
+pub fn run_mode(scale: Scale, incremental: bool) -> Fig13Result {
     let measure = Duration::from_millis(scale.pick(1_500, 5_000));
     let fixed_bytes = scale.pick(4, 16) * 1024 * 1024;
     let intervals: Vec<Option<Duration>> = scale
@@ -60,6 +68,7 @@ pub fn run(scale: Scale) -> Fig13Result {
                     measure,
                     ckpt_interval: interval,
                     synchronous: false,
+                    incremental,
                     per_request: Some(PER_REQUEST),
                     channel_capacity: 256,
                 },
@@ -83,6 +92,7 @@ pub fn run(scale: Scale) -> Fig13Result {
                         measure,
                         ckpt_interval: Some(fixed_interval),
                         synchronous: false,
+                        incremental,
                         per_request: Some(PER_REQUEST),
                         channel_capacity: 256,
                     },
@@ -93,6 +103,7 @@ pub fn run(scale: Scale) -> Fig13Result {
         .collect();
 
     Fig13Result {
+        incremental,
         by_frequency,
         by_size,
     }
@@ -100,7 +111,8 @@ pub fn run(scale: Scale) -> Fig13Result {
 
 /// Prints both panels.
 pub fn print(result: &Fig13Result) {
-    println!("# Fig 13 (top) — latency vs checkpoint frequency");
+    let mode = if result.incremental { "incr" } else { "full" };
+    println!("# Fig 13 (top) — latency vs checkpoint frequency [{mode} ckpt]");
     for row in &result.by_frequency {
         let label = match row.interval {
             Some(d) => format!("every {d:?}"),
@@ -136,6 +148,7 @@ mod tests {
             measure: Duration::from_millis(1_500),
             ckpt_interval: None,
             synchronous: false,
+            incremental: false,
             per_request: Some(PER_REQUEST),
             channel_capacity: 256,
         };

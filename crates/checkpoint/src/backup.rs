@@ -145,6 +145,22 @@ impl BackupStore {
     }
 }
 
+/// Generation header for incremental checkpoints.
+///
+/// An incremental chain is one *base* generation (every chunk of the delta
+/// chunk-space written) followed by delta generations that re-write only
+/// the chunks dirtied since the previous completed checkpoint. Each chunk
+/// is written whole, so restore composes the chain newest-wins per chunk
+/// id — no tombstones are needed (a key deleted from a chunk is simply
+/// absent from the chunk's newest copy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaMeta {
+    /// `true` for a full base generation that starts a chain.
+    pub base: bool,
+    /// Size of the dirty-tracking chunk space (constant along a chain).
+    pub chunk_space: usize,
+}
+
 /// The durable record of one completed checkpoint: where its chunks live
 /// plus the metadata needed for replay-based recovery.
 #[derive(Debug, Clone)]
@@ -155,14 +171,31 @@ pub struct BackupSet {
     pub seq: u64,
     /// Structure type of the checkpointed store.
     pub state_type: StateType,
-    /// Vector timestamp at snapshot time.
+    /// Cell-level vector timestamp at snapshot time (pointwise minimum
+    /// across stripes; the safe watermark for trimming and replay).
     pub vector: VectorTs,
-    /// For each chunk: the index of the store holding it, and its key.
+    /// Exact per-stripe vectors at snapshot time. Restore re-creates each
+    /// stripe with its own vector so replayed items are deduplicated
+    /// precisely (a merged vector would either double-apply or drop items).
+    pub stripe_vectors: Vec<VectorTs>,
+    /// For each written chunk: the index of the store holding it, and its
+    /// key (whose `chunk` field is the chunk id).
     pub chunk_locations: Vec<(usize, ChunkKey)>,
     /// The instance's output buffers at snapshot time.
     pub out_buffers: Vec<(EdgeId, Vec<BufferedItem>)>,
-    /// Serialised state size in bytes (all chunks).
+    /// Serialised state size in bytes (all chunks written by this
+    /// generation).
     pub state_bytes: usize,
+    /// Incremental-generation header; `None` for legacy full checkpoints.
+    pub delta: Option<DeltaMeta>,
+}
+
+impl BackupSet {
+    /// `true` when this set can start a restore chain on its own (legacy
+    /// full checkpoints and incremental base generations).
+    pub fn is_base(&self) -> bool {
+        self.delta.as_ref().is_none_or(|d| d.base)
+    }
 }
 
 /// Encodes a chunk of state entries.

@@ -30,6 +30,16 @@ pub struct CheckpointConfig {
     pub disk_write_bps: Option<u64>,
     /// Simulated disk read bandwidth per store in bytes/second.
     pub disk_read_bps: Option<u64>,
+    /// Incremental mode: serialise only dirty chunks as delta generations
+    /// on top of a full base checkpoint; restore composes base + deltas.
+    pub incremental: bool,
+    /// Chunk-space size for dirty tracking and delta serialisation. Larger
+    /// spaces give finer deltas at slightly more bookkeeping.
+    pub delta_chunks: usize,
+    /// Compaction threshold: when accumulated delta bytes exceed this
+    /// fraction of the base checkpoint's bytes, the next checkpoint is
+    /// forced full to bound the restore chain.
+    pub compact_threshold: f64,
 }
 
 impl Default for CheckpointConfig {
@@ -43,6 +53,9 @@ impl Default for CheckpointConfig {
             serialise_threads: 2,
             disk_write_bps: None,
             disk_read_bps: None,
+            incremental: false,
+            delta_chunks: 64,
+            compact_threshold: 0.5,
         }
     }
 }
@@ -97,6 +110,16 @@ impl CheckpointConfig {
             return Err(SdgError::Config(
                 "checkpoint interval must be positive".into(),
             ));
+        }
+        if self.incremental {
+            if self.delta_chunks == 0 {
+                return Err(SdgError::Config("delta_chunks must be ≥ 1".into()));
+            }
+            if !(self.compact_threshold.is_finite() && self.compact_threshold > 0.0) {
+                return Err(SdgError::Config(
+                    "compact_threshold must be a positive finite fraction".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -157,6 +180,24 @@ impl CheckpointConfigBuilder {
     /// unthrottled).
     pub fn disk_read_bps(mut self, bps: Option<u64>) -> Self {
         self.cfg.disk_read_bps = bps;
+        self
+    }
+
+    /// Turns incremental (delta) checkpointing on or off.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.cfg.incremental = on;
+        self
+    }
+
+    /// Sets the dirty-tracking chunk-space size for incremental mode.
+    pub fn delta_chunks(mut self, n: usize) -> Self {
+        self.cfg.delta_chunks = n;
+        self
+    }
+
+    /// Sets the delta-bytes/base-bytes compaction threshold.
+    pub fn compact_threshold(mut self, frac: f64) -> Self {
+        self.cfg.compact_threshold = frac;
         self
     }
 
@@ -231,5 +272,32 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+
+        let c = CheckpointConfig {
+            incremental: true,
+            delta_chunks: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = CheckpointConfig {
+            incremental: true,
+            compact_threshold: 0.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn incremental_builder_knobs() {
+        let cfg = CheckpointConfig::builder()
+            .incremental(true)
+            .delta_chunks(128)
+            .compact_threshold(0.25)
+            .build();
+        assert!(cfg.incremental);
+        assert_eq!(cfg.delta_chunks, 128);
+        assert_eq!(cfg.compact_threshold, 0.25);
+        cfg.validate().unwrap();
     }
 }

@@ -2,18 +2,24 @@
 //!
 //! Asynchronous mode follows the paper's five steps:
 //!
-//! 1. under a short lock: flag the SE dirty (O(1) snapshot), copy the
-//!    vector timestamp and capture the instance's output buffers;
-//! 2. processing resumes immediately against the dirty overlay;
+//! 1. under a short lock (all stripes at once, forming one consistent
+//!    cut): flag each stripe's shard dirty (O(1) snapshot), copy the
+//!    stripe vectors, take the dirty-chunk set, and capture the instance's
+//!    output buffers;
+//! 2. processing resumes immediately against the dirty overlays;
 //! 3. off the processing path, a serialisation thread pool encodes the
-//!    snapshot into hash-partitioned chunks (Fig. 4 step B1–B2);
-//! 4. chunks stream round-robin to the `m` backup stores (step B3);
-//! 5. under a short lock: consolidate the dirty overlay into the base.
+//!    snapshots into hash-partitioned chunks (Fig. 4 step B1–B2) — in
+//!    incremental mode, only the chunks that went dirty since the last
+//!    completed checkpoint;
+//! 4. chunks stream to the `m` backup stores by `chunk_id % m` (step B3),
+//!    keeping a chunk's location stable across generations;
+//! 5. under a short lock: consolidate the dirty overlays into the bases.
 //!
-//! Synchronous mode holds the lock for the entire procedure — the
+//! Synchronous mode holds the locks for the entire procedure — the
 //! "stop-the-world" behaviour of Naiad and SEEP that Fig. 12 compares
-//! against.
+//! against. Synchronous checkpoints are always full.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -21,12 +27,23 @@ use std::time::Instant;
 use sdg_common::error::{SdgError, SdgResult};
 use sdg_common::ids::{EdgeId, InstanceId};
 use sdg_common::obs::CheckpointInstruments;
-use sdg_state::entry::partition_entries;
+use sdg_common::time::VectorTs;
+use sdg_state::entry::{partition_entries, StateEntry};
+use sdg_state::store::StateSnapshot;
 
-use crate::backup::{encode_entries, BackupSet, BackupStore, ChunkKey};
+use crate::backup::{encode_entries, BackupSet, BackupStore, ChunkKey, DeltaMeta};
 use crate::buffer::BufferedItem;
 use crate::cell::StateCell;
 use crate::config::CheckpointConfig;
+
+/// Per-checkpoint policy knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointOptions {
+    /// Force a full (base) generation even when incremental mode would
+    /// produce a delta — used by the runtime's compaction policy when the
+    /// accumulated delta chain grows past the configured threshold.
+    pub force_full: bool,
+}
 
 /// Takes one checkpoint of `cell`, writing chunks to `stores`.
 ///
@@ -67,17 +84,55 @@ pub fn take_checkpoint_observed(
     cfg: &CheckpointConfig,
     obs: Option<&CheckpointInstruments>,
 ) -> SdgResult<BackupSet> {
-    let result = take_checkpoint_inner(cell, instance, seq, capture_outputs, stores, cfg, obs);
+    take_checkpoint_with(
+        cell,
+        instance,
+        seq,
+        capture_outputs,
+        stores,
+        cfg,
+        obs,
+        CheckpointOptions::default(),
+    )
+}
+
+/// [`take_checkpoint_observed`] with explicit [`CheckpointOptions`].
+#[allow(clippy::too_many_arguments)]
+pub fn take_checkpoint_with(
+    cell: &StateCell,
+    instance: InstanceId,
+    seq: u64,
+    capture_outputs: impl FnOnce() -> Vec<(EdgeId, Vec<BufferedItem>)>,
+    stores: &[Arc<BackupStore>],
+    cfg: &CheckpointConfig,
+    obs: Option<&CheckpointInstruments>,
+    opts: CheckpointOptions,
+) -> SdgResult<BackupSet> {
+    let result =
+        take_checkpoint_inner(cell, instance, seq, capture_outputs, stores, cfg, obs, opts);
     if let Some(obs) = obs {
         match &result {
             Ok(set) => {
                 obs.taken.inc();
                 obs.bytes.add(set.state_bytes as u64);
+                if set.delta.as_ref().is_some_and(|d| !d.base) {
+                    obs.deltas.inc();
+                }
             }
             Err(_) => obs.failed.inc(),
         }
     }
     result
+}
+
+/// The consistent cut taken in step 1.
+struct InitCut {
+    /// Per-stripe (snapshot, vector) pairs, in stripe order.
+    snapshots: Vec<(StateSnapshot, VectorTs)>,
+    out_buffers: Vec<(EdgeId, Vec<BufferedItem>)>,
+    /// Dirty chunk ids unioned across stripes; `Some` only when every
+    /// stripe tracks the configured delta chunk space.
+    dirty: Option<BTreeSet<u32>>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -89,6 +144,7 @@ fn take_checkpoint_inner(
     stores: &[Arc<BackupStore>],
     cfg: &CheckpointConfig,
     obs: Option<&CheckpointInstruments>,
+    opts: CheckpointOptions,
 ) -> SdgResult<BackupSet> {
     cfg.validate()?;
     if stores.is_empty() {
@@ -105,24 +161,64 @@ fn take_checkpoint_inner(
         return result;
     }
 
-    // Step 1: O(1) snapshot under the lock; processing resumes on the
-    // dirty overlay as soon as the lock drops.
+    // Step 1: O(1) snapshots under the all-stripes lock; processing
+    // resumes on the dirty overlays as soon as the locks drop.
     let t0 = Instant::now();
-    let (snapshot, vector, out_buffers) = cell.with(|inner| {
-        let snapshot = inner.store.begin_checkpoint()?;
-        Ok::<_, SdgError>((snapshot, inner.vector.clone(), capture_outputs()))
+    let cut = cell.with_all(|inners| -> SdgResult<InitCut> {
+        let tracking = cfg.incremental
+            && inners
+                .iter()
+                .all(|i| i.store.tracked_chunks() == Some(cfg.delta_chunks));
+        let mut dirty = if tracking {
+            Some(BTreeSet::new())
+        } else {
+            None
+        };
+        let mut snapshots = Vec::with_capacity(inners.len());
+        for k in 0..inners.len() {
+            // The dirty bits are taken *before* the snapshot so overlay
+            // writes landing after the lock drops re-mark their chunks for
+            // the next generation.
+            if let Some(set) = dirty.as_mut() {
+                set.extend(inners[k].store.take_dirty_chunks().unwrap_or_default());
+            }
+            match inners[k].store.begin_checkpoint() {
+                Ok(snap) => {
+                    let vector = inners[k].vector.clone();
+                    snapshots.push((snap, vector));
+                }
+                Err(e) => {
+                    // Roll back: fold the stripes already begun and put the
+                    // consumed dirty bits back (conservatively, all of
+                    // them) so the next checkpoint misses nothing.
+                    for begun in inners.iter_mut().take(k) {
+                        let _ = begun.store.consolidate();
+                    }
+                    for inner in inners.iter_mut() {
+                        inner.store.mark_all_dirty();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(InitCut {
+            snapshots,
+            out_buffers: capture_outputs(),
+            dirty,
+        })
     })?;
     if let Some(obs) = obs {
         obs.snapshot_ns.record_duration(t0.elapsed());
     }
-    let state_type = snapshot.state_type();
+    let state_type = cut.snapshots[0].0.state_type();
+    let stripe_vectors: Vec<VectorTs> = cut.snapshots.iter().map(|(_, v)| v.clone()).collect();
+    let vector = min_vector(&stripe_vectors);
 
     // Steps 2–4 run off the processing path.
     let t1 = Instant::now();
-    let entries = snapshot.to_entries();
-    let chunks = partition_entries(entries, cfg.chunks);
+    let (payloads, delta) = serialise_generation(&cut, cfg, opts.force_full);
     let result = write_chunks(
-        &chunks,
+        &payloads,
         instance,
         seq,
         stores,
@@ -135,21 +231,108 @@ fn take_checkpoint_inner(
 
     // Step 5: consolidate even if a write failed, so the cell stays usable.
     let t2 = Instant::now();
-    cell.with(|inner| inner.store.consolidate())?;
+    cell.with_all(|inners| {
+        for inner in inners.iter_mut() {
+            inner.store.consolidate()?;
+        }
+        Ok::<_, SdgError>(())
+    })?;
     if let Some(obs) = obs {
         obs.consolidate_ns.record_duration(t2.elapsed());
     }
-    let (chunk_locations, state_bytes) = result?;
+    let (chunk_locations, state_bytes) = match result {
+        Ok(ok) => ok,
+        Err(e) => {
+            // The dirty bits were consumed but the generation never made
+            // it to the stores: re-mark everything so the next checkpoint
+            // covers the loss.
+            cell.mark_all_dirty();
+            return Err(e);
+        }
+    };
 
     Ok(BackupSet {
         instance,
         seq,
         state_type,
         vector,
+        stripe_vectors,
         chunk_locations,
-        out_buffers,
+        out_buffers: cut.out_buffers,
         state_bytes,
+        delta,
     })
+}
+
+/// Cell-level vector: pointwise minimum across stripes.
+fn min_vector(stripe_vectors: &[VectorTs]) -> VectorTs {
+    if stripe_vectors.len() == 1 {
+        stripe_vectors[0].clone()
+    } else {
+        VectorTs::pointwise_min(stripe_vectors)
+    }
+}
+
+/// Encodes the cut into `(chunk_id, entries)` payloads plus the generation
+/// header. Legacy (non-incremental) checkpoints keep the historical
+/// `partition_entries` layout byte-for-byte.
+fn serialise_generation(
+    cut: &InitCut,
+    cfg: &CheckpointConfig,
+    force_full: bool,
+) -> (Vec<(u32, Vec<StateEntry>)>, Option<DeltaMeta>) {
+    match &cut.dirty {
+        Some(dirty) => {
+            let space = cfg.delta_chunks;
+            // A generation that rewrites every chunk is a base: it can
+            // start a restore chain, so label it as one (this also covers
+            // the first checkpoint, which starts all-dirty).
+            let base = force_full || dirty.len() >= space;
+            let mut wanted = vec![false; space];
+            if base {
+                wanted.iter_mut().for_each(|w| *w = true);
+            } else {
+                for &id in dirty {
+                    wanted[id as usize] = true;
+                }
+            }
+            let mut merged: Vec<Vec<StateEntry>> = (0..space).map(|_| Vec::new()).collect();
+            for (snap, _) in &cut.snapshots {
+                for (id, mut entries) in snap.to_entries_for(space, &wanted).into_iter().enumerate()
+                {
+                    merged[id].append(&mut entries);
+                }
+            }
+            // Every wanted chunk is written even when empty: an empty
+            // chunk overwrites a stale copy whose keys were all deleted.
+            let payloads = (0..space as u32)
+                .filter(|&id| wanted[id as usize])
+                .map(|id| (id, std::mem::take(&mut merged[id as usize])))
+                .collect();
+            (
+                payloads,
+                Some(DeltaMeta {
+                    base,
+                    chunk_space: space,
+                }),
+            )
+        }
+        None => {
+            let mut entries = Vec::new();
+            for (snap, _) in &cut.snapshots {
+                entries.extend(snap.to_entries());
+            }
+            let chunks = partition_entries(entries, cfg.chunks);
+            (
+                chunks
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| (i as u32, c))
+                    .collect(),
+                None,
+            )
+        }
+    }
 }
 
 fn take_sync(
@@ -161,16 +344,26 @@ fn take_sync(
     fanout: usize,
     cfg: &CheckpointConfig,
 ) -> SdgResult<BackupSet> {
-    // The entire export + serialise + write happens under the cell lock:
-    // every processing thread blocks for the duration.
-    cell.with(|inner| {
-        let vector = inner.vector.clone();
+    // The entire export + serialise + write happens under the cell locks:
+    // every processing thread blocks for the duration. Sync checkpoints
+    // are always full (the Fig. 12 baseline).
+    cell.with_all(|inners| {
+        let stripe_vectors: Vec<VectorTs> = inners.iter().map(|i| i.vector.clone()).collect();
+        let vector = min_vector(&stripe_vectors);
         let out_buffers = capture_outputs();
-        let state_type = inner.store.state_type();
-        let entries = inner.store.export_entries();
+        let state_type = inners[0].store.state_type();
+        let mut entries = Vec::new();
+        for inner in inners.iter_mut() {
+            entries.extend(inner.store.export_entries());
+        }
         let chunks = partition_entries(entries, cfg.chunks);
+        let payloads: Vec<(u32, Vec<StateEntry>)> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (i as u32, c))
+            .collect();
         let (chunk_locations, state_bytes) = write_chunks(
-            &chunks,
+            &payloads,
             instance,
             seq,
             stores,
@@ -182,16 +375,21 @@ fn take_sync(
             seq,
             state_type,
             vector,
+            stripe_vectors,
             chunk_locations,
             out_buffers,
             state_bytes,
+            delta: None,
         })
     })
 }
 
-/// Serialises and writes chunks in parallel (Fig. 4 steps B1–B3).
+/// Serialises and writes `(chunk_id, entries)` payloads in parallel
+/// (Fig. 4 steps B1–B3). A chunk's store is `chunk_id % fanout`, which is
+/// stable across generations so delta chains can be garbage-collected per
+/// store without relocation.
 fn write_chunks(
-    chunks: &[Vec<sdg_state::entry::StateEntry>],
+    payloads: &[(u32, Vec<StateEntry>)],
     instance: InstanceId,
     seq: u64,
     stores: &[Arc<BackupStore>],
@@ -199,44 +397,46 @@ fn write_chunks(
     threads: usize,
 ) -> SdgResult<(Vec<(usize, ChunkKey)>, usize)> {
     let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<SdgResult<usize>>>> = (0..chunks.len())
+    let results: Vec<parking_lot::Mutex<Option<SdgResult<usize>>>> = (0..payloads.len())
         .map(|_| parking_lot::Mutex::new(None))
         .collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.max(1).min(chunks.len().max(1)) {
+        for _ in 0..threads.max(1).min(payloads.len().max(1)) {
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= chunks.len() {
+                if idx >= payloads.len() {
                     break;
                 }
-                let bytes = encode_entries(&chunks[idx]);
+                let (chunk_id, entries) = &payloads[idx];
+                let bytes = encode_entries(entries);
                 let len = bytes.len();
                 let key = ChunkKey {
                     instance,
                     seq,
-                    chunk: idx as u32,
+                    chunk: *chunk_id,
                 };
-                let store = &stores[idx % fanout];
+                let store = &stores[*chunk_id as usize % fanout];
                 let r = store.write_chunk(key, bytes).map(|()| len);
                 *results[idx].lock() = Some(r);
             });
         }
     });
 
-    let mut locations = Vec::with_capacity(chunks.len());
+    let mut locations = Vec::with_capacity(payloads.len());
     let mut total = 0usize;
     for (idx, slot) in results.into_iter().enumerate() {
         let r = slot
             .into_inner()
             .unwrap_or_else(|| Err(SdgError::Recovery("chunk write skipped".into())))?;
         total += r;
+        let chunk_id = payloads[idx].0;
         locations.push((
-            idx % fanout,
+            chunk_id as usize % fanout,
             ChunkKey {
                 instance,
                 seq,
-                chunk: idx as u32,
+                chunk: chunk_id,
             },
         ));
     }
@@ -248,6 +448,7 @@ mod tests {
     use super::*;
     use sdg_common::ids::TaskId;
     use sdg_common::value::{Key, Value};
+    use sdg_state::partition::PartitionDim;
     use sdg_state::store::StateType;
 
     fn instance() -> InstanceId {
@@ -278,6 +479,9 @@ mod tests {
         assert_eq!(set.chunk_locations.len(), cfg.chunks);
         assert_eq!(set.vector.get(EdgeId(0)), 100);
         assert!(set.state_bytes > 0);
+        assert!(set.delta.is_none());
+        assert!(set.is_base());
+        assert_eq!(set.stripe_vectors.len(), 1);
         // Chunks alternate between the two stores.
         assert!(set.chunk_locations.iter().any(|(s, _)| *s == 0));
         assert!(set.chunk_locations.iter().any(|(s, _)| *s == 1));
@@ -422,5 +626,143 @@ mod tests {
         };
         let set = take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
         assert!(set.chunk_locations.iter().all(|(s, _)| *s == 0));
+    }
+
+    fn striped_cell(keys: i64, stripes: usize, delta_chunks: usize) -> StateCell {
+        let cell = StateCell::new_striped(
+            StateType::Table,
+            stripes,
+            PartitionDim::Row,
+            Some(delta_chunks),
+        );
+        for i in 0..keys {
+            let key = Key::Int(i);
+            cell.apply_routed(EdgeId(0), (i + 1) as u64, Some(key.stable_hash()), |s| {
+                s.as_table().unwrap().put(key.clone(), Value::Int(i * 2));
+            });
+        }
+        cell
+    }
+
+    #[test]
+    fn first_incremental_checkpoint_is_a_base() {
+        let cell = striped_cell(200, 4, 16);
+        let stores = stores(2);
+        let cfg = CheckpointConfig {
+            incremental: true,
+            delta_chunks: 16,
+            ..Default::default()
+        };
+        let set = take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        let meta = set.delta.as_ref().unwrap();
+        assert!(meta.base);
+        assert!(set.is_base());
+        assert_eq!(meta.chunk_space, 16);
+        assert_eq!(set.chunk_locations.len(), 16);
+        assert_eq!(set.stripe_vectors.len(), 4);
+        // The cell-level vector is the pointwise min across stripes: it
+        // trails the newest item (200) but matches the cell's own view.
+        assert_eq!(set.vector, cell.vector());
+        let newest = set
+            .stripe_vectors
+            .iter()
+            .map(|v| v.get(EdgeId(0)))
+            .max()
+            .unwrap();
+        assert_eq!(newest, 200);
+        assert!(set.vector.get(EdgeId(0)) <= 200);
+    }
+
+    #[test]
+    fn second_checkpoint_is_a_small_delta() {
+        let cell = striped_cell(500, 4, 64);
+        let stores = stores(2);
+        let cfg = CheckpointConfig {
+            incremental: true,
+            delta_chunks: 64,
+            ..Default::default()
+        };
+        let base = take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        assert!(base.delta.as_ref().unwrap().base);
+
+        // Touch a handful of keys; the delta must cover only their chunks.
+        let touched: Vec<i64> = vec![3, 7];
+        for &i in &touched {
+            let key = Key::Int(i);
+            cell.apply_routed(EdgeId(0), 500 + i as u64, Some(key.stable_hash()), |s| {
+                s.as_table().unwrap().put(key.clone(), Value::Int(-i));
+            });
+        }
+        let delta = take_checkpoint(&cell, instance(), 2, Vec::new, &stores, &cfg).unwrap();
+        let meta = delta.delta.as_ref().unwrap();
+        assert!(!meta.base);
+        let mut expected: Vec<u32> = touched
+            .iter()
+            .map(|&i| (Key::Int(i).stable_hash() % 64) as u32)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let mut written: Vec<u32> = delta.chunk_locations.iter().map(|(_, k)| k.chunk).collect();
+        written.sort_unstable();
+        assert_eq!(written, expected);
+        assert!(delta.state_bytes < base.state_bytes / 4);
+    }
+
+    #[test]
+    fn force_full_produces_a_base_generation() {
+        let cell = striped_cell(100, 2, 8);
+        let stores = stores(2);
+        let cfg = CheckpointConfig {
+            incremental: true,
+            delta_chunks: 8,
+            ..Default::default()
+        };
+        take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        let set = take_checkpoint_with(
+            &cell,
+            instance(),
+            2,
+            Vec::new,
+            &stores,
+            &cfg,
+            None,
+            CheckpointOptions { force_full: true },
+        )
+        .unwrap();
+        assert!(set.delta.as_ref().unwrap().base);
+        assert_eq!(set.chunk_locations.len(), 8);
+    }
+
+    #[test]
+    fn clean_checkpoint_writes_no_chunks() {
+        let cell = striped_cell(100, 2, 8);
+        let stores = stores(1);
+        let cfg = CheckpointConfig {
+            incremental: true,
+            delta_chunks: 8,
+            ..Default::default()
+        };
+        take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        // Nothing changed: the delta generation is empty.
+        let set = take_checkpoint(&cell, instance(), 2, Vec::new, &stores, &cfg).unwrap();
+        assert!(!set.delta.as_ref().unwrap().base);
+        assert!(set.chunk_locations.is_empty());
+        assert_eq!(set.state_bytes, 0);
+    }
+
+    #[test]
+    fn untracked_structures_fall_back_to_full() {
+        // Matrices don't support dirty tracking: incremental mode must
+        // silently produce legacy full checkpoints.
+        let cell = StateCell::new(StateType::Matrix);
+        cell.apply(EdgeId(0), 1, |s| s.as_matrix().unwrap().set(1, 2, 3.0));
+        let stores = stores(1);
+        let cfg = CheckpointConfig {
+            incremental: true,
+            ..Default::default()
+        };
+        let set = take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        assert!(set.delta.is_none());
+        assert_eq!(set.chunk_locations.len(), cfg.chunks);
     }
 }

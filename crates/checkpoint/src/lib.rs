@@ -32,9 +32,9 @@ pub mod config;
 pub mod coordinator;
 pub mod recovery;
 
-pub use backup::{BackupSet, BackupStore, ChunkKey};
+pub use backup::{BackupSet, BackupStore, ChunkKey, DeltaMeta};
 pub use buffer::{BufferedItem, OutputBuffer};
 pub use cell::StateCell;
 pub use config::CheckpointConfig;
-pub use coordinator::take_checkpoint;
-pub use recovery::{restore_state, restore_state_with, RestoreOptions};
+pub use coordinator::{take_checkpoint, take_checkpoint_with, CheckpointOptions};
+pub use recovery::{restore_chain, restore_state, restore_state_with, RestoreOptions};

@@ -87,6 +87,104 @@ pub fn restore_state_with(
     n: usize,
     options: RestoreOptions,
 ) -> SdgResult<Vec<(StateStore, VectorTs)>> {
+    restore_chunks(
+        &set.chunk_locations,
+        set.state_type,
+        &set.vector,
+        stores,
+        n,
+        options,
+    )
+}
+
+/// Restores an incremental chain — one base generation followed by its
+/// delta generations, oldest first — onto `n` fresh instances.
+///
+/// Each chunk is written whole by whichever generation last touched it, so
+/// composition is newest-wins per chunk id: later sets shadow earlier
+/// ones. The vector timestamps come from the newest set (the chain's
+/// cut). A single-element chain of a legacy full checkpoint behaves
+/// exactly like [`restore_state_with`].
+///
+/// # Errors
+///
+/// Fails when the chain is empty, does not start with a base generation,
+/// mixes instances/structure types/chunk spaces, or is out of order.
+pub fn restore_chain(
+    sets: &[BackupSet],
+    stores: &[Arc<BackupStore>],
+    n: usize,
+    options: RestoreOptions,
+) -> SdgResult<Vec<(StateStore, VectorTs)>> {
+    let first = sets
+        .first()
+        .ok_or_else(|| SdgError::Recovery("empty restore chain".into()))?;
+    if !first.is_base() {
+        return Err(SdgError::Recovery(
+            "restore chain must start with a base generation".into(),
+        ));
+    }
+    let newest = sets.last().expect("non-empty");
+    let mut winner: HashMap<u32, (usize, crate::backup::ChunkKey)> = HashMap::new();
+    let mut prev_seq = None;
+    for set in sets {
+        if set.instance != first.instance || set.state_type != first.state_type {
+            return Err(SdgError::Recovery(
+                "restore chain mixes instances or structure types".into(),
+            ));
+        }
+        if let (Some(d), Some(f)) = (&set.delta, &first.delta) {
+            if d.chunk_space != f.chunk_space {
+                return Err(SdgError::Recovery(
+                    "restore chain mixes delta chunk spaces".into(),
+                ));
+            }
+        }
+        if prev_seq.is_some_and(|p| set.seq <= p) {
+            return Err(SdgError::Recovery("restore chain out of order".into()));
+        }
+        prev_seq = Some(set.seq);
+        for (store_idx, key) in &set.chunk_locations {
+            winner.insert(key.chunk, (*store_idx, *key));
+        }
+    }
+    let chunk_locations: Vec<(usize, crate::backup::ChunkKey)> = winner.into_values().collect();
+    restore_chunks(
+        &chunk_locations,
+        newest.state_type,
+        &newest.vector,
+        stores,
+        n,
+        options,
+    )
+}
+
+/// [`restore_chain`] with an optional observability probe.
+pub fn restore_chain_observed(
+    sets: &[BackupSet],
+    stores: &[Arc<BackupStore>],
+    n: usize,
+    options: RestoreOptions,
+    obs: Option<&sdg_common::obs::CheckpointInstruments>,
+) -> SdgResult<Vec<(StateStore, VectorTs)>> {
+    let t0 = std::time::Instant::now();
+    let result = restore_chain(sets, stores, n, options);
+    if let Some(obs) = obs {
+        if result.is_ok() {
+            obs.restore_ns.record_duration(t0.elapsed());
+        }
+    }
+    result
+}
+
+fn restore_chunks(
+    chunk_locations: &[(usize, crate::backup::ChunkKey)],
+    state_type: sdg_state::store::StateType,
+    vector: &VectorTs,
+    stores: &[Arc<BackupStore>],
+    n: usize,
+    options: RestoreOptions,
+) -> SdgResult<Vec<(StateStore, VectorTs)>> {
     if n == 0 {
         return Err(SdgError::Recovery(
             "cannot restore to zero instances".into(),
@@ -96,7 +194,7 @@ pub fn restore_state_with(
     // Group chunk keys by their holding store so each store streams its
     // chunks independently (one reader thread per disk — step R1).
     let mut by_store: HashMap<usize, Vec<crate::backup::ChunkKey>> = HashMap::new();
-    for (store_idx, key) in &set.chunk_locations {
+    for (store_idx, key) in chunk_locations {
         if *store_idx >= stores.len() {
             return Err(SdgError::Recovery(format!(
                 "backup set references store {store_idx} but only {} are available",
@@ -142,7 +240,6 @@ pub fn restore_state_with(
     std::thread::scope(|scope| {
         for (idx, part) in partitions.iter().enumerate() {
             let results = &results;
-            let state_type = set.state_type;
             scope.spawn(move || {
                 let entries = std::mem::take(&mut *part.lock());
                 if let Some(bps) = options.rebuild_bps {
@@ -165,7 +262,7 @@ pub fn restore_state_with(
         let store = slot
             .into_inner()
             .unwrap_or_else(|| Err(SdgError::Recovery("restore builder missing".into())))?;
-        out.push((store, set.vector.clone()));
+        out.push((store, vector.clone()));
     }
     Ok(out)
 }
@@ -307,6 +404,110 @@ mod tests {
             .is_some());
         // While item 10 is a duplicate and is filtered.
         assert!(recovered.apply(EdgeId(0), 10, |_| ()).is_none());
+    }
+
+    #[test]
+    fn chain_restore_composes_base_and_deltas() {
+        use sdg_state::partition::PartitionDim;
+        let cell = StateCell::new_striped(StateType::Table, 4, PartitionDim::Row, Some(32));
+        for i in 0..300i64 {
+            let key = Key::Int(i);
+            cell.apply_routed(EdgeId(0), (i + 1) as u64, Some(key.stable_hash()), |s| {
+                s.as_table().unwrap().put(key.clone(), Value::Int(i));
+            });
+        }
+        let stores = stores(2);
+        let cfg = CheckpointConfig {
+            incremental: true,
+            delta_chunks: 32,
+            ..Default::default()
+        };
+        let base = take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        // Overwrite a few keys, add one, and checkpoint a delta.
+        for i in [5i64, 17, 300] {
+            let key = Key::Int(i);
+            cell.apply_routed(EdgeId(0), 400 + i as u64, Some(key.stable_hash()), |s| {
+                s.as_table().unwrap().put(key.clone(), Value::Int(i * 100));
+            });
+        }
+        let d1 = take_checkpoint(&cell, instance(), 2, Vec::new, &stores, &cfg).unwrap();
+        assert!(!d1.delta.as_ref().unwrap().base);
+        // Another round, including an overwrite of an already-delta'd key.
+        for i in [5i64, 44] {
+            let key = Key::Int(i);
+            cell.apply_routed(EdgeId(0), 800 + i as u64, Some(key.stable_hash()), |s| {
+                s.as_table().unwrap().put(key.clone(), Value::Int(i * 1000));
+            });
+        }
+        let d2 = take_checkpoint(&cell, instance(), 3, Vec::new, &stores, &cfg).unwrap();
+
+        let chain = vec![base, d1, d2];
+        let restored = restore_chain(&chain, &stores, 1, RestoreOptions::default()).unwrap();
+        let (mut store, vector) = restored.into_iter().next().unwrap();
+        let table = store.as_table().unwrap();
+        assert_eq!(table.len(), 301);
+        assert_eq!(table.get(&Key::Int(5)), Some(Value::Int(5000)));
+        assert_eq!(table.get(&Key::Int(44)), Some(Value::Int(44000)));
+        assert_eq!(table.get(&Key::Int(17)), Some(Value::Int(1700)));
+        assert_eq!(table.get(&Key::Int(300)), Some(Value::Int(30000)));
+        assert_eq!(table.get(&Key::Int(200)), Some(Value::Int(200)));
+        // The vector is the newest set's (min across stripes).
+        assert_eq!(vector, chain[2].vector);
+    }
+
+    #[test]
+    fn chain_restore_sees_deletions() {
+        use sdg_state::partition::PartitionDim;
+        let cell = StateCell::new_striped(StateType::Table, 2, PartitionDim::Row, Some(16));
+        for i in 0..50i64 {
+            let key = Key::Int(i);
+            cell.apply_routed(EdgeId(0), (i + 1) as u64, Some(key.stable_hash()), |s| {
+                s.as_table().unwrap().put(key.clone(), Value::Int(i));
+            });
+        }
+        let stores = stores(1);
+        let cfg = CheckpointConfig {
+            incremental: true,
+            delta_chunks: 16,
+            ..Default::default()
+        };
+        let base = take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        let key = Key::Int(13);
+        cell.apply_routed(EdgeId(0), 60, Some(key.stable_hash()), |s| {
+            s.as_table().unwrap().remove(&key);
+        });
+        let d1 = take_checkpoint(&cell, instance(), 2, Vec::new, &stores, &cfg).unwrap();
+        let restored = restore_chain(&[base, d1], &stores, 1, RestoreOptions::default()).unwrap();
+        let (mut store, _) = restored.into_iter().next().unwrap();
+        let table = store.as_table().unwrap();
+        assert_eq!(table.len(), 49);
+        assert_eq!(table.get(&Key::Int(13)), None);
+    }
+
+    #[test]
+    fn invalid_chains_are_rejected() {
+        let cell = table_cell(20);
+        let stores = stores(1);
+        let cfg = CheckpointConfig::default();
+        let s1 = take_checkpoint(&cell, instance(), 1, Vec::new, &stores, &cfg).unwrap();
+        let s2 = take_checkpoint(&cell, instance(), 2, Vec::new, &stores, &cfg).unwrap();
+        // Empty chain.
+        assert!(restore_chain(&[], &stores, 1, RestoreOptions::default()).is_err());
+        // Out of order.
+        assert!(restore_chain(
+            &[s2.clone(), s1.clone()],
+            &stores,
+            1,
+            RestoreOptions::default()
+        )
+        .is_err());
+        // A chain starting with a non-base delta.
+        let mut fake_delta = s2;
+        fake_delta.delta = Some(crate::backup::DeltaMeta {
+            base: false,
+            chunk_space: 8,
+        });
+        assert!(restore_chain(&[fake_delta], &stores, 1, RestoreOptions::default()).is_err());
     }
 
     #[test]

@@ -10,13 +10,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use sdg_checkpoint::backup::BackupStore;
+use sdg_checkpoint::backup::{BackupSet, BackupStore};
 use sdg_checkpoint::cell::StateCell;
 use sdg_checkpoint::config::CheckpointConfig;
-use sdg_checkpoint::coordinator::take_checkpoint;
-use sdg_checkpoint::recovery::restore_state;
+use sdg_checkpoint::coordinator::{take_checkpoint, take_checkpoint_with, CheckpointOptions};
+use sdg_checkpoint::recovery::{restore_chain, restore_state, RestoreOptions};
 use sdg_common::ids::{EdgeId, InstanceId, TaskId};
 use sdg_common::value::{Key, Value};
+use sdg_state::partition::PartitionDim;
 use sdg_state::store::{StateStore, StateType};
 
 #[derive(Debug, Clone)]
@@ -68,6 +69,22 @@ fn apply_reference(model: &mut HashMap<i64, i64>, op: &Op) {
             model.remove(k);
         }
     }
+}
+
+fn key_of(op: &Op) -> i64 {
+    match op {
+        Op::Put(k, _) | Op::Inc(k, _) | Op::Remove(k) => *k,
+    }
+}
+
+fn sorted_entries(store: &StateStore) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut entries: Vec<(Vec<u8>, Vec<u8>)> = store
+        .export_entries()
+        .into_iter()
+        .map(|e| (e.key, e.value))
+        .collect();
+    entries.sort();
+    entries
 }
 
 fn table_contents(store: &mut StateStore) -> HashMap<i64, i64> {
@@ -153,6 +170,134 @@ proptest! {
         prop_assert_eq!(applied, ops.len() - ckpt_at, "only the suffix replays");
         let final_state = recovered.with(|inner| table_contents(&mut inner.store));
         prop_assert_eq!(final_state, reference);
+    }
+
+    /// Striping + incremental checkpointing is an implementation detail:
+    /// for any operation sequence, checkpoint positions, stripe count and
+    /// delta-chunk space, a striped cell checkpointed as a base + delta
+    /// chain and restored by composing the chain must hold byte-identical
+    /// state to an unsharded cell checkpointed in one full generation at
+    /// the same position — and replaying the entire input must filter
+    /// exactly the same duplicates in both.
+    #[test]
+    fn striped_delta_chain_equals_unsharded_full(
+        ops in arb_ops(),
+        stripes in 1usize..6,
+        cut1_frac in 0.0f64..1.0,
+        cut2_frac in 0.0f64..1.0,
+        delta_chunks in 1usize..12,
+        m in 1usize..4,
+    ) {
+        let edge = EdgeId(7);
+        let instance = InstanceId::new(TaskId(2), 0);
+        let mut cuts = vec![
+            ((ops.len() as f64) * cut1_frac) as usize,
+            ((ops.len() as f64) * cut2_frac) as usize,
+        ];
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        // Route hash = the key's partition hash, as the dispatcher computes.
+        let route = |op: &Op| Some(Key::Int(key_of(op)).stable_hash());
+
+        let cell_striped = StateCell::new_striped(
+            StateType::Table, stripes, PartitionDim::Row, Some(delta_chunks));
+        let cell_flat = StateCell::new(StateType::Table);
+        let stores_a: Vec<Arc<BackupStore>> =
+            (0..m).map(|_| Arc::new(BackupStore::in_memory())).collect();
+        let stores_b: Vec<Arc<BackupStore>> =
+            (0..m).map(|_| Arc::new(BackupStore::in_memory())).collect();
+        let cfg_a = CheckpointConfig {
+            backup_fanout: m,
+            incremental: true,
+            delta_chunks,
+            serialise_threads: 2,
+            ..CheckpointConfig::default()
+        };
+        let cfg_b = CheckpointConfig {
+            backup_fanout: m,
+            chunks: delta_chunks.max(m),
+            serialise_threads: 2,
+            ..CheckpointConfig::default()
+        };
+
+        let mut chain: Vec<BackupSet> = Vec::new();
+        let mut full_set = None;
+        let mut seq = 0u64;
+        for i in 0..=ops.len() {
+            if cuts.contains(&i) {
+                seq += 1;
+                let set = take_checkpoint_with(
+                    &cell_striped, instance, seq, Vec::new, &stores_a, &cfg_a,
+                    None, CheckpointOptions::default(),
+                ).unwrap();
+                if set.is_base() {
+                    chain.clear();
+                }
+                chain.push(set);
+                full_set = Some(take_checkpoint(
+                    &cell_flat, instance, seq, Vec::new, &stores_b, &cfg_b,
+                ).unwrap());
+            }
+            if let Some(op) = ops.get(i) {
+                let ts = (i + 1) as u64;
+                prop_assert!(cell_striped
+                    .apply_routed(edge, ts, route(op), |s| apply_store(s, op))
+                    .is_some());
+                prop_assert!(cell_flat
+                    .apply(edge, ts, |s| apply_store(s, op))
+                    .is_some());
+            }
+        }
+        prop_assert!(!chain.is_empty() && chain[0].is_base());
+
+        // Crash: compose the chain (striped path) vs the single full
+        // generation (flat path). State must be byte-identical.
+        let restored_a = restore_chain(&chain, &stores_a, 1, RestoreOptions::default()).unwrap();
+        let (store_a, _vector_a) = restored_a.into_iter().next().unwrap();
+        let restored_b = restore_state(full_set.as_ref().unwrap(), &stores_b, 1).unwrap();
+        let (store_b, vector_b) = restored_b.into_iter().next().unwrap();
+        prop_assert_eq!(sorted_entries(&store_a), sorted_entries(&store_b));
+
+        // Rebuild a striped cell with the exact per-stripe vectors recorded
+        // in the newest generation (the runtime's recovery path), and an
+        // unsharded cell from the full checkpoint. Replaying the ENTIRE
+        // input must filter exactly the same duplicates in both.
+        let newest = chain.last().unwrap();
+        prop_assert_eq!(newest.stripe_vectors.len(), stripes);
+        let parts = store_a.split_by_hash(stripes, PartitionDim::Row).unwrap();
+        let recovered_a = StateCell::from_parts(
+            parts.into_iter().zip(newest.stripe_vectors.iter().cloned()).collect(),
+            PartitionDim::Row,
+            Some(delta_chunks),
+        );
+        let recovered_b = StateCell::from_store(store_b, vector_b);
+        let mut applied_a = Vec::new();
+        let mut applied_b = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let ts = (i + 1) as u64;
+            if recovered_a.apply_routed(edge, ts, route(op), |s| apply_store(s, op)).is_some() {
+                applied_a.push(i);
+            }
+            if recovered_b.apply(edge, ts, |s| apply_store(s, op)).is_some() {
+                applied_b.push(i);
+            }
+        }
+        prop_assert_eq!(&applied_a, &applied_b, "identical duplicate filtering");
+        let last_cut = *cuts.last().unwrap();
+        prop_assert_eq!(applied_b.len(), ops.len() - last_cut, "exactly the suffix replays");
+
+        // After replay both paths hold the reference final state.
+        let mut reference = HashMap::new();
+        for op in &ops {
+            apply_reference(&mut reference, op);
+        }
+        let (entries_a, _) = recovered_a.export_merged();
+        let mut merged_a = StateStore::new(StateType::Table);
+        merged_a.import_entries(&entries_a).unwrap();
+        prop_assert_eq!(table_contents(&mut merged_a), reference.clone());
+        let final_b = recovered_b.with(|inner| table_contents(&mut inner.store));
+        prop_assert_eq!(final_b, reference);
     }
 
     /// The dirty-state overlay never leaks post-checkpoint writes into the

@@ -78,6 +78,11 @@ pub struct StateInstruments {
     /// Bytes in dirty overlays of instances currently checkpointing
     /// (sampled; zero outside a checkpoint).
     pub dirty_bytes: Gauge,
+    /// Lock stripes per instance (sampled; 1 for unstriped cells).
+    pub stripes: Gauge,
+    /// Chunks marked dirty since the last completed checkpoint, summed
+    /// across instances (sampled; zero when incremental mode is off).
+    pub dirty_chunks: Gauge,
     /// Checkpoints taken of this SE's instances.
     pub checkpoints: Counter,
 }
@@ -90,6 +95,8 @@ impl StateInstruments {
             instances: Gauge::new(),
             bytes: Gauge::new(),
             dirty_bytes: Gauge::new(),
+            stripes: Gauge::new(),
+            dirty_chunks: Gauge::new(),
             checkpoints: Counter::new(),
         }
     }
@@ -100,6 +107,8 @@ impl StateInstruments {
 pub struct CheckpointInstruments {
     /// Checkpoints completed.
     pub taken: Counter,
+    /// Of those, incremental delta generations (subset of `taken`).
+    pub deltas: Counter,
     /// Checkpoints that failed.
     pub failed: Counter,
     /// Serialised state bytes written to backup stores.
@@ -270,6 +279,8 @@ impl MetricsRegistry {
                 instances: s.instances.get(),
                 bytes: s.bytes.get(),
                 dirty_bytes: s.dirty_bytes.get(),
+                stripes: s.stripes.get(),
+                dirty_chunks: s.dirty_chunks.get(),
                 checkpoints: s.checkpoints.get(),
             })
             .collect();
@@ -280,6 +291,7 @@ impl MetricsRegistry {
             states,
             checkpoints: CheckpointStats {
                 taken: c.taken.get(),
+                deltas: c.deltas.get(),
                 failed: c.failed.get(),
                 bytes: c.bytes.get(),
                 replayed: c.replayed.get(),

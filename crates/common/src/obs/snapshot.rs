@@ -50,6 +50,10 @@ pub struct StateStats {
     pub bytes: u64,
     /// Dirty-overlay bytes (non-zero only mid-checkpoint).
     pub dirty_bytes: u64,
+    /// Lock stripes per instance (1 for unstriped cells).
+    pub stripes: u64,
+    /// Chunks dirtied since the last checkpoint, summed over instances.
+    pub dirty_chunks: u64,
     /// Checkpoints taken.
     pub checkpoints: u64,
 }
@@ -59,6 +63,8 @@ pub struct StateStats {
 pub struct CheckpointStats {
     /// Checkpoints completed.
     pub taken: u64,
+    /// Incremental delta generations among `taken`.
+    pub deltas: u64,
     /// Checkpoints failed.
     pub failed: u64,
     /// Serialised bytes written.
@@ -220,22 +226,28 @@ impl MetricsSnapshot {
         if !self.states.is_empty() {
             let _ = writeln!(
                 out,
-                "  {:<16} {:>4} {:>12} {:>12} {:>6}",
-                "state", "inst", "bytes", "dirty", "ckpts"
+                "  {:<16} {:>4} {:>12} {:>12} {:>7} {:>7} {:>6}",
+                "state", "inst", "bytes", "dirty", "stripes", "dchunks", "ckpts"
             );
             for s in &self.states {
                 let _ = writeln!(
                     out,
-                    "  {:<16} {:>4} {:>12} {:>12} {:>6}",
-                    s.name, s.instances, s.bytes, s.dirty_bytes, s.checkpoints
+                    "  {:<16} {:>4} {:>12} {:>12} {:>7} {:>7} {:>6}",
+                    s.name,
+                    s.instances,
+                    s.bytes,
+                    s.dirty_bytes,
+                    s.stripes,
+                    s.dirty_chunks,
+                    s.checkpoints
                 );
             }
         }
         let c = &self.checkpoints;
         let _ = writeln!(
             out,
-            "  checkpoints: {} taken, {} failed, {} bytes, {} replayed",
-            c.taken, c.failed, c.bytes, c.replayed
+            "  checkpoints: {} taken ({} deltas), {} failed, {} bytes, {} replayed",
+            c.taken, c.deltas, c.failed, c.bytes, c.replayed
         );
         if c.taken > 0 {
             let _ = writeln!(
@@ -317,23 +329,26 @@ impl MetricsSnapshot {
             let _ = write!(
                 out,
                 "{{\"name\":{},\"state_id\":{},\"instances\":{},\"bytes\":{},\"dirty_bytes\":{},\
-                 \"checkpoints\":{}}}",
+                 \"stripes\":{},\"dirty_chunks\":{},\"checkpoints\":{}}}",
                 super::json::escape(&s.name),
                 s.id.map(|id| id.raw().to_string())
                     .unwrap_or_else(|| "null".into()),
                 s.instances,
                 s.bytes,
                 s.dirty_bytes,
+                s.stripes,
+                s.dirty_chunks,
                 s.checkpoints,
             );
         }
         let c = &self.checkpoints;
         let _ = write!(
             out,
-            "],\"checkpoints\":{{\"taken\":{},\"failed\":{},\"bytes\":{},\"replayed\":{},\
+            "],\"checkpoints\":{{\"taken\":{},\"deltas\":{},\"failed\":{},\"bytes\":{},\"replayed\":{},\
              \"snapshot_ns\":{},\"persist_ns\":{},\"consolidate_ns\":{},\"sync_ns\":{},\
              \"restore_ns\":{}}},",
             c.taken,
+            c.deltas,
             c.failed,
             c.bytes,
             c.replayed,
@@ -561,10 +576,13 @@ mod tests {
                 instances: 2,
                 bytes: 4096,
                 dirty_bytes: 0,
+                stripes: 16,
+                dirty_chunks: 0,
                 checkpoints: 1,
             }],
             checkpoints: CheckpointStats {
                 taken: 1,
+                deltas: 0,
                 failed: 0,
                 bytes: 2048,
                 replayed: 0,
@@ -603,8 +621,8 @@ mod tests {
             "\"latency_ns\":{\"count\":10,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",
             "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17}}],",
             "\"states\":[{\"name\":\"kv\",\"state_id\":0,\"instances\":2,\"bytes\":4096,",
-            "\"dirty_bytes\":0,\"checkpoints\":1}],",
-            "\"checkpoints\":{\"taken\":1,\"failed\":0,\"bytes\":2048,\"replayed\":0,",
+            "\"dirty_bytes\":0,\"stripes\":16,\"dirty_chunks\":0,\"checkpoints\":1}],",
+            "\"checkpoints\":{\"taken\":1,\"deltas\":0,\"failed\":0,\"bytes\":2048,\"replayed\":0,",
             "\"snapshot_ns\":{\"count\":1,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",
             "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
             "\"persist_ns\":{\"count\":1,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",

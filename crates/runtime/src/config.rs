@@ -166,6 +166,12 @@ pub struct RuntimeConfig {
     pub engine: ExecEngine,
     /// Edge micro-batching settings (default: disabled).
     pub batch: BatchConfig,
+    /// Lock stripes per partitioned SE instance. Accessing tasks route each
+    /// item to the stripe owning its key, so replicas of one SE group and
+    /// the checkpoint coordinator contend per-stripe instead of on one cell
+    /// mutex. `1` restores the single-mutex cell; partial and vector SEs
+    /// always use one stripe.
+    pub state_stripes: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -181,6 +187,7 @@ impl Default for RuntimeConfig {
             event_log_capacity: sdg_common::obs::DEFAULT_EVENT_CAPACITY,
             engine: ExecEngine::from_env(),
             batch: BatchConfig::default(),
+            state_stripes: 16,
         }
     }
 }
@@ -239,6 +246,9 @@ impl RuntimeConfig {
             return Err(SdgError::Config(
                 "batch.max_items is implausibly large".into(),
             ));
+        }
+        if self.state_stripes == 0 || self.state_stripes > 1024 {
+            return Err(SdgError::Config("state_stripes must be in 1..=1024".into()));
         }
         self.checkpoint.validate()
     }
@@ -314,6 +324,12 @@ impl RuntimeConfigBuilder {
     /// Replaces the edge micro-batching settings.
     pub fn batch(mut self, batch: BatchConfig) -> Self {
         self.cfg.batch = batch;
+        self
+    }
+
+    /// Sets the lock-stripe count of partitioned SE instances.
+    pub fn state_stripes(mut self, n: usize) -> Self {
+        self.cfg.state_stripes = n;
         self
     }
 
@@ -413,5 +429,23 @@ mod tests {
         let mut c = RuntimeConfig::default();
         c.task_instances.insert(TaskId(0), 0);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn state_stripes_validation() {
+        assert_eq!(RuntimeConfig::default().state_stripes, 16);
+        let cfg = RuntimeConfig::builder().state_stripes(4).build();
+        assert_eq!(cfg.state_stripes, 4);
+        cfg.validate().unwrap();
+        assert!(RuntimeConfig::builder()
+            .state_stripes(0)
+            .build()
+            .validate()
+            .is_err());
+        assert!(RuntimeConfig::builder()
+            .state_stripes(2048)
+            .build()
+            .validate()
+            .is_err());
     }
 }

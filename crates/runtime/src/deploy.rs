@@ -16,8 +16,8 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use sdg_checkpoint::backup::{BackupSet, BackupStore};
 use sdg_checkpoint::cell::StateCell;
-use sdg_checkpoint::coordinator::take_checkpoint_observed;
-use sdg_checkpoint::recovery::{restore_state_observed, RestoreOptions};
+use sdg_checkpoint::coordinator::{take_checkpoint_with, CheckpointOptions};
+use sdg_checkpoint::recovery::{restore_chain_observed, RestoreOptions};
 use sdg_common::error::{SdgError, SdgResult};
 use sdg_common::ids::{EdgeId, InstanceId, StateId, TaskId};
 use sdg_common::obs::{
@@ -26,10 +26,11 @@ use sdg_common::obs::{
 use sdg_common::time::TsGen;
 use sdg_common::value::Record;
 use sdg_graph::alloc::allocate;
-use sdg_graph::model::{AccessMode, Dispatch, Sdg, TaskKind};
+use sdg_graph::model::{AccessMode, Dispatch, Distribution, Sdg, StateDecl, TaskKind};
 use sdg_graph::validate::validate;
 use sdg_ir::te_compiled::CompiledTe;
-use sdg_state::store::StateStore;
+use sdg_state::partition::PartitionDim;
+use sdg_state::store::{StateStore, StateType};
 
 use crate::compile::Scratch;
 use crate::config::RuntimeConfig;
@@ -51,6 +52,28 @@ pub fn ingest_edge(task: TaskId) -> EdgeId {
 fn se_instance_id(state: StateId, replica: u32) -> InstanceId {
     // SE checkpoints are keyed in a disjoint TaskId namespace.
     InstanceId::new(TaskId(0x4000_0000 | state.raw()), replica)
+}
+
+/// Stripe count, partition axis and delta-chunk space for one SE's cells.
+///
+/// Only partitioned tables and matrices are striped: the partitioned access
+/// contract (a task touches only state belonging to its item's key) is what
+/// makes per-key stripe routing sound, and dense vectors have no meaningful
+/// key space to split. Everything else keeps the single-mutex cell.
+fn cell_layout(cfg: &RuntimeConfig, decl: &StateDecl) -> (usize, PartitionDim, Option<usize>) {
+    let (stripes, dim) = match decl.dist {
+        Distribution::Partitioned { dim } if decl.ty != StateType::Vector => {
+            (cfg.state_stripes, dim)
+        }
+        Distribution::Partitioned { dim } => (1, dim),
+        _ => (1, PartitionDim::Row),
+    };
+    let delta = if cfg.checkpoint.enabled && cfg.checkpoint.incremental {
+        Some(cfg.checkpoint.delta_chunks)
+    } else {
+        None
+    };
+    (stripes, dim, delta)
 }
 
 /// Report of one failure-injection recovery.
@@ -93,7 +116,9 @@ pub(crate) struct Inner {
     node_of_instance: RwLock<HashMap<(TaskId, u32), u32>>,
     pub stores: Vec<Arc<BackupStore>>,
     backup_seq: AtomicU64,
-    backups: Mutex<HashMap<(StateId, u32), BackupSet>>,
+    /// Checkpoint chains per SE instance: a base generation followed by the
+    /// deltas taken since it. Restore composes the whole chain.
+    backups: Mutex<HashMap<(StateId, u32), Vec<BackupSet>>>,
     pub events: Mutex<Vec<ScaleEvent>>,
     pub in_flight: Arc<AtomicU64>,
     /// Deploy-time slot-compilation cache: one [`CompiledTe`] per task,
@@ -174,9 +199,12 @@ impl Deployment {
         for state in &sdg.states {
             let _ = obs.state_with_id(&state.name, Some(state.id));
             let n = cfg.se_instances.get(&state.id).copied().unwrap_or(1);
+            let (stripes, dim, delta) = cell_layout(&cfg, state);
             cells.insert(
                 state.id,
-                (0..n).map(|_| Arc::new(StateCell::new(state.ty))).collect(),
+                (0..n)
+                    .map(|_| Arc::new(StateCell::new_striped(state.ty, stripes, dim, delta)))
+                    .collect(),
             );
         }
 
@@ -431,7 +459,7 @@ impl Deployment {
             .get(&state)
             .and_then(|v| v.get(replica as usize).cloned())
             .ok_or_else(|| SdgError::NotFound(format!("state instance {state}#{replica}")))?;
-        Ok(cell.with(|inner| f(&mut inner.store)))
+        cell.with_merged(f)
     }
 
     /// Waits until all submitted work has drained (queues empty and no item
@@ -506,6 +534,10 @@ impl Inner {
                 .set(group.iter().map(|c| c.approx_bytes() as u64).sum());
             s.dirty_bytes
                 .set(group.iter().map(|c| c.dirty_bytes() as u64).sum());
+            s.stripes
+                .set(group.first().map(|c| c.stripe_count() as u64).unwrap_or(0));
+            s.dirty_chunks
+                .set(group.iter().map(|c| c.pending_dirty_chunks() as u64).sum());
         }
     }
 
@@ -554,6 +586,11 @@ impl Inner {
             }
             None => None,
         };
+
+        let route_key = task.access.as_ref().and_then(|a| match &a.mode {
+            AccessMode::Partitioned { key, .. } => Some(key.clone()),
+            _ => None,
+        });
 
         let gather_var = self
             .sdg
@@ -616,6 +653,7 @@ impl Inner {
             code,
             scratch: Scratch::new(),
             cell,
+            route_key,
             outs,
             sink: self.sink_tx.clone(),
             pending_gathers: HashMap::new(),
@@ -789,11 +827,25 @@ impl Inner {
             for (replica, cell) in group.iter().enumerate() {
                 let seq = self.backup_seq.fetch_add(1, Ordering::Relaxed);
                 let label = self.se_label(state, replica as u32);
+                // Compaction: once the deltas accumulated since the base
+                // outweigh `compact_threshold` of its size, force a full
+                // generation so restore chains stay short.
+                let force_full = {
+                    let backups = self.backups.lock();
+                    match backups.get(&(state, replica as u32)) {
+                        Some(chain) if chain.len() > 1 => {
+                            let base = chain[0].state_bytes.max(1) as f64;
+                            let deltas: usize = chain[1..].iter().map(|s| s.state_bytes).sum();
+                            deltas as f64 > self.cfg.checkpoint.compact_threshold * base
+                        }
+                        _ => false,
+                    }
+                };
                 self.obs.record_event(EventKind::CheckpointBegin {
                     instance: label.clone(),
                     seq,
                 });
-                let set = take_checkpoint_observed(
+                let set = take_checkpoint_with(
                     cell,
                     se_instance_id(state, replica as u32),
                     seq,
@@ -801,6 +853,7 @@ impl Inner {
                     &self.stores,
                     &self.cfg.checkpoint,
                     Some(self.obs.checkpoints()),
+                    CheckpointOptions { force_full },
                 )?;
                 self.obs.record_event(EventKind::CheckpointBackup {
                     instance: label.clone(),
@@ -819,11 +872,21 @@ impl Inner {
                 }
                 // Trim upstream buffers covered by this checkpoint.
                 self.trim_for(state, replica as u32, &set);
-                // Garbage-collect the previous checkpoint's chunks.
+                // Chain bookkeeping: a base generation supersedes the whole
+                // chain (its predecessors' chunks can go); a delta extends
+                // it, so everything back to the base stays alive.
+                let keep = {
+                    let mut backups = self.backups.lock();
+                    let chain = backups.entry((state, replica as u32)).or_default();
+                    if set.is_base() {
+                        chain.clear();
+                    }
+                    chain.push(set);
+                    chain[0].seq
+                };
                 for store in &self.stores {
-                    store.garbage_collect(se_instance_id(state, replica as u32), set.seq);
+                    store.garbage_collect(se_instance_id(state, replica as u32), keep);
                 }
-                self.backups.lock().insert((state, replica as u32), set);
             }
         }
         Ok(())
@@ -874,10 +937,11 @@ impl Inner {
         self.obs.record_event(EventKind::FailureInjected {
             instance: label.clone(),
         });
-        let set = self
+        let chain = self
             .backups
             .lock()
             .get(&(state, replica))
+            .filter(|c| !c.is_empty())
             .cloned()
             .ok_or_else(|| {
                 SdgError::Recovery(format!(
@@ -906,17 +970,44 @@ impl Inner {
             }
         }
 
-        // Restore state from the m backup stores.
+        // Restore state from the m backup stores, composing the base
+        // generation with any deltas taken since it.
         let restore_t0 = Instant::now();
-        let restored = restore_state_observed(
-            &set,
+        let restored = restore_chain_observed(
+            &chain,
             &self.stores,
             1,
             RestoreOptions::default(),
             Some(self.obs.checkpoints()),
         )?;
         let (store, vector) = restored.into_iter().next().expect("n=1 restore");
-        let new_cell = Arc::new(StateCell::from_store(store, vector.clone()));
+        let decl = self.sdg.state(state)?.clone();
+        let (stripes, dim, delta) = cell_layout(&self.cfg, &decl);
+        let newest = chain.last().expect("non-empty chain");
+        // Re-split into stripes with the exact per-stripe vectors recorded
+        // at checkpoint time (split_by_hash and stripe routing use the same
+        // key hash, so stripe i gets back exactly the keys — and watermarks
+        // — it owned). Falling back to the merged (min) vector is safe but
+        // replays more.
+        let new_cell = if stripes > 1 && newest.stripe_vectors.len() == stripes {
+            let parts = store.split_by_hash(stripes, dim)?;
+            Arc::new(StateCell::from_parts(
+                parts
+                    .into_iter()
+                    .zip(newest.stripe_vectors.iter().cloned())
+                    .collect(),
+                dim,
+                delta,
+            ))
+        } else {
+            Arc::new(StateCell::from_store_striped(
+                store,
+                vector.clone(),
+                stripes,
+                dim,
+                delta,
+            )?)
+        };
         self.cells
             .write()
             .get_mut(&state)
@@ -1016,8 +1107,9 @@ impl Inner {
             let group = cells
                 .get_mut(&state)
                 .ok_or_else(|| SdgError::NotFound(format!("state {state}")))?;
-            let ty = self.sdg.state(state)?.ty;
-            let cell = Arc::new(StateCell::new(ty));
+            let decl = self.sdg.state(state)?;
+            let (stripes, dim, delta) = cell_layout(&self.cfg, decl);
+            let cell = Arc::new(StateCell::new_striped(decl.ty, stripes, dim, delta));
             group.push(Arc::clone(&cell));
             group.len() as u32 - 1
         };
@@ -1076,24 +1168,25 @@ impl Inner {
             });
         }
 
-        // Export all partitions, merge, re-split to p + 1.
-        let (merged_vector, splits, ty) = {
+        // Export all partitions (merging each cell's stripes), merge,
+        // re-split to p + 1. Assigning the merged (max) vector to every new
+        // partition is exact here: the group was drained, so fresh items
+        // always carry higher timestamps than anything merged.
+        let (merged_vector, splits, stripes, delta) = {
             let cells = self.cells.read();
             let group = &cells[&state];
-            let ty = self.sdg.state(state)?.ty;
-            let mut all = StateStore::new(ty);
+            let decl = self.sdg.state(state)?;
+            let (stripes, _, delta) = cell_layout(&self.cfg, decl);
+            let mut all = StateStore::new(decl.ty);
             let mut merged_vector = sdg_common::time::VectorTs::new();
             for cell in group.iter() {
-                cell.with(|inner| {
-                    all.import_entries(&inner.store.export_entries())?;
-                    merged_vector.merge_max(&inner.vector);
-                    Ok::<(), SdgError>(())
-                })?;
+                let (entries, vector) = cell.export_merged();
+                all.import_entries(&entries)?;
+                merged_vector.merge_max(&vector);
             }
             let splits = all.split_by_hash(group.len() + 1, dim)?;
-            (merged_vector, splits, ty)
+            (merged_vector, splits, stripes, delta)
         };
-        let _ = ty;
 
         // Swap the new partitions into the existing cells in place (workers
         // hold Arcs to them) and append the new instance's cell.
@@ -1103,15 +1196,15 @@ impl Inner {
             let mut splits = splits.into_iter();
             for cell in group.iter() {
                 let store = splits.next().expect("split count = p + 1");
-                cell.with(|inner| {
-                    inner.store = store;
-                    inner.vector = merged_vector.clone();
-                });
+                cell.replace(store, merged_vector.clone())?;
             }
-            let cell = Arc::new(StateCell::from_store(
+            let cell = Arc::new(StateCell::from_store_striped(
                 splits.next().expect("last split"),
                 merged_vector,
-            ));
+                stripes,
+                dim,
+                delta,
+            )?);
             group.push(Arc::clone(&cell));
             group.len() as u32 - 1
         };

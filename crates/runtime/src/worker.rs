@@ -554,6 +554,10 @@ pub struct Worker {
     pub scratch: Scratch,
     /// Local SE instance, when the task has an access edge.
     pub cell: Option<Arc<StateCell>>,
+    /// Record field carrying the state access key, for keyed (partitioned)
+    /// access. Used to route each item to the lock stripe owning its key
+    /// when the cell is striped.
+    pub route_key: Option<String>,
     /// Outgoing edges.
     pub outs: Vec<OutEdge>,
     /// External output sink.
@@ -749,6 +753,17 @@ impl Worker {
                 self.work_debt = Duration::ZERO;
             }
         }
+        // Striped cells route each item to the stripe owning its access
+        // key; the route hash equals the key's partition hash, so an item
+        // lands on the stripe holding exactly the keys it may touch.
+        let route = match (&self.cell, &self.route_key) {
+            (Some(cell), Some(key)) if cell.stripe_count() > 1 => item
+                .payload
+                .get(key)
+                .and_then(|v| v.to_key().ok())
+                .map(|k| k.stable_hash()),
+            _ => None,
+        };
         // Split the borrows up front: the state-cell closures need the code
         // (shared) and the scratch (exclusive) while `self.cell` is held.
         let code = &self.code;
@@ -757,7 +772,7 @@ impl Worker {
         let effects = match (&self.cell, self.dedupe) {
             (Some(cell), true) => {
                 let lane = lane(item.edge, item.src_replica);
-                match cell.apply(lane, item.ts, |store| {
+                match cell.apply_routed(lane, item.ts, route, |store| {
                     execute_prepared(code, &item.payload, Some(store), replica, scratch)
                 }) {
                     None => {
@@ -768,7 +783,7 @@ impl Worker {
                     Some(r) => r?,
                 }
             }
-            (Some(cell), false) => cell.with(|inner| {
+            (Some(cell), false) => cell.with_routed(route, |inner| {
                 execute_prepared(
                     code,
                     &item.payload,

@@ -67,6 +67,7 @@ fn probe_worker(
         code: PreparedCode::Passthrough,
         scratch: Scratch::new(),
         cell: None,
+        route_key: None,
         outs: vec![out],
         sink: sink_tx,
         pending_gathers: HashMap::new(),

@@ -97,6 +97,55 @@ impl StateStore {
         }
     }
 
+    /// Enables dirty-chunk tracking for incremental checkpoints.
+    ///
+    /// Returns `true` when the structure supports tracking (tables);
+    /// matrices and dense vectors fall back to full checkpoints and
+    /// return `false`.
+    pub fn enable_chunk_tracking(&mut self, chunks: usize) -> bool {
+        match self {
+            StateStore::Table(t) => {
+                t.enable_chunk_tracking(chunks);
+                true
+            }
+            StateStore::Matrix(_) | StateStore::Vector(_) => false,
+        }
+    }
+
+    /// Returns the tracked chunk-space size, or `None` when tracking is off.
+    pub fn tracked_chunks(&self) -> Option<usize> {
+        match self {
+            StateStore::Table(t) => t.tracked_chunks(),
+            StateStore::Matrix(_) | StateStore::Vector(_) => None,
+        }
+    }
+
+    /// Number of chunks currently marked dirty (0 when tracking is off).
+    pub fn dirty_chunk_count(&self) -> usize {
+        match self {
+            StateStore::Table(t) => t.dirty_chunk_count(),
+            StateStore::Matrix(_) | StateStore::Vector(_) => 0,
+        }
+    }
+
+    /// Takes and clears the set of dirty chunk ids (sorted).
+    ///
+    /// `None` when tracking is not enabled for this structure.
+    pub fn take_dirty_chunks(&mut self) -> Option<Vec<u32>> {
+        match self {
+            StateStore::Table(t) => t.take_dirty_chunks(),
+            StateStore::Matrix(_) | StateStore::Vector(_) => None,
+        }
+    }
+
+    /// Marks every tracked chunk dirty (used after failed checkpoints and
+    /// bulk mutations that bypass `put`/`remove`).
+    pub fn mark_all_dirty(&mut self) {
+        if let StateStore::Table(t) = self {
+            t.mark_all_dirty();
+        }
+    }
+
     /// Accesses the table variant.
     pub fn as_table(&mut self) -> SdgResult<&mut KeyedTable> {
         match self {
@@ -286,6 +335,62 @@ impl StateSnapshot {
             }
         }
     }
+
+    /// Serialises the snapshot into `chunks` entry buckets using the same
+    /// chunk identity the dirty-chunk tracker uses (`Key::stable_hash`), so
+    /// a delta checkpoint can serialise exactly the chunks that went dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is zero.
+    pub fn to_entries_chunked(&self, chunks: usize) -> Vec<Vec<StateEntry>> {
+        self.to_entries_for(chunks, &vec![true; chunks])
+    }
+
+    /// Like [`StateSnapshot::to_entries_chunked`], but only encodes entries
+    /// belonging to the chunks flagged in `wanted`; the other buckets stay
+    /// empty and their entries are never serialised. This is the delta
+    /// fast path: encoding cost scales with the dirty fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is zero or `wanted.len() != chunks`.
+    pub fn to_entries_for(&self, chunks: usize, wanted: &[bool]) -> Vec<Vec<StateEntry>> {
+        assert!(chunks > 0, "chunk count must be positive");
+        assert_eq!(wanted.len(), chunks, "chunk mask size mismatch");
+        let mut out: Vec<Vec<StateEntry>> = (0..chunks).map(|_| Vec::new()).collect();
+        match self {
+            StateSnapshot::Table(map) => {
+                for (k, v) in map.iter() {
+                    let idx = (k.stable_hash() % chunks as u64) as usize;
+                    if wanted[idx] {
+                        out[idx].push(StateEntry::new(encode_to_vec(k), encode_to_vec(v)));
+                    }
+                }
+            }
+            StateSnapshot::Matrix(_) => {
+                for entry in self.to_entries() {
+                    // Matrix entries are keyed by the encoded row id; decode
+                    // it back so chunk identity matches the structured hash.
+                    let idx = sdg_common::codec::decode_from_slice::<Key>(&entry.key)
+                        .map(|k| (k.stable_hash() % chunks as u64) as usize)
+                        .unwrap_or_else(|_| entry.chunk_of(chunks));
+                    if wanted[idx] {
+                        out[idx].push(entry);
+                    }
+                }
+            }
+            StateSnapshot::Vector(_) => {
+                for entry in self.to_entries() {
+                    let idx = entry.chunk_of(chunks);
+                    if wanted[idx] {
+                        out[idx].push(entry);
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +479,63 @@ mod tests {
             })
             .sum();
         assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn chunked_snapshot_uses_structured_key_hash() {
+        let mut s = StateStore::new(StateType::Table);
+        for i in 0..60 {
+            s.as_table().unwrap().put(Key::Int(i), Value::Int(i));
+        }
+        let snap = s.begin_checkpoint().unwrap();
+        let buckets = snap.to_entries_chunked(8);
+        s.consolidate().unwrap();
+        assert_eq!(buckets.len(), 8);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 60);
+        for (idx, bucket) in buckets.iter().enumerate() {
+            for e in bucket {
+                let k: Key = sdg_common::codec::decode_from_slice(&e.key).unwrap();
+                assert_eq!((k.stable_hash() % 8) as usize, idx);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_snapshot_only_fills_wanted_chunks() {
+        let mut s = StateStore::new(StateType::Table);
+        for i in 0..60 {
+            s.as_table().unwrap().put(Key::Int(i), Value::Int(i));
+        }
+        let snap = s.begin_checkpoint().unwrap();
+        let full = snap.to_entries_chunked(8);
+        let mut wanted = vec![false; 8];
+        wanted[2] = true;
+        wanted[5] = true;
+        let masked = snap.to_entries_for(8, &wanted);
+        s.consolidate().unwrap();
+        for i in 0..8 {
+            if wanted[i] {
+                assert_eq!(masked[i].len(), full[i].len());
+            } else {
+                assert!(masked[i].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_tracking_dispatch_by_structure() {
+        let mut table = StateStore::new(StateType::Table);
+        assert!(table.enable_chunk_tracking(4));
+        assert_eq!(table.tracked_chunks(), Some(4));
+        assert_eq!(table.dirty_chunk_count(), 4);
+        let mut matrix = StateStore::new(StateType::Matrix);
+        assert!(!matrix.enable_chunk_tracking(4));
+        assert_eq!(matrix.tracked_chunks(), None);
+        assert_eq!(matrix.take_dirty_chunks(), None);
+        let mut vector = StateStore::new(StateType::Vector);
+        assert!(!vector.enable_chunk_tracking(4));
+        vector.mark_all_dirty();
+        assert_eq!(vector.dirty_chunk_count(), 0);
     }
 
     #[test]

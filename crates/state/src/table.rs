@@ -20,6 +20,35 @@ use sdg_common::value::{Key, Value};
 
 use crate::entry::StateEntry;
 
+/// Tracks which hash chunks changed since the last completed checkpoint
+/// generation, enabling incremental (delta) checkpoints: a generation only
+/// re-serialises chunks whose keys were written.
+///
+/// Chunk identity is `key.stable_hash() % chunks` — the same decoded-key
+/// hash the partitioner and the m-to-n restore use, so a chunk's key
+/// population is stable across generations, processes and restores.
+#[derive(Debug, Clone)]
+struct ChunkTracker {
+    dirty: Vec<bool>,
+    dirty_count: usize,
+}
+
+impl ChunkTracker {
+    fn all_dirty(chunks: usize) -> Self {
+        ChunkTracker {
+            dirty: vec![true; chunks],
+            dirty_count: chunks,
+        }
+    }
+
+    fn mark(&mut self, chunk: usize) {
+        if !self.dirty[chunk] {
+            self.dirty[chunk] = true;
+            self.dirty_count += 1;
+        }
+    }
+}
+
 /// A mutable key/value table supporting dirty-state checkpoints.
 #[derive(Debug, Clone, Default)]
 pub struct KeyedTable {
@@ -29,6 +58,13 @@ pub struct KeyedTable {
     dirty: Option<HashMap<Key, Option<Value>>>,
     visible_len: usize,
     visible_bytes: usize,
+    /// Approximate bytes held by the overlay, maintained incrementally on
+    /// every overlay write so the obs gauge never walks the overlay under
+    /// the cell lock.
+    overlay_bytes: usize,
+    /// Chunk-level dirtiness since the last completed checkpoint
+    /// generation; `None` means incremental checkpointing is off.
+    tracker: Option<ChunkTracker>,
 }
 
 impl KeyedTable {
@@ -59,12 +95,70 @@ impl KeyedTable {
 
     /// Approximate bytes held by the dirty overlay (0 outside a
     /// checkpoint). Tombstones count their key only.
+    ///
+    /// The count is maintained incrementally on overlay writes, so this is
+    /// O(1) — it is polled by the observability gauge under the cell lock.
     pub fn dirty_bytes(&self) -> usize {
-        self.dirty.as_ref().map_or(0, |d| {
-            d.iter()
-                .map(|(k, v)| k.approx_size() + v.as_ref().map_or(0, Value::approx_size))
-                .sum()
-        })
+        if self.dirty.is_some() {
+            self.overlay_bytes
+        } else {
+            0
+        }
+    }
+
+    /// Turns on chunk-level dirtiness tracking over `chunks` hash chunks.
+    ///
+    /// All chunks start dirty, so the first checkpoint generation after
+    /// enabling is a full (base) one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is zero.
+    pub fn enable_chunk_tracking(&mut self, chunks: usize) {
+        assert!(chunks > 0, "chunk count must be positive");
+        self.tracker = Some(ChunkTracker::all_dirty(chunks));
+    }
+
+    /// The tracked chunk-space size, when tracking is enabled.
+    pub fn tracked_chunks(&self) -> Option<usize> {
+        self.tracker.as_ref().map(|t| t.dirty.len())
+    }
+
+    /// Number of chunks currently marked dirty (0 when tracking is off).
+    pub fn dirty_chunk_count(&self) -> usize {
+        self.tracker.as_ref().map_or(0, |t| t.dirty_count)
+    }
+
+    /// Returns the dirty chunk ids (sorted) and clears them, or `None` when
+    /// tracking is off. Called under the checkpoint-initiation lock; writes
+    /// performed afterwards re-mark their chunks and belong to the next
+    /// generation.
+    pub fn take_dirty_chunks(&mut self) -> Option<Vec<u32>> {
+        let t = self.tracker.as_mut()?;
+        let mut out = Vec::with_capacity(t.dirty_count);
+        for (i, d) in t.dirty.iter_mut().enumerate() {
+            if *d {
+                out.push(i as u32);
+                *d = false;
+            }
+        }
+        t.dirty_count = 0;
+        Some(out)
+    }
+
+    /// Marks every chunk dirty (used after a failed or compacting
+    /// checkpoint, and after out-of-band bulk mutation).
+    pub fn mark_all_dirty(&mut self) {
+        if let Some(t) = &mut self.tracker {
+            *t = ChunkTracker::all_dirty(t.dirty.len());
+        }
+    }
+
+    fn mark_chunk(&mut self, key: &Key) {
+        if let Some(t) = &mut self.tracker {
+            let chunk = (key.stable_hash() % t.dirty.len() as u64) as usize;
+            t.mark(chunk);
+        }
     }
 
     /// Looks up `key`, consulting the dirty overlay first.
@@ -85,20 +179,26 @@ impl KeyedTable {
     /// Inserts or replaces `key`, returning the previously visible value.
     pub fn put(&mut self, key: Key, value: Value) -> Option<Value> {
         let prev = self.get(&key);
-        let entry_size = key.approx_size() + value.approx_size();
+        let key_size = key.approx_size();
+        let entry_size = key_size + value.approx_size();
         match prev.as_ref() {
             Some(old) => {
                 self.visible_bytes += entry_size;
-                self.visible_bytes -= key.approx_size() + old.approx_size();
+                self.visible_bytes -= key_size + old.approx_size();
             }
             None => {
                 self.visible_len += 1;
                 self.visible_bytes += entry_size;
             }
         }
+        self.mark_chunk(&key);
         match &mut self.dirty {
             Some(dirty) => {
-                dirty.insert(key, Some(value));
+                let old_slot = dirty.insert(key, Some(value));
+                self.overlay_bytes += entry_size;
+                if let Some(slot) = old_slot {
+                    self.overlay_bytes -= key_size + slot.as_ref().map_or(0, Value::approx_size);
+                }
             }
             None => {
                 Arc::make_mut(&mut self.base).insert(key, value);
@@ -110,11 +210,17 @@ impl KeyedTable {
     /// Removes `key`, returning the previously visible value.
     pub fn remove(&mut self, key: &Key) -> Option<Value> {
         let prev = self.get(key)?;
+        let key_size = key.approx_size();
         self.visible_len -= 1;
-        self.visible_bytes -= key.approx_size() + prev.approx_size();
+        self.visible_bytes -= key_size + prev.approx_size();
+        self.mark_chunk(key);
         match &mut self.dirty {
             Some(dirty) => {
-                dirty.insert(key.clone(), None);
+                let old_slot = dirty.insert(key.clone(), None);
+                self.overlay_bytes += key_size;
+                if let Some(slot) = old_slot {
+                    self.overlay_bytes -= key_size + slot.as_ref().map_or(0, Value::approx_size);
+                }
             }
             None => {
                 Arc::make_mut(&mut self.base).remove(key);
@@ -172,6 +278,7 @@ impl KeyedTable {
             ));
         }
         self.dirty = Some(HashMap::new());
+        self.overlay_bytes = 0;
         Ok(Arc::clone(&self.base))
     }
 
@@ -185,6 +292,7 @@ impl KeyedTable {
             .dirty
             .take()
             .ok_or_else(|| SdgError::State("consolidate without begin_checkpoint".into()))?;
+        self.overlay_bytes = 0;
         let base = Arc::make_mut(&mut self.base);
         for (k, slot) in dirty {
             match slot {
@@ -435,6 +543,83 @@ mod tests {
         t.consolidate().unwrap();
         assert_eq!(t.approx_bytes(), before);
         assert_eq!(t.len(), 1);
+    }
+
+    /// The O(n) recomputation `dirty_bytes` used to do, kept as the test
+    /// oracle for the incremental counter.
+    fn recomputed_dirty_bytes(t: &KeyedTable) -> usize {
+        t.dirty.as_ref().map_or(0, |d| {
+            d.iter()
+                .map(|(k, v)| k.approx_size() + v.as_ref().map_or(0, Value::approx_size))
+                .sum()
+        })
+    }
+
+    #[test]
+    fn dirty_bytes_matches_recomputation() {
+        let mut t = KeyedTable::new();
+        for i in 0..10 {
+            t.put(k(i), Value::str(format!("value-{i}")));
+        }
+        assert_eq!(t.dirty_bytes(), 0);
+        let _snap = t.begin_checkpoint().unwrap();
+        assert_eq!(t.dirty_bytes(), 0);
+        // Inserts, overwrites (shrinking and growing), tombstones, and
+        // tombstone-overwrites all keep the incremental count exact.
+        t.put(k(1), Value::str("x"));
+        assert_eq!(t.dirty_bytes(), recomputed_dirty_bytes(&t));
+        t.put(k(1), Value::str("a much longer replacement value"));
+        assert_eq!(t.dirty_bytes(), recomputed_dirty_bytes(&t));
+        t.remove(&k(2));
+        assert_eq!(t.dirty_bytes(), recomputed_dirty_bytes(&t));
+        t.put(k(2), Value::Int(5));
+        assert_eq!(t.dirty_bytes(), recomputed_dirty_bytes(&t));
+        t.put(k(100), Value::str("fresh"));
+        t.remove(&k(100));
+        assert_eq!(t.dirty_bytes(), recomputed_dirty_bytes(&t));
+        t.consolidate().unwrap();
+        assert_eq!(t.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn chunk_tracking_starts_all_dirty_and_clears() {
+        let mut t = KeyedTable::new();
+        assert_eq!(t.take_dirty_chunks(), None);
+        t.enable_chunk_tracking(8);
+        assert_eq!(t.tracked_chunks(), Some(8));
+        assert_eq!(t.dirty_chunk_count(), 8);
+        let all = t.take_dirty_chunks().unwrap();
+        assert_eq!(all, (0..8).collect::<Vec<u32>>());
+        assert_eq!(t.dirty_chunk_count(), 0);
+        assert_eq!(t.take_dirty_chunks().unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn writes_mark_exactly_their_chunks() {
+        let mut t = KeyedTable::new();
+        t.enable_chunk_tracking(16);
+        t.take_dirty_chunks().unwrap();
+        t.put(k(3), Value::Int(1));
+        t.remove(&k(3));
+        t.put(k(7), Value::Int(2));
+        let mut expected: Vec<u32> = vec![
+            (k(3).stable_hash() % 16) as u32,
+            (k(7).stable_hash() % 16) as u32,
+        ];
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(t.take_dirty_chunks().unwrap(), expected);
+        // Overlay writes mark chunks too (they belong to the next
+        // generation).
+        let _snap = t.begin_checkpoint().unwrap();
+        t.put(k(9), Value::Int(3));
+        assert_eq!(
+            t.take_dirty_chunks().unwrap(),
+            vec![(k(9).stable_hash() % 16) as u32]
+        );
+        t.consolidate().unwrap();
+        t.mark_all_dirty();
+        assert_eq!(t.dirty_chunk_count(), 16);
     }
 
     #[test]
