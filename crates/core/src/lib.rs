@@ -115,6 +115,23 @@ impl SdgProgram {
         sdg_graph::dot::to_dot_with_lints(&self.sdg, &sdg_graph::lint_findings(&self.sdg))
     }
 
+    /// The verifier's certificate report, attached at translation time.
+    ///
+    /// Always `Some` for compiled programs; graphs assembled by hand carry
+    /// no report (and the runtime trusts their annotations).
+    pub fn verify_report(&self) -> Option<&sdg_ir::analysis::verify::VerifyReport> {
+        self.sdg.verify.as_deref()
+    }
+
+    /// Renders the graph as DOT with both the `SL02xx` lint findings and
+    /// the verifier's `SL03xx` certificate violations drawn onto the
+    /// offending elements.
+    pub fn to_dot_with_verify(&self) -> String {
+        let mut findings = sdg_graph::lint_findings(&self.sdg);
+        findings.extend(sdg_graph::verify_findings(&self.sdg));
+        sdg_graph::dot::to_dot_with_lints(&self.sdg, &findings)
+    }
+
     /// Deploys the program on the simulated cluster.
     pub fn deploy(self, cfg: RuntimeConfig) -> SdgResult<Deployment> {
         Deployment::start(self.sdg, cfg)

@@ -21,7 +21,7 @@ pub mod model;
 pub mod validate;
 
 pub use alloc::{allocate, Allocation};
-pub use lint::{lint, lint_findings, LintFinding, LintSubject};
+pub use lint::{lint, lint_findings, verify_findings, LintFinding, LintSubject};
 pub use model::{
     AccessMode, Dispatch, Distribution, FlowDecl, NativeTask, Sdg, SdgBuilder, StateAccessEdge,
     StateDecl, TaskCode, TaskContext, TaskDecl, TaskKind,

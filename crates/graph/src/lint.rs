@@ -67,6 +67,33 @@ pub fn lint_findings(sdg: &Sdg) -> Vec<LintFinding> {
     findings
 }
 
+/// Projects the verifier's certificate violations (the `SL03xx` codes from
+/// [`sdg_ir::analysis::verify`]) onto the state elements they concern, so
+/// the DOT exporter can draw them alongside the `SL02xx` lints.
+///
+/// Hand-built graphs carry no report and yield no findings.
+pub fn verify_findings(sdg: &Sdg) -> Vec<LintFinding> {
+    let Some(report) = sdg.verify.as_deref() else {
+        return Vec::new();
+    };
+    let mut findings = Vec::new();
+    for (field, cert) in &report.se_certs {
+        let Some(state) = sdg.state_by_name(field) else {
+            continue;
+        };
+        for &code in &cert.violations {
+            findings.push(LintFinding {
+                subject: LintSubject::State(state.id),
+                diag: Diagnostic::warning_nospan(
+                    code,
+                    format!("state element `{field}` failed verification check {code}"),
+                ),
+            });
+        }
+    }
+    findings
+}
+
 /// Returns the tasks reachable from the entry points by following dataflow
 /// edges forward.
 fn reachable_from_entries(sdg: &Sdg) -> HashSet<TaskId> {

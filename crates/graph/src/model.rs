@@ -200,6 +200,11 @@ pub struct Sdg {
     pub states: Vec<StateDecl>,
     /// Dataflow edges, indexed by `EdgeId::raw()`.
     pub flows: Vec<FlowDecl>,
+    /// The `sdg-verify` certificates of the source program, when the
+    /// graph came through the translator. Hand-built graphs carry `None`
+    /// and the runtime falls back to trusting annotations, preserving
+    /// their pre-verifier behavior.
+    pub verify: Option<Arc<sdg_ir::analysis::verify::VerifyReport>>,
 }
 
 impl Sdg {

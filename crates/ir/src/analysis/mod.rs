@@ -5,21 +5,28 @@
 //! - [`live`] — live-variable analysis, determining which variables must
 //!   cross each TE boundary;
 //! - [`check`] — semantic validation of annotation rules and the
-//!   translatability restrictions of §4.1.
+//!   translatability restrictions of §4.1;
+//! - [`verify`] — the `sdg-verify` certificate pass: key-locality,
+//!   replay-safety (effect lattice) and merge-soundness verdicts
+//!   (`SL03xx`) that gate the runtime's optimizations.
 //!
-//! All three run on the control-flow graphs of [`crate::cfg`]. Violations
-//! carry stable `SL01xx` codes ([`crate::diag`]); [`lint_program`] is the
-//! collect-everything entry point used by the `lint` front-end.
+//! The first three run on the control-flow graphs of [`crate::cfg`].
+//! Violations carry stable `SL01xx` codes ([`crate::diag`]);
+//! [`lint_program`] is the collect-everything entry point used by the
+//! `lint` front-end, and [`verify::verify_program`] produces the typed
+//! [`verify::VerifyReport`] attached to translated graphs.
 
 pub mod access;
 pub mod check;
 pub mod live;
+pub mod verify;
 
 pub use access::{
     analyze_method_accesses, collect_method_accesses, AccessKind, StateAccess, StmtAccesses,
 };
 pub use check::{check_program, check_program_diagnostics};
 pub use live::live_before_each;
+pub use verify::{verify_program, Effect, SeCertificate, TeCertificate, VerifyReport};
 
 use crate::ast::Program;
 use crate::diag::{Diagnostic, Diagnostics};

@@ -51,6 +51,9 @@ pub struct Diagnostic {
     /// Position in the StateLang source, when one exists (SDG-level
     /// lints on generated tasks may have none).
     pub span: Option<Span>,
+    /// Inclusive end of the offending region, when it extends past
+    /// `span` (e.g. a whole loop). `None` for point diagnostics.
+    pub end: Option<Span>,
     /// Human-readable, single-sentence description.
     pub message: String,
     /// Optional elaboration: the rule being enforced or a fix hint.
@@ -64,6 +67,7 @@ impl Diagnostic {
             code,
             severity: Severity::Error,
             span: Some(span),
+            end: None,
             message: message.into(),
             note: None,
         }
@@ -75,6 +79,7 @@ impl Diagnostic {
             code,
             severity: Severity::Warning,
             span: Some(span),
+            end: None,
             message: message.into(),
             note: None,
         }
@@ -86,6 +91,7 @@ impl Diagnostic {
             code,
             severity: Severity::Error,
             span: None,
+            end: None,
             message: message.into(),
             note: None,
         }
@@ -97,6 +103,7 @@ impl Diagnostic {
             code,
             severity: Severity::Warning,
             span: None,
+            end: None,
             message: message.into(),
             note: None,
         }
@@ -105,6 +112,14 @@ impl Diagnostic {
     /// Attaches an explanatory note (builder-style).
     pub fn with_note(mut self, note: impl Into<String>) -> Self {
         self.note = Some(note.into());
+        self
+    }
+
+    /// Extends the diagnostic over a region ending at `end`
+    /// (builder-style). The renderer underlines both endpoints when the
+    /// region crosses lines.
+    pub fn with_end(mut self, end: Span) -> Self {
+        self.end = Some(end);
         self
     }
 
@@ -211,7 +226,10 @@ impl IntoIterator for Diagnostics {
 
 /// Renders one diagnostic against its source, compiler-style: header
 /// line, the offending source line with a caret under the reported
-/// column, then any note.
+/// column, then any note. A diagnostic whose region crosses lines
+/// (`end` on a later line than `span`) renders both endpoint lines,
+/// each with its caret aligned to that line's own column — the start
+/// line's column must not be reused for the end line.
 pub fn render_diagnostic(source: &str, diag: &Diagnostic) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -219,20 +237,41 @@ pub fn render_diagnostic(source: &str, diag: &Diagnostic) -> String {
         diag.severity, diag.code, diag.message
     ));
     if let Some(span) = diag.span {
-        out.push_str(&format!("  --> line {}, column {}\n", span.line, span.col));
-        if let Some(text) = source.lines().nth(span.line.saturating_sub(1) as usize) {
-            let gutter = span.line.to_string();
-            let pad = " ".repeat(gutter.len());
-            out.push_str(&format!(" {pad} |\n"));
-            out.push_str(&format!(" {gutter} | {text}\n"));
-            // The caret column: spans are 1-based; tabs count as one
-            // column, matching the lexer.
-            let caret_pad: String = text
-                .chars()
-                .take(span.col.saturating_sub(1) as usize)
-                .map(|c| if c == '\t' { '\t' } else { ' ' })
-                .collect();
-            out.push_str(&format!(" {pad} | {caret_pad}^\n"));
+        let end = diag.end.filter(|e| e.line > span.line);
+        match end {
+            None => out.push_str(&format!("  --> line {}, column {}\n", span.line, span.col)),
+            Some(e) => out.push_str(&format!(
+                "  --> line {}, column {} .. line {}, column {}\n",
+                span.line, span.col, e.line, e.col
+            )),
+        }
+        // The gutter is sized for the widest line number shown.
+        let gutter_width = end
+            .map(|e| e.line.to_string().len())
+            .unwrap_or(span.line.to_string().len())
+            .max(span.line.to_string().len());
+        let pad = " ".repeat(gutter_width);
+        fn render_line(out: &mut String, source: &str, at: Span, pad: &str, gutter_width: usize) {
+            if let Some(text) = source.lines().nth(at.line.saturating_sub(1) as usize) {
+                let gutter = format!("{:>gutter_width$}", at.line);
+                out.push_str(&format!(" {pad} |\n"));
+                out.push_str(&format!(" {gutter} | {text}\n"));
+                // The caret column: spans are 1-based; tabs count as one
+                // column, matching the lexer.
+                let caret_pad: String = text
+                    .chars()
+                    .take(at.col.saturating_sub(1) as usize)
+                    .map(|c| if c == '\t' { '\t' } else { ' ' })
+                    .collect();
+                out.push_str(&format!(" {pad} | {caret_pad}^\n"));
+            }
+        }
+        render_line(&mut out, source, span, &pad, gutter_width);
+        if let Some(e) = end {
+            if e.line > span.line + 1 {
+                out.push_str(&format!(" {pad} | ...\n"));
+            }
+            render_line(&mut out, source, e, &pad, gutter_width);
         }
     }
     if let Some(note) = &diag.note {
@@ -308,6 +347,39 @@ mod tests {
             6
         );
         assert!(rendered.contains("note: state access rules"));
+    }
+
+    #[test]
+    fn multi_line_span_aligns_each_endpoint_to_its_own_column() {
+        let src = "Table t;\nvoid f() {\n  foreach (x : xs) {\n    acc = append(acc, x);\n  }\n}\n";
+        let d =
+            Diagnostic::warning("SL0303", span(3, 3), "order-sensitive fold").with_end(span(4, 5));
+        let rendered = render_diagnostic(src, &d);
+        assert!(rendered.contains("--> line 3, column 3 .. line 4, column 5"));
+        let carets: Vec<usize> = rendered
+            .lines()
+            .filter(|l| l.trim_end().ends_with('^'))
+            .map(|l| l.find('^').unwrap() - l.find('|').unwrap())
+            .collect();
+        // Start line's caret under column 3, end line's under column 5 —
+        // not both anchored to the start column.
+        assert_eq!(carets, vec![4, 6]);
+        // Single-line rendering is unchanged.
+        let point = Diagnostic::warning("SL0303", span(3, 3), "order-sensitive fold");
+        let rendered = render_diagnostic(src, &point);
+        assert!(rendered.contains("--> line 3, column 3\n"));
+        assert!(!rendered.contains(".."));
+    }
+
+    #[test]
+    fn multi_line_span_elides_interior_lines() {
+        let src = "a\nb\nc\nd\ne\n";
+        let d = Diagnostic::error("SL0101", span(1, 1), "region").with_end(span(4, 1));
+        let rendered = render_diagnostic(src, &d);
+        assert!(rendered.contains("| ...\n"));
+        assert!(rendered.contains(" 1 | a"));
+        assert!(rendered.contains(" 4 | d"));
+        assert!(!rendered.contains("| b"));
     }
 
     #[test]

@@ -172,6 +172,14 @@ pub struct RuntimeConfig {
     /// mutex. `1` restores the single-mutex cell; partial and vector SEs
     /// always use one stripe.
     pub state_stripes: usize,
+    /// Trust the program's annotations instead of the `sdg-verify`
+    /// certificates. By default (`false`), striping, edge micro-batching
+    /// and incremental checkpointing are enabled only for elements whose
+    /// certificates hold; setting this to `true` restores the
+    /// pre-verifier behavior where the annotations alone are believed.
+    /// Graphs without an attached report (hand-built, native tasks) are
+    /// always trusted — there is nothing to check them against.
+    pub trust_annotations: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -188,6 +196,7 @@ impl Default for RuntimeConfig {
             engine: ExecEngine::from_env(),
             batch: BatchConfig::default(),
             state_stripes: 16,
+            trust_annotations: false,
         }
     }
 }
@@ -330,6 +339,12 @@ impl RuntimeConfigBuilder {
     /// Sets the lock-stripe count of partitioned SE instances.
     pub fn state_stripes(mut self, n: usize) -> Self {
         self.cfg.state_stripes = n;
+        self
+    }
+
+    /// Trusts annotations over `sdg-verify` certificates (escape hatch).
+    pub fn trust_annotations(mut self, trust: bool) -> Self {
+        self.cfg.trust_annotations = trust;
         self
     }
 

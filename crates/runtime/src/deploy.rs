@@ -28,12 +28,13 @@ use sdg_common::value::Record;
 use sdg_graph::alloc::allocate;
 use sdg_graph::model::{AccessMode, Dispatch, Distribution, Sdg, StateDecl, TaskKind};
 use sdg_graph::validate::validate;
+use sdg_ir::analysis::verify::VerifyReport;
 use sdg_ir::te_compiled::CompiledTe;
 use sdg_state::partition::PartitionDim;
 use sdg_state::store::{StateStore, StateType};
 
 use crate::compile::Scratch;
-use crate::config::RuntimeConfig;
+use crate::config::{BatchConfig, RuntimeConfig};
 use crate::item::{lane, Item};
 use crate::scaling::{run_scaling_monitor, ScaleEvent};
 use crate::worker::{BufferKey, BufferRegistry, OutEdge, PreparedCode, Targets, Worker, WorkerMsg};
@@ -60,15 +61,30 @@ fn se_instance_id(state: StateId, replica: u32) -> InstanceId {
 /// contract (a task touches only state belonging to its item's key) is what
 /// makes per-key stripe routing sound, and dense vectors have no meaningful
 /// key space to split. Everything else keeps the single-mutex cell.
-fn cell_layout(cfg: &RuntimeConfig, decl: &StateDecl) -> (usize, PartitionDim, Option<usize>) {
+///
+/// Both optimizations are gated on the `sdg-verify` certificates when a
+/// report is attached: striping requires the SE's key-locality certificate
+/// (an access through a reassigned key would land on the wrong stripe),
+/// and delta checkpointing requires the replay-safety certificate (replay
+/// recovery of a delta chain re-executes buffered items and needs them to
+/// reproduce the same transitions). A graph without a report — hand-built,
+/// native tasks — is trusted, as is `RuntimeConfig::trust_annotations`.
+fn cell_layout(
+    cfg: &RuntimeConfig,
+    decl: &StateDecl,
+    verify: Option<&VerifyReport>,
+) -> (usize, PartitionDim, Option<usize>) {
+    let trusted = cfg.trust_annotations;
+    let key_local = trusted || verify.is_none_or(|r| r.key_local(&decl.name));
+    let replay_safe = trusted || verify.is_none_or(|r| r.replay_safe(&decl.name));
     let (stripes, dim) = match decl.dist {
-        Distribution::Partitioned { dim } if decl.ty != StateType::Vector => {
+        Distribution::Partitioned { dim } if decl.ty != StateType::Vector && key_local => {
             (cfg.state_stripes, dim)
         }
         Distribution::Partitioned { dim } => (1, dim),
         _ => (1, PartitionDim::Row),
     };
-    let delta = if cfg.checkpoint.enabled && cfg.checkpoint.incremental {
+    let delta = if cfg.checkpoint.enabled && cfg.checkpoint.incremental && replay_safe {
         Some(cfg.checkpoint.delta_chunks)
     } else {
         None
@@ -199,7 +215,7 @@ impl Deployment {
         for state in &sdg.states {
             let _ = obs.state_with_id(&state.name, Some(state.id));
             let n = cfg.se_instances.get(&state.id).copied().unwrap_or(1);
-            let (stripes, dim, delta) = cell_layout(&cfg, state);
+            let (stripes, dim, delta) = cell_layout(&cfg, state, sdg.verify.as_deref());
             cells.insert(
                 state.id,
                 (0..n)
@@ -392,59 +408,6 @@ impl Deployment {
         self.inner.obs.reset_observations();
     }
 
-    /// Current instance count of `task`.
-    #[deprecated(note = "use `metrics()` and `MetricsSnapshot::task_by_id` instead")]
-    pub fn instance_count(&self, task: TaskId) -> usize {
-        self.inner.targets[&task].read().len()
-    }
-
-    /// Items processed by all instances of `task`.
-    #[deprecated(note = "use `metrics()` and `MetricsSnapshot::task_by_id` instead")]
-    pub fn processed(&self, task: TaskId) -> u64 {
-        self.inner.instruments[&task].processed.get()
-    }
-
-    /// Total items processed across all tasks.
-    #[deprecated(note = "use `stats()` or `MetricsSnapshot::processed_total` instead")]
-    pub fn processed_total(&self) -> u64 {
-        self.inner
-            .instruments
-            .values()
-            .map(|t| t.processed.get())
-            .sum()
-    }
-
-    /// Task-level execution errors observed so far.
-    #[deprecated(note = "use `stats()` or `MetricsSnapshot::errors_total` instead")]
-    pub fn error_count(&self) -> u64 {
-        self.inner
-            .instruments
-            .values()
-            .map(|t| t.errors.get())
-            .sum()
-    }
-
-    /// Scale events recorded by the monitor and manual scaling.
-    #[deprecated(note = "use `events()` and filter `EventKind::ScaleOut` instead")]
-    pub fn scale_events(&self) -> Vec<ScaleEvent> {
-        self.inner.events.lock().clone()
-    }
-
-    /// Number of SE instances of `state`.
-    #[deprecated(note = "use `metrics()` and `MetricsSnapshot::state_by_id` instead")]
-    pub fn state_instances(&self, state: StateId) -> usize {
-        self.inner.cells.read()[&state].len()
-    }
-
-    /// Approximate bytes held by all instances of `state`.
-    #[deprecated(note = "use `metrics()` and `MetricsSnapshot::state_by_id` instead")]
-    pub fn state_bytes(&self, state: StateId) -> usize {
-        self.inner.cells.read()[&state]
-            .iter()
-            .map(|c| c.approx_bytes())
-            .sum()
-    }
-
     /// Runs `f` against SE instance `(state, replica)` under its lock.
     pub fn with_state<R>(
         &self,
@@ -622,7 +585,7 @@ impl Inner {
                     replica as usize, // Stagger round-robin start points.
                     Arc::clone(&self.buffers),
                     buffered,
-                    self.cfg.batch,
+                    self.edge_batch(flow.to),
                     Arc::clone(&self.in_flight),
                 )
             })
@@ -816,6 +779,33 @@ impl Inner {
         Ok(corr)
     }
 
+    /// The micro-batching configuration for edges into task `to`.
+    ///
+    /// Batching coalesces consecutive items and reorders their interleaving
+    /// with other producers' items, which is only replay-transparent when
+    /// the destination TE is certified deterministic — so an uncertified
+    /// destination gets eager (unbatched) delivery. Tasks without a
+    /// certificate (native code in a translated graph, or a graph with no
+    /// report at all) are trusted, preserving pre-verifier behavior.
+    fn edge_batch(&self, to: TaskId) -> BatchConfig {
+        if self.cfg.trust_annotations {
+            return self.cfg.batch;
+        }
+        let Some(report) = self.sdg.verify.as_deref() else {
+            return self.cfg.batch;
+        };
+        let certified = self
+            .sdg
+            .task(to)
+            .ok()
+            .is_none_or(|t| report.te(&t.name).is_none_or(|c| c.deterministic));
+        if certified {
+            self.cfg.batch
+        } else {
+            BatchConfig::disabled()
+        }
+    }
+
     fn checkpoint_all(&self) -> SdgResult<()> {
         let snapshot: Vec<(StateId, Vec<Arc<StateCell>>)> = self
             .cells
@@ -982,7 +972,7 @@ impl Inner {
         )?;
         let (store, vector) = restored.into_iter().next().expect("n=1 restore");
         let decl = self.sdg.state(state)?.clone();
-        let (stripes, dim, delta) = cell_layout(&self.cfg, &decl);
+        let (stripes, dim, delta) = cell_layout(&self.cfg, &decl, self.sdg.verify.as_deref());
         let newest = chain.last().expect("non-empty chain");
         // Re-split into stripes with the exact per-stripe vectors recorded
         // at checkpoint time (split_by_hash and stripe routing use the same
@@ -1108,7 +1098,7 @@ impl Inner {
                 .get_mut(&state)
                 .ok_or_else(|| SdgError::NotFound(format!("state {state}")))?;
             let decl = self.sdg.state(state)?;
-            let (stripes, dim, delta) = cell_layout(&self.cfg, decl);
+            let (stripes, dim, delta) = cell_layout(&self.cfg, decl, self.sdg.verify.as_deref());
             let cell = Arc::new(StateCell::new_striped(decl.ty, stripes, dim, delta));
             group.push(Arc::clone(&cell));
             group.len() as u32 - 1
@@ -1176,7 +1166,7 @@ impl Inner {
             let cells = self.cells.read();
             let group = &cells[&state];
             let decl = self.sdg.state(state)?;
-            let (stripes, _, delta) = cell_layout(&self.cfg, decl);
+            let (stripes, _, delta) = cell_layout(&self.cfg, decl, self.sdg.verify.as_deref());
             let mut all = StateStore::new(decl.ty);
             let mut merged_vector = sdg_common::time::VectorTs::new();
             for cell in group.iter() {
@@ -1239,5 +1229,120 @@ impl Inner {
             instances,
             node,
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdg_ir::analysis::verify::SeCertificate;
+
+    fn decl(ty: StateType, dist: Distribution) -> StateDecl {
+        StateDecl {
+            id: StateId(0),
+            name: "t".into(),
+            ty,
+            dist,
+        }
+    }
+
+    fn report(key_local: bool, replay_safe: bool) -> VerifyReport {
+        let mut report = VerifyReport::default();
+        report.se_certs.insert(
+            "t".into(),
+            SeCertificate {
+                field: "t".into(),
+                key_local,
+                replay_safe,
+                merge_sound: replay_safe,
+                violations: Vec::new(),
+            },
+        );
+        report
+    }
+
+    fn cfg_with_delta() -> RuntimeConfig {
+        let mut cfg = RuntimeConfig {
+            state_stripes: 8,
+            ..RuntimeConfig::default()
+        };
+        cfg.checkpoint.enabled = true;
+        cfg.checkpoint.incremental = true;
+        cfg.checkpoint.delta_chunks = 32;
+        cfg
+    }
+
+    #[test]
+    fn certified_partitioned_table_is_striped_with_deltas() {
+        let cfg = cfg_with_delta();
+        let d = decl(
+            StateType::Table,
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
+        );
+        let (stripes, _, delta) = cell_layout(&cfg, &d, Some(&report(true, true)));
+        assert_eq!(stripes, 8);
+        assert_eq!(delta, Some(32));
+    }
+
+    #[test]
+    fn key_locality_violation_forces_one_stripe() {
+        let cfg = cfg_with_delta();
+        let d = decl(
+            StateType::Table,
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
+        );
+        let (stripes, _, delta) = cell_layout(&cfg, &d, Some(&report(false, true)));
+        assert_eq!(stripes, 1, "uncertified key locality must not stripe");
+        assert_eq!(delta, Some(32), "replay safety is independent of striping");
+    }
+
+    #[test]
+    fn replay_violation_disables_delta_checkpointing() {
+        let cfg = cfg_with_delta();
+        let d = decl(
+            StateType::Table,
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
+        );
+        let (stripes, _, delta) = cell_layout(&cfg, &d, Some(&report(true, false)));
+        assert_eq!(stripes, 8);
+        assert_eq!(delta, None, "uncertified replay safety must not cut deltas");
+    }
+
+    #[test]
+    fn absent_report_and_trust_annotations_are_both_trusted() {
+        let mut cfg = cfg_with_delta();
+        let d = decl(
+            StateType::Table,
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
+        );
+        // Hand-built graphs attach no report: optimizations stay on.
+        let (stripes, _, delta) = cell_layout(&cfg, &d, None);
+        assert_eq!((stripes, delta), (8, Some(32)));
+        // The escape hatch overrides a failing certificate.
+        cfg.trust_annotations = true;
+        let (stripes, _, delta) = cell_layout(&cfg, &d, Some(&report(false, false)));
+        assert_eq!((stripes, delta), (8, Some(32)));
+    }
+
+    #[test]
+    fn vectors_and_partials_never_stripe() {
+        let cfg = cfg_with_delta();
+        let vec_decl = decl(
+            StateType::Vector,
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
+        );
+        assert_eq!(cell_layout(&cfg, &vec_decl, None).0, 1);
+        let partial = decl(StateType::Table, Distribution::Partial);
+        assert_eq!(cell_layout(&cfg, &partial, None).0, 1);
     }
 }

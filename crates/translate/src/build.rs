@@ -9,6 +9,7 @@ use sdg_graph::model::{
 };
 use sdg_ir::analysis::check::{check_program_diagnostics, PARTIAL_NEVER_MERGED};
 use sdg_ir::analysis::live::live_before_each;
+use sdg_ir::analysis::verify::{verify_program, TeCertificate};
 use sdg_ir::ast::{Expr, ExprKind, FieldAnn, Method, Program, StateTy, Stmt, StmtKind};
 use sdg_ir::diag::Severity;
 use sdg_ir::opt::{optimize_program, OptReport};
@@ -90,6 +91,7 @@ pub fn translate(program: &Program) -> SdgResult<Sdg> {
     }
 
     // Steps 3–5: cut each entry method and wire the pipeline.
+    let mut task_methods: Vec<(String, String)> = Vec::new();
     for method in program.entry_points() {
         let segments = segment_method(program, method)?;
         let live = live_before_each(program, method);
@@ -124,6 +126,7 @@ pub fn translate(program: &Program) -> SdgResult<Sdg> {
                 TaskKind::Compute
             };
             let access = access_edge(&seg.ctx, seg.writes, &state_ids)?;
+            task_methods.push((name.clone(), method.name.clone()));
             let task = builder.add_task(name, kind, code, access);
             if let Some(prev_task) = prev {
                 let mut live_vars: Vec<String> =
@@ -142,7 +145,26 @@ pub fn translate(program: &Program) -> SdgResult<Sdg> {
         return Err(err.to_analysis_error());
     }
 
-    builder.build()
+    let mut sdg = builder.build()?;
+
+    // Run sdg-verify and attach its certificates: the runtime gates
+    // striping, micro-batching and incremental checkpointing on them.
+    // Each task element inherits the certificate of its source method —
+    // a TE can only be as deterministic as the pipeline it was cut from.
+    let mut report = verify_program(program);
+    for (task, method) in task_methods {
+        if let Some(cert) = report.te_certs.get(&method).cloned() {
+            report.te_certs.insert(
+                task.clone(),
+                TeCertificate {
+                    subject: task,
+                    ..cert
+                },
+            );
+        }
+    }
+    sdg.verify = Some(Arc::new(report));
+    Ok(sdg)
 }
 
 /// Optimizes `program` (constant folding/propagation, branch and dead-code

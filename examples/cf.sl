@@ -1,0 +1,26 @@
+@Partitioned Matrix userItem;
+@Partial Matrix coOcc;
+
+void addRating(int user, int item, int rating) {
+    userItem.set(user, item, rating);
+    let userRow = userItem.row(user);
+    foreach (p : userRow) {
+        if (p[1] > 0) {
+            coOcc.add(item, p[0], 1.0);
+            coOcc.add(p[0], item, 1.0);
+        }
+    }
+}
+
+Vector getRec(int user) {
+    let userRow = userItem.row(user);
+    @Partial let userRec = @Global coOcc.multiply(userRow);
+    let rec = merge(@Collection userRec);
+    emit rec;
+}
+
+Vector merge(@Collection Vector allRec) {
+    let out = [];
+    foreach (cur : allRec) { out = pairs_add(out, cur); }
+    return out;
+}

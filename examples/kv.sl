@@ -1,0 +1,19 @@
+@Partitioned Table kv;
+
+void put(int k, string v) {
+    kv.put(k, v);
+}
+
+string get(int k) {
+    let v = kv.get(k);
+    emit v;
+}
+
+void bump(int k) {
+    kv.inc(k, 1);
+}
+
+int putAck(int k, string v) {
+    kv.put(k, v);
+    emit k;
+}

@@ -1,0 +1,21 @@
+@Partial Vector w;
+
+void train(list x, float label) {
+    let pred = w.dot(x);
+    let margin = pred * label;
+    let coeff = label * 0.5 / (1.0 + exp(margin));
+    w.axpy(coeff, x);
+}
+
+Vector getWeights() {
+    @Partial let wl = @Global w.toList();
+    let m = mergeAvg(@Collection wl);
+    emit m;
+}
+
+Vector mergeAvg(@Collection Vector all) {
+    let acc = [];
+    foreach (cur : all) { acc = vec_add(acc, cur); }
+    let m = vec_scale(acc, 1.0 / to_float(len(all)));
+    return m;
+}

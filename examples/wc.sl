@@ -1,0 +1,10 @@
+@Partitioned Table counts;
+
+void addWord(string w, int n) {
+    counts.inc(w, n);
+}
+
+int getCount(string w) {
+    let c = counts.get(w);
+    emit c;
+}

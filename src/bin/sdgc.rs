@@ -5,6 +5,7 @@
 //! ```text
 //! sdgc check <file.sl>                 # parse + semantic checks
 //! sdgc lint <file.sl>                  # all diagnostics + optimization report
+//! sdgc verify <file.sl> [--dot]        # effect/replay-safety certificates
 //! sdgc dot <file.sl>                   # translated SDG as Graphviz DOT
 //! sdgc explain <file.sl>               # tasks, state, dispatch, allocation
 //! sdgc run <file.sl> 'put k=1 v=hi' 'get k=1'   # deploy, fire requests
@@ -15,6 +16,12 @@
 //! program-level `SL01xx` diagnostics (rendered with source spans), the
 //! optimization passes, and the graph-level `SL02xx` lints, plus a
 //! before/after summary of what optimization bought.
+//!
+//! `verify` runs the interprocedural effect and replay-safety verifier
+//! (`SL03xx`), prints any violations with source spans, and summarises the
+//! per-element certificates the runtime uses to gate striping, delta
+//! checkpointing and edge batching. `--dot` additionally emits the graph
+//! with violations drawn onto the offending state elements.
 //!
 //! Each quoted request is `entry name=value ...`; values parse as
 //! integers, floats, `true`/`false`, or fall back to strings. All requests
@@ -56,14 +63,17 @@ fn parse_metrics_mode(v: &str) -> Result<MetricsMode, String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage =
-        "usage: sdgc <check|lint|dot|explain|run> <file> [entry] [name=value ...] [--metrics json|text]";
+    let usage = "usage: sdgc <check|lint|verify|dot|explain|run> <file> [entry] [name=value ...] \
+                 [--metrics json|text] [--dot]";
     let mut metrics: Option<MetricsMode> = None;
+    let mut dot = false;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();
-        if let Some(v) = a.strip_prefix("--metrics=") {
+        if a == "--dot" {
+            dot = true;
+        } else if let Some(v) = a.strip_prefix("--metrics=") {
             metrics = Some(parse_metrics_mode(v)?);
         } else if a == "--metrics" {
             i += 1;
@@ -85,6 +95,9 @@ fn run(args: &[String]) -> Result<(), String> {
     // compile error, so it handles the source itself.
     if command == "lint" {
         return lint_cmd(&source);
+    }
+    if command == "verify" {
+        return verify_cmd(&source, dot);
     }
     let program = SdgProgram::compile(&source).map_err(|e| e.to_string())?;
 
@@ -151,6 +164,78 @@ fn lint_cmd(source: &str) -> Result<(), String> {
         println!("ok: no diagnostics");
     }
     Ok(())
+}
+
+/// The `verify` subcommand: run the `SL03xx` effect and replay-safety
+/// verifier and show which runtime optimizations each element is certified
+/// for.
+fn verify_cmd(source: &str, dot: bool) -> Result<(), String> {
+    use sdg::ir::diag::{render_diagnostics, Severity};
+
+    // Surface semantic errors with spans before attempting translation.
+    let parsed = sdg::ir::parser::parse_program(source).map_err(|e| e.to_string())?;
+    let diags = sdg::ir::analysis::lint_program(&parsed);
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        print!("{}", render_diagnostics(source, &diags));
+        return Err("program has lint errors; skipping verification".into());
+    }
+
+    let program = SdgProgram::compile(source).map_err(|e| e.to_string())?;
+    let report = program
+        .verify_report()
+        .ok_or("translation did not attach a verify report")?;
+    print!("{}", render_diagnostics(source, &report.diagnostics));
+
+    println!("state element certificates:");
+    for state in &program.graph().states {
+        let Some(cert) = report.se(&state.name) else {
+            continue;
+        };
+        let verdict = if cert.holds() {
+            "certified".to_string()
+        } else {
+            format!("uncertified [{}]", cert.violations.join(", "))
+        };
+        println!(
+            "  {:<12} key-local={} replay-safe={} merge-sound={} — {verdict}",
+            state.name,
+            yn(cert.key_local),
+            yn(cert.replay_safe),
+            yn(cert.merge_sound),
+        );
+    }
+    println!("task element certificates:");
+    for task in &program.graph().tasks {
+        let Some(cert) = report.te(&task.name) else {
+            continue;
+        };
+        println!(
+            "  {:<14} effect={} deterministic={}",
+            task.name,
+            cert.effect,
+            yn(cert.deterministic),
+        );
+    }
+    if report.is_clean() {
+        println!("ok: all elements certified; runtime optimizations fully enabled");
+    } else {
+        println!(
+            "{} verification finding(s); affected optimizations run in safe mode",
+            report.diagnostics.len()
+        );
+    }
+    if dot {
+        print!("{}", program.to_dot_with_verify());
+    }
+    Ok(())
+}
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
 }
 
 /// Total live variables carried across all dataflow edges — the metric

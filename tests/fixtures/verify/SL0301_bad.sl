@@ -1,0 +1,7 @@
+@Partitioned Table t;
+
+void putTwice(int k, int v) {
+    t.put(k, v);
+    k = k + 1;
+    t.put(k, v);
+}

@@ -1,0 +1,6 @@
+@Partitioned Table t;
+
+void putTwice(int k, int v) {
+    t.put(k, v);
+    t.put(k, v + 1);
+}

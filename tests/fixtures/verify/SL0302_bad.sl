@@ -1,0 +1,8 @@
+@Partitioned Table t;
+
+int putThenPeek(int k, int v) {
+    t.put(k, v);
+    k = k + 1;
+    let x = t.get(k);
+    emit x;
+}

@@ -1,0 +1,6 @@
+@Partitioned Table t;
+
+int getOwn(int k) {
+    let v = t.get(k);
+    emit v;
+}

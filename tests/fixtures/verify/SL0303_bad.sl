@@ -1,0 +1,17 @@
+@Partial Vector w;
+
+void train(list x) {
+    w.axpy(1.0, x);
+}
+
+Vector getAll() {
+    @Partial let wl = @Global w.toList();
+    let m = collect(@Collection wl);
+    emit m;
+}
+
+Vector collect(@Collection Vector all) {
+    let out = [];
+    foreach (cur : all) { out = append(out, cur); }
+    return out;
+}

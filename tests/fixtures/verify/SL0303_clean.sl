@@ -1,0 +1,17 @@
+@Partial Vector w;
+
+void train(list x) {
+    w.axpy(1.0, x);
+}
+
+Vector getAll() {
+    @Partial let wl = @Global w.toList();
+    let m = combine(@Collection wl);
+    emit m;
+}
+
+Vector combine(@Collection Vector all) {
+    let out = [];
+    foreach (cur : all) { out = vec_add(out, cur); }
+    return out;
+}

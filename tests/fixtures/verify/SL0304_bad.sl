@@ -1,0 +1,14 @@
+@Partial Vector w;
+
+Vector trainAndRead(list x) {
+    w.axpy(1.0, x);
+    @Partial let wl = @Global w.toList();
+    let m = combine(@Collection wl);
+    emit m;
+}
+
+Vector combine(@Collection Vector all) {
+    let out = [];
+    foreach (cur : all) { out = vec_add(out, cur); }
+    return out;
+}

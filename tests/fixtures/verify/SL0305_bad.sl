@@ -1,0 +1,16 @@
+@Partial Vector w;
+
+void train(list x) {
+    w.axpy(1.0, x);
+}
+
+Vector getOne() {
+    @Partial let wl = @Global w.toList();
+    let m = pick(@Collection wl);
+    emit m;
+}
+
+Vector pick(@Collection Vector all) {
+    let one = first(all);
+    return one;
+}

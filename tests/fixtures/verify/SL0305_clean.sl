@@ -1,0 +1,16 @@
+@Partial Vector w;
+
+void train(list x) {
+    w.axpy(1.0, x);
+}
+
+Vector getSum(int k)  {
+    @Partial let wl = @Global w.toList();
+    let m = total(@Collection wl);
+    emit m;
+}
+
+Vector total(@Collection Vector all) {
+    let s = sum(all);
+    return s;
+}

@@ -1,0 +1,17 @@
+@Partial Vector w;
+
+void train(list x) {
+    w.axpy(1.0, x);
+}
+
+Vector getSmoothed() {
+    @Partial let wl = @Global w.toList();
+    let m = smooth(@Collection wl);
+    emit m;
+}
+
+Vector smooth(@Collection Vector all) {
+    let acc = 0.0;
+    foreach (cur : all) { acc = acc * 0.5 + cur; }
+    return acc;
+}

@@ -1,0 +1,17 @@
+@Partial Vector w;
+
+void train(list x) {
+    w.axpy(1.0, x);
+}
+
+Vector getTotal() {
+    @Partial let wl = @Global w.toList();
+    let m = total(@Collection wl);
+    emit m;
+}
+
+Vector total(@Collection Vector all) {
+    let acc = 0.0;
+    foreach (cur : all) { acc = acc + cur; }
+    return acc;
+}

@@ -127,3 +127,23 @@ fn dot_output_round_trips_key_structure() {
     // Entry tasks render bold.
     assert!(dot.contains("style=bold"));
 }
+
+#[test]
+fn translation_attaches_verify_report_with_task_aliases() {
+    let program = SdgProgram::compile(sdg::apps::cf::CF_SOURCE).unwrap();
+    let report = program.graph().verify.as_deref().expect("report attached");
+
+    // Every state element and every emitted task element can be looked up
+    // in the report — the runtime gates cell layout and edge batching by
+    // exactly these names.
+    for state in &program.graph().states {
+        assert!(report.se(&state.name).is_some(), "{} missing", state.name);
+    }
+    for task in &program.graph().tasks {
+        assert!(report.te(&task.name).is_some(), "{} missing", task.name);
+    }
+
+    // CF is fully certified, so the runtime keeps every optimization on.
+    assert!(report.is_clean());
+    assert!(report.key_local("userItem") && report.replay_safe("coOcc"));
+}

@@ -1,0 +1,160 @@
+//! Golden-file tests for the `sdg-verify` certificate pipeline (`SL03xx`).
+//!
+//! Every verifier code has two StateLang fixtures under
+//! `tests/fixtures/verify/`: `<CODE>_bad.sl` must produce at least one
+//! diagnostic with that code (the full rendered output is pinned by
+//! `<CODE>_bad.golden`) and leave the state element uncertified, while
+//! `<CODE>_clean.sl` must certify with no findings at all. Regenerate the
+//! goldens after an intentional renderer or message change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test verify_golden
+//! ```
+//!
+//! The committed `examples/*.sl` files are the same programs the bundled
+//! applications embed; a sync test keeps them token-identical so the CI
+//! `verify-smoke` step exercises exactly the shipped sources.
+
+use std::fs;
+use std::path::PathBuf;
+
+use sdg::ir::diag::render_diagnostics;
+use sdg::SdgProgram;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/verify")
+}
+
+fn examples_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples")
+}
+
+/// Mirrors `sdgc verify`: compile (fixtures must be lint-clean) and render
+/// the attached report's diagnostics.
+fn compiled(source: &str) -> SdgProgram {
+    SdgProgram::compile(source).expect("verify fixtures must compile")
+}
+
+fn fixture_paths(suffix: &str) -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(fixtures_dir())
+        .expect("fixture directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(suffix))
+        })
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// One fixture pair per verifier code: SL0301–SL0306.
+const FIXTURED_CODES: usize = 6;
+
+#[test]
+fn bad_fixtures_report_their_code_with_span_and_match_goldens() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut checked = 0;
+    for path in fixture_paths("_bad.sl") {
+        let name = path.file_name().unwrap().to_str().unwrap().to_owned();
+        let code = name.strip_suffix("_bad.sl").unwrap();
+        let source = fs::read_to_string(&path).unwrap();
+        let program = compiled(&source);
+        let report = program.verify_report().expect("report attached");
+        let rendered = render_diagnostics(&source, &report.diagnostics);
+        assert!(
+            rendered.contains(&format!("[{code}]")),
+            "{name}: expected a {code} diagnostic in:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("--> line"),
+            "{name}: expected a source span in:\n{rendered}"
+        );
+        // The offending state element must lose its certificate, and the
+        // violation must name the code so `cell_layout` can gate on it.
+        assert!(
+            report
+                .se_certs
+                .values()
+                .any(|c| !c.holds() && c.violations.contains(&code)),
+            "{name}: expected an uncertified state element carrying {code}"
+        );
+        let golden_path = path.with_extension("golden");
+        if update {
+            fs::write(&golden_path, &rendered).unwrap();
+        } else {
+            let golden = fs::read_to_string(&golden_path)
+                .unwrap_or_else(|_| panic!("{name}: missing golden; run with UPDATE_GOLDEN=1"));
+            assert_eq!(
+                rendered, golden,
+                "{name}: rendered output diverged from its golden; \
+                 run with UPDATE_GOLDEN=1 to regenerate"
+            );
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, FIXTURED_CODES);
+}
+
+#[test]
+fn clean_fixtures_certify_every_element() {
+    let mut checked = 0;
+    for path in fixture_paths("_clean.sl") {
+        let name = path.file_name().unwrap().to_str().unwrap().to_owned();
+        let source = fs::read_to_string(&path).unwrap();
+        let program = compiled(&source);
+        let report = program.verify_report().expect("report attached");
+        assert!(
+            report.is_clean(),
+            "{name}: expected a clean report, got:\n{}",
+            render_diagnostics(&source, &report.diagnostics)
+        );
+        assert!(
+            report.se_certs.values().all(|c| c.holds()),
+            "{name}: expected every state element certified"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, FIXTURED_CODES);
+}
+
+#[test]
+fn apps_programs_certify_clean() {
+    for (name, source) in [
+        ("kv", sdg_apps::kv::KV_SOURCE),
+        ("cf", sdg_apps::cf::CF_SOURCE),
+        ("lr", sdg_apps::lr::LR_SOURCE),
+        ("wc", sdg_apps::wc::WC_SOURCE),
+    ] {
+        let program = compiled(source);
+        let report = program.verify_report().expect("report attached");
+        assert!(
+            report.is_clean() && report.se_certs.values().all(|c| c.holds()),
+            "{name}: expected full certification, got:\n{}",
+            render_diagnostics(source, &report.diagnostics)
+        );
+    }
+}
+
+/// The committed example files must stay token-identical to the app
+/// sources (indentation aside), so `sdgc verify examples/*.sl` in CI
+/// exercises the shipped programs.
+#[test]
+fn example_files_match_app_sources() {
+    for (file, source) in [
+        ("kv.sl", sdg_apps::kv::KV_SOURCE),
+        ("cf.sl", sdg_apps::cf::CF_SOURCE),
+        ("lr.sl", sdg_apps::lr::LR_SOURCE),
+        ("wc.sl", sdg_apps::wc::WC_SOURCE),
+    ] {
+        let on_disk = fs::read_to_string(examples_dir().join(file))
+            .unwrap_or_else(|e| panic!("examples/{file}: {e}"));
+        let disk_tokens: Vec<&str> = on_disk.split_whitespace().collect();
+        let app_tokens: Vec<&str> = source.split_whitespace().collect();
+        assert_eq!(
+            disk_tokens, app_tokens,
+            "examples/{file} has drifted from the embedded app source"
+        );
+    }
+}
