@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use sdg_apps::kv::KvApp;
 use sdg_runtime::config::RuntimeConfig;
+use sdg_runtime::reconfig::ReconfigRequest;
 
 fn total_count(app: &KvApp) -> i64 {
     let mut total = 0;
@@ -43,14 +44,18 @@ fn delta_chain_recovery_is_exactly_once() {
         app.bump(n % 100).expect("bump");
     }
     assert!(app.quiesce(Duration::from_secs(60)));
-    app.deployment().checkpoint_now().expect("base checkpoint");
+    app.deployment()
+        .reconfigure(ReconfigRequest::Checkpoint)
+        .expect("base checkpoint");
 
     // Dirty a small subset of keys and take a delta generation.
     for n in 0..1_000i64 {
         app.bump(n % 10).expect("bump");
     }
     assert!(app.quiesce(Duration::from_secs(60)));
-    app.deployment().checkpoint_now().expect("delta checkpoint");
+    app.deployment()
+        .reconfigure(ReconfigRequest::Checkpoint)
+        .expect("delta checkpoint");
 
     // Post-checkpoint traffic lives only in upstream output buffers.
     for n in 0..1_000i64 {
@@ -63,7 +68,10 @@ fn delta_chain_recovery_is_exactly_once() {
     // the rest, and per-stripe watermarks drop the duplicates.
     let report = app
         .deployment()
-        .fail_and_recover(app.state(), 0)
+        .reconfigure(ReconfigRequest::FailAndRecover {
+            state: app.state(),
+            replica: 0,
+        })
         .expect("recover");
     assert!(report.replayed > 0, "post-checkpoint items must replay");
     assert!(app.quiesce(Duration::from_secs(60)));
@@ -76,18 +84,21 @@ fn delta_chain_recovery_is_exactly_once() {
     }
     assert!(app.quiesce(Duration::from_secs(60)));
     app.deployment()
-        .checkpoint_now()
+        .reconfigure(ReconfigRequest::Checkpoint)
         .expect("post-recovery base");
     for n in 0..500i64 {
         app.bump(n % 10).expect("bump");
     }
     assert!(app.quiesce(Duration::from_secs(60)));
     app.deployment()
-        .checkpoint_now()
+        .reconfigure(ReconfigRequest::Checkpoint)
         .expect("post-recovery delta");
     let report = app
         .deployment()
-        .fail_and_recover(app.state(), 1)
+        .reconfigure(ReconfigRequest::FailAndRecover {
+            state: app.state(),
+            replica: 1,
+        })
         .expect("second recover");
     assert!(report.total > Duration::ZERO);
     assert!(app.quiesce(Duration::from_secs(60)));

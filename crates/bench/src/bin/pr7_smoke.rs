@@ -1,0 +1,145 @@
+//! Bench-smoke for PR 7's acceptance criteria; writes `BENCH_pr7.json`.
+//!
+//! ```text
+//! pr7_smoke [output.json]
+//! ```
+//!
+//! Drives a partitioned KV deployment through a burst cycle on the
+//! reconfiguration control plane: baseline throughput at 2 partitions,
+//! scale-out to 3 for the burst, scale-in back to 2 with live state
+//! migration. Two criteria gate the exit code:
+//!
+//! 1. throughput after the scale-in recovers to within 10 % of the
+//!    pre-burst baseline (the migration must not degrade the survivors);
+//! 2. the scale-in reconfiguration (drain + export + resplit + reroute)
+//!    completes within a bounded pause.
+
+use std::time::{Duration, Instant};
+
+use sdg_common::record;
+use sdg_common::value::Value;
+use sdg_core::SdgProgram;
+use sdg_runtime::config::RuntimeConfig;
+use sdg_runtime::deploy::Deployment;
+use sdg_runtime::reconfig::ReconfigRequest;
+
+const KV_SRC: &str = "@Partitioned Table kv;\nvoid bump(int k) { kv.inc(k, 1); }";
+
+/// Items per measured phase; work_ns makes the cost per item dominate
+/// submission overhead, so phase throughputs are comparable.
+const ITEMS: i64 = 6_000;
+const KEYS: i64 = 256;
+const WORK_NS: u64 = 20_000;
+
+fn measure(d: &Deployment, items: i64) -> f64 {
+    let t0 = Instant::now();
+    for n in 0..items {
+        d.submit("bump", record! {"k" => Value::Int(n % KEYS)})
+            .expect("submit");
+    }
+    assert!(d.quiesce(Duration::from_secs(120)), "phase must drain");
+    items as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr7.json".into());
+
+    let program = SdgProgram::compile(KV_SRC).expect("compile KV");
+    let kv = program.state("kv").expect("state kv");
+    let task = {
+        let mut ids: Vec<_> = program
+            .graph()
+            .tasks_accessing(kv)
+            .iter()
+            .map(|t| t.id)
+            .collect();
+        ids.sort();
+        ids[0]
+    };
+    let mut cfg = RuntimeConfig::default();
+    cfg.se_instances.insert(kv, 2);
+    cfg.work_ns.insert(task, WORK_NS);
+    let d = program.deploy(cfg).expect("deploy KV");
+
+    eprintln!("pr7_smoke: warmup + baseline at 2 partitions...");
+    let _ = measure(&d, ITEMS / 4);
+    let baseline = measure(&d, ITEMS);
+    eprintln!("  baseline {baseline:.0} items/s");
+
+    eprintln!("pr7_smoke: scale-out to 3 partitions (burst)...");
+    let grow = d
+        .reconfigure(ReconfigRequest::ScaleOut { task })
+        .expect("scale out");
+    assert_eq!(grow.se_instances, 3);
+    let burst = measure(&d, ITEMS);
+    eprintln!(
+        "  grow pause {:.1} ms (drain {:.1} ms, {} B moved), burst {burst:.0} items/s",
+        grow.total.as_secs_f64() * 1e3,
+        grow.drain.as_secs_f64() * 1e3,
+        grow.moved_bytes,
+    );
+
+    eprintln!("pr7_smoke: scale-in to 2 partitions (live migration)...");
+    let shrink = d
+        .reconfigure(ReconfigRequest::ScaleIn { task })
+        .expect("scale in");
+    assert_eq!(shrink.se_instances, 2);
+    assert!(shrink.moved_bytes > 0, "the victim shard must move");
+    let recovered = measure(&d, ITEMS);
+    let pause_ms = shrink.total.as_secs_f64() * 1e3;
+    eprintln!(
+        "  shrink pause {pause_ms:.1} ms (drain {:.1} ms, {} B moved), recovered {recovered:.0} items/s",
+        shrink.drain.as_secs_f64() * 1e3,
+        shrink.moved_bytes,
+    );
+
+    let stats = d.stats();
+    assert_eq!(stats.scale_outs, 1);
+    assert_eq!(stats.scale_ins, 1);
+    assert_eq!(stats.errors, 0, "no worker errors across the cycle");
+    d.shutdown();
+
+    // Criterion 1: survivors at the original parallelism must perform
+    // within 10 % of the pre-burst baseline.
+    let recovery_ratio = recovered / baseline;
+    let recovery_pass = recovery_ratio >= 0.9;
+    // Criterion 2: the scale-in pause (drain + export + resplit + reroute)
+    // stays bounded — well under the 5 s drain-barrier ceiling.
+    let pause_pass = pause_ms <= 250.0;
+
+    let json = format!(
+        r#"{{
+  "experiment": "pr7-elastic-scale-in-live-migration",
+  "criteria": {{
+    "throughput_recovery_after_scale_in": {{"unit": "ratio", "value": {recovery_ratio:.3}, "threshold_min": 0.9, "pass": {recovery_pass}}},
+    "scale_in_pause": {{"unit": "ms", "value": {pause_ms:.1}, "threshold_max": 250.0, "pass": {pause_pass}}}
+  }},
+  "phases": {{
+    "unit": "items/s", "items_per_phase": {ITEMS}, "keys": {KEYS}, "work_ns": {WORK_NS},
+    "baseline_2_partitions": {baseline:.0}, "burst_3_partitions": {burst:.0}, "recovered_2_partitions": {recovered:.0}
+  }},
+  "migration": {{
+    "grow_pause_ms": {grow_ms:.1}, "grow_moved_bytes": {grow_bytes},
+    "shrink_pause_ms": {pause_ms:.1}, "shrink_drain_ms": {shrink_drain_ms:.1}, "shrink_moved_bytes": {shrink_bytes}
+  }}
+}}
+"#,
+        grow_ms = grow.total.as_secs_f64() * 1e3,
+        grow_bytes = grow.moved_bytes,
+        shrink_drain_ms = shrink.drain.as_secs_f64() * 1e3,
+        shrink_bytes = shrink.moved_bytes,
+    );
+    std::fs::write(&out, &json).expect("write bench record");
+    println!("{json}");
+    eprintln!("pr7_smoke: wrote {out}");
+
+    if !(recovery_pass && pause_pass) {
+        eprintln!(
+            "pr7_smoke: criteria FAILED (recovery {recovery_ratio:.3} >= 0.9: {recovery_pass}; \
+             pause {pause_ms:.1} ms <= 250: {pause_pass})"
+        );
+        std::process::exit(1);
+    }
+}

@@ -75,6 +75,7 @@ pub fn run(scale: Scale) -> Fig10Result {
             high_watermark: 0.5,
             patience: 2,
             max_instances: 4,
+            ..Default::default()
         })
         .work_ns(bottleneck, scale.pick(150_000, 300_000))
         .build();

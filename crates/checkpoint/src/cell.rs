@@ -342,6 +342,45 @@ impl StateCell {
         })
     }
 
+    /// Additively merges `entries` (another replica's exported partial
+    /// aggregate) into this cell and folds `vector` into every stripe's
+    /// watermark by pointwise max.
+    ///
+    /// This is the scale-in path for `@Partial` SEs: the victim replica's
+    /// contribution is summed into a survivor so the group-wide aggregate
+    /// (the element-wise sum over replicas) is preserved. Merge-max is the
+    /// right watermark because the group is drained first — anything either
+    /// side already applied must be rejected on replay, and fresh items
+    /// carry higher timestamps. The merged shards are marked all-dirty so
+    /// the next incremental checkpoint serialises the new contents.
+    pub fn merge_additive(&self, entries: &[StateEntry], vector: &VectorTs) -> SdgResult<()> {
+        self.with_all(|inners| {
+            if inners.len() == 1 {
+                inners[0].store.merge_additive(entries)?;
+                inners[0].store.mark_all_dirty();
+                inners[0].vector.merge_max(vector);
+                return Ok(());
+            }
+            // Striped cells: merge on the combined view, then re-split so
+            // every key keeps landing on the stripe its hash selects.
+            let ty = inners[0].store.state_type();
+            let mut merged = StateStore::new(ty);
+            for inner in inners.iter_mut() {
+                merged.import_entries(&inner.store.export_entries())?;
+            }
+            merged.merge_additive(entries)?;
+            let parts = merged.split_by_hash(inners.len(), self.dim)?;
+            for (inner, mut part) in inners.iter_mut().zip(parts) {
+                if let Some(chunks) = self.delta_chunks {
+                    part.enable_chunk_tracking(chunks);
+                }
+                inner.store = part;
+                inner.vector.merge_max(vector);
+            }
+            Ok(())
+        })
+    }
+
     /// Replaces the cell's entire contents with `store`, re-split across
     /// the stripes, assigning `vector` to every stripe (used on scale-out,
     /// where redistributed items always carry fresh timestamps).
@@ -482,6 +521,61 @@ mod tests {
         });
         assert_eq!(found, Some(Value::Int(999)));
         // Tracking was re-enabled all-dirty by the re-split.
+        assert_eq!(cell.pending_dirty_chunks(), 4 * 8);
+    }
+
+    #[test]
+    fn merge_additive_folds_partial_replica_in() {
+        // Survivor and victim hold independent partial counts; after the
+        // merge the survivor holds the element-wise sum, and its watermark
+        // covers both replicas' applied input.
+        let survivor = StateCell::new(StateType::Table);
+        survivor.apply(EdgeId(1), 3, |s| {
+            s.as_table().unwrap().put(Key::Int(1), Value::Int(5));
+            s.as_table().unwrap().put(Key::Int(2), Value::Int(1));
+        });
+        let victim = StateCell::new(StateType::Table);
+        victim.apply(EdgeId(1), 7, |s| {
+            s.as_table().unwrap().put(Key::Int(1), Value::Int(2));
+            s.as_table().unwrap().put(Key::Int(9), Value::Int(4));
+        });
+        let (entries, vector) = victim.export_merged();
+        survivor.merge_additive(&entries, &vector).unwrap();
+        survivor.with(|inner| {
+            let t = inner.store.as_table().unwrap();
+            assert_eq!(t.get(&Key::Int(1)), Some(Value::Int(7)));
+            assert_eq!(t.get(&Key::Int(2)), Some(Value::Int(1)));
+            assert_eq!(t.get(&Key::Int(9)), Some(Value::Int(4)));
+        });
+        assert_eq!(survivor.vector().get(EdgeId(1)), 7);
+    }
+
+    #[test]
+    fn merge_additive_respects_stripe_routing() {
+        let cell = StateCell::new_striped(StateType::Table, 4, PartitionDim::Row, Some(8));
+        for i in 0..20i64 {
+            let key = Key::Int(i);
+            cell.apply_routed(EdgeId(0), (i + 1) as u64, Some(key.stable_hash()), |s| {
+                s.as_table().unwrap().put(key.clone(), Value::Int(1));
+            });
+        }
+        let mut incoming = StateStore::new(StateType::Table);
+        for i in 0..20i64 {
+            incoming
+                .as_table()
+                .unwrap()
+                .put(Key::Int(i), Value::Int(10));
+        }
+        cell.merge_additive(&incoming.export_entries(), &VectorTs::new())
+            .unwrap();
+        for i in 0..20i64 {
+            let key = Key::Int(i);
+            let found = cell.with_routed(Some(key.stable_hash()), |inner| {
+                inner.store.as_table().unwrap().get(&key)
+            });
+            assert_eq!(found, Some(Value::Int(11)));
+        }
+        // The re-split re-enabled tracking all-dirty.
         assert_eq!(cell.pending_dirty_chunks(), 4 * 8);
     }
 

@@ -40,6 +40,16 @@ pub enum EventKind {
         /// The node the new instance was placed on.
         node: u32,
     },
+    /// A TE instance was removed from `task` (scale-in), merging its SE
+    /// shard or partial aggregate into the survivors.
+    ScaleIn {
+        /// Scaled task.
+        task: String,
+        /// Instance count after scaling.
+        instances: u32,
+        /// The node the removed instance ran on.
+        node: u32,
+    },
     /// A partitioned scale-out drained in-flight items behind a barrier
     /// before repartitioning.
     RepartitionDrain {
@@ -47,6 +57,16 @@ pub enum EventKind {
         task: String,
         /// How long the drain barrier was held.
         waited: Duration,
+    },
+    /// State moved between SE instances during a reconfiguration: a shard
+    /// re-split on scale-out, or a shard/partial merge on scale-in.
+    StateMigrated {
+        /// State label, e.g. `kv`.
+        state: String,
+        /// Bytes that changed owner.
+        bytes: u64,
+        /// How long the migration (under the drain barrier) took.
+        took: Duration,
     },
     /// Checkpoint of an SE instance started (step 1 of §5's protocol).
     CheckpointBegin {
@@ -107,7 +127,9 @@ impl EventKind {
         match self {
             EventKind::BottleneckDetected { .. } => "bottleneck_detected",
             EventKind::ScaleOut { .. } => "scale_out",
+            EventKind::ScaleIn { .. } => "scale_in",
             EventKind::RepartitionDrain { .. } => "repartition_drain",
+            EventKind::StateMigrated { .. } => "state_migrated",
             EventKind::CheckpointBegin { .. } => "checkpoint_begin",
             EventKind::CheckpointBackup { .. } => "checkpoint_backup",
             EventKind::CheckpointConsolidate { .. } => "checkpoint_consolidate",
@@ -248,6 +270,24 @@ mod tests {
             }
             .name(),
             "recovery_complete"
+        );
+        assert_eq!(
+            EventKind::ScaleIn {
+                task: "t".into(),
+                instances: 1,
+                node: 3
+            }
+            .name(),
+            "scale_in"
+        );
+        assert_eq!(
+            EventKind::StateMigrated {
+                state: "kv".into(),
+                bytes: 512,
+                took: Duration::ZERO
+            }
+            .name(),
+            "state_migrated"
         );
     }
 }

@@ -27,5 +27,9 @@ mod registry;
 mod snapshot;
 
 pub use event::{EventKind, EventLog, ObsEvent, DEFAULT_EVENT_CAPACITY};
-pub use registry::{CheckpointInstruments, MetricsRegistry, StateInstruments, TaskInstruments};
-pub use snapshot::{CheckpointStats, DeploymentStats, MetricsSnapshot, StateStats, TaskStats};
+pub use registry::{
+    CheckpointInstruments, MetricsRegistry, ReconfigInstruments, StateInstruments, TaskInstruments,
+};
+pub use snapshot::{
+    CheckpointStats, DeploymentStats, MetricsSnapshot, ReconfigStats, StateStats, TaskStats,
+};

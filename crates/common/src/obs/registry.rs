@@ -10,7 +10,7 @@ use crate::ids::{StateId, TaskId};
 use crate::metrics::{Counter, Gauge, Histogram};
 
 use super::event::{EventKind, EventLog, ObsEvent, DEFAULT_EVENT_CAPACITY};
-use super::snapshot::{CheckpointStats, MetricsSnapshot, StateStats, TaskStats};
+use super::snapshot::{CheckpointStats, MetricsSnapshot, ReconfigStats, StateStats, TaskStats};
 
 /// Instruments of one task element (shared by all of its instances).
 ///
@@ -127,6 +127,18 @@ pub struct CheckpointInstruments {
     pub restore_ns: Histogram,
 }
 
+/// Counters of the reconfiguration control plane: per-direction scale
+/// totals and a histogram of bytes migrated per state-migration episode.
+#[derive(Debug, Default)]
+pub struct ReconfigInstruments {
+    /// Instances added (scale-out reconfigurations completed).
+    pub scale_outs: Counter,
+    /// Instances removed (scale-in reconfigurations completed).
+    pub scale_ins: Counter,
+    /// Bytes moved between SE instances, one sample per migration episode.
+    pub migrated_bytes: Histogram,
+}
+
 /// A deployment's registry of instruments and events.
 ///
 /// One registry is owned per engine (SDG deployment or baseline). Hot-path
@@ -139,6 +151,7 @@ pub struct MetricsRegistry {
     tasks: RwLock<BTreeMap<String, Arc<TaskInstruments>>>,
     states: RwLock<BTreeMap<String, Arc<StateInstruments>>>,
     checkpoints: Arc<CheckpointInstruments>,
+    reconfig: Arc<ReconfigInstruments>,
     e2e_latency: Arc<Histogram>,
     events: EventLog,
 }
@@ -162,6 +175,7 @@ impl MetricsRegistry {
             tasks: RwLock::new(BTreeMap::new()),
             states: RwLock::new(BTreeMap::new()),
             checkpoints: Arc::new(CheckpointInstruments::default()),
+            reconfig: Arc::new(ReconfigInstruments::default()),
             e2e_latency: Arc::new(Histogram::new()),
             events: EventLog::with_capacity(capacity),
         }
@@ -213,6 +227,11 @@ impl MetricsRegistry {
         &self.checkpoints
     }
 
+    /// The reconfiguration control-plane instruments.
+    pub fn reconfig(&self) -> &Arc<ReconfigInstruments> {
+        &self.reconfig
+    }
+
     /// The deployment-wide end-to-end latency histogram (all tasks merged).
     pub fn e2e_latency(&self) -> &Arc<Histogram> {
         &self.e2e_latency
@@ -243,6 +262,7 @@ impl MetricsRegistry {
         c.consolidate_ns.reset();
         c.sync_ns.reset();
         c.restore_ns.reset();
+        self.reconfig.migrated_bytes.reset();
     }
 
     /// Freezes all instruments into a plain-data [`MetricsSnapshot`].
@@ -300,6 +320,11 @@ impl MetricsRegistry {
                 consolidate: c.consolidate_ns.summary(),
                 sync: c.sync_ns.summary(),
                 restore: c.restore_ns.summary(),
+            },
+            reconfig: ReconfigStats {
+                scale_outs: self.reconfig.scale_outs.get(),
+                scale_ins: self.reconfig.scale_ins.get(),
+                migrated_bytes: self.reconfig.migrated_bytes.summary(),
             },
             e2e_latency: self.e2e_latency.summary(),
             events: self.events.snapshot(),

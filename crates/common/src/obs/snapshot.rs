@@ -83,6 +83,18 @@ pub struct CheckpointStats {
     pub restore: Summary,
 }
 
+/// Frozen reconfiguration control-plane statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigStats {
+    /// Scale-out reconfigurations completed.
+    pub scale_outs: u64,
+    /// Scale-in reconfigurations completed.
+    pub scale_ins: u64,
+    /// Bytes migrated between SE instances, one sample per migration
+    /// episode (candlestick).
+    pub migrated_bytes: Summary,
+}
+
 /// One coherent freeze of a deployment's instruments and events.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -94,6 +106,8 @@ pub struct MetricsSnapshot {
     pub states: Vec<StateStats>,
     /// Checkpoint/recovery statistics.
     pub checkpoints: CheckpointStats,
+    /// Reconfiguration control-plane statistics.
+    pub reconfig: ReconfigStats,
     /// Deployment-wide end-to-end latency candlestick (ns).
     pub e2e_latency: Summary,
     /// Retained events, oldest first.
@@ -122,6 +136,8 @@ pub struct DeploymentStats {
     pub state_bytes: u64,
     /// Scale-out events logged.
     pub scale_outs: u64,
+    /// Scale-in events logged.
+    pub scale_ins: u64,
     /// Checkpoints completed.
     pub checkpoints_taken: u64,
 }
@@ -171,6 +187,14 @@ impl MetricsSnapshot {
             .count() as u64
     }
 
+    /// Retained scale-in events (see [`MetricsSnapshot::scale_outs`]).
+    pub fn scale_ins(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ScaleIn { .. }))
+            .count() as u64
+    }
+
     /// Collapses the snapshot into the one-line [`DeploymentStats`].
     pub fn deployment_stats(&self) -> DeploymentStats {
         DeploymentStats {
@@ -181,6 +205,7 @@ impl MetricsSnapshot {
             state_instances: self.states.iter().map(|s| s.instances).sum(),
             state_bytes: self.state_bytes_total(),
             scale_outs: self.scale_outs(),
+            scale_ins: self.scale_ins(),
             checkpoints_taken: self.checkpoints.taken,
         }
     }
@@ -248,6 +273,12 @@ impl MetricsSnapshot {
             out,
             "  checkpoints: {} taken ({} deltas), {} failed, {} bytes, {} replayed",
             c.taken, c.deltas, c.failed, c.bytes, c.replayed
+        );
+        let r = &self.reconfig;
+        let _ = writeln!(
+            out,
+            "  reconfig: {} scale-outs, {} scale-ins, migrated p50 {} bytes ({} episodes)",
+            r.scale_outs, r.scale_ins, r.migrated_bytes.p50, r.migrated_bytes.count
         );
         if c.taken > 0 {
             let _ = writeln!(
@@ -358,6 +389,14 @@ impl MetricsSnapshot {
             summary_json(&c.sync),
             summary_json(&c.restore),
         );
+        let r = &self.reconfig;
+        let _ = write!(
+            out,
+            "\"reconfig\":{{\"scale_outs\":{},\"scale_ins\":{},\"migrated_bytes\":{}}},",
+            r.scale_outs,
+            r.scale_ins,
+            summary_json(&r.migrated_bytes),
+        );
         let _ = write!(
             out,
             "\"e2e_latency_ns\":{},",
@@ -413,8 +452,19 @@ fn render_event_detail(kind: &EventKind) -> String {
             instances,
             node,
         } => format!("scale_out task={task} instances={instances} node={node}"),
+        EventKind::ScaleIn {
+            task,
+            instances,
+            node,
+        } => format!("scale_in task={task} instances={instances} node={node}"),
         EventKind::RepartitionDrain { task, waited } => {
             format!("repartition_drain task={task} waited={:.3}ms", ms(*waited))
+        }
+        EventKind::StateMigrated { state, bytes, took } => {
+            format!(
+                "state_migrated state={state} bytes={bytes} took={:.3}ms",
+                ms(*took)
+            )
         }
         EventKind::CheckpointBegin { instance, seq } => {
             format!("checkpoint_begin instance={instance} seq={seq}")
@@ -470,6 +520,11 @@ fn event_json(e: &ObsEvent) -> String {
             task,
             instances,
             node,
+        }
+        | EventKind::ScaleIn {
+            task,
+            instances,
+            node,
         } => {
             let _ = write!(
                 out,
@@ -477,6 +532,15 @@ fn event_json(e: &ObsEvent) -> String {
                 super::json::escape(task),
                 instances,
                 node
+            );
+        }
+        EventKind::StateMigrated { state, bytes, took } => {
+            let _ = write!(
+                out,
+                ",\"state\":{},\"bytes\":{},\"took_ms\":{:.3}",
+                super::json::escape(state),
+                bytes,
+                ms(*took)
             );
         }
         EventKind::RepartitionDrain { task, waited } => {
@@ -592,17 +656,42 @@ mod tests {
                 sync: summary(0),
                 restore: summary(0),
             },
+            reconfig: ReconfigStats {
+                scale_outs: 1,
+                scale_ins: 1,
+                migrated_bytes: summary(2),
+            },
             e2e_latency: summary(10),
-            events: vec![ObsEvent {
-                seq: 0,
-                at: Duration::from_millis(750),
-                kind: EventKind::CheckpointBackup {
-                    instance: "kv#0".into(),
-                    seq: 1,
-                    bytes: 2048,
+            events: vec![
+                ObsEvent {
+                    seq: 0,
+                    at: Duration::from_millis(750),
+                    kind: EventKind::CheckpointBackup {
+                        instance: "kv#0".into(),
+                        seq: 1,
+                        bytes: 2048,
+                    },
                 },
-            }],
-            events_logged: 1,
+                ObsEvent {
+                    seq: 1,
+                    at: Duration::from_millis(900),
+                    kind: EventKind::StateMigrated {
+                        state: "kv".into(),
+                        bytes: 512,
+                        took: Duration::from_millis(4),
+                    },
+                },
+                ObsEvent {
+                    seq: 2,
+                    at: Duration::from_millis(901),
+                    kind: EventKind::ScaleIn {
+                        task: "put".into(),
+                        instances: 2,
+                        node: 3,
+                    },
+                },
+            ],
+            events_logged: 3,
             events_dropped: 0,
         }
     }
@@ -633,11 +722,18 @@ mod tests {
             "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
             "\"restore_ns\":{\"count\":0,\"mean\":10.000,\"min\":0,\"p5\":5,\"p25\":7,\"p50\":10,",
             "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17}},",
+            "\"reconfig\":{\"scale_outs\":1,\"scale_ins\":1,",
+            "\"migrated_bytes\":{\"count\":2,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,",
+            "\"p50\":10,\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17}},",
             "\"e2e_latency_ns\":{\"count\":10,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,",
             "\"p50\":10,\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
-            "\"events_logged\":1,\"events_dropped\":0,",
+            "\"events_logged\":3,\"events_dropped\":0,",
             "\"events\":[{\"seq\":0,\"at_ms\":750.000,\"kind\":\"checkpoint_backup\",",
-            "\"instance\":\"kv#0\",\"ckpt_seq\":1,\"bytes\":2048}]}",
+            "\"instance\":\"kv#0\",\"ckpt_seq\":1,\"bytes\":2048},",
+            "{\"seq\":1,\"at_ms\":900.000,\"kind\":\"state_migrated\",",
+            "\"state\":\"kv\",\"bytes\":512,\"took_ms\":4.000},",
+            "{\"seq\":2,\"at_ms\":901.000,\"kind\":\"scale_in\",",
+            "\"task\":\"put\",\"instances\":2,\"node\":3}]}",
         );
         assert_eq!(sample_snapshot().to_json(), expected);
     }
@@ -666,8 +762,11 @@ mod tests {
         assert!(text.contains("put"));
         assert!(text.contains("kv"));
         assert!(text.contains("checkpoints: 1 taken"));
+        assert!(text.contains("reconfig: 1 scale-outs, 1 scale-ins"));
         assert!(text.contains("e2e latency"));
         assert!(text.contains("checkpoint_backup"));
+        assert!(text.contains("state_migrated state=kv bytes=512"));
+        assert!(text.contains("scale_in task=put instances=2 node=3"));
     }
 
     #[test]
@@ -681,6 +780,7 @@ mod tests {
         assert_eq!(stats.state_bytes, 4096);
         assert_eq!(stats.checkpoints_taken, 1);
         assert_eq!(stats.scale_outs, 0);
+        assert_eq!(stats.scale_ins, 1);
         assert_eq!(snap.task_by_id(TaskId(0)).unwrap().name, "put");
         assert_eq!(snap.state_by_id(StateId(0)).unwrap().bytes, 4096);
         assert!(snap.task("nope").is_none());

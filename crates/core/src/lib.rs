@@ -155,7 +155,7 @@ pub mod prelude {
     pub use sdg_checkpoint::config::{CheckpointConfig, CheckpointConfigBuilder};
     pub use sdg_common::error::{SdgError, SdgResult};
     pub use sdg_common::obs::{
-        DeploymentStats, EventKind, MetricsSnapshot, ObsEvent, StateStats, TaskStats,
+        DeploymentStats, EventKind, MetricsSnapshot, ObsEvent, ReconfigStats, StateStats, TaskStats,
     };
     pub use sdg_common::record;
     pub use sdg_common::value::{Key, Record, Value};
@@ -164,6 +164,7 @@ pub mod prelude {
         ClusterSpec, NodeSpec, RuntimeConfig, RuntimeConfigBuilder, ScalingConfig,
     };
     pub use sdg_runtime::deploy::{Deployment, OutputEvent};
+    pub use sdg_runtime::reconfig::{ReconfigReport, ReconfigRequest};
 }
 
 #[cfg(test)]

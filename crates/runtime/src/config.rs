@@ -58,6 +58,15 @@ pub struct ScalingConfig {
     pub patience: u32,
     /// Upper bound on instances per task.
     pub max_instances: u32,
+    /// A scaled-out task is idle when its mean queue depth falls below this
+    /// fraction of channel capacity. Must stay below `high_watermark`.
+    pub low_watermark: f64,
+    /// Consecutive idle samples before scaling in. Deliberately larger than
+    /// `patience` by default: scale-in migrates state, so the monitor should
+    /// be slower to reclaim than to grow.
+    pub idle_patience: u32,
+    /// Lower bound on instances per task — scale-in never goes below this.
+    pub min_instances: u32,
 }
 
 impl Default for ScalingConfig {
@@ -68,7 +77,40 @@ impl Default for ScalingConfig {
             high_watermark: 0.75,
             patience: 3,
             max_instances: 8,
+            low_watermark: 0.1,
+            idle_patience: 5,
+            min_instances: 1,
         }
+    }
+}
+
+impl ScalingConfig {
+    /// Validates internal consistency of the scaling thresholds.
+    pub fn validate(&self) -> SdgResult<()> {
+        if !(0.0..=1.0).contains(&self.high_watermark) {
+            return Err(SdgError::Config(
+                "scaling.high_watermark must be in [0, 1]".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.low_watermark) {
+            return Err(SdgError::Config(
+                "scaling.low_watermark must be in [0, 1]".into(),
+            ));
+        }
+        if self.low_watermark >= self.high_watermark {
+            return Err(SdgError::Config(
+                "scaling.low_watermark must be below high_watermark".into(),
+            ));
+        }
+        if self.min_instances == 0 {
+            return Err(SdgError::Config("scaling.min_instances must be ≥ 1".into()));
+        }
+        if self.min_instances > self.max_instances {
+            return Err(SdgError::Config(
+                "scaling.min_instances must not exceed max_instances".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -259,6 +301,7 @@ impl RuntimeConfig {
         if self.state_stripes == 0 || self.state_stripes > 1024 {
             return Err(SdgError::Config("state_stripes must be in 1..=1024".into()));
         }
+        self.scaling.validate()?;
         self.checkpoint.validate()
     }
 }
@@ -444,6 +487,48 @@ mod tests {
         let mut c = RuntimeConfig::default();
         c.task_instances.insert(TaskId(0), 0);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scaling_thresholds_are_validated() {
+        ScalingConfig::default().validate().unwrap();
+
+        let cfg = RuntimeConfig::builder()
+            .scaling(ScalingConfig {
+                low_watermark: 0.9, // above high_watermark (0.75)
+                ..Default::default()
+            })
+            .build();
+        assert!(cfg.validate().is_err());
+
+        let cfg = RuntimeConfig::builder()
+            .scaling(ScalingConfig {
+                min_instances: 0,
+                ..Default::default()
+            })
+            .build();
+        assert!(cfg.validate().is_err());
+
+        let cfg = RuntimeConfig::builder()
+            .scaling(ScalingConfig {
+                min_instances: 9,
+                max_instances: 8,
+                ..Default::default()
+            })
+            .build();
+        assert!(cfg.validate().is_err());
+
+        let cfg = RuntimeConfig::builder()
+            .scaling(ScalingConfig {
+                enabled: true,
+                low_watermark: 0.05,
+                idle_patience: 2,
+                min_instances: 2,
+                ..Default::default()
+            })
+            .build();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.scaling.idle_patience, 2);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! accepts external requests ([`Deployment::submit`]), exposes the output
 //! sink, and supports failure injection with §5's replay-based recovery.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -36,7 +36,8 @@ use sdg_state::store::{StateStore, StateType};
 use crate::compile::Scratch;
 use crate::config::{BatchConfig, RuntimeConfig};
 use crate::item::{lane, Item};
-use crate::scaling::{run_scaling_monitor, ScaleEvent};
+use crate::reconfig::{ReconfigReport, ReconfigRequest};
+use crate::scaling::{run_scaling_monitor, ScaleDirection, ScaleEvent, StopWait};
 use crate::worker::{BufferKey, BufferRegistry, OutEdge, PreparedCode, Targets, Worker, WorkerMsg};
 
 pub use crate::worker::OutputEvent;
@@ -116,7 +117,7 @@ pub(crate) struct Inner {
     /// SE instance cells, replica-indexed.
     pub cells: RwLock<HashMap<StateId, Vec<Arc<StateCell>>>>,
     /// Liveness flag per TE instance.
-    alive: RwLock<HashMap<(TaskId, u32), Arc<AtomicBool>>>,
+    pub(crate) alive: RwLock<HashMap<(TaskId, u32), Arc<AtomicBool>>>,
     /// The deployment's instrument registry: per-task and per-state
     /// instruments, checkpoint phase timers, and the structured event log.
     pub obs: Arc<MetricsRegistry>,
@@ -129,12 +130,16 @@ pub(crate) struct Inner {
     ingest: Mutex<HashMap<TaskId, IngestLane>>,
     ingest_src: AtomicU32,
     node_cursor: AtomicU32,
-    node_of_instance: RwLock<HashMap<(TaskId, u32), u32>>,
+    pub(crate) node_of_instance: RwLock<HashMap<(TaskId, u32), u32>>,
     pub stores: Vec<Arc<BackupStore>>,
     backup_seq: AtomicU64,
     /// Checkpoint chains per SE instance: a base generation followed by the
     /// deltas taken since it. Restore composes the whole chain.
     backups: Mutex<HashMap<(StateId, u32), Vec<BackupSet>>>,
+    /// SE instances whose next checkpoint must be a full (non-delta) take:
+    /// a reconfiguration migrated state into them, so a delta on top of the
+    /// pre-migration chain would restore the old key ownership.
+    force_full: Mutex<HashSet<(StateId, u32)>>,
     pub events: Mutex<Vec<ScaleEvent>>,
     pub in_flight: Arc<AtomicU64>,
     /// Deploy-time slot-compilation cache: one [`CompiledTe`] per task,
@@ -143,6 +148,9 @@ pub(crate) struct Inner {
     compiled: Mutex<HashMap<TaskId, Arc<CompiledTe>>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     stop: Arc<AtomicBool>,
+    /// Parks the controller threads between ticks; notified at shutdown so
+    /// they exit without sleeping out their interval.
+    stop_wait: StopWait,
     pub started: Instant,
 }
 
@@ -242,11 +250,13 @@ impl Deployment {
             stores,
             backup_seq: AtomicU64::new(1),
             backups: Mutex::new(HashMap::new()),
+            force_full: Mutex::new(HashSet::new()),
             events: Mutex::new(Vec::new()),
             in_flight: Arc::new(AtomicU64::new(0)),
             compiled: Mutex::new(HashMap::new()),
             threads: Mutex::new(Vec::new()),
             stop: Arc::new(AtomicBool::new(false)),
+            stop_wait: StopWait::new(),
             started: Instant::now(),
         });
 
@@ -294,11 +304,17 @@ impl Deployment {
             let inner = Arc::clone(&self.inner);
             control.push(std::thread::spawn(move || {
                 let interval = inner.cfg.checkpoint.interval;
-                // Sleep in small slices so shutdown is prompt; only
-                // checkpoint when a full interval has elapsed.
+                // Park in small slices so long intervals stay interruptible;
+                // only checkpoint when a full interval has elapsed. The
+                // stop-aware wait returns immediately when shutdown fires.
                 let mut due = interval;
-                while !inner.stop.load(Ordering::Acquire) {
-                    std::thread::sleep(interval.min(Duration::from_millis(50)));
+                loop {
+                    if inner
+                        .stop_wait
+                        .wait(&inner.stop, interval.min(Duration::from_millis(50)))
+                    {
+                        break;
+                    }
                     if inner.started.elapsed() >= due {
                         due += interval;
                         let _ = inner.checkpoint_all();
@@ -347,35 +363,71 @@ impl Deployment {
         })
     }
 
+    /// Executes one typed reconfiguration request — scale-out, scale-in,
+    /// checkpoint, or failure injection — and returns a uniform
+    /// [`ReconfigReport`] with timings, migrated bytes and the resulting
+    /// instance counts.
+    ///
+    /// This is the deployment's only control-plane entry point; the older
+    /// per-operation methods ([`Deployment::scale_task`],
+    /// [`Deployment::checkpoint_now`], [`Deployment::fail_and_recover`])
+    /// are deprecated delegates.
+    ///
+    /// Scale-in live-migrates the removed replica's state: a partitioned
+    /// shard is split by the partitioner's key hash and merged into the
+    /// survivors (with pointwise-max dedupe watermarks), a partial
+    /// aggregate is additively folded into a survivor — refused when the
+    /// SE's `@Partial` merge is uncertified by the attached `sdg-verify`
+    /// report, unless `trust_annotations` is set.
+    ///
+    /// On `FailAndRecover`, recovery is exact (exactly-once) for the
+    /// failed SE's own state: the checkpoint restores it, upstream buffers
+    /// replay the suffix, and the vector timestamp filters duplicates. A
+    /// limitation relative to §5 of the paper: replayed items reprocessed
+    /// by the recovered TEs forward downstream with *fresh* timestamps
+    /// rather than regenerating their original ones, so when a recovered
+    /// stage feeds a different stateful stage, that downstream stage may
+    /// re-apply effects it already holds. (The paper avoids this by
+    /// checkpointing output buffers and relying on deterministic timestamp
+    /// regeneration; the checkpoint layer here captures output buffers —
+    /// see `take_checkpoint` — but the engine does not yet replay them.)
+    /// Pipelines whose stateful stages hang off distinct
+    /// upstream-stateless paths, such as the KV store and each SE of CF in
+    /// isolation, recover exactly. A reconfiguration that migrated state
+    /// also invalidates the affected chains, so recovery between a
+    /// migration and the next checkpoint reports "no checkpoint recorded"
+    /// instead of restoring the old key ownership.
+    pub fn reconfigure(&self, request: ReconfigRequest) -> SdgResult<ReconfigReport> {
+        crate::reconfig::execute(&self.inner, request)
+    }
+
     /// Takes a checkpoint of every SE instance now.
+    #[deprecated(note = "use `Deployment::reconfigure(ReconfigRequest::Checkpoint)`")]
     pub fn checkpoint_now(&self) -> SdgResult<()> {
-        self.inner.checkpoint_all()
+        self.reconfigure(ReconfigRequest::Checkpoint).map(|_| ())
     }
 
     /// Simulates the failure of the node hosting SE instance
     /// `(state, replica)` and recovers it from the latest checkpoint plus
-    /// upstream replay.
-    ///
-    /// Recovery is exact (exactly-once) for the failed SE's own state: the
-    /// checkpoint restores it, upstream buffers replay the suffix, and the
-    /// vector timestamp filters duplicates. A limitation relative to §5 of
-    /// the paper: replayed items reprocessed by the recovered TEs forward
-    /// downstream with *fresh* timestamps rather than regenerating their
-    /// original ones, so when a recovered stage feeds a different stateful
-    /// stage, that downstream stage may re-apply effects it already holds.
-    /// (The paper avoids this by checkpointing output buffers and relying
-    /// on deterministic timestamp regeneration; the checkpoint layer here
-    /// captures output buffers — see `take_checkpoint` — but the engine
-    /// does not yet replay them.) Pipelines whose stateful stages hang off
-    /// distinct upstream-stateless paths, such as the KV store and each SE
-    /// of CF in isolation, recover exactly.
+    /// upstream replay. See [`Deployment::reconfigure`] for the recovery
+    /// semantics.
+    #[deprecated(
+        note = "use `Deployment::reconfigure(ReconfigRequest::FailAndRecover { state, replica })`"
+    )]
     pub fn fail_and_recover(&self, state: StateId, replica: u32) -> SdgResult<RecoveryReport> {
-        self.inner.fail_and_recover(state, replica)
+        let report = self.reconfigure(ReconfigRequest::FailAndRecover { state, replica })?;
+        Ok(RecoveryReport {
+            restore: report.restore,
+            replayed: report.replayed,
+            total: report.total,
+        })
     }
 
     /// Adds one instance to `task` (and to its SE group when stateful).
+    #[deprecated(note = "use `Deployment::reconfigure(ReconfigRequest::ScaleOut { task })`")]
     pub fn scale_task(&self, task: TaskId) -> SdgResult<()> {
-        self.inner.scale_task(task)
+        self.reconfigure(ReconfigRequest::ScaleOut { task })
+            .map(|_| ())
     }
 
     /// Freezes every instrument into a plain-data [`MetricsSnapshot`]:
@@ -461,6 +513,9 @@ impl Deployment {
     /// Stops all workers and controllers, joining their threads.
     pub fn shutdown(self) {
         self.inner.stop.store(true, Ordering::Release);
+        // Wake the parked controllers so they observe the flag now instead
+        // of sleeping out their check interval.
+        self.inner.stop_wait.notify();
         for t in self.inner.targets.values() {
             for sender in t.read().iter() {
                 let _ = sender.send(WorkerMsg::Stop);
@@ -512,9 +567,19 @@ impl Inner {
         }
     }
 
+    /// Allocates the next fresh cluster node.
+    pub(crate) fn next_node(&self) -> u32 {
+        self.node_cursor.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The certificate-gated stripe/axis/delta layout for `decl`'s cells.
+    pub(crate) fn layout_of(&self, decl: &StateDecl) -> (usize, PartitionDim, Option<usize>) {
+        cell_layout(&self.cfg, decl, self.sdg.verify.as_deref())
+    }
+
     /// Spawns one TE instance worker; its sender is appended (or swapped in
     /// at `replica`) in the task's target list.
-    fn spawn_instance(&self, task_id: TaskId, replica: u32, node: u32) -> SdgResult<()> {
+    pub(crate) fn spawn_instance(&self, task_id: TaskId, replica: u32, node: u32) -> SdgResult<()> {
         self.spawn_instance_in(task_id, replica, node, None)
     }
 
@@ -524,7 +589,7 @@ impl Inner {
     /// whole operation (kill → restore → respawn → replay); passing the
     /// held guard's vector here avoids re-locking and keeps producers
     /// paused until the swap (and any replay) is complete.
-    fn spawn_instance_in(
+    pub(crate) fn spawn_instance_in(
         &self,
         task_id: TaskId,
         replica: u32,
@@ -806,7 +871,7 @@ impl Inner {
         }
     }
 
-    fn checkpoint_all(&self) -> SdgResult<()> {
+    pub(crate) fn checkpoint_all(&self) -> SdgResult<()> {
         let snapshot: Vec<(StateId, Vec<Arc<StateCell>>)> = self
             .cells
             .read()
@@ -817,10 +882,14 @@ impl Inner {
             for (replica, cell) in group.iter().enumerate() {
                 let seq = self.backup_seq.fetch_add(1, Ordering::Relaxed);
                 let label = self.se_label(state, replica as u32);
+                // A reconfiguration migrated state into this cell since the
+                // last take: the next generation must be a full base, never
+                // a delta chained onto the pre-migration ownership.
+                let migrated = self.force_full.lock().contains(&(state, replica as u32));
                 // Compaction: once the deltas accumulated since the base
                 // outweigh `compact_threshold` of its size, force a full
                 // generation so restore chains stay short.
-                let force_full = {
+                let force_full = migrated || {
                     let backups = self.backups.lock();
                     match backups.get(&(state, replica as u32)) {
                         Some(chain) if chain.len() > 1 => {
@@ -859,6 +928,9 @@ impl Inner {
                         .state_with_id(&decl.name, Some(state))
                         .checkpoints
                         .inc();
+                }
+                if migrated {
+                    self.force_full.lock().remove(&(state, replica as u32));
                 }
                 // Trim upstream buffers covered by this checkpoint.
                 self.trim_for(state, replica as u32, &set);
@@ -921,7 +993,11 @@ impl Inner {
         }
     }
 
-    fn fail_and_recover(&self, state: StateId, replica: u32) -> SdgResult<RecoveryReport> {
+    pub(crate) fn fail_and_recover(
+        &self,
+        state: StateId,
+        replica: u32,
+    ) -> SdgResult<RecoveryReport> {
         let t0 = Instant::now();
         let label = self.se_label(state, replica);
         self.obs.record_event(EventKind::FailureInjected {
@@ -1062,173 +1138,77 @@ impl Inner {
         })
     }
 
-    pub(crate) fn scale_task(&self, task_id: TaskId) -> SdgResult<()> {
-        let task = self.sdg.task(task_id)?.clone();
-        match &task.access {
-            None => {
-                let replica = self.targets[&task_id].read().len() as u32;
-                let node = self.node_cursor.fetch_add(1, Ordering::Relaxed);
-                self.spawn_instance(task_id, replica, node)?;
-                self.record_event(task_id, node);
-                Ok(())
-            }
-            Some(access) => {
-                let state = access.state;
-                let dist = self.sdg.state(state)?.dist;
-                match dist {
-                    sdg_graph::model::Distribution::Local => Err(SdgError::Runtime(format!(
-                        "task `{}` accesses local state and cannot scale out",
-                        task.name
-                    ))),
-                    sdg_graph::model::Distribution::Partial => self.scale_partial(state, task_id),
-                    sdg_graph::model::Distribution::Partitioned { dim } => {
-                        self.scale_partitioned(state, dim, task_id)
-                    }
-                }
-            }
-        }
-    }
-
-    /// Adds one replica to a partial SE group: a fresh (empty) partial
-    /// instance plus one new instance of every accessing task.
-    fn scale_partial(&self, state: StateId, trigger: TaskId) -> SdgResult<()> {
-        let new_cell = {
-            let mut cells = self.cells.write();
-            let group = cells
-                .get_mut(&state)
-                .ok_or_else(|| SdgError::NotFound(format!("state {state}")))?;
-            let decl = self.sdg.state(state)?;
-            let (stripes, dim, delta) = cell_layout(&self.cfg, decl, self.sdg.verify.as_deref());
-            let cell = Arc::new(StateCell::new_striped(decl.ty, stripes, dim, delta));
-            group.push(Arc::clone(&cell));
-            group.len() as u32 - 1
-        };
-        let node = self.node_cursor.fetch_add(1, Ordering::Relaxed);
-        let mut tasks: Vec<TaskId> = self
-            .sdg
-            .tasks_accessing(state)
-            .iter()
-            .map(|t| t.id)
-            .collect();
-        tasks.sort();
-        for task in tasks {
-            self.spawn_instance(task, new_cell, node)?;
-        }
-        self.record_event(trigger, node);
-        Ok(())
-    }
-
-    /// Repartitions a partitioned SE group from `p` to `p + 1` instances.
-    fn scale_partitioned(
-        &self,
-        state: StateId,
-        dim: sdg_state::partition::PartitionDim,
-        trigger: TaskId,
-    ) -> SdgResult<()> {
-        let mut tasks: Vec<TaskId> = self
-            .sdg
-            .tasks_accessing(state)
-            .iter()
-            .map(|t| t.id)
-            .collect();
-        tasks.sort();
-
-        // Pause producers and wait for in-flight items to drain so the
-        // repartitioning sees a consistent key population. The guards stay
-        // held until the new instances are swapped in: releasing earlier
-        // would let producers route by the old partition count against the
-        // already-repartitioned state.
-        let mut guards: Vec<_> = tasks.iter().map(|t| self.targets[t].write()).collect();
-        let drain_t0 = Instant::now();
-        let deadline = drain_t0 + Duration::from_secs(5);
-        loop {
-            let queued: usize = guards.iter().flat_map(|g| g.iter()).map(|s| s.len()).sum();
-            if queued == 0 && self.in_flight.load(Ordering::Acquire) == 0 {
-                break;
-            }
-            if Instant::now() >= deadline {
-                break; // Proceed; duplicate filtering keeps this safe.
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        if let Ok(task) = self.sdg.task(trigger) {
-            self.obs.record_event(EventKind::RepartitionDrain {
-                task: task.name.clone(),
-                waited: drain_t0.elapsed(),
-            });
-        }
-
-        // Export all partitions (merging each cell's stripes), merge,
-        // re-split to p + 1. Assigning the merged (max) vector to every new
-        // partition is exact here: the group was drained, so fresh items
-        // always carry higher timestamps than anything merged.
-        let (merged_vector, splits, stripes, delta) = {
-            let cells = self.cells.read();
-            let group = &cells[&state];
-            let decl = self.sdg.state(state)?;
-            let (stripes, _, delta) = cell_layout(&self.cfg, decl, self.sdg.verify.as_deref());
-            let mut all = StateStore::new(decl.ty);
-            let mut merged_vector = sdg_common::time::VectorTs::new();
-            for cell in group.iter() {
-                let (entries, vector) = cell.export_merged();
-                all.import_entries(&entries)?;
-                merged_vector.merge_max(&vector);
-            }
-            let splits = all.split_by_hash(group.len() + 1, dim)?;
-            (merged_vector, splits, stripes, delta)
-        };
-
-        // Swap the new partitions into the existing cells in place (workers
-        // hold Arcs to them) and append the new instance's cell.
-        let new_cell = {
-            let mut cells = self.cells.write();
-            let group = cells.get_mut(&state).expect("checked above");
-            let mut splits = splits.into_iter();
-            for cell in group.iter() {
-                let store = splits.next().expect("split count = p + 1");
-                cell.replace(store, merged_vector.clone())?;
-            }
-            let cell = Arc::new(StateCell::from_store_striped(
-                splits.next().expect("last split"),
-                merged_vector,
-                stripes,
-                dim,
-                delta,
-            )?);
-            group.push(Arc::clone(&cell));
-            group.len() as u32 - 1
-        };
-
-        let node = self.node_cursor.fetch_add(1, Ordering::Relaxed);
-        for (i, &task) in tasks.iter().enumerate() {
-            self.spawn_instance_in(task, new_cell, node, Some(&mut guards[i]))?;
-        }
-        drop(guards);
-        self.record_event(trigger, node);
-        Ok(())
-    }
-
     pub(crate) fn stop_flag(&self) -> &Arc<AtomicBool> {
         &self.stop
     }
 
-    fn record_event(&self, task: TaskId, node: u32) {
+    pub(crate) fn stop_wait(&self) -> &StopWait {
+        &self.stop_wait
+    }
+
+    /// Drops every recorded checkpoint chain of `state` and marks its
+    /// remaining replicas for a forced full (non-delta) take: a chain
+    /// recorded before a repartition describes the old key ownership, so
+    /// `restore_chain` must never compose deltas across the migration
+    /// boundary. Until the next checkpoint, failure recovery of this state
+    /// reports "no checkpoint recorded" rather than restoring stale shards.
+    pub(crate) fn invalidate_chains(&self, state: StateId) {
+        self.backups.lock().retain(|&(s, _), _| s != state);
+        let replicas = self.cells.read().get(&state).map(|g| g.len()).unwrap_or(0);
+        let mut force = self.force_full.lock();
+        force.retain(|&(s, _)| s != state);
+        for replica in 0..replicas as u32 {
+            force.insert((state, replica));
+        }
+    }
+
+    /// Records one scale event in the obs log, the reconfig counters, and
+    /// the Fig. 10 timeline.
+    pub(crate) fn record_scale(&self, task: TaskId, node: u32, direction: ScaleDirection) {
         let instances = self.targets[&task].read().len() as u32;
         let name = match self.sdg.task(task) {
             Ok(decl) => decl.name.clone(),
             Err(_) => task.to_string(),
         };
-        self.obs.record_event(EventKind::ScaleOut {
-            task: name,
-            instances,
-            node,
-        });
+        match direction {
+            ScaleDirection::Out => {
+                self.obs.record_event(EventKind::ScaleOut {
+                    task: name,
+                    instances,
+                    node,
+                });
+                self.obs.reconfig().scale_outs.inc();
+            }
+            ScaleDirection::In => {
+                self.obs.record_event(EventKind::ScaleIn {
+                    task: name,
+                    instances,
+                    node,
+                });
+                self.obs.reconfig().scale_ins.inc();
+            }
+        }
         self.events.lock().push(ScaleEvent {
             at: self.started.elapsed(),
             task,
             instances,
             node,
+            direction,
         });
+    }
+
+    /// Records one state-migration episode (bytes that changed SE owner).
+    pub(crate) fn record_migration(&self, state: StateId, bytes: u64, took: Duration) {
+        let name = match self.sdg.state(state) {
+            Ok(decl) => decl.name.clone(),
+            Err(_) => state.to_string(),
+        };
+        self.obs.record_event(EventKind::StateMigrated {
+            state: name,
+            bytes,
+            took,
+        });
+        self.obs.reconfig().migrated_bytes.record(bytes);
     }
 }
 

@@ -23,7 +23,13 @@
 //!   timeout, or shutdown, amortising channel and output-buffer locking;
 //! - **reactive scaling** (§3.3): a monitor watches queue depths and adds
 //!   TE instances (and partial/partitioned SE instances) when a task
-//!   becomes a bottleneck or a node straggles ([`scaling`]);
+//!   becomes a bottleneck or a node straggles, and removes them again —
+//!   live-migrating their state into the survivors — when the queues stay
+//!   idle ([`scaling`]);
+//! - a **typed reconfiguration control plane** ([`reconfig`]):
+//!   [`deploy::Deployment::reconfigure`] executes scale-out, scale-in,
+//!   checkpoint and failure-injection requests and returns a uniform
+//!   report with timings, migrated bytes and resulting instance counts;
 //! - **failure recovery** (§5): periodic asynchronous checkpoints, output
 //!   buffers with trimming, node-failure injection, parallel restore and
 //!   replay with timestamp-based duplicate filtering ([`deploy`]).
@@ -36,6 +42,7 @@ pub mod config;
 pub mod deploy;
 pub mod interp;
 pub mod item;
+pub mod reconfig;
 pub mod scaling;
 pub mod worker;
 
@@ -43,3 +50,5 @@ pub use compile::{run_compiled, Scratch};
 pub use config::{BatchConfig, ClusterSpec, ExecEngine, NodeSpec, RuntimeConfig, ScalingConfig};
 pub use deploy::{Deployment, OutputEvent};
 pub use item::Item;
+pub use reconfig::{ReconfigReport, ReconfigRequest};
+pub use scaling::{ScaleDirection, ScaleEvent};

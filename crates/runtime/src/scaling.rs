@@ -6,16 +6,32 @@
 //! straggler node and drains slowly. In both cases the reaction is the
 //! same (the paper's reactive approach): add a TE instance, creating new
 //! partitioned or partial SE instances as required.
+//!
+//! Scale-in is the symmetric path: a task whose queues stay *below* the
+//! low watermark for `idle_patience` consecutive samples has its newest
+//! instance removed (down to `min_instances`), live-migrating its state
+//! shard or partial aggregate into the survivors via the reconfiguration
+//! control plane ([`crate::reconfig`]).
 
-use std::sync::atomic::Ordering;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use sdg_common::ids::TaskId;
 use sdg_common::obs::EventKind;
 
 use crate::deploy::Inner;
 
-/// One scale-out event, for the Fig. 10 timeline.
+/// Which way a scale event went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDirection {
+    /// An instance was added.
+    Out,
+    /// An instance was removed (state live-migrated into survivors).
+    In,
+}
+
+/// One scale event, for the Fig. 10 timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScaleEvent {
     /// Offset from deployment start.
@@ -24,8 +40,59 @@ pub struct ScaleEvent {
     pub task: TaskId,
     /// Instance count after scaling.
     pub instances: u32,
-    /// The node the new instance was placed on.
+    /// The node the new instance was placed on (scale-out), or the node
+    /// the removed instance ran on (scale-in).
     pub node: u32,
+    /// Which way the event went.
+    pub direction: ScaleDirection,
+}
+
+/// A stop-aware park: controller threads wait on the condvar instead of
+/// sleeping, so `Deployment::shutdown` can wake them immediately instead
+/// of letting them sleep out their check interval.
+///
+/// The wake-up protocol is lost-wakeup-free: `notify` acquires the mutex
+/// after the stop flag is set, so a waiter either sees the flag before
+/// parking or is parked (holding a ticket on the condvar) when the notify
+/// lands.
+#[derive(Debug, Default)]
+pub(crate) struct StopWait {
+    mu: Mutex<()>,
+    cv: Condvar,
+}
+
+impl StopWait {
+    pub(crate) fn new() -> Self {
+        StopWait::default()
+    }
+
+    /// Parks for up to `period`, returning early — with `true` — as soon
+    /// as `stop` is set and [`StopWait::notify`] fires. Returns `false`
+    /// when the period elapsed without a stop.
+    pub(crate) fn wait(&self, stop: &AtomicBool, period: Duration) -> bool {
+        let deadline = Instant::now() + period;
+        let mut guard = self.mu.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if stop.load(Ordering::Acquire) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            guard = self
+                .cv
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Wakes every parked waiter. Call after setting the stop flag.
+    pub(crate) fn notify(&self) {
+        let _guard = self.mu.lock().unwrap_or_else(|e| e.into_inner());
+        self.cv.notify_all();
+    }
 }
 
 /// Runs the bottleneck monitor until the deployment stops.
@@ -33,9 +100,15 @@ pub(crate) fn run_scaling_monitor(inner: &Inner) {
     let cfg = inner.cfg.scaling.clone();
     let capacity = inner.cfg.channel_capacity as f64;
     let mut streaks: std::collections::HashMap<TaskId, u32> = std::collections::HashMap::new();
+    let mut idle_streaks: std::collections::HashMap<TaskId, u32> = std::collections::HashMap::new();
 
-    while !stopped(inner) {
-        std::thread::sleep(cfg.check_interval);
+    loop {
+        if inner
+            .stop_wait()
+            .wait(inner.stop_flag(), cfg.check_interval)
+        {
+            break;
+        }
         // Find the most saturated task this tick. A task whose *downstream*
         // consumers are also saturated is merely backpressured — the real
         // bottleneck is further down the pipeline, so skip it.
@@ -76,13 +149,38 @@ pub(crate) fn run_scaling_monitor(inner: &Inner) {
                     fill,
                 });
             }
-            if inner.scale_task(task).is_ok() {
+            if crate::reconfig::scale_out(inner, task).is_ok() {
                 streaks.insert(task, 0);
             }
+            // A growing pipeline is not idle: keep the idle streaks cold so
+            // scale-out and scale-in never fight within one window.
+            idle_streaks.clear();
+            continue;
+        }
+
+        // Scale-in: a task that has sat below the low watermark for
+        // `idle_patience` consecutive samples releases its newest instance
+        // (down to `min_instances`). At most one task shrinks per tick.
+        let mut idlest: Option<(TaskId, f64)> = None;
+        for task in &inner.sdg.tasks {
+            let fill = fill_of(task.id);
+            let instances = inner.targets[&task.id].read().len() as u32;
+            if fill <= cfg.low_watermark && instances > cfg.min_instances {
+                let streak = idle_streaks.entry(task.id).or_insert(0);
+                *streak += 1;
+                if *streak >= cfg.idle_patience && idlest.map(|(_, f)| fill < f).unwrap_or(true) {
+                    idlest = Some((task.id, fill));
+                }
+            } else {
+                idle_streaks.insert(task.id, 0);
+            }
+        }
+        if let Some((task, _)) = idlest {
+            // Reset all idle streaks either way: a repartition changes the
+            // whole group's instance counts, and a refused scale-in (local
+            // state, uncertified merge) should not retry every tick.
+            idle_streaks.clear();
+            let _ = crate::reconfig::scale_in(inner, task);
         }
     }
-}
-
-fn stopped(inner: &Inner) -> bool {
-    inner.stop_flag().load(Ordering::Acquire)
 }

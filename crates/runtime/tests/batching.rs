@@ -25,6 +25,7 @@ use sdg_graph::model::{
 };
 use sdg_runtime::config::{BatchConfig, RuntimeConfig};
 use sdg_runtime::deploy::Deployment;
+use sdg_runtime::reconfig::ReconfigRequest;
 use sdg_runtime::worker::{BufferRegistry, OutEdge, OutputEvent, PreparedCode, Worker, WorkerMsg};
 use sdg_runtime::{Item, Scratch};
 use sdg_state::partition::PartitionDim;
@@ -310,7 +311,7 @@ fn recovery_replays_batched_buffers_exactly_once() {
             .unwrap();
     }
     assert!(d.quiesce(Duration::from_secs(10)));
-    d.checkpoint_now().unwrap();
+    d.reconfigure(ReconfigRequest::Checkpoint).unwrap();
 
     // Post-checkpoint items live only in (batch-appended) upstream buffers
     // and the soon-to-be-lost partition state.
@@ -321,7 +322,12 @@ fn recovery_replays_batched_buffers_exactly_once() {
     assert!(d.quiesce(Duration::from_secs(10)));
     assert_eq!(total_count(&d, counts), 500);
 
-    let report = d.fail_and_recover(counts, 0).unwrap();
+    let report = d
+        .reconfigure(ReconfigRequest::FailAndRecover {
+            state: counts,
+            replica: 0,
+        })
+        .unwrap();
     assert!(d.quiesce(Duration::from_secs(10)));
     assert_eq!(
         total_count(&d, counts),

@@ -10,6 +10,7 @@ use sdg_common::value::Value;
 use sdg_ir::parser::parse_program;
 use sdg_runtime::config::{RuntimeConfig, ScalingConfig};
 use sdg_runtime::deploy::Deployment;
+use sdg_runtime::reconfig::ReconfigRequest;
 use sdg_translate::translate;
 
 /// Instruments-backed instance count of `task` (0 when absent).
@@ -276,7 +277,7 @@ fn failure_recovery_preserves_exactly_once_counts() {
             .unwrap();
     }
     assert!(d.quiesce(Duration::from_secs(10)));
-    d.checkpoint_now().unwrap();
+    d.reconfigure(ReconfigRequest::Checkpoint).unwrap();
 
     // More increments after the checkpoint: these live only in upstream
     // buffers and the soon-to-be-lost state.
@@ -289,7 +290,12 @@ fn failure_recovery_preserves_exactly_once_counts() {
 
     // Fail partition 0 and recover it: checkpoint + replay must restore the
     // exact counts (duplicates filtered, nothing lost).
-    let report = d.fail_and_recover(kv, 0).unwrap();
+    let report = d
+        .reconfigure(ReconfigRequest::FailAndRecover {
+            state: kv,
+            replica: 0,
+        })
+        .unwrap();
     assert!(d.quiesce(Duration::from_secs(10)));
     assert_eq!(
         total_count(&d, kv),
@@ -315,7 +321,12 @@ fn failure_recovery_preserves_exactly_once_counts() {
 #[test]
 fn recovery_without_checkpoint_is_an_error() {
     let (d, kv) = deploy_kv(2, false);
-    assert!(d.fail_and_recover(kv, 0).is_err());
+    assert!(d
+        .reconfigure(ReconfigRequest::FailAndRecover {
+            state: kv,
+            replica: 0,
+        })
+        .is_err());
     d.shutdown();
 }
 
@@ -352,7 +363,8 @@ fn partitioned_scale_out_preserves_and_repartitions_state() {
         }
         found.expect("a 2-instance task exists")
     };
-    d.scale_task(sdg_task).unwrap();
+    d.reconfigure(ReconfigRequest::ScaleOut { task: sdg_task })
+        .unwrap();
     assert_eq!(state_instances(&d, kv), 3);
     assert_eq!(
         total_count(&d, kv),
@@ -411,7 +423,7 @@ fn partial_scale_out_adds_empty_instance() {
                 .and_then(|t| t.id)
                 .expect("partial task")
         });
-    d.scale_task(task).unwrap();
+    d.reconfigure(ReconfigRequest::ScaleOut { task }).unwrap();
     assert_eq!(state_instances(&d, co_occ), 3);
 
     // The new instance starts empty and fills with new traffic.
@@ -440,6 +452,275 @@ fn partial_scale_out_adds_empty_instance() {
 }
 
 #[test]
+fn partitioned_scale_in_merges_shards_into_survivors() {
+    let (d, kv) = deploy_kv(3, false);
+    for n in 0..300i64 {
+        d.submit("bump", record! {"k" => Value::Int(n % 30)})
+            .unwrap();
+    }
+    assert!(d.quiesce(Duration::from_secs(10)));
+    assert_eq!(total_count(&d, kv), 300);
+
+    // Find a 3-instance task accessing kv and remove one instance.
+    let snap = d.metrics();
+    let task = snap
+        .tasks
+        .iter()
+        .find(|t| t.instances == 3)
+        .and_then(|t| t.id)
+        .expect("a 3-instance task exists");
+    let report = d.reconfigure(ReconfigRequest::ScaleIn { task }).unwrap();
+    assert_eq!(state_instances(&d, kv), 2);
+    assert_eq!(report.se_instances, 2);
+    assert!(
+        report.moved_bytes > 0,
+        "the victim shard must move into the survivors"
+    );
+    assert_eq!(
+        total_count(&d, kv),
+        300,
+        "live migration must preserve state"
+    );
+
+    // Every survivor now holds exactly its half of the key space.
+    for replica in 0..2u32 {
+        d.with_state(kv, replica, |s| {
+            s.as_table().unwrap().for_each(|k, _| {
+                assert_eq!((k.stable_hash() % 2) as u32, replica);
+            });
+        })
+        .unwrap();
+    }
+
+    // New traffic routes to the surviving partitions.
+    for n in 0..300i64 {
+        d.submit("bump", record! {"k" => Value::Int(n % 30)})
+            .unwrap();
+    }
+    assert!(d.quiesce(Duration::from_secs(10)));
+    assert_eq!(total_count(&d, kv), 600);
+    assert_eq!(d.stats().scale_ins, 1);
+    assert_eq!(d.stats().errors, 0);
+    d.shutdown();
+}
+
+#[test]
+fn partitioned_scale_in_to_one_then_refuses_further() {
+    let (d, kv) = deploy_kv(2, false);
+    for n in 0..100i64 {
+        d.submit("bump", record! {"k" => Value::Int(n % 10)})
+            .unwrap();
+    }
+    assert!(d.quiesce(Duration::from_secs(10)));
+    let snap = d.metrics();
+    let task = snap
+        .tasks
+        .iter()
+        .find(|t| t.instances == 2)
+        .and_then(|t| t.id)
+        .expect("a 2-instance task exists");
+    d.reconfigure(ReconfigRequest::ScaleIn { task }).unwrap();
+    assert_eq!(state_instances(&d, kv), 1);
+    assert_eq!(total_count(&d, kv), 100);
+    let err = d
+        .reconfigure(ReconfigRequest::ScaleIn { task })
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("already at one partition"),
+        "unexpected error: {err}"
+    );
+    d.shutdown();
+}
+
+#[test]
+fn partial_scale_in_preserves_the_elementwise_sum() {
+    let (d, _ui, co_occ) = deploy_cf(3, 2);
+    for n in 0..30i64 {
+        let (u, i) = (n % 5, 10 + n % 3);
+        d.submit(
+            "addRating",
+            record! {"user" => Value::Int(u), "item" => Value::Int(i), "rating" => Value::Int(1)},
+        )
+        .unwrap();
+    }
+    assert!(d.quiesce(Duration::from_secs(10)));
+
+    let sum_of = |d: &Deployment| {
+        let mut summed: HashMap<(i64, i64), f64> = HashMap::new();
+        for replica in 0..state_instances(d, co_occ) {
+            d.with_state(co_occ, replica as u32, |s| {
+                let m = s.as_matrix().unwrap();
+                for r in m.row_indices() {
+                    for (c, v) in m.row(r) {
+                        *summed.entry((r, c)).or_default() += v;
+                    }
+                }
+            })
+            .unwrap();
+        }
+        summed
+    };
+    let before = sum_of(&d);
+
+    // Fold the newest partial replica into a survivor.
+    let snap = d.metrics();
+    let task = snap
+        .tasks
+        .iter()
+        .find(|t| t.instances == 3)
+        .and_then(|t| t.id)
+        .expect("a 3-instance task exists");
+    d.reconfigure(ReconfigRequest::ScaleIn { task }).unwrap();
+    assert_eq!(state_instances(&d, co_occ), 2);
+    assert_eq!(
+        sum_of(&d),
+        before,
+        "the fold must preserve the element-wise sum"
+    );
+
+    // getRec still computes the correct global answer afterwards.
+    let mut model = CfModel::default();
+    for n in 0..30i64 {
+        model.add_rating(n % 5, 10 + n % 3, 1);
+    }
+    d.submit("getRec", record! {"user" => Value::Int(1)})
+        .unwrap();
+    let event = d.outputs().recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(pairs_of(&event.value), model.recommend(1));
+    assert_eq!(d.stats().errors, 0);
+    d.shutdown();
+}
+
+#[test]
+fn migration_invalidates_checkpoint_chains() {
+    // Incremental checkpoints + a repartition in the middle: restore must
+    // never compose deltas cut against the old partitioning.
+    let prog = parse_program(KV_SRC).unwrap();
+    let sdg = translate(&prog).unwrap();
+    let kv = sdg.state_by_name("kv").unwrap().id;
+    let mut cfg = RuntimeConfig::default();
+    cfg.se_instances.insert(kv, 2);
+    cfg.checkpoint.enabled = true;
+    cfg.checkpoint.interval = Duration::from_secs(3600); // Manual only.
+    cfg.checkpoint.incremental = true;
+    cfg.checkpoint.delta_chunks = 64;
+    let d = Deployment::start(sdg, cfg).unwrap();
+
+    for n in 0..200i64 {
+        d.submit("bump", record! {"k" => Value::Int(n % 20)})
+            .unwrap();
+    }
+    assert!(d.quiesce(Duration::from_secs(10)));
+    d.reconfigure(ReconfigRequest::Checkpoint).unwrap(); // Base.
+    for n in 0..100i64 {
+        d.submit("bump", record! {"k" => Value::Int(n % 5)})
+            .unwrap();
+    }
+    assert!(d.quiesce(Duration::from_secs(10)));
+    d.reconfigure(ReconfigRequest::Checkpoint).unwrap(); // Delta.
+
+    // Repartition 2 -> 3. The old chains describe the old key ownership,
+    // so they are dropped...
+    let snap = d.metrics();
+    let task = snap
+        .tasks
+        .iter()
+        .find(|t| t.instances == 2)
+        .and_then(|t| t.id)
+        .expect("a 2-instance task exists");
+    d.reconfigure(ReconfigRequest::ScaleOut { task }).unwrap();
+
+    // ...which makes recovery in the migration window an explicit error
+    // rather than a silently wrong restore.
+    assert!(d
+        .reconfigure(ReconfigRequest::FailAndRecover {
+            state: kv,
+            replica: 0,
+        })
+        .is_err());
+
+    // The next checkpoint re-bases every replica; recovery is exact again.
+    for n in 0..100i64 {
+        d.submit("bump", record! {"k" => Value::Int(n % 20)})
+            .unwrap();
+    }
+    assert!(d.quiesce(Duration::from_secs(10)));
+    d.reconfigure(ReconfigRequest::Checkpoint).unwrap();
+    d.reconfigure(ReconfigRequest::FailAndRecover {
+        state: kv,
+        replica: 0,
+    })
+    .unwrap();
+    assert!(d.quiesce(Duration::from_secs(10)));
+    assert_eq!(total_count(&d, kv), 400, "no loss, no duplication");
+
+    // Same guarantee across a scale-in boundary: checkpoint, shrink 3 -> 2,
+    // checkpoint again, recover a survivor.
+    d.reconfigure(ReconfigRequest::Checkpoint).unwrap();
+    d.reconfigure(ReconfigRequest::ScaleIn { task }).unwrap();
+    assert!(d
+        .reconfigure(ReconfigRequest::FailAndRecover {
+            state: kv,
+            replica: 1,
+        })
+        .is_err());
+    d.reconfigure(ReconfigRequest::Checkpoint).unwrap();
+    d.reconfigure(ReconfigRequest::FailAndRecover {
+        state: kv,
+        replica: 1,
+    })
+    .unwrap();
+    assert!(d.quiesce(Duration::from_secs(10)));
+    assert_eq!(total_count(&d, kv), 400);
+    assert_eq!(d.stats().errors, 0);
+    d.shutdown();
+}
+
+#[test]
+fn monitor_releases_idle_instances() {
+    // Scale out under a burst, then watch the monitor shrink the task back
+    // once the queues stay idle.
+    let prog = parse_program("void work(int x) { emit x * 2; }").unwrap();
+    let sdg = translate(&prog).unwrap();
+    let task = sdg.task_by_name("work_0").unwrap().id;
+    let mut cfg = RuntimeConfig {
+        channel_capacity: 8,
+        scaling: ScalingConfig {
+            enabled: true,
+            check_interval: Duration::from_millis(10),
+            high_watermark: 0.5,
+            patience: 2,
+            low_watermark: 0.2,
+            idle_patience: 3,
+            min_instances: 1,
+            max_instances: 4,
+        },
+        ..Default::default()
+    };
+    cfg.work_ns.insert(task, 3_000_000); // 3 ms per item.
+    let d = Deployment::start(sdg, cfg).unwrap();
+    for n in 0..400i64 {
+        d.submit("work", record! {"x" => Value::Int(n)}).unwrap();
+    }
+    assert!(d.quiesce(Duration::from_secs(30)));
+    assert!(d.stats().scale_outs > 0, "burst must trigger scale-out");
+
+    // Idle now: the monitor removes the extra instances one tick at a time.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while task_instances(&d, task) > 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        task_instances(&d, task),
+        1,
+        "idle task must shrink back to min_instances"
+    );
+    assert!(d.stats().scale_ins > 0);
+    assert_eq!(d.stats().errors, 0);
+    d.shutdown();
+}
+
+#[test]
 fn reactive_scaling_reacts_to_bottlenecks() {
     // A stateless pipeline with an expensive stage and a tiny channel: the
     // monitor must add instances.
@@ -454,6 +735,7 @@ fn reactive_scaling_reacts_to_bottlenecks() {
             high_watermark: 0.5,
             patience: 2,
             max_instances: 4,
+            ..Default::default()
         },
         ..Default::default()
     };

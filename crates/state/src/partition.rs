@@ -84,6 +84,22 @@ impl PartitionStrategy {
     }
 }
 
+/// Whether a key with stable hash `hash` lives on a different instance
+/// after a mod-`N` repartitioning from `from` to `to` instances.
+///
+/// The reconfiguration planner uses this to account moved bytes exactly:
+/// under hash partitioning a resize reshuffles keys between *all*
+/// instances (not just the added/removed one), and an entry migrates
+/// precisely when its owner index changes.
+///
+/// # Panics
+///
+/// Panics if `from` or `to` is zero.
+pub fn owner_changes(hash: u64, from: usize, to: usize) -> bool {
+    assert!(from > 0 && to > 0, "partition counts must be positive");
+    hash % from as u64 != hash % to as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +158,19 @@ mod tests {
     fn dim_displays() {
         assert_eq!(PartitionDim::Row.to_string(), "row");
         assert_eq!(PartitionDim::Col.to_string(), "col");
+    }
+
+    #[test]
+    fn owner_changes_matches_mod_n_ownership() {
+        for i in 0..200i64 {
+            let h = Key::Int(i).stable_hash();
+            assert_eq!(owner_changes(h, 4, 3), h % 4 != h % 3);
+            // Same count: nothing moves.
+            assert!(!owner_changes(h, 5, 5));
+        }
+        // From a single instance every key stays (owner 0 both ways) only
+        // when the new count maps it to 0 as well.
+        assert!(!owner_changes(6, 1, 3));
+        assert!(owner_changes(7, 1, 3));
     }
 }

@@ -215,6 +215,71 @@ impl StateStore {
         }
     }
 
+    /// Merges `entries` into this store **additively**: numeric values are
+    /// summed with whatever the store already holds instead of overwriting
+    /// it (the folding direction of a `@Partial` merge, where each replica
+    /// contributes an independent partial aggregate).
+    ///
+    /// - Tables: `Int`/`Float` values are summed per key; equal-length
+    ///   numeric lists are summed element-wise; anything else overwrites
+    ///   (matching [`StateStore::import_entries`] for non-additive values).
+    /// - Matrices: cell-wise sum.
+    /// - Vectors: element-wise sum, extending the length as needed.
+    pub fn merge_additive(&mut self, entries: &[StateEntry]) -> SdgResult<()> {
+        match self {
+            StateStore::Table(t) => {
+                for e in entries {
+                    let key: Key = sdg_common::codec::decode_from_slice(&e.key)?;
+                    let incoming: Value = sdg_common::codec::decode_from_slice(&e.value)?;
+                    let merged = match (t.get(&key), incoming) {
+                        (Some(Value::Int(a)), Value::Int(b)) => Value::Int(a + b),
+                        (Some(Value::Float(a)), Value::Float(b)) => Value::Float(a + b),
+                        (Some(Value::Int(a)), Value::Float(b)) => Value::Float(a as f64 + b),
+                        (Some(Value::Float(a)), Value::Int(b)) => Value::Float(a + b as f64),
+                        (Some(Value::List(a)), Value::List(b)) if a.len() == b.len() => match a
+                            .iter()
+                            .zip(&b)
+                            .map(|(x, y)| match (x, y) {
+                                (Value::Int(x), Value::Int(y)) => Some(Value::Int(x + y)),
+                                (Value::Float(x), Value::Float(y)) => Some(Value::Float(x + y)),
+                                _ => None,
+                            })
+                            .collect::<Option<Vec<Value>>>()
+                        {
+                            Some(summed) => Value::List(summed),
+                            None => Value::List(b),
+                        },
+                        (_, incoming) => incoming,
+                    };
+                    t.put(key, merged);
+                }
+                Ok(())
+            }
+            StateStore::Matrix(m) => {
+                let mut other = SparseMatrix::new();
+                other.import_entries(entries)?;
+                for row in other.row_indices() {
+                    for (col, v) in other.row(row) {
+                        let cur = m.get(row, col);
+                        m.set(row, col, cur + v);
+                    }
+                }
+                Ok(())
+            }
+            StateStore::Vector(v) => {
+                let mut other = DenseVector::new();
+                other.import_entries(entries)?;
+                for i in 0..other.len() {
+                    let delta = other.get(i);
+                    if delta != 0.0 {
+                        v.add(i, delta);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Splits a partitioned SE into `n` disjoint instances.
     ///
     /// `dim` selects the matrix axis and is ignored for tables. Dense
@@ -536,6 +601,56 @@ mod tests {
         assert!(!vector.enable_chunk_tracking(4));
         vector.mark_all_dirty();
         assert_eq!(vector.dirty_chunk_count(), 0);
+    }
+
+    #[test]
+    fn additive_merge_sums_table_values() {
+        let mut a = StateStore::new(StateType::Table);
+        a.as_table().unwrap().put(Key::Int(1), Value::Int(10));
+        a.as_table().unwrap().put(Key::Int(2), Value::Float(1.5));
+        a.as_table()
+            .unwrap()
+            .put(Key::Int(3), Value::List(vec![Value::Int(1), Value::Int(2)]));
+        let mut b = StateStore::new(StateType::Table);
+        b.as_table().unwrap().put(Key::Int(1), Value::Int(32));
+        b.as_table().unwrap().put(Key::Int(2), Value::Float(0.5));
+        b.as_table().unwrap().put(
+            Key::Int(3),
+            Value::List(vec![Value::Int(10), Value::Int(20)]),
+        );
+        b.as_table().unwrap().put(Key::Int(4), Value::Int(7));
+        a.merge_additive(&b.export_entries()).unwrap();
+        let t = a.as_table().unwrap();
+        assert_eq!(t.get(&Key::Int(1)), Some(Value::Int(42)));
+        assert_eq!(t.get(&Key::Int(2)), Some(Value::Float(2.0)));
+        assert_eq!(
+            t.get(&Key::Int(3)),
+            Some(Value::List(vec![Value::Int(11), Value::Int(22)]))
+        );
+        // Keys absent on the receiving side are plain inserts.
+        assert_eq!(t.get(&Key::Int(4)), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn additive_merge_sums_matrices_and_vectors() {
+        let mut a = StateStore::new(StateType::Matrix);
+        a.as_matrix().unwrap().set(1, 2, 3.0);
+        let mut b = StateStore::new(StateType::Matrix);
+        b.as_matrix().unwrap().set(1, 2, 4.0);
+        b.as_matrix().unwrap().set(9, 9, 1.0);
+        a.merge_additive(&b.export_entries()).unwrap();
+        assert_eq!(a.as_matrix().unwrap().get(1, 2), 7.0);
+        assert_eq!(a.as_matrix().unwrap().get(9, 9), 1.0);
+
+        let mut v = StateStore::new(StateType::Vector);
+        v.as_vector().unwrap().set(0, 1.0);
+        let mut w = StateStore::new(StateType::Vector);
+        w.as_vector().unwrap().set(0, 2.0);
+        w.as_vector().unwrap().set(5, 3.0);
+        v.merge_additive(&w.export_entries()).unwrap();
+        assert_eq!(v.as_vector().unwrap().get(0), 3.0);
+        assert_eq!(v.as_vector().unwrap().get(5), 3.0);
+        assert_eq!(v.as_vector().unwrap().len(), 6);
     }
 
     #[test]

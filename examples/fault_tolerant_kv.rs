@@ -13,7 +13,7 @@
 use std::time::Duration;
 
 use sdg::apps::kv::KvApp;
-use sdg::prelude::RuntimeConfig;
+use sdg::prelude::{ReconfigRequest, RuntimeConfig};
 
 fn total_count(app: &KvApp) -> i64 {
     let mut total = 0;
@@ -49,7 +49,9 @@ fn main() {
     println!("total = {}", total_count(&app));
 
     println!("taking an asynchronous checkpoint (dirty-state, m-to-n chunks)...");
-    app.deployment().checkpoint_now().expect("checkpoint");
+    app.deployment()
+        .reconfigure(ReconfigRequest::Checkpoint)
+        .expect("checkpoint");
 
     println!("5_000 more events after the checkpoint...");
     for n in 0..5_000i64 {
@@ -61,7 +63,10 @@ fn main() {
     println!("failing partition 0's node (its in-memory state is lost)...");
     let report = app
         .deployment()
-        .fail_and_recover(app.state(), 0)
+        .reconfigure(ReconfigRequest::FailAndRecover {
+            state: app.state(),
+            replica: 0,
+        })
         .expect("recover");
     println!(
         "recovered: state restore took {:?}, {} items replayed from upstream \

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use sdg::apps::cf::{CfApp, CfReference};
 use sdg::apps::workloads::ratings;
-use sdg::prelude::RuntimeConfig;
+use sdg::prelude::{ReconfigRequest, RuntimeConfig};
 
 fn main() {
     // 2 userItem partitions, 2 partial coOcc instances.
@@ -51,7 +51,9 @@ fn main() {
             _ => None,
         })
         .unwrap_or(sdg::common::ids::TaskId(1)); // addRating_1 updates coOcc.
-    app.deployment().scale_task(co_occ_task).expect("scale out");
+    app.deployment()
+        .reconfigure(ReconfigRequest::ScaleOut { task: co_occ_task })
+        .expect("scale out");
     println!(
         "scaled coOcc to {} instances; streaming 2000 more ratings...",
         app.deployment()

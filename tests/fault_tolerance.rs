@@ -42,7 +42,9 @@ fn repeated_failures_of_different_partitions_stay_exact() {
         }
         expected += 300;
         assert!(app.quiesce(Duration::from_secs(30)));
-        app.deployment().checkpoint_now().unwrap();
+        app.deployment()
+            .reconfigure(ReconfigRequest::Checkpoint)
+            .unwrap();
 
         // Post-checkpoint traffic lives only in upstream buffers.
         for n in 0..150i64 {
@@ -54,7 +56,10 @@ fn repeated_failures_of_different_partitions_stay_exact() {
         // Fail a different partition each round.
         let report = app
             .deployment()
-            .fail_and_recover(app.state(), round % 3)
+            .reconfigure(ReconfigRequest::FailAndRecover {
+                state: app.state(),
+                replica: round % 3,
+            })
             .unwrap();
         assert!(app.quiesce(Duration::from_secs(30)));
         assert_eq!(
@@ -83,7 +88,13 @@ fn periodic_checkpoints_bound_replay_volume() {
     // Let at least one periodic checkpoint cover everything.
     std::thread::sleep(Duration::from_millis(400));
 
-    let report = app.deployment().fail_and_recover(app.state(), 0).unwrap();
+    let report = app
+        .deployment()
+        .reconfigure(ReconfigRequest::FailAndRecover {
+            state: app.state(),
+            replica: 0,
+        })
+        .unwrap();
     assert!(app.quiesce(Duration::from_secs(30)));
     assert_eq!(total_count(&app), 2_000);
     assert!(
@@ -101,7 +112,9 @@ fn recovery_under_concurrent_load_preserves_counts() {
         app.bump(n % 50).unwrap();
     }
     assert!(app.quiesce(Duration::from_secs(30)));
-    app.deployment().checkpoint_now().unwrap();
+    app.deployment()
+        .reconfigure(ReconfigRequest::Checkpoint)
+        .unwrap();
 
     // A feeder keeps submitting while the failure and recovery happen.
     let feeder = {
@@ -116,7 +129,12 @@ fn recovery_under_concurrent_load_preserves_counts() {
         })
     };
     std::thread::sleep(Duration::from_millis(5));
-    app.deployment().fail_and_recover(app.state(), 1).unwrap();
+    app.deployment()
+        .reconfigure(ReconfigRequest::FailAndRecover {
+            state: app.state(),
+            replica: 1,
+        })
+        .unwrap();
     feeder.join().unwrap();
     assert!(app.quiesce(Duration::from_secs(60)));
 

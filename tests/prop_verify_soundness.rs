@@ -17,7 +17,7 @@ use std::time::Duration;
 use proptest::prelude::*;
 use sdg::common::record;
 use sdg::common::value::Value;
-use sdg::prelude::RuntimeConfig;
+use sdg::prelude::{ReconfigRequest, RuntimeConfig};
 use sdg::SdgProgram;
 
 /// One generated statement operating on the routed key `k`.
@@ -144,13 +144,14 @@ proptest! {
                 .expect("submit");
         }
         prop_assert!(d.quiesce(Duration::from_secs(30)));
-        d.checkpoint_now().expect("checkpoint");
+        d.reconfigure(ReconfigRequest::Checkpoint).expect("checkpoint");
         for &(k, v) in &requests[cut..] {
             d.submit("main", record! {"k" => Value::Int(k), "v" => Value::Int(v)})
                 .expect("submit");
         }
         prop_assert!(d.quiesce(Duration::from_secs(30)));
-        d.fail_and_recover(sid, 0).expect("recover");
+        d.reconfigure(ReconfigRequest::FailAndRecover { state: sid, replica: 0 })
+            .expect("recover");
         prop_assert!(d.quiesce(Duration::from_secs(30)));
         let mut recovered = d
             .with_state(sid, 0, |s| {

@@ -1,0 +1,138 @@
+//! Property-based equivalence of elastic reconfiguration.
+//!
+//! Over generated `@Partitioned Table` programs and request sequences:
+//! a deployment that scales out and back in mid-stream must end with
+//! exactly the same per-replica state bytes as one that never scaled.
+//! The migration path (drain → export → hash-resplit → merge into
+//! survivors) and its dedupe-watermark handling may not lose, duplicate
+//! or misplace a single entry.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use sdg::common::record;
+use sdg::common::value::Value;
+use sdg::prelude::{Deployment, ReconfigRequest, RuntimeConfig};
+use sdg::SdgProgram;
+
+/// One generated statement operating on the routed key `k`. Key-local by
+/// construction: migration equivalence is about the data path, not about
+/// the verifier gate (covered in `prop_verify_soundness`).
+fn op_stmt() -> BoxedStrategy<String> {
+    prop_oneof![
+        3 => (-20i64..20).prop_map(|c| format!("t.put(k, v + {c});")),
+        3 => (1i64..5).prop_map(|c| format!("t.inc(k, {c});")),
+        1 => Just("t.remove(k);".to_owned()),
+        2 => ((-10i64..10), (1i64..5)).prop_map(|(c, by)| {
+            format!("if (v > {c}) {{ t.inc(k, {by}); }} else {{ t.put(k, v); }}")
+        }),
+    ]
+    .boxed()
+}
+
+fn body() -> BoxedStrategy<String> {
+    prop::collection::vec(op_stmt(), 1..5)
+        .prop_map(|s| s.join(" "))
+        .boxed()
+}
+
+fn program_src(body: &str) -> String {
+    format!("@Partitioned Table t;\nvoid main(int k, int v) {{ {body} }}")
+}
+
+fn arb_requests() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec(((0i64..8), (-20i64..20)), 0..10)
+}
+
+/// Sorted `(key, value)` byte pairs of every replica of `t`.
+fn export_replicas(d: &Deployment, sid: sdg::common::ids::StateId) -> Vec<Vec<(Vec<u8>, Vec<u8>)>> {
+    let replicas = d
+        .metrics()
+        .state_by_id(sid)
+        .map_or(0, |s| s.instances as usize);
+    (0..replicas)
+        .map(|replica| {
+            let mut entries = d
+                .with_state(sid, replica as u32, |s| {
+                    s.export_entries()
+                        .into_iter()
+                        .map(|e| (e.key, e.value))
+                        .collect::<Vec<_>>()
+                })
+                .expect("export state");
+            entries.sort();
+            entries
+        })
+        .collect()
+}
+
+fn submit_all(d: &Deployment, requests: &[(i64, i64)]) {
+    for &(k, v) in requests {
+        d.submit("main", record! {"k" => Value::Int(k), "v" => Value::Int(v)})
+            .expect("submit");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scale-out → scale-in between request batches leaves state bytes
+    /// identical, replica for replica, to a run that never scaled.
+    #[test]
+    fn scale_cycle_is_invisible(
+        body in body(),
+        pre in arb_requests(),
+        mid in arb_requests(),
+        post in arb_requests(),
+    ) {
+        let src = program_src(&body);
+        let compile = || SdgProgram::compile(&src).expect("generated program compiles");
+        let program = compile();
+        let sid = program.state("t").expect("state t exists");
+        let task = {
+            let mut ids: Vec<_> = program
+                .graph()
+                .tasks_accessing(sid)
+                .iter()
+                .map(|t| t.id)
+                .collect();
+            ids.sort();
+            ids[0]
+        };
+
+        // Elastic run: 2 partitions, grow to 3 mid-stream, shrink back.
+        let mut cfg = RuntimeConfig::default();
+        cfg.se_instances.insert(sid, 2);
+        let d = program.deploy(cfg).expect("deploys");
+        submit_all(&d, &pre);
+        prop_assert!(d.quiesce(Duration::from_secs(30)));
+        let grow = d.reconfigure(ReconfigRequest::ScaleOut { task }).expect("scale out");
+        prop_assert_eq!(grow.se_instances, 3);
+        submit_all(&d, &mid);
+        prop_assert!(d.quiesce(Duration::from_secs(30)));
+        let shrink = d.reconfigure(ReconfigRequest::ScaleIn { task }).expect("scale in");
+        prop_assert_eq!(shrink.se_instances, 2);
+        submit_all(&d, &post);
+        prop_assert!(d.quiesce(Duration::from_secs(30)));
+        let elastic = export_replicas(&d, sid);
+        prop_assert_eq!(d.stats().errors, 0);
+        d.shutdown();
+
+        // Undisturbed run: same 2 partitions, same requests, no scaling.
+        let program = compile();
+        let mut cfg = RuntimeConfig::default();
+        cfg.se_instances.insert(sid, 2);
+        let d = program.deploy(cfg).expect("deploys");
+        submit_all(&d, &pre);
+        submit_all(&d, &mid);
+        submit_all(&d, &post);
+        prop_assert!(d.quiesce(Duration::from_secs(30)));
+        let undisturbed = export_replicas(&d, sid);
+        d.shutdown();
+
+        prop_assert_eq!(
+            elastic, undisturbed,
+            "scale cycle changed observable state for:\n{}", src
+        );
+    }
+}

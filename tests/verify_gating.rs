@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use sdg::common::record;
 use sdg::common::value::Value;
-use sdg::prelude::RuntimeConfig;
+use sdg::prelude::{ReconfigRequest, RuntimeConfig};
 use sdg::SdgProgram;
 
 /// Deliberately cross-key: the second `put` goes through a reassigned key
@@ -126,12 +126,12 @@ fn unreplayable_merge_disables_delta_checkpointing() {
                 .unwrap();
         }
         assert!(d.quiesce(Duration::from_secs(10)));
-        d.checkpoint_now().unwrap();
+        d.reconfigure(ReconfigRequest::Checkpoint).unwrap();
         // A second generation over a dirty cell is where a delta would be
         // cut; an ungated cell records it as an incremental generation.
         d.submit("add", record! {"w" => Value::str("w0")}).unwrap();
         assert!(d.quiesce(Duration::from_secs(10)));
-        d.checkpoint_now().unwrap();
+        d.reconfigure(ReconfigRequest::Checkpoint).unwrap();
         let deltas = d.metrics().checkpoints.deltas;
         d.shutdown();
         deltas
@@ -147,4 +147,87 @@ fn unreplayable_merge_disables_delta_checkpointing() {
     );
     let certified = ORDER_SENSITIVE.replace("append(", "vec_add(");
     assert!(run(&certified) > 0, "certified merge must cut deltas");
+}
+
+#[test]
+fn uncertified_partial_merge_refuses_scale_in() {
+    // Scale-in of a @Partial group folds the victim replica into a
+    // survivor — an additive merge applied outside the usual read-all
+    // barrier. The runtime must refuse when `sdg-verify` cannot certify
+    // the program's merge as sound, and explain itself.
+    let deploy = |source: &str, trust: bool| {
+        let program = SdgProgram::compile(source).unwrap();
+        let sid = program.state("counts").expect("state counts");
+        let task = {
+            let mut ids: Vec<_> = program
+                .graph()
+                .tasks_accessing(sid)
+                .iter()
+                .map(|t| t.id)
+                .collect();
+            ids.sort();
+            ids[0]
+        };
+        let mut cfg = RuntimeConfig::default();
+        cfg.se_instances.insert(sid, 2);
+        cfg.trust_annotations = trust;
+        let d = program.deploy(cfg).unwrap();
+        for n in 0..20 {
+            d.submit("add", record! {"w" => Value::str(format!("w{}", n % 6))})
+                .unwrap();
+        }
+        assert!(d.quiesce(Duration::from_secs(10)));
+        (d, sid, task)
+    };
+    let total = |d: &sdg::prelude::Deployment, sid| {
+        let replicas = d
+            .metrics()
+            .state_by_id(sid)
+            .map_or(0, |s| s.instances as usize);
+        let mut total = 0i64;
+        for replica in 0..replicas {
+            d.with_state(sid, replica as u32, |s| {
+                s.as_table().unwrap().for_each(|_, v| {
+                    total += v.as_int().unwrap();
+                });
+            })
+            .unwrap();
+        }
+        total
+    };
+
+    // The order-sensitive merge (SL0303): refused, replicas untouched.
+    let (d, sid, task) = deploy(ORDER_SENSITIVE, false);
+    let err = d
+        .reconfigure(sdg::prelude::ReconfigRequest::ScaleIn { task })
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("not certified sound") && msg.contains("trust_annotations"),
+        "diagnostic must name the gate and the override: {msg}"
+    );
+    assert_eq!(
+        d.metrics().state_by_id(sid).unwrap().instances,
+        2,
+        "a refused scale-in must not change the group"
+    );
+    assert_eq!(total(&d, sid), 20);
+    d.shutdown();
+
+    // The escape hatch overrides the gate.
+    let (d, sid, task) = deploy(ORDER_SENSITIVE, true);
+    d.reconfigure(sdg::prelude::ReconfigRequest::ScaleIn { task })
+        .unwrap();
+    assert_eq!(d.metrics().state_by_id(sid).unwrap().instances, 1);
+    assert_eq!(total(&d, sid), 20, "the fold must preserve the sum");
+    d.shutdown();
+
+    // Fixing the merge (vec_add is certified) allows the scale-in.
+    let certified = ORDER_SENSITIVE.replace("append(", "vec_add(");
+    let (d, sid, task) = deploy(&certified, false);
+    d.reconfigure(sdg::prelude::ReconfigRequest::ScaleIn { task })
+        .unwrap();
+    assert_eq!(d.metrics().state_by_id(sid).unwrap().instances, 1);
+    assert_eq!(total(&d, sid), 20);
+    d.shutdown();
 }
