@@ -182,6 +182,13 @@ pub struct BackupSet {
     /// key (whose `chunk` field is the chunk id).
     pub chunk_locations: Vec<(usize, ChunkKey)>,
     /// The instance's output buffers at snapshot time.
+    ///
+    /// Always sealed to [`BufferedPayload::Encoded`] wire bytes by the
+    /// coordinator's persist phase, regardless of whether the runtime
+    /// logged them live (deferred encoding) or pre-encoded (eager
+    /// baseline) — a persisted set is byte-identical in both modes.
+    ///
+    /// [`BufferedPayload::Encoded`]: crate::buffer::BufferedPayload::Encoded
     pub out_buffers: Vec<(EdgeId, Vec<BufferedItem>)>,
     /// Serialised state size in bytes (all chunks written by this
     /// generation).

@@ -1,21 +1,114 @@
 //! Upstream output buffers for message replay (§5).
 //!
-//! Every TE instance keeps, per outgoing dataflow edge, the encoded items it
-//! has sent since the oldest downstream checkpoint. After a downstream
-//! failure the buffer is replayed; once all downstream checkpoints cover a
+//! Every TE instance keeps, per outgoing dataflow edge, the items it has
+//! sent since the oldest downstream checkpoint. After a downstream failure
+//! the buffer is replayed; once all downstream checkpoints cover a
 //! timestamp, the prefix up to it is trimmed.
+//!
+//! Payloads are **two-state**: items logged on the dispatch path stay
+//! [`BufferedPayload::Live`] — a refcounted handle on the very record the
+//! consumer received, so logging costs an `Arc` clone instead of an encode —
+//! and are only *sealed* into [`BufferedPayload::Encoded`] wire bytes when a
+//! checkpoint persists them (or when they were restored from one). Replay
+//! handles both: `Live` items are re-sent with zero decode, `Encoded` items
+//! fall back to the wire codec.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use bytes::BytesMut;
+use sdg_common::codec::{write_varint, Codec};
 use sdg_common::time::ScalarTs;
+use sdg_common::value::Record;
 
-/// One buffered output item: its scalar timestamp and encoded payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The payload of one buffered output item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BufferedPayload {
+    /// An item logged this epoch: the producer parks a refcounted handle on
+    /// the record it dispatched, plus the header fields needed to rebuild
+    /// the wire form. Encoding is deferred until a checkpoint seals it.
+    Live {
+        /// Correlation id of the originating external input.
+        corr: u64,
+        /// Expected downstream instance count (gather bookkeeping).
+        expect: u32,
+        /// The dispatched record, shared with the in-flight item.
+        payload: Arc<Record>,
+    },
+    /// Wire bytes, either produced by the eager-encoding baseline or
+    /// restored from a checkpoint. Layout: varint `corr`, varint `expect`,
+    /// then the record encoding.
+    Encoded(Vec<u8>),
+}
+
+/// One buffered output item: its scalar timestamp and two-state payload.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BufferedItem {
     /// Timestamp assigned by the producer on this edge.
     pub ts: ScalarTs,
-    /// Encoded item payload.
-    pub bytes: Vec<u8>,
+    /// The payload, live or encoded.
+    pub payload: BufferedPayload,
+}
+
+impl BufferedItem {
+    /// A live (deferred-encoding) item sharing `payload` by refcount.
+    pub fn live(ts: ScalarTs, corr: u64, expect: u32, payload: Arc<Record>) -> Self {
+        BufferedItem {
+            ts,
+            payload: BufferedPayload::Live {
+                corr,
+                expect,
+                payload,
+            },
+        }
+    }
+
+    /// An item already in wire form.
+    pub fn encoded(ts: ScalarTs, bytes: Vec<u8>) -> Self {
+        BufferedItem {
+            ts,
+            payload: BufferedPayload::Encoded(bytes),
+        }
+    }
+
+    /// Renders the payload's wire bytes (varint `corr`, varint `expect`,
+    /// record encoding) — identical to what the eager path logs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match &self.payload {
+            BufferedPayload::Live {
+                corr,
+                expect,
+                payload,
+            } => {
+                let mut buf = BytesMut::with_capacity(payload.approx_size() + 16);
+                write_varint(&mut buf, *corr);
+                write_varint(&mut buf, u64::from(*expect));
+                payload.encode(&mut buf);
+                buf.to_vec()
+            }
+            BufferedPayload::Encoded(bytes) => bytes.clone(),
+        }
+    }
+
+    /// Converts a `Live` payload to its `Encoded` form in place. Returns
+    /// `true` when an encode actually happened (the item was live).
+    pub fn seal(&mut self) -> bool {
+        if matches!(self.payload, BufferedPayload::Encoded(_)) {
+            return false;
+        }
+        self.payload = BufferedPayload::Encoded(self.to_bytes());
+        true
+    }
+
+    /// Bytes this item accounts for in the buffer: the record's approximate
+    /// in-memory footprint for `Live` items (no encode on the dispatch
+    /// path), the exact wire length for `Encoded` ones.
+    pub fn cost(&self) -> usize {
+        match &self.payload {
+            BufferedPayload::Live { payload, .. } => payload.approx_size() + 16,
+            BufferedPayload::Encoded(bytes) => bytes.len(),
+        }
+    }
 }
 
 /// An output buffer for one dataflow edge of one producer instance.
@@ -38,20 +131,32 @@ impl OutputBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if `ts` is not greater than the last buffered timestamp —
+    /// Panics if `item.ts` is not greater than the last buffered timestamp —
     /// that would indicate a broken timestamp generator upstream, which
     /// would corrupt replay.
-    pub fn push(&mut self, ts: ScalarTs, bytes: Vec<u8>) {
+    pub fn push(&mut self, item: BufferedItem) {
         if let Some(last) = self.items.back() {
             assert!(
-                ts > last.ts,
+                item.ts > last.ts,
                 "output buffer timestamps must increase: {} after {}",
-                ts,
+                item.ts,
                 last.ts
             );
         }
-        self.bytes += bytes.len();
-        self.items.push_back(BufferedItem { ts, bytes });
+        self.bytes += item.cost();
+        self.items.push_back(item);
+    }
+
+    /// Appends a live (deferred-encoding) item: one refcount bump, no
+    /// serialisation. See [`OutputBuffer::push`] for the monotonicity rule.
+    pub fn push_live(&mut self, ts: ScalarTs, corr: u64, expect: u32, payload: Arc<Record>) {
+        self.push(BufferedItem::live(ts, corr, expect, payload));
+    }
+
+    /// Appends an item already in wire form (the eager-encoding baseline).
+    /// See [`OutputBuffer::push`] for the monotonicity rule.
+    pub fn push_encoded(&mut self, ts: ScalarTs, bytes: Vec<u8>) {
+        self.push(BufferedItem::encoded(ts, bytes));
     }
 
     /// Appends a batch of items under one borrow of the buffer.
@@ -60,18 +165,26 @@ impl OutputBuffer {
     /// acquisition over the whole batch (the runtime's edge micro-batching
     /// path). The same monotonicity rule as [`OutputBuffer::push`] applies
     /// to the concatenation of existing and new items.
-    pub fn push_all(&mut self, items: impl IntoIterator<Item = (ScalarTs, Vec<u8>)>) {
-        for (ts, bytes) in items {
-            self.push(ts, bytes);
+    pub fn push_all(&mut self, items: impl IntoIterator<Item = BufferedItem>) {
+        for item in items {
+            self.push(item);
         }
     }
 
     /// Drops all items with `ts <= watermark` (they are covered by every
     /// downstream checkpoint).
+    ///
+    /// When the watermark covers the whole buffer — the common case under
+    /// watermark storms right after a checkpoint — the back sentinel is
+    /// checked once and the buffer is cleared wholesale instead of
+    /// re-checking and re-accounting per item.
     pub fn trim(&mut self, watermark: ScalarTs) {
+        if self.drain_covered(watermark) {
+            return;
+        }
         while let Some(front) = self.items.front() {
             if front.ts <= watermark {
-                self.bytes -= front.bytes.len();
+                self.bytes -= front.cost();
                 self.items.pop_front();
             } else {
                 break;
@@ -79,7 +192,26 @@ impl OutputBuffer {
         }
     }
 
+    /// Fast path for [`OutputBuffer::trim`]: when `watermark` covers the
+    /// newest buffered item it covers all of them (timestamps are
+    /// monotone), so everything is dropped in O(1) bookkeeping. Returns
+    /// `true` when it handled the trim.
+    fn drain_covered(&mut self, watermark: ScalarTs) -> bool {
+        match self.items.back() {
+            Some(back) if back.ts <= watermark => {
+                self.items.clear();
+                self.bytes = 0;
+                true
+            }
+            Some(_) => false,
+            None => true,
+        }
+    }
+
     /// Returns the items with `ts > after`, in timestamp order, for replay.
+    ///
+    /// Live payloads are shared by refcount — no record is deep-cloned
+    /// under the caller's lock.
     pub fn replay_after(&self, after: ScalarTs) -> Vec<BufferedItem> {
         self.items
             .iter()
@@ -89,14 +221,16 @@ impl OutputBuffer {
     }
 
     /// Returns all buffered items (for inclusion in the producer's own
-    /// checkpoint).
+    /// checkpoint). Live payloads are shared by refcount, so this is cheap
+    /// enough to run under the checkpoint initiation lock; the persist
+    /// phase seals them into wire bytes off-path.
     pub fn snapshot(&self) -> Vec<BufferedItem> {
         self.items.iter().cloned().collect()
     }
 
     /// Replaces the contents from a checkpoint snapshot.
     pub fn restore(&mut self, items: Vec<BufferedItem>) {
-        self.bytes = items.iter().map(|i| i.bytes.len()).sum();
+        self.bytes = items.iter().map(|i| i.cost()).sum();
         self.items = items.into();
     }
 
@@ -107,7 +241,7 @@ impl OutputBuffer {
     pub fn cap(&mut self, max_items: usize) {
         while self.items.len() > max_items {
             if let Some(front) = self.items.pop_front() {
-                self.bytes -= front.bytes.len();
+                self.bytes -= front.cost();
             }
         }
     }
@@ -122,7 +256,8 @@ impl OutputBuffer {
         self.items.is_empty()
     }
 
-    /// Total payload bytes buffered.
+    /// Total approximate payload bytes buffered (wire length for encoded
+    /// items, `Record::approx_size` for live ones).
     pub fn buffered_bytes(&self) -> usize {
         self.bytes
     }
@@ -136,13 +271,20 @@ impl OutputBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sdg_common::codec::{encode_to_vec, Reader};
+    use sdg_common::record;
+    use sdg_common::value::Value;
 
     fn buf_with(ts: &[u64]) -> OutputBuffer {
         let mut b = OutputBuffer::new();
         for &t in ts {
-            b.push(t, vec![t as u8; 4]);
+            b.push_encoded(t, vec![t as u8; 4]);
         }
         b
+    }
+
+    fn rec(n: i64) -> Arc<Record> {
+        Arc::new(record! { "k" => Value::Int(n), "s" => Value::Str("payload".into()) })
     }
 
     #[test]
@@ -158,13 +300,23 @@ mod tests {
     #[should_panic(expected = "timestamps must increase")]
     fn non_monotone_push_panics() {
         let mut b = buf_with(&[5]);
-        b.push(5, vec![]);
+        b.push_encoded(5, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamps must increase")]
+    fn non_monotone_live_push_panics() {
+        let mut b = buf_with(&[5]);
+        b.push_live(4, 0, 1, rec(4));
     }
 
     #[test]
     fn push_all_appends_a_batch() {
         let mut b = buf_with(&[1]);
-        b.push_all([(2, vec![0; 2]), (3, vec![0; 3])]);
+        b.push_all([
+            BufferedItem::encoded(2, vec![0; 2]),
+            BufferedItem::encoded(3, vec![0; 3]),
+        ]);
         assert_eq!(b.len(), 3);
         assert_eq!(b.last_ts(), 3);
         assert_eq!(b.buffered_bytes(), 4 + 2 + 3);
@@ -174,7 +326,58 @@ mod tests {
     #[should_panic(expected = "timestamps must increase")]
     fn push_all_enforces_monotonicity_across_the_batch() {
         let mut b = buf_with(&[5]);
-        b.push_all([(6, vec![]), (6, vec![])]);
+        b.push_all([
+            BufferedItem::encoded(6, vec![]),
+            BufferedItem::encoded(6, vec![]),
+        ]);
+    }
+
+    #[test]
+    fn live_push_accounts_approx_size_without_encoding() {
+        let mut b = OutputBuffer::new();
+        let r = rec(7);
+        b.push_live(1, 9, 2, Arc::clone(&r));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.buffered_bytes(), r.approx_size() + 16);
+        // The buffer holds the same allocation the producer dispatched.
+        match &b.snapshot()[0].payload {
+            BufferedPayload::Live { payload, .. } => assert!(Arc::ptr_eq(payload, &r)),
+            BufferedPayload::Encoded(_) => panic!("live push must stay live"),
+        }
+    }
+
+    #[test]
+    fn seal_produces_the_eager_wire_bytes() {
+        let r = rec(42);
+        let mut item = BufferedItem::live(3, 99, 2, Arc::clone(&r));
+
+        // Reference: what the eager path would have logged.
+        let mut expect = BytesMut::new();
+        write_varint(&mut expect, 99);
+        write_varint(&mut expect, 2);
+        r.encode(&mut expect);
+        let expect = expect.to_vec();
+
+        assert_eq!(item.to_bytes(), expect);
+        assert!(item.seal());
+        assert!(!item.seal(), "sealing is idempotent");
+        assert_eq!(item.payload, BufferedPayload::Encoded(expect.clone()));
+        assert_eq!(item.cost(), expect.len());
+
+        // The sealed bytes decode back to the original header + record.
+        let mut rd = Reader::new(&expect);
+        assert_eq!(rd.read_varint().unwrap(), 99);
+        assert_eq!(rd.read_varint().unwrap(), 2);
+        assert_eq!(Record::decode(&mut rd).unwrap(), *r);
+    }
+
+    #[test]
+    fn sealed_encoded_item_matches_encode_to_vec_layout() {
+        // The record portion of the wire form is exactly `Record::encode`.
+        let r = rec(5);
+        let bytes = BufferedItem::live(1, 0, 1, Arc::clone(&r)).to_bytes();
+        let record_bytes = encode_to_vec(&*r);
+        assert!(bytes.ends_with(&record_bytes));
     }
 
     #[test]
@@ -189,6 +392,17 @@ mod tests {
         b.trim(100);
         assert!(b.is_empty());
         assert_eq!(b.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn trim_covering_the_back_sentinel_clears_wholesale() {
+        let mut b = buf_with(&[1, 2, 3]);
+        b.push_live(4, 0, 1, rec(4));
+        b.trim(4); // == last_ts: the drain_covered fast path.
+        assert!(b.is_empty());
+        assert_eq!(b.buffered_bytes(), 0);
+        b.trim(4); // Idempotent on an empty buffer.
+        assert!(b.is_empty());
     }
 
     #[test]
@@ -211,6 +425,18 @@ mod tests {
     }
 
     #[test]
+    fn replay_shares_live_payloads_by_refcount() {
+        let mut b = OutputBuffer::new();
+        let r = rec(1);
+        b.push_live(1, 0, 1, Arc::clone(&r));
+        let replay = b.replay_after(0);
+        match &replay[0].payload {
+            BufferedPayload::Live { payload, .. } => assert!(Arc::ptr_eq(payload, &r)),
+            BufferedPayload::Encoded(_) => panic!("replay must not encode"),
+        }
+    }
+
+    #[test]
     fn cap_bounds_the_buffer() {
         let mut b = buf_with(&[1, 2, 3, 4, 5]);
         b.cap(2);
@@ -225,7 +451,8 @@ mod tests {
 
     #[test]
     fn snapshot_restore_roundtrips() {
-        let b = buf_with(&[1, 2, 3]);
+        let mut b = buf_with(&[1, 2]);
+        b.push_live(3, 7, 1, rec(3));
         let snap = b.snapshot();
         let mut restored = OutputBuffer::new();
         restored.restore(snap);
@@ -233,7 +460,17 @@ mod tests {
         assert_eq!(restored.buffered_bytes(), b.buffered_bytes());
         assert_eq!(restored.last_ts(), 3);
         // Restored buffers continue accepting newer items.
-        restored.push(4, vec![0]);
+        restored.push_encoded(4, vec![0]);
         assert_eq!(restored.len(), 4);
+    }
+
+    #[test]
+    fn restore_of_sealed_items_accounts_wire_length() {
+        let mut item = BufferedItem::live(1, 0, 1, rec(9));
+        item.seal();
+        let wire = item.cost();
+        let mut b = OutputBuffer::new();
+        b.restore(vec![item]);
+        assert_eq!(b.buffered_bytes(), wire);
     }
 }

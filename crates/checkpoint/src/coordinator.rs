@@ -20,7 +20,7 @@
 //! against. Synchronous checkpoints are always full.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -154,7 +154,16 @@ fn take_checkpoint_inner(
 
     if cfg.synchronous {
         let t0 = Instant::now();
-        let result = take_sync(cell, instance, seq, capture_outputs, stores, fanout, cfg);
+        let result = take_sync(
+            cell,
+            instance,
+            seq,
+            capture_outputs,
+            stores,
+            fanout,
+            cfg,
+            obs,
+        );
         if let Some(obs) = obs {
             obs.sync_ns.record_duration(t0.elapsed());
         }
@@ -164,7 +173,7 @@ fn take_checkpoint_inner(
     // Step 1: O(1) snapshots under the all-stripes lock; processing
     // resumes on the dirty overlays as soon as the locks drop.
     let t0 = Instant::now();
-    let cut = cell.with_all(|inners| -> SdgResult<InitCut> {
+    let mut cut = cell.with_all(|inners| -> SdgResult<InitCut> {
         let tracking = cfg.incremental
             && inners
                 .iter()
@@ -214,9 +223,14 @@ fn take_checkpoint_inner(
     let stripe_vectors: Vec<VectorTs> = cut.snapshots.iter().map(|(_, v)| v.clone()).collect();
     let vector = min_vector(&stripe_vectors);
 
-    // Steps 2–4 run off the processing path.
+    // Steps 2–4 run off the processing path. Captured output buffers are
+    // sealed here too: the dispatch path only parked refcounted records
+    // (deferred encoding), so the wire encode joins the state serialise on
+    // the persist-phase pool and `BackupSet` stays byte-identical to the
+    // eager baseline on disk.
     let t1 = Instant::now();
     let (payloads, delta) = serialise_generation(&cut, cfg, opts.force_full);
+    let sealed = seal_out_buffers(&mut cut.out_buffers, cfg.serialise_threads);
     let result = write_chunks(
         &payloads,
         instance,
@@ -227,6 +241,7 @@ fn take_checkpoint_inner(
     );
     if let Some(obs) = obs {
         obs.persist_ns.record_duration(t1.elapsed());
+        obs.encode_deferred.add(sealed);
     }
 
     // Step 5: consolidate even if a write failed, so the cell stays usable.
@@ -335,6 +350,7 @@ fn serialise_generation(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn take_sync(
     cell: &StateCell,
     instance: InstanceId,
@@ -343,14 +359,20 @@ fn take_sync(
     stores: &[Arc<BackupStore>],
     fanout: usize,
     cfg: &CheckpointConfig,
+    obs: Option<&CheckpointInstruments>,
 ) -> SdgResult<BackupSet> {
     // The entire export + serialise + write happens under the cell locks:
     // every processing thread blocks for the duration. Sync checkpoints
-    // are always full (the Fig. 12 baseline).
+    // are always full (the Fig. 12 baseline), and live output-buffer
+    // captures are sealed inside the stop-the-world span.
     cell.with_all(|inners| {
         let stripe_vectors: Vec<VectorTs> = inners.iter().map(|i| i.vector.clone()).collect();
         let vector = min_vector(&stripe_vectors);
-        let out_buffers = capture_outputs();
+        let mut out_buffers = capture_outputs();
+        let sealed = seal_out_buffers(&mut out_buffers, cfg.serialise_threads);
+        if let Some(obs) = obs {
+            obs.encode_deferred.add(sealed);
+        }
         let state_type = inners[0].store.state_type();
         let mut entries = Vec::new();
         for inner in inners.iter_mut() {
@@ -443,6 +465,38 @@ fn write_chunks(
     Ok((locations, total))
 }
 
+/// Seals every captured output-buffer item into its `Encoded` wire form,
+/// splitting the edges across `threads` workers. Items logged by the eager
+/// baseline are already encoded and pass through untouched, so a persisted
+/// `BackupSet` holds identical bytes in both modes. Returns the number of
+/// encodes performed (live items sealed).
+fn seal_out_buffers(out_buffers: &mut [(EdgeId, Vec<BufferedItem>)], threads: usize) -> u64 {
+    if out_buffers.is_empty() {
+        return 0;
+    }
+    let sealed = AtomicU64::new(0);
+    let per_worker = out_buffers
+        .len()
+        .div_ceil(threads.max(1).min(out_buffers.len()));
+    std::thread::scope(|scope| {
+        for part in out_buffers.chunks_mut(per_worker) {
+            let sealed = &sealed;
+            scope.spawn(move || {
+                let mut n = 0u64;
+                for (_, items) in part.iter_mut() {
+                    for item in items.iter_mut() {
+                        if item.seal() {
+                            n += 1;
+                        }
+                    }
+                }
+                sealed.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+    sealed.into_inner()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -508,17 +562,70 @@ mod tests {
         let cell = populated_cell(1);
         let stores = stores(1);
         let cfg = CheckpointConfig::default();
-        let outs = vec![(
-            EdgeId(7),
-            vec![BufferedItem {
-                ts: 3,
-                bytes: vec![1, 2],
-            }],
-        )];
+        let outs = vec![(EdgeId(7), vec![BufferedItem::encoded(3, vec![1, 2])])];
         let set = take_checkpoint(&cell, instance(), 1, move || outs, &stores, &cfg).unwrap();
         assert_eq!(set.out_buffers.len(), 1);
         assert_eq!(set.out_buffers[0].0, EdgeId(7));
         assert_eq!(set.out_buffers[0].1[0].ts, 3);
+    }
+
+    fn live_capture() -> (Vec<(EdgeId, Vec<BufferedItem>)>, Vec<u8>) {
+        let payload = std::sync::Arc::new(sdg_common::record! {
+            "k" => Value::Int(7),
+            "v" => Value::Str("deferred".into()),
+        });
+        let live = BufferedItem::live(3, 99, 2, payload);
+        let wire = live.to_bytes();
+        (vec![(EdgeId(7), vec![live])], wire)
+    }
+
+    #[test]
+    fn live_captures_are_sealed_at_persist_time() {
+        let cell = populated_cell(10);
+        let stores = stores(2);
+        let cfg = CheckpointConfig::default();
+        let obs = CheckpointInstruments::default();
+        let (outs, wire) = live_capture();
+        let set = take_checkpoint_observed(
+            &cell,
+            instance(),
+            1,
+            move || outs,
+            &stores,
+            &cfg,
+            Some(&obs),
+        )
+        .unwrap();
+        assert_eq!(
+            set.out_buffers[0].1[0],
+            BufferedItem::encoded(3, wire),
+            "persisted out_buffers must hold the eager wire bytes"
+        );
+        assert_eq!(obs.encode_deferred.get(), 1);
+    }
+
+    #[test]
+    fn sync_mode_seals_live_captures_too() {
+        let cell = populated_cell(10);
+        let stores = stores(2);
+        let cfg = CheckpointConfig {
+            synchronous: true,
+            ..Default::default()
+        };
+        let obs = CheckpointInstruments::default();
+        let (outs, wire) = live_capture();
+        let set = take_checkpoint_observed(
+            &cell,
+            instance(),
+            1,
+            move || outs,
+            &stores,
+            &cfg,
+            Some(&obs),
+        )
+        .unwrap();
+        assert_eq!(set.out_buffers[0].1[0], BufferedItem::encoded(3, wire));
+        assert_eq!(obs.encode_deferred.get(), 1);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod coordinator;
 pub mod recovery;
 
 pub use backup::{BackupSet, BackupStore, ChunkKey, DeltaMeta};
-pub use buffer::{BufferedItem, OutputBuffer};
+pub use buffer::{BufferedItem, BufferedPayload, OutputBuffer};
 pub use cell::StateCell;
 pub use config::CheckpointConfig;
 pub use coordinator::{take_checkpoint, take_checkpoint_with, CheckpointOptions};

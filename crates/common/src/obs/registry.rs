@@ -115,6 +115,12 @@ pub struct CheckpointInstruments {
     pub bytes: Counter,
     /// Items replayed from upstream buffers during recoveries.
     pub replayed: Counter,
+    /// Output-buffer items whose wire encode was deferred off the dispatch
+    /// path and performed at checkpoint-persist time.
+    pub encode_deferred: Counter,
+    /// Approximate bytes parked across upstream output buffers, sampled at
+    /// snapshot time.
+    pub buffered_bytes: Gauge,
     /// Lock-held snapshot initiation time (async step 1), ns.
     pub snapshot_ns: Histogram,
     /// Off-path serialise + backup time (async steps 2–4), ns.
@@ -315,6 +321,8 @@ impl MetricsRegistry {
                 failed: c.failed.get(),
                 bytes: c.bytes.get(),
                 replayed: c.replayed.get(),
+                encode_deferred: c.encode_deferred.get(),
+                buffered_bytes: c.buffered_bytes.get(),
                 snapshot: c.snapshot_ns.summary(),
                 persist: c.persist_ns.summary(),
                 consolidate: c.consolidate_ns.summary(),

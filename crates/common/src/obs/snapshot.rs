@@ -71,6 +71,10 @@ pub struct CheckpointStats {
     pub bytes: u64,
     /// Items replayed during recoveries.
     pub replayed: u64,
+    /// Output-buffer wire encodes deferred to checkpoint-persist time.
+    pub encode_deferred: u64,
+    /// Approximate bytes parked across upstream output buffers.
+    pub buffered_bytes: u64,
     /// Snapshot-initiation times (ns).
     pub snapshot: Summary,
     /// Serialise + backup times (ns).
@@ -271,8 +275,9 @@ impl MetricsSnapshot {
         let c = &self.checkpoints;
         let _ = writeln!(
             out,
-            "  checkpoints: {} taken ({} deltas), {} failed, {} bytes, {} replayed",
-            c.taken, c.deltas, c.failed, c.bytes, c.replayed
+            "  checkpoints: {} taken ({} deltas), {} failed, {} bytes, {} replayed, \
+             {} deferred encodes, {} buffered bytes",
+            c.taken, c.deltas, c.failed, c.bytes, c.replayed, c.encode_deferred, c.buffered_bytes
         );
         let r = &self.reconfig;
         let _ = writeln!(
@@ -376,6 +381,7 @@ impl MetricsSnapshot {
         let _ = write!(
             out,
             "],\"checkpoints\":{{\"taken\":{},\"deltas\":{},\"failed\":{},\"bytes\":{},\"replayed\":{},\
+             \"encode_deferred\":{},\"buffered_bytes\":{},\
              \"snapshot_ns\":{},\"persist_ns\":{},\"consolidate_ns\":{},\"sync_ns\":{},\
              \"restore_ns\":{}}},",
             c.taken,
@@ -383,6 +389,8 @@ impl MetricsSnapshot {
             c.failed,
             c.bytes,
             c.replayed,
+            c.encode_deferred,
+            c.buffered_bytes,
             summary_json(&c.snapshot),
             summary_json(&c.persist),
             summary_json(&c.consolidate),
@@ -650,6 +658,8 @@ mod tests {
                 failed: 0,
                 bytes: 2048,
                 replayed: 0,
+                encode_deferred: 4,
+                buffered_bytes: 512,
                 snapshot: summary(1),
                 persist: summary(1),
                 consolidate: summary(1),
@@ -712,6 +722,7 @@ mod tests {
             "\"states\":[{\"name\":\"kv\",\"state_id\":0,\"instances\":2,\"bytes\":4096,",
             "\"dirty_bytes\":0,\"stripes\":16,\"dirty_chunks\":0,\"checkpoints\":1}],",
             "\"checkpoints\":{\"taken\":1,\"deltas\":0,\"failed\":0,\"bytes\":2048,\"replayed\":0,",
+            "\"encode_deferred\":4,\"buffered_bytes\":512,",
             "\"snapshot_ns\":{\"count\":1,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",
             "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
             "\"persist_ns\":{\"count\":1,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",
@@ -762,6 +773,7 @@ mod tests {
         assert!(text.contains("put"));
         assert!(text.contains("kv"));
         assert!(text.contains("checkpoints: 1 taken"));
+        assert!(text.contains("4 deferred encodes, 512 buffered bytes"));
         assert!(text.contains("reconfig: 1 scale-outs, 1 scale-ins"));
         assert!(text.contains("e2e latency"));
         assert!(text.contains("checkpoint_backup"));

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use sdg_checkpoint::backup::{BackupSet, BackupStore};
+use sdg_checkpoint::buffer::BufferedItem;
 use sdg_checkpoint::cell::StateCell;
 use sdg_checkpoint::coordinator::{take_checkpoint_with, CheckpointOptions};
 use sdg_checkpoint::recovery::{restore_chain_observed, RestoreOptions};
@@ -557,6 +558,10 @@ impl Inner {
             s.dirty_chunks
                 .set(group.iter().map(|c| c.pending_dirty_chunks() as u64).sum());
         }
+        self.obs
+            .checkpoints()
+            .buffered_bytes
+            .set(self.buffers.total_bytes() as u64);
     }
 
     /// Label of SE instance `(state, replica)` in event payloads.
@@ -650,6 +655,7 @@ impl Inner {
                     replica as usize, // Stagger round-robin start points.
                     Arc::clone(&self.buffers),
                     buffered,
+                    self.cfg.checkpoint.deferred_encode,
                     self.edge_batch(flow.to),
                     Arc::clone(&self.in_flight),
                 )
@@ -800,6 +806,9 @@ impl Inner {
         };
         let expect = idxs.len() as u32;
         let submitted_at = Some(Instant::now());
+        // One refcounted allocation shared across every broadcast target
+        // and the output-buffer log — fan-out is a refcount bump.
+        let shared = Arc::new(payload.clone());
         for idx in idxs {
             let item = Item {
                 edge,
@@ -807,7 +816,7 @@ impl Inner {
                 ts,
                 corr,
                 expect,
-                payload: payload.clone(),
+                payload: Arc::clone(&shared),
                 submitted_at,
             };
             if self.cfg.checkpoint.enabled {
@@ -816,7 +825,12 @@ impl Inner {
                     src,
                     dst: idx as u32,
                 };
-                self.buffers.get(key).lock().push(ts, item.encode_payload());
+                let buf = self.buffers.get(key);
+                if self.cfg.checkpoint.deferred_encode {
+                    buf.lock().push_live(ts, corr, expect, Arc::clone(&shared));
+                } else {
+                    buf.lock().push_encoded(ts, item.encode_payload());
+                }
             }
             targets[idx]
                 .send(WorkerMsg::Item(item))
@@ -908,7 +922,7 @@ impl Inner {
                     cell,
                     se_instance_id(state, replica as u32),
                     seq,
-                    Vec::new,
+                    || self.capture_outputs_for(state, replica as u32),
                     &self.stores,
                     &self.cfg.checkpoint,
                     Some(self.obs.checkpoints()),
@@ -952,6 +966,35 @@ impl Inner {
             }
         }
         Ok(())
+    }
+
+    /// Snapshots the output buffers feeding SE instance `(state, replica)`,
+    /// keyed by their dedupe lane so a restored node can match watermarks.
+    ///
+    /// Runs inside the checkpoint initiation lock. Snapshots are O(items)
+    /// refcount bumps (live entries stay un-encoded until the persist
+    /// phase seals them), so the lock-held span stays short.
+    fn capture_outputs_for(
+        &self,
+        state: StateId,
+        replica: u32,
+    ) -> Vec<(EdgeId, Vec<BufferedItem>)> {
+        let mut out = Vec::new();
+        for task in self.sdg.tasks_accessing(state) {
+            let mut edges: Vec<EdgeId> = self.sdg.flows_to(task.id).iter().map(|f| f.id).collect();
+            if matches!(task.kind, TaskKind::Entry { .. }) {
+                edges.push(ingest_edge(task.id));
+            }
+            for edge in edges {
+                for (src, buf) in self.buffers.buffers_into(edge, replica) {
+                    let items = buf.lock().snapshot();
+                    if !items.is_empty() {
+                        out.push((lane(edge, src), items));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Trims buffers into `(state, replica)`'s consumer tasks using the
@@ -1110,7 +1153,11 @@ impl Inner {
                 for (src, buf) in self.buffers.buffers_into(edge, replica) {
                     let wm = vector.get(lane(edge, src));
                     for buffered in buf.lock().replay_after(wm) {
-                        let item = Item::decode_payload(edge, src, buffered.ts, &buffered.bytes)?;
+                        // Live entries re-send the buffered `Arc` directly
+                        // (zero decode); only `Encoded` entries — restored
+                        // from a checkpoint or logged by the eager
+                        // baseline — go through the wire codec.
+                        let item = Item::from_buffered(edge, src, buffered)?;
                         sender
                             .send(WorkerMsg::Item(item))
                             .map_err(|_| SdgError::Runtime("replay channel closed".into()))?;

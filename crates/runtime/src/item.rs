@@ -1,9 +1,11 @@
 //! Data items flowing on dataflow edges.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::BytesMut;
-use sdg_common::codec::{encode_to_vec, write_varint, Codec, Reader};
+use sdg_checkpoint::buffer::{BufferedItem, BufferedPayload};
+use sdg_common::codec::{write_varint, Codec, Reader};
 use sdg_common::error::SdgResult;
 use sdg_common::ids::EdgeId;
 use sdg_common::time::ScalarTs;
@@ -40,8 +42,10 @@ pub struct Item {
     /// For gathers: number of fragments the barrier must collect
     /// (stamped by the broadcast dispatcher, 1 otherwise).
     pub expect: u32,
-    /// The live variables crossing the edge.
-    pub payload: Record,
+    /// The live variables crossing the edge. Refcounted so broadcast
+    /// fan-out and output-buffer logging share one allocation; mutating
+    /// paths (gather/assemble) use `Arc::make_mut` for copy-on-write.
+    pub payload: Arc<Record>,
     /// Submission time of the originating request, for latency measurement.
     /// `None` for replayed items.
     pub submitted_at: Option<Instant>,
@@ -97,14 +101,45 @@ impl Item {
             ts,
             corr,
             expect,
-            payload,
+            payload: Arc::new(payload),
             submitted_at: None,
         })
     }
 
-    /// Approximate encoded size (used for buffer accounting).
+    /// Rebuilds an item from a buffered (two-state) entry for replay.
+    ///
+    /// `Live` payloads are re-sent with zero decode — the buffered `Arc` is
+    /// the item; only `Encoded` payloads (restored from a checkpoint or
+    /// logged by the eager baseline) go through the wire codec.
+    pub fn from_buffered(
+        edge: EdgeId,
+        src_replica: u32,
+        buffered: BufferedItem,
+    ) -> SdgResult<Item> {
+        match buffered.payload {
+            BufferedPayload::Live {
+                corr,
+                expect,
+                payload,
+            } => Ok(Item {
+                edge,
+                src_replica,
+                ts: buffered.ts,
+                corr,
+                expect,
+                payload,
+                submitted_at: None,
+            }),
+            BufferedPayload::Encoded(bytes) => {
+                Item::decode_payload(edge, src_replica, buffered.ts, &bytes)
+            }
+        }
+    }
+
+    /// Approximate encoded size (used for buffer accounting), computed
+    /// arithmetically from the record's footprint — no throwaway encode.
     pub fn approx_size(&self) -> usize {
-        encode_to_vec(&self.payload).len() + 16
+        self.payload.approx_size() + 16
     }
 }
 
@@ -136,7 +171,9 @@ mod tests {
             ts: 77,
             corr: 123,
             expect: 4,
-            payload: record! {"user" => Value::Int(9), "row" => Value::List(vec![Value::Float(0.5)])},
+            payload: Arc::new(
+                record! {"user" => Value::Int(9), "row" => Value::List(vec![Value::Float(0.5)])},
+            ),
             submitted_at: Some(Instant::now()),
         };
         let bytes = item.encode_payload();
@@ -166,12 +203,80 @@ mod tests {
                 ts: corr + 1,
                 corr,
                 expect: 1,
-                payload: record! {"k" => Value::Int(corr as i64), "v" => Value::str("x")},
+                payload: Arc::new(record! {"k" => Value::Int(corr as i64), "v" => Value::str("x")}),
                 submitted_at: None,
             };
             assert_eq!(
                 item.encode_payload_into(&mut scratch),
                 item.encode_payload()
+            );
+        }
+    }
+
+    #[test]
+    fn from_buffered_live_is_zero_decode() {
+        let payload = Arc::new(record! {"k" => Value::Int(1)});
+        let buffered = BufferedItem::live(9, 42, 3, Arc::clone(&payload));
+        let item = Item::from_buffered(EdgeId(2), 1, buffered).unwrap();
+        assert_eq!(item.ts, 9);
+        assert_eq!(item.corr, 42);
+        assert_eq!(item.expect, 3);
+        assert!(item.submitted_at.is_none());
+        // The replayed item shares the buffered allocation — no decode, no
+        // clone.
+        assert!(Arc::ptr_eq(&item.payload, &payload));
+    }
+
+    #[test]
+    fn from_buffered_encoded_falls_back_to_the_codec() {
+        let original = Item {
+            edge: EdgeId(2),
+            src_replica: 1,
+            ts: 9,
+            corr: 42,
+            expect: 3,
+            payload: Arc::new(record! {"k" => Value::Int(1), "v" => Value::str("x")}),
+            submitted_at: None,
+        };
+        let buffered = BufferedItem::encoded(9, original.encode_payload());
+        let item = Item::from_buffered(EdgeId(2), 1, buffered).unwrap();
+        assert_eq!(item.corr, 42);
+        assert_eq!(item.expect, 3);
+        assert_eq!(item.payload, original.payload);
+
+        let garbage = BufferedItem::encoded(1, vec![0xff, 0xff]);
+        assert!(Item::from_buffered(EdgeId(0), 0, garbage).is_err());
+    }
+
+    #[test]
+    fn approx_size_tracks_the_encoded_size_within_tolerance() {
+        // The arithmetic estimate replaced a throwaway encode; pin it to
+        // the old (encoded-length) value so accounting never drifts wildly.
+        let payloads = [
+            record! {"k" => Value::Int(7)},
+            record! {"user" => Value::Int(9), "name" => Value::str("a-typical-string-value")},
+            record! {"row" => Value::List(vec![Value::Float(0.5); 32])},
+            record! {
+                "neg" => Value::Int(-1),
+                "nested" => Value::List(vec![Value::Str("abc".into()), Value::Bool(true)]),
+            },
+        ];
+        for payload in payloads {
+            let item = Item {
+                edge: EdgeId(0),
+                src_replica: 0,
+                ts: 1,
+                corr: 1,
+                expect: 1,
+                payload: Arc::new(payload),
+                submitted_at: None,
+            };
+            let old = item.encode_payload().len() + 16;
+            let new = item.approx_size();
+            let ratio = new as f64 / old as f64;
+            assert!(
+                (0.25..=4.0).contains(&ratio),
+                "approx_size {new} drifted from encoded size {old} (ratio {ratio:.2})"
             );
         }
     }

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use bytes::BytesMut;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
-use sdg_checkpoint::buffer::OutputBuffer;
+use sdg_checkpoint::buffer::{BufferedItem, OutputBuffer};
 use sdg_checkpoint::cell::StateCell;
 use sdg_common::error::{SdgError, SdgResult};
 use sdg_common::ids::EdgeId;
@@ -155,6 +155,10 @@ pub struct OutEdge {
     pub buffers: Arc<BufferRegistry>,
     /// Whether to record items in output buffers (fault tolerance on).
     pub buffered: bool,
+    /// Deferred encoding: log sent items as refcounted `Live` payloads
+    /// (wire encode happens at checkpoint-persist time). `false` is the
+    /// eager baseline that serialises on the dispatch path.
+    pub defer_encode: bool,
     /// Micro-batching knobs (`max_items = 1` sends eagerly).
     batch: BatchConfig,
     /// Pending (unsent) items per destination replica.
@@ -186,6 +190,7 @@ impl OutEdge {
         rr: usize,
         buffers: Arc<BufferRegistry>,
         buffered: bool,
+        defer_encode: bool,
         batch: BatchConfig,
         in_flight: Arc<AtomicU64>,
     ) -> Self {
@@ -198,6 +203,7 @@ impl OutEdge {
             rr,
             buffers,
             buffered,
+            defer_encode,
             batch,
             pending: Vec::new(),
             pending_since: None,
@@ -213,13 +219,14 @@ impl OutEdge {
     /// Fast paths: an empty live set forwards everything, and a payload
     /// whose fields already equal the live set (the common case for
     /// compiled TEs, which build outputs from the sorted live-variable
-    /// list) is cloned without per-field lookups. Otherwise field positions
+    /// list) is *shared* — a refcount bump, no per-field work at all.
+    /// Otherwise a narrowed record is built copy-on-write: field positions
     /// are cached from the previous item and revalidated by name, falling
     /// back to a scanning projection when the shape changed or a live
     /// variable is absent.
-    fn project(&mut self, payload: &Record) -> Record {
+    fn project(&mut self, payload: &Arc<Record>) -> Arc<Record> {
         if self.live_vars.is_empty() || payload.fields_match(&self.live_vars) {
-            return payload.clone();
+            return Arc::clone(payload);
         }
         if let Some(idx) = &self.proj_idx {
             if idx.len() == self.live_vars.len() {
@@ -237,7 +244,7 @@ impl OutEdge {
                     }
                 }
                 if valid {
-                    return out;
+                    return Arc::new(out);
                 }
             }
         }
@@ -249,7 +256,7 @@ impl OutEdge {
                     // A live variable is absent (e.g. gather fragments):
                     // don't cache partial shapes.
                     self.proj_idx = None;
-                    return payload.project(&self.live_vars);
+                    return Arc::new(payload.project(&self.live_vars));
                 }
             }
         }
@@ -261,14 +268,14 @@ impl OutEdge {
             out.push_unchecked(Arc::clone(name), value.clone());
         }
         self.proj_idx = Some(idx);
-        out
+        Arc::new(out)
     }
 
     /// Dispatches `payload` according to the edge semantics.
     pub fn send(
         &mut self,
         src_replica: u32,
-        payload: &Record,
+        payload: &Arc<Record>,
         corr: u64,
         upstream_expect: u32,
         submitted_at: Option<Instant>,
@@ -326,21 +333,17 @@ impl OutEdge {
             Dispatch::OneToAll => {
                 let ts = self.ts.tick();
                 let expect = n as u32;
-                let mut projected = Some(projected);
                 for idx in 0..n {
-                    // Clone N−1 times; the last destination takes ownership.
-                    let payload = if idx + 1 == n {
-                        projected.take().expect("taken once")
-                    } else {
-                        projected.as_ref().expect("taken last").clone()
-                    };
+                    // Broadcast shares one allocation: every destination's
+                    // item (and its output-buffer log entry) is a refcount
+                    // bump on the same record.
                     let item = Item {
                         edge: self.edge,
                         src_replica,
                         ts,
                         corr,
                         expect,
-                        payload,
+                        payload: Arc::clone(&projected),
                         submitted_at,
                     };
                     self.enqueue(&targets, idx, item)?;
@@ -356,7 +359,7 @@ impl OutEdge {
         targets: &[Sender<WorkerMsg>],
         idx: usize,
         src_replica: u32,
-        payload: Record,
+        payload: Arc<Record>,
         corr: u64,
         expect: u32,
         submitted_at: Option<Instant>,
@@ -379,10 +382,20 @@ impl OutEdge {
     fn enqueue(&mut self, targets: &[Sender<WorkerMsg>], idx: usize, item: Item) -> SdgResult<()> {
         if self.batch.max_items <= 1 {
             if self.buffered {
-                let bytes = item.encode_payload_into(&mut self.enc_scratch);
-                self.buffer_for(item.src_replica, idx)
-                    .lock()
-                    .push(item.ts, bytes);
+                let buf = self.buffer_for(item.src_replica, idx);
+                if self.defer_encode {
+                    // Deferred: the log entry shares the item's allocation;
+                    // the wire encode happens at checkpoint-persist time.
+                    buf.lock().push_live(
+                        item.ts,
+                        item.corr,
+                        item.expect,
+                        Arc::clone(&item.payload),
+                    );
+                } else {
+                    let bytes = item.encode_payload_into(&mut self.enc_scratch);
+                    buf.lock().push_encoded(item.ts, bytes);
+                }
             }
             return targets[idx]
                 .send(WorkerMsg::Item(item))
@@ -417,9 +430,20 @@ impl OutEdge {
         let n = batch.len();
         if self.buffered {
             let buf = self.buffer_for(batch[0].src_replica, idx);
-            let enc = &mut self.enc_scratch;
-            buf.lock()
-                .push_all(batch.iter().map(|i| (i.ts, i.encode_payload_into(enc))));
+            if self.defer_encode {
+                buf.lock().push_all(
+                    batch.iter().map(|i| {
+                        BufferedItem::live(i.ts, i.corr, i.expect, Arc::clone(&i.payload))
+                    }),
+                );
+            } else {
+                let enc = &mut self.enc_scratch;
+                buf.lock().push_all(
+                    batch
+                        .iter()
+                        .map(|i| BufferedItem::encoded(i.ts, i.encode_payload_into(enc))),
+                );
+            }
         }
         let result = if n == 1 {
             let item = batch.into_iter().next().expect("len checked");
@@ -728,8 +752,11 @@ impl Worker {
             );
             submitted_at = submitted_at.or(frag.submitted_at);
         }
+        // Copy-on-write: the base fragment's record is usually uniquely
+        // owned here (its producer already dropped it), so `make_mut`
+        // mutates in place; a shared record is cloned once.
         let mut payload = base.payload;
-        payload.set(collect_var, Value::List(collected));
+        Arc::make_mut(&mut payload).set(collect_var, Value::List(collected));
         Some(Item {
             edge: base.edge,
             src_replica: first,
@@ -752,6 +779,23 @@ impl Worker {
                 busy_work(self.work_debt);
                 self.work_debt = Duration::ZERO;
             }
+        }
+        // Stateless passthrough: no state to read, no duplicates to filter —
+        // forward the input record by refcount instead of deep-cloning it
+        // through the execution engine.
+        if self.cell.is_none() && matches!(self.code, PreparedCode::Passthrough) {
+            self.obs.processed.inc();
+            self.obs.items_out.add(self.outs.len() as u64);
+            for out in &mut self.outs {
+                out.send(
+                    self.replica,
+                    &item.payload,
+                    item.corr,
+                    item.expect,
+                    item.submitted_at,
+                )?;
+            }
+            return Ok(());
         }
         // Striped cells route each item to the stripe owning its access
         // key; the route hash equals the key's partition hash, so an item
@@ -813,11 +857,14 @@ impl Worker {
         self.obs
             .items_out
             .add((effects.forwards.len() * self.outs.len()) as u64);
-        for record in &effects.forwards {
+        for record in effects.forwards {
+            // One refcounted allocation per forwarded record, shared by
+            // every outgoing edge (and its output-buffer log entry).
+            let payload = Arc::new(record);
             for out in &mut self.outs {
                 out.send(
                     self.replica,
-                    record,
+                    &payload,
                     item.corr,
                     item.expect,
                     item.submitted_at,
@@ -938,8 +985,8 @@ mod tests {
             src: 0,
             dst: 2,
         };
-        reg.get(key).lock().push(1, vec![1, 2, 3]);
-        reg.get(key).lock().push(2, vec![4]);
+        reg.get(key).lock().push_encoded(1, vec![1, 2, 3]);
+        reg.get(key).lock().push_encoded(2, vec![4]);
         assert_eq!(reg.total_bytes(), 4);
         let into = reg.buffers_into(EdgeId(1), 2);
         assert_eq!(into.len(), 1);

@@ -59,6 +59,7 @@ fn probe_worker(
         0,
         Arc::new(BufferRegistry::new(64)),
         false,
+        false,
         batch,
         Arc::new(AtomicU64::new(0)),
     );
@@ -93,7 +94,7 @@ fn input_item(corr: u64) -> Item {
         ts: corr + 1,
         corr,
         expect: 1,
-        payload: record! {"k" => Value::Int(corr as i64)},
+        payload: Arc::new(record! {"k" => Value::Int(corr as i64)}),
         submitted_at: None,
     }
 }
