@@ -1,0 +1,92 @@
+//! Bench-smoke for PR 9's acceptance criterion; writes `BENCH_pr9.json`.
+//!
+//! ```text
+//! pr9_smoke [output.json]
+//! ```
+//!
+//! Runs the oversubscribed-replica kernel (see `sdg_bench::pr9`): a
+//! write-heavy KV workload over 64 partition replicas, measured under
+//! the work-stealing cooperative pool (4 workers) and under the
+//! thread-per-replica reference scheduler. The pool must sustain ≥1.3×
+//! the reference throughput. The 8/16/32/64 replica sweep recorded in
+//! EXPERIMENTS.md rides along.
+
+use sdg_bench::pr9::{run_replica_sweep, POOL_WORKERS, REPLICAS};
+
+/// Write requests per timed round.
+const KV_ITEMS: i64 = 120_000;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr9.json".into());
+
+    eprintln!(
+        "pr9_smoke: {KV_ITEMS} bump/round, pool({POOL_WORKERS}) vs thread-per-replica, \
+         replicas 8/16/32/64..."
+    );
+    let sweep = run_replica_sweep(KV_ITEMS);
+    for r in &sweep {
+        eprintln!(
+            "  {:>2} replicas: pool {:.0} items/s vs threads {:.0} items/s ({:.2}x; \
+             {} polls, {} steals, {} suspends)",
+            r.replicas,
+            r.pool_items_per_sec,
+            r.threads_items_per_sec,
+            r.speedup(),
+            r.sched.polls,
+            r.sched.steals,
+            r.sched.suspends,
+        );
+    }
+
+    // The criterion: at 64 runnable replicas the 4-worker pool beats a
+    // dedicated OS thread per replica by the PR's target factor.
+    let head = sweep
+        .iter()
+        .find(|r| r.replicas == REPLICAS)
+        .expect("sweep includes the headline replica count");
+    let speedup = head.speedup();
+    let pass = speedup >= 1.3;
+
+    let rows: Vec<String> = sweep
+        .iter()
+        .map(|r| {
+            format!(
+                r#"    {{"replicas": {}, "pool": {:.0}, "threads": {:.0}, "speedup": {:.3}, "polls": {}, "steals": {}, "suspends": {}, "timer_fires": {}}}"#,
+                r.replicas,
+                r.pool_items_per_sec,
+                r.threads_items_per_sec,
+                r.speedup(),
+                r.sched.polls,
+                r.sched.steals,
+                r.sched.suspends,
+                r.sched.timer_fires,
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "experiment": "pr9-work-stealing-actor-executor",
+  "criteria": {{
+    "oversubscribed_pool_speedup": {{"unit": "ratio", "replicas": {REPLICAS}, "pool_workers": {POOL_WORKERS}, "value": {speedup:.3}, "threshold_min": 1.3, "pass": {pass}}}
+  }},
+  "replica_sweep": {{
+    "unit": "items/s", "items_per_round": {KV_ITEMS}, "pool_workers": {POOL_WORKERS},
+    "rows": [
+{rows}
+    ]
+  }}
+}}
+"#,
+        rows = rows.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("write bench record");
+    println!("{json}");
+    eprintln!("pr9_smoke: wrote {out}");
+
+    if !pass {
+        eprintln!("pr9_smoke: criterion FAILED (speedup {speedup:.3} >= 1.3: {pass})");
+        std::process::exit(1);
+    }
+}

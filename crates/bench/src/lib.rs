@@ -30,6 +30,7 @@ pub mod fig8_wc_window;
 pub mod fig9_lr_scale;
 pub mod pr4;
 pub mod pr8;
+pub mod pr9;
 pub mod table1;
 pub mod util;
 

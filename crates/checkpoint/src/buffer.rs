@@ -14,6 +14,7 @@
 //! fall back to the wire codec.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::BytesMut;
@@ -112,16 +113,55 @@ impl BufferedItem {
 }
 
 /// An output buffer for one dataflow edge of one producer instance.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct OutputBuffer {
     items: VecDeque<BufferedItem>,
     bytes: usize,
+    /// Aggregate byte counter shared with the owning registry, kept in
+    /// lock-step with `bytes` so a deployment-wide total is one atomic
+    /// load instead of a walk over every buffer's lock.
+    shared: Option<Arc<AtomicUsize>>,
+}
+
+impl Clone for OutputBuffer {
+    fn clone(&self) -> Self {
+        // A clone is a detached copy: it must not double-account its bytes
+        // in the origin's aggregate counter.
+        OutputBuffer {
+            items: self.items.clone(),
+            bytes: self.bytes,
+            shared: None,
+        }
+    }
 }
 
 impl OutputBuffer {
     /// Creates an empty buffer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty buffer that mirrors every byte-count change into
+    /// `counter` (the registry's aggregate).
+    pub fn with_shared(counter: Arc<AtomicUsize>) -> Self {
+        OutputBuffer {
+            shared: Some(counter),
+            ..Self::default()
+        }
+    }
+
+    fn account_add(&mut self, n: usize) {
+        self.bytes += n;
+        if let Some(c) = &self.shared {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn account_sub(&mut self, n: usize) {
+        self.bytes -= n;
+        if let Some(c) = &self.shared {
+            c.fetch_sub(n, Ordering::Relaxed);
+        }
     }
 
     /// Appends an item.
@@ -143,7 +183,7 @@ impl OutputBuffer {
                 last.ts
             );
         }
-        self.bytes += item.cost();
+        self.account_add(item.cost());
         self.items.push_back(item);
     }
 
@@ -184,7 +224,8 @@ impl OutputBuffer {
         }
         while let Some(front) = self.items.front() {
             if front.ts <= watermark {
-                self.bytes -= front.cost();
+                let cost = front.cost();
+                self.account_sub(cost);
                 self.items.pop_front();
             } else {
                 break;
@@ -200,7 +241,8 @@ impl OutputBuffer {
         match self.items.back() {
             Some(back) if back.ts <= watermark => {
                 self.items.clear();
-                self.bytes = 0;
+                let n = self.bytes;
+                self.account_sub(n);
                 true
             }
             Some(_) => false,
@@ -230,7 +272,10 @@ impl OutputBuffer {
 
     /// Replaces the contents from a checkpoint snapshot.
     pub fn restore(&mut self, items: Vec<BufferedItem>) {
-        self.bytes = items.iter().map(|i| i.cost()).sum();
+        let old = self.bytes;
+        self.account_sub(old);
+        let new: usize = items.iter().map(|i| i.cost()).sum();
+        self.account_add(new);
         self.items = items.into();
     }
 
@@ -241,7 +286,7 @@ impl OutputBuffer {
     pub fn cap(&mut self, max_items: usize) {
         while self.items.len() > max_items {
             if let Some(front) = self.items.pop_front() {
-                self.bytes -= front.cost();
+                self.account_sub(front.cost());
             }
         }
     }
@@ -462,6 +507,42 @@ mod tests {
         // Restored buffers continue accepting newer items.
         restored.push_encoded(4, vec![0]);
         assert_eq!(restored.len(), 4);
+    }
+
+    #[test]
+    fn shared_counter_matches_recomputation() {
+        // Oracle: after any sequence of mutations, the aggregate counter
+        // equals a from-scratch walk over the buffer (mirrors the
+        // `dirty_bytes` oracle in `sdg_state::table`).
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut a = OutputBuffer::with_shared(Arc::clone(&counter));
+        let mut b = OutputBuffer::with_shared(Arc::clone(&counter));
+        for t in 1..=8u64 {
+            a.push_encoded(t, vec![0; t as usize]);
+        }
+        b.push_live(1, 0, 1, rec(1));
+        b.push_all([
+            BufferedItem::encoded(2, vec![0; 5]),
+            BufferedItem::encoded(3, vec![0; 7]),
+        ]);
+        let recompute = |x: &OutputBuffer, y: &OutputBuffer| {
+            x.snapshot().iter().map(BufferedItem::cost).sum::<usize>()
+                + y.snapshot().iter().map(BufferedItem::cost).sum::<usize>()
+        };
+        assert_eq!(counter.load(Ordering::Relaxed), recompute(&a, &b));
+        a.trim(3); // Per-item prefix trim.
+        assert_eq!(counter.load(Ordering::Relaxed), recompute(&a, &b));
+        a.cap(2); // Horizon cap.
+        assert_eq!(counter.load(Ordering::Relaxed), recompute(&a, &b));
+        b.restore(vec![BufferedItem::encoded(9, vec![0; 11])]);
+        assert_eq!(counter.load(Ordering::Relaxed), recompute(&a, &b));
+        // A clone is detached: mutating it must not touch the aggregate.
+        let mut detached = a.clone();
+        detached.push_encoded(100, vec![0; 32]);
+        assert_eq!(counter.load(Ordering::Relaxed), recompute(&a, &b));
+        a.trim(u64::MAX); // Wholesale drain fast path.
+        b.trim(u64::MAX);
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -28,8 +28,10 @@ mod snapshot;
 
 pub use event::{EventKind, EventLog, ObsEvent, DEFAULT_EVENT_CAPACITY};
 pub use registry::{
-    CheckpointInstruments, MetricsRegistry, ReconfigInstruments, StateInstruments, TaskInstruments,
+    CheckpointInstruments, MetricsRegistry, ReconfigInstruments, SchedInstruments,
+    StateInstruments, TaskInstruments,
 };
 pub use snapshot::{
-    CheckpointStats, DeploymentStats, MetricsSnapshot, ReconfigStats, StateStats, TaskStats,
+    CheckpointStats, DeploymentStats, MetricsSnapshot, ReconfigStats, SchedStats, StateStats,
+    TaskStats,
 };

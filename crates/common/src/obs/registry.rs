@@ -10,7 +10,9 @@ use crate::ids::{StateId, TaskId};
 use crate::metrics::{Counter, Gauge, Histogram};
 
 use super::event::{EventKind, EventLog, ObsEvent, DEFAULT_EVENT_CAPACITY};
-use super::snapshot::{CheckpointStats, MetricsSnapshot, ReconfigStats, StateStats, TaskStats};
+use super::snapshot::{
+    CheckpointStats, MetricsSnapshot, ReconfigStats, SchedStats, StateStats, TaskStats,
+};
 
 /// Instruments of one task element (shared by all of its instances).
 ///
@@ -145,6 +147,28 @@ pub struct ReconfigInstruments {
     pub migrated_bytes: Histogram,
 }
 
+/// Counters and gauges of the cooperative actor scheduler (the `Pool`
+/// execution mode). All zero under the thread-per-instance scheduler.
+#[derive(Debug, Default)]
+pub struct SchedInstruments {
+    /// Pool worker threads (sampled once at pool start; zero = no pool).
+    pub workers: Gauge,
+    /// Actor activations: slices a pool worker ran.
+    pub polls: Counter,
+    /// Actors taken from another worker's local deque.
+    pub steals: Counter,
+    /// Times a pool worker parked for lack of runnable actors.
+    pub parks: Counter,
+    /// Producer actors suspended on a full downstream mailbox.
+    pub suspends: Counter,
+    /// Suspended actors rescheduled by arriving mailbox credit.
+    pub resumes: Counter,
+    /// Linger deadlines fired from the shared timer heap.
+    pub timer_fires: Counter,
+    /// Messages queued across all actor mailboxes (sampled).
+    pub mailbox_depth: Gauge,
+}
+
 /// A deployment's registry of instruments and events.
 ///
 /// One registry is owned per engine (SDG deployment or baseline). Hot-path
@@ -158,6 +182,7 @@ pub struct MetricsRegistry {
     states: RwLock<BTreeMap<String, Arc<StateInstruments>>>,
     checkpoints: Arc<CheckpointInstruments>,
     reconfig: Arc<ReconfigInstruments>,
+    sched: Arc<SchedInstruments>,
     e2e_latency: Arc<Histogram>,
     events: EventLog,
 }
@@ -182,6 +207,7 @@ impl MetricsRegistry {
             states: RwLock::new(BTreeMap::new()),
             checkpoints: Arc::new(CheckpointInstruments::default()),
             reconfig: Arc::new(ReconfigInstruments::default()),
+            sched: Arc::new(SchedInstruments::default()),
             e2e_latency: Arc::new(Histogram::new()),
             events: EventLog::with_capacity(capacity),
         }
@@ -236,6 +262,11 @@ impl MetricsRegistry {
     /// The reconfiguration control-plane instruments.
     pub fn reconfig(&self) -> &Arc<ReconfigInstruments> {
         &self.reconfig
+    }
+
+    /// The cooperative-scheduler (`Pool`) instruments.
+    pub fn sched(&self) -> &Arc<SchedInstruments> {
+        &self.sched
     }
 
     /// The deployment-wide end-to-end latency histogram (all tasks merged).
@@ -333,6 +364,16 @@ impl MetricsRegistry {
                 scale_outs: self.reconfig.scale_outs.get(),
                 scale_ins: self.reconfig.scale_ins.get(),
                 migrated_bytes: self.reconfig.migrated_bytes.summary(),
+            },
+            sched: SchedStats {
+                workers: self.sched.workers.get(),
+                polls: self.sched.polls.get(),
+                steals: self.sched.steals.get(),
+                parks: self.sched.parks.get(),
+                suspends: self.sched.suspends.get(),
+                resumes: self.sched.resumes.get(),
+                timer_fires: self.sched.timer_fires.get(),
+                mailbox_depth: self.sched.mailbox_depth.get(),
             },
             e2e_latency: self.e2e_latency.summary(),
             events: self.events.snapshot(),

@@ -99,6 +99,28 @@ pub struct ReconfigStats {
     pub migrated_bytes: Summary,
 }
 
+/// Frozen cooperative-scheduler statistics (all zero under the
+/// thread-per-replica scheduler).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedStats {
+    /// Pool workers running (0 = thread-per-replica scheduler).
+    pub workers: u64,
+    /// Actor run-slices executed by pool workers.
+    pub polls: u64,
+    /// Actors stolen from another worker's deque.
+    pub steals: u64,
+    /// Times a pool worker parked with nothing runnable.
+    pub parks: u64,
+    /// Producer actors suspended on a full destination mailbox.
+    pub suspends: u64,
+    /// Suspended actors resumed by a credit hand-back.
+    pub resumes: u64,
+    /// Linger deadlines fired from the shared timer heap.
+    pub timer_fires: u64,
+    /// Queued messages across all actor mailboxes at snapshot time.
+    pub mailbox_depth: u64,
+}
+
 /// One coherent freeze of a deployment's instruments and events.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -112,6 +134,8 @@ pub struct MetricsSnapshot {
     pub checkpoints: CheckpointStats,
     /// Reconfiguration control-plane statistics.
     pub reconfig: ReconfigStats,
+    /// Cooperative-scheduler statistics.
+    pub sched: SchedStats,
     /// Deployment-wide end-to-end latency candlestick (ns).
     pub e2e_latency: Summary,
     /// Retained events, oldest first.
@@ -285,6 +309,22 @@ impl MetricsSnapshot {
             "  reconfig: {} scale-outs, {} scale-ins, migrated p50 {} bytes ({} episodes)",
             r.scale_outs, r.scale_ins, r.migrated_bytes.p50, r.migrated_bytes.count
         );
+        let sc = &self.sched;
+        if sc.workers > 0 {
+            let _ = writeln!(
+                out,
+                "  sched: {} workers, {} polls, {} steals, {} parks, {} suspends, \
+                 {} resumes, {} timer fires, {} queued",
+                sc.workers,
+                sc.polls,
+                sc.steals,
+                sc.parks,
+                sc.suspends,
+                sc.resumes,
+                sc.timer_fires,
+                sc.mailbox_depth
+            );
+        }
         if c.taken > 0 {
             let _ = writeln!(
                 out,
@@ -404,6 +444,20 @@ impl MetricsSnapshot {
             r.scale_outs,
             r.scale_ins,
             summary_json(&r.migrated_bytes),
+        );
+        let sc = &self.sched;
+        let _ = write!(
+            out,
+            "\"sched\":{{\"workers\":{},\"polls\":{},\"steals\":{},\"parks\":{},\
+             \"suspends\":{},\"resumes\":{},\"timer_fires\":{},\"mailbox_depth\":{}}},",
+            sc.workers,
+            sc.polls,
+            sc.steals,
+            sc.parks,
+            sc.suspends,
+            sc.resumes,
+            sc.timer_fires,
+            sc.mailbox_depth,
         );
         let _ = write!(
             out,
@@ -671,6 +725,16 @@ mod tests {
                 scale_ins: 1,
                 migrated_bytes: summary(2),
             },
+            sched: SchedStats {
+                workers: 4,
+                polls: 200,
+                steals: 12,
+                parks: 8,
+                suspends: 3,
+                resumes: 3,
+                timer_fires: 5,
+                mailbox_depth: 6,
+            },
             e2e_latency: summary(10),
             events: vec![
                 ObsEvent {
@@ -736,6 +800,8 @@ mod tests {
             "\"reconfig\":{\"scale_outs\":1,\"scale_ins\":1,",
             "\"migrated_bytes\":{\"count\":2,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,",
             "\"p50\":10,\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17}},",
+            "\"sched\":{\"workers\":4,\"polls\":200,\"steals\":12,\"parks\":8,",
+            "\"suspends\":3,\"resumes\":3,\"timer_fires\":5,\"mailbox_depth\":6},",
             "\"e2e_latency_ns\":{\"count\":10,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,",
             "\"p50\":10,\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
             "\"events_logged\":3,\"events_dropped\":0,",
@@ -764,6 +830,9 @@ mod tests {
                 .as_str(),
             Some("checkpoint_backup")
         );
+        let sched = parsed.get("sched").unwrap();
+        assert_eq!(sched.get("workers").unwrap().as_u64(), Some(4));
+        assert_eq!(sched.get("steals").unwrap().as_u64(), Some(12));
     }
 
     #[test]
@@ -775,6 +844,7 @@ mod tests {
         assert!(text.contains("checkpoints: 1 taken"));
         assert!(text.contains("4 deferred encodes, 512 buffered bytes"));
         assert!(text.contains("reconfig: 1 scale-outs, 1 scale-ins"));
+        assert!(text.contains("sched: 4 workers, 200 polls, 12 steals"));
         assert!(text.contains("e2e latency"));
         assert!(text.contains("checkpoint_backup"));
         assert!(text.contains("state_migrated state=kv bytes=512"));

@@ -138,6 +138,33 @@ impl ExecEngine {
     }
 }
 
+/// Which scheduler hosts TE instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// One dedicated OS thread per TE instance. The reference
+    /// implementation: simple, but deployment cost and context-switch
+    /// pressure grow linearly with replica count. The default.
+    #[default]
+    Threads,
+    /// Work-stealing cooperative executor: every TE instance becomes an
+    /// actor with a serial mailbox, multiplexed onto
+    /// [`RuntimeConfig::sched_threads`] pool workers (see
+    /// [`crate::sched`]). Ordering and dedupe semantics are identical to
+    /// [`SchedulerMode::Threads`].
+    Pool,
+}
+
+impl SchedulerMode {
+    /// Reads `SDG_SCHED` (`threads` | `pool`, case-insensitive); unset or
+    /// unrecognised values fall back to [`SchedulerMode::Threads`].
+    pub fn from_env() -> Self {
+        match std::env::var("SDG_SCHED") {
+            Ok(v) if v.eq_ignore_ascii_case("pool") => SchedulerMode::Pool,
+            _ => SchedulerMode::Threads,
+        }
+    }
+}
+
 /// Edge micro-batching settings.
 ///
 /// Producers coalesce consecutive items per (edge, destination replica)
@@ -206,6 +233,12 @@ pub struct RuntimeConfig {
     /// slot-compiled engine, overridable per process with
     /// `SDG_ENGINE=reference`.
     pub engine: ExecEngine,
+    /// Which scheduler hosts TE instances. Defaults to thread-per-replica,
+    /// overridable per process with `SDG_SCHED=pool`.
+    pub scheduler: SchedulerMode,
+    /// Pool workers when `scheduler` is [`SchedulerMode::Pool`]; ignored
+    /// under [`SchedulerMode::Threads`].
+    pub sched_threads: usize,
     /// Edge micro-batching settings (default: disabled).
     pub batch: BatchConfig,
     /// Lock stripes per partitioned SE instance. Accessing tasks route each
@@ -236,6 +269,8 @@ impl Default for RuntimeConfig {
             checkpoint: CheckpointConfig::disabled(),
             event_log_capacity: sdg_common::obs::DEFAULT_EVENT_CAPACITY,
             engine: ExecEngine::from_env(),
+            scheduler: SchedulerMode::from_env(),
+            sched_threads: 4,
             batch: BatchConfig::default(),
             state_stripes: 16,
             trust_annotations: false,
@@ -300,6 +335,9 @@ impl RuntimeConfig {
         }
         if self.state_stripes == 0 || self.state_stripes > 1024 {
             return Err(SdgError::Config("state_stripes must be in 1..=1024".into()));
+        }
+        if self.sched_threads == 0 || self.sched_threads > 256 {
+            return Err(SdgError::Config("sched_threads must be in 1..=256".into()));
         }
         self.scaling.validate()?;
         self.checkpoint.validate()
@@ -370,6 +408,18 @@ impl RuntimeConfigBuilder {
     /// Selects the execution engine for translated TE code.
     pub fn engine(mut self, engine: ExecEngine) -> Self {
         self.cfg.engine = engine;
+        self
+    }
+
+    /// Selects the scheduler hosting TE instances.
+    pub fn scheduler(mut self, scheduler: SchedulerMode) -> Self {
+        self.cfg.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the pool worker count for [`SchedulerMode::Pool`].
+    pub fn sched_threads(mut self, n: usize) -> Self {
+        self.cfg.sched_threads = n;
         self
     }
 
@@ -529,6 +579,28 @@ mod tests {
             .build();
         cfg.validate().unwrap();
         assert_eq!(cfg.scaling.idle_patience, 2);
+    }
+
+    #[test]
+    fn scheduler_config_validation() {
+        assert_eq!(RuntimeConfig::default().sched_threads, 4);
+        let cfg = RuntimeConfig::builder()
+            .scheduler(SchedulerMode::Pool)
+            .sched_threads(2)
+            .build();
+        assert_eq!(cfg.scheduler, SchedulerMode::Pool);
+        assert_eq!(cfg.sched_threads, 2);
+        cfg.validate().unwrap();
+        assert!(RuntimeConfig::builder()
+            .sched_threads(0)
+            .build()
+            .validate()
+            .is_err());
+        assert!(RuntimeConfig::builder()
+            .sched_threads(512)
+            .build()
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -35,11 +35,14 @@ use sdg_state::partition::PartitionDim;
 use sdg_state::store::{StateStore, StateType};
 
 use crate::compile::Scratch;
-use crate::config::{BatchConfig, RuntimeConfig};
+use crate::config::{BatchConfig, RuntimeConfig, SchedulerMode};
 use crate::item::{lane, Item};
 use crate::reconfig::{ReconfigReport, ReconfigRequest};
 use crate::scaling::{run_scaling_monitor, ScaleDirection, ScaleEvent, StopWait};
-use crate::worker::{BufferKey, BufferRegistry, OutEdge, PreparedCode, Targets, Worker, WorkerMsg};
+use crate::sched::Pool;
+use crate::worker::{
+    BufferKey, BufferRegistry, MailboxSender, OutEdge, PreparedCode, Targets, Worker, WorkerMsg,
+};
 
 pub use crate::worker::OutputEvent;
 
@@ -147,6 +150,9 @@ pub(crate) struct Inner {
     /// shared by all replicas (including respawns during recovery and
     /// scale-out).
     compiled: Mutex<HashMap<TaskId, Arc<CompiledTe>>>,
+    /// The cooperative executor when `cfg.scheduler` is
+    /// [`SchedulerMode::Pool`]; `None` runs one OS thread per instance.
+    pool: Option<Arc<Pool>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     stop: Arc<AtomicBool>,
     /// Parks the controller threads between ticks; notified at shutdown so
@@ -233,6 +239,13 @@ impl Deployment {
             );
         }
 
+        // The cooperative executor (PR 9): TE instances become actors on a
+        // fixed worker pool instead of one OS thread each.
+        let pool = match cfg.scheduler {
+            SchedulerMode::Pool => Some(Pool::start(cfg.sched_threads, Arc::clone(obs.sched()))),
+            SchedulerMode::Threads => None,
+        };
+
         let inner = Arc::new(Inner {
             sdg: Arc::clone(&sdg),
             cfg: cfg.clone(),
@@ -255,6 +268,7 @@ impl Deployment {
             events: Mutex::new(Vec::new()),
             in_flight: Arc::new(AtomicU64::new(0)),
             compiled: Mutex::new(HashMap::new()),
+            pool,
             threads: Mutex::new(Vec::new()),
             stop: Arc::new(AtomicBool::new(false)),
             stop_wait: StopWait::new(),
@@ -369,10 +383,7 @@ impl Deployment {
     /// [`ReconfigReport`] with timings, migrated bytes and the resulting
     /// instance counts.
     ///
-    /// This is the deployment's only control-plane entry point; the older
-    /// per-operation methods ([`Deployment::scale_task`],
-    /// [`Deployment::checkpoint_now`], [`Deployment::fail_and_recover`])
-    /// are deprecated delegates.
+    /// This is the deployment's only control-plane entry point.
     ///
     /// Scale-in live-migrates the removed replica's state: a partitioned
     /// shard is split by the partitioner's key hash and merged into the
@@ -400,35 +411,6 @@ impl Deployment {
     /// instead of restoring the old key ownership.
     pub fn reconfigure(&self, request: ReconfigRequest) -> SdgResult<ReconfigReport> {
         crate::reconfig::execute(&self.inner, request)
-    }
-
-    /// Takes a checkpoint of every SE instance now.
-    #[deprecated(note = "use `Deployment::reconfigure(ReconfigRequest::Checkpoint)`")]
-    pub fn checkpoint_now(&self) -> SdgResult<()> {
-        self.reconfigure(ReconfigRequest::Checkpoint).map(|_| ())
-    }
-
-    /// Simulates the failure of the node hosting SE instance
-    /// `(state, replica)` and recovers it from the latest checkpoint plus
-    /// upstream replay. See [`Deployment::reconfigure`] for the recovery
-    /// semantics.
-    #[deprecated(
-        note = "use `Deployment::reconfigure(ReconfigRequest::FailAndRecover { state, replica })`"
-    )]
-    pub fn fail_and_recover(&self, state: StateId, replica: u32) -> SdgResult<RecoveryReport> {
-        let report = self.reconfigure(ReconfigRequest::FailAndRecover { state, replica })?;
-        Ok(RecoveryReport {
-            restore: report.restore,
-            replayed: report.replayed,
-            total: report.total,
-        })
-    }
-
-    /// Adds one instance to `task` (and to its SE group when stateful).
-    #[deprecated(note = "use `Deployment::reconfigure(ReconfigRequest::ScaleOut { task })`")]
-    pub fn scale_task(&self, task: TaskId) -> SdgResult<()> {
-        self.reconfigure(ReconfigRequest::ScaleOut { task })
-            .map(|_| ())
     }
 
     /// Freezes every instrument into a plain-data [`MetricsSnapshot`]:
@@ -519,7 +501,10 @@ impl Deployment {
         self.inner.stop_wait.notify();
         for t in self.inner.targets.values() {
             for sender in t.read().iter() {
-                let _ = sender.send(WorkerMsg::Stop);
+                // `force_send` so a full mailbox cannot block shutdown: under
+                // the pool scheduler Stop must reach every actor even when
+                // its producers are suspended on it.
+                let _ = sender.force_send(WorkerMsg::Stop);
             }
         }
         for handle in self.control.lock().drain(..) {
@@ -528,6 +513,9 @@ impl Deployment {
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.threads.lock());
         for handle in handles {
             let _ = handle.join();
+        }
+        if let Some(pool) = &self.inner.pool {
+            pool.join();
         }
     }
 }
@@ -562,6 +550,14 @@ impl Inner {
             .checkpoints()
             .buffered_bytes
             .set(self.buffers.total_bytes() as u64);
+        if self.pool.is_some() {
+            let depth: usize = self
+                .targets
+                .values()
+                .map(|t| t.read().iter().map(|s| s.len()).sum::<usize>())
+                .sum();
+            self.obs.sched().mailbox_depth.set(depth as u64);
+        }
     }
 
     /// Label of SE instance `(state, replica)` in event payloads.
@@ -599,10 +595,9 @@ impl Inner {
         task_id: TaskId,
         replica: u32,
         node: u32,
-        slot_override: Option<&mut Vec<Sender<WorkerMsg>>>,
+        slot_override: Option<&mut Vec<MailboxSender>>,
     ) -> SdgResult<()> {
         let task = self.sdg.task(task_id)?.clone();
-        let (tx, rx) = bounded::<WorkerMsg>(self.cfg.channel_capacity);
 
         let cell = match &task.access {
             Some(a) => {
@@ -701,11 +696,18 @@ impl Inner {
             in_flight: Arc::clone(&self.in_flight),
             work_debt: Duration::ZERO,
         };
-        let handle = std::thread::spawn(move || worker.run(rx));
-        self.threads.lock().push(handle);
+        let tx = match &self.pool {
+            Some(pool) => MailboxSender::Pool(pool.spawn_actor(worker, self.cfg.channel_capacity)),
+            None => {
+                let (tx, rx) = bounded::<WorkerMsg>(self.cfg.channel_capacity);
+                let handle = std::thread::spawn(move || worker.run(rx));
+                self.threads.lock().push(handle);
+                MailboxSender::Thread(tx)
+            }
+        };
 
         let mut own_guard;
-        let targets: &mut Vec<Sender<WorkerMsg>> = match slot_override {
+        let targets: &mut Vec<MailboxSender> = match slot_override {
             Some(slot) => slot,
             None => {
                 own_guard = self.targets[&task_id].write();
@@ -1158,8 +1160,11 @@ impl Inner {
                         // from a checkpoint or logged by the eager
                         // baseline — go through the wire codec.
                         let item = Item::from_buffered(edge, src, buffered)?;
+                        // Replay runs while the target write guards are held;
+                        // a blocking send could never receive credit (the
+                        // pool's producers are paused), so bypass the cap.
                         sender
-                            .send(WorkerMsg::Item(item))
+                            .force_send(WorkerMsg::Item(item))
                             .map_err(|_| SdgError::Runtime("replay channel closed".into()))?;
                         replayed += 1;
                     }

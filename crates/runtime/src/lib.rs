@@ -18,6 +18,11 @@
 //! - a **reference tree-walking interpreter** ([`interp`]) kept as the
 //!   semantic baseline and debug engine
 //!   (select with [`config::ExecEngine::Reference`] or `SDG_ENGINE=reference`);
+//! - a **work-stealing cooperative scheduler** ([`sched`]): every TE
+//!   instance becomes an actor with a serial mailbox multiplexed onto a
+//!   fixed pool of workers, so replica counts can exceed core counts
+//!   without one OS thread each (select with [`config::SchedulerMode::Pool`]
+//!   or `SDG_SCHED=pool`; thread-per-replica remains the reference);
 //! - **edge micro-batching** ([`config::BatchConfig`]): producers coalesce
 //!   items per (edge, destination) and flush on a size bound, linger
 //!   timeout, or shutdown, amortising channel and output-buffer locking;
@@ -44,10 +49,13 @@ pub mod interp;
 pub mod item;
 pub mod reconfig;
 pub mod scaling;
+pub mod sched;
 pub mod worker;
 
 pub use compile::{run_compiled, Scratch};
-pub use config::{BatchConfig, ClusterSpec, ExecEngine, NodeSpec, RuntimeConfig, ScalingConfig};
+pub use config::{
+    BatchConfig, ClusterSpec, ExecEngine, NodeSpec, RuntimeConfig, ScalingConfig, SchedulerMode,
+};
 pub use deploy::{Deployment, OutputEvent};
 pub use item::Item;
 pub use reconfig::{ReconfigReport, ReconfigRequest};

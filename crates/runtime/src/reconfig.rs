@@ -4,9 +4,7 @@
 //! [`crate::deploy::Deployment::reconfigure`] accepts a [`ReconfigRequest`]
 //! — scale-out, scale-in, checkpoint, or failure injection — and returns a
 //! uniform [`ReconfigReport`] carrying timings, migrated bytes and the
-//! resulting instance counts. The older per-operation methods
-//! (`scale_task`, `checkpoint_now`, `fail_and_recover`) survive as
-//! deprecated delegates.
+//! resulting instance counts.
 //!
 //! Scale-in is the elastic counterpart of §3.3's scale-out: the victim
 //! replica's input lanes are paused behind the same drain barrier used for
@@ -34,7 +32,7 @@ use sdg_state::store::{StateStore, StateType};
 
 use crate::deploy::Inner;
 use crate::scaling::ScaleDirection;
-use crate::worker::WorkerMsg;
+use crate::worker::{MailboxSender, WorkerMsg};
 
 /// A topology-change request for [`crate::deploy::Deployment::reconfigure`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,7 +238,10 @@ pub(crate) fn scale_in(inner: &Inner, task_id: TaskId) -> SdgResult<MigrationSta
             }
             let victim = guard.len() as u32 - 1;
             let sender = guard.pop().expect("len > 1");
-            let _ = sender.send(WorkerMsg::Stop);
+            // `force_send`: the victim's mailbox may be full, and under the
+            // pool scheduler a blocking send from the control plane while
+            // producers hold this write guard could never get credit.
+            let _ = sender.force_send(WorkerMsg::Stop);
             inner.alive.write().remove(&(task_id, victim));
             let node = inner
                 .node_of_instance
@@ -496,7 +497,7 @@ fn accessing_sorted(inner: &Inner, state: StateId) -> Vec<TaskId> {
 /// mid-processing, so a migration sees a consistent key population.
 fn drain_barrier<G>(inner: &Inner, guards: &[G]) -> Duration
 where
-    G: std::ops::Deref<Target = Vec<crossbeam::channel::Sender<WorkerMsg>>>,
+    G: std::ops::Deref<Target = Vec<MailboxSender>>,
 {
     let drain_t0 = Instant::now();
     let deadline = drain_t0 + Duration::from_secs(5);
@@ -546,12 +547,14 @@ fn export_group(inner: &Inner, state: StateId) -> SdgResult<(Vec<StateEntry>, Ve
 /// unregisters it, returning the node it ran on.
 fn stop_victims<G>(inner: &Inner, tasks: &[TaskId], guards: &mut [G], victim: u32) -> u32
 where
-    G: std::ops::DerefMut<Target = Vec<crossbeam::channel::Sender<WorkerMsg>>>,
+    G: std::ops::DerefMut<Target = Vec<MailboxSender>>,
 {
     let mut node = 0;
     for (i, &task) in tasks.iter().enumerate() {
         if let Some(sender) = guards[i].pop() {
-            let _ = sender.send(WorkerMsg::Stop);
+            // See `scale_in`: Stop must bypass the mailbox cap while the
+            // target write guards are held.
+            let _ = sender.force_send(WorkerMsg::Stop);
         }
         inner.alive.write().remove(&(task, victim));
         if let Some(n) = inner.node_of_instance.write().remove(&(task, victim)) {

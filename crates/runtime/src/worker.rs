@@ -1,12 +1,14 @@
 //! TE instance workers: the pipelined processing loops.
 //!
-//! Each TE instance is one worker thread consuming a bounded channel.
-//! Producers dispatch directly into consumer channels (no scheduler), so a
-//! full channel applies backpressure upstream — this is the paper's fully
-//! pipelined execution (§3.1).
+//! Each TE instance is one serial consumer of a bounded mailbox: a
+//! dedicated worker thread under the `Threads` scheduler, or a cooperative
+//! actor multiplexed onto a fixed worker pool under `Pool` (see
+//! [`crate::sched`]). Producers dispatch directly into consumer mailboxes
+//! (no central scheduler), so a full mailbox applies backpressure
+//! upstream — this is the paper's fully pipelined execution (§3.1).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,7 +45,67 @@ pub enum WorkerMsg {
 }
 
 /// The shared list of consumer-instance senders for one task.
-pub type Targets = Arc<RwLock<Vec<Sender<WorkerMsg>>>>;
+pub type Targets = Arc<RwLock<Vec<MailboxSender>>>;
+
+/// Error returned by [`MailboxSender::send`]: the consumer is gone (its
+/// thread exited, or its actor retired), matching a disconnected channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendClosed;
+
+/// One consumer endpoint: where producers hand a [`WorkerMsg`] to a TE
+/// instance.
+///
+/// Under the `Threads` scheduler this is the bounded crossbeam channel of
+/// a dedicated worker thread; under `Pool` it is the serial mailbox of a
+/// pool-scheduled actor. Either way a full destination applies
+/// backpressure — channel sends block the producer thread, mailbox sends
+/// suspend the producer actor cooperatively (see [`crate::sched`]).
+#[derive(Clone)]
+pub enum MailboxSender {
+    /// Bounded channel of a dedicated worker thread (`Threads`).
+    Thread(Sender<WorkerMsg>),
+    /// Serial actor mailbox scheduled on the worker pool (`Pool`).
+    Pool(crate::sched::PoolSender),
+}
+
+impl MailboxSender {
+    /// Delivers `msg`, applying backpressure when the destination is full.
+    pub fn send(&self, msg: WorkerMsg) -> Result<(), SendClosed> {
+        match self {
+            MailboxSender::Thread(tx) => tx.send(msg).map_err(|_| SendClosed),
+            MailboxSender::Pool(tx) => tx.send(msg),
+        }
+    }
+
+    /// Delivers `msg` without ever waiting for mailbox space.
+    ///
+    /// Recovery replays into freshly spawned instances — and retires scale
+    /// victims — while holding the target-list write guards; waiting for
+    /// space there could stall every pool worker behind the same guards
+    /// and deadlock, so those paths overfill the mailbox instead. A
+    /// `Threads` channel keeps its normal send: the dedicated consumer
+    /// thread drains independently of the guards.
+    pub fn force_send(&self, msg: WorkerMsg) -> Result<(), SendClosed> {
+        match self {
+            MailboxSender::Thread(tx) => tx.send(msg).map_err(|_| SendClosed),
+            MailboxSender::Pool(tx) => tx.force_send(msg),
+        }
+    }
+
+    /// Messages queued at the destination (join-shortest-queue dispatch,
+    /// drain barriers, queue-depth gauges).
+    pub fn len(&self) -> usize {
+        match self {
+            MailboxSender::Thread(tx) => tx.len(),
+            MailboxSender::Pool(tx) => tx.len(),
+        }
+    }
+
+    /// Whether the destination queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Key of one upstream output buffer: `(edge, producer replica, consumer
 /// replica)`.
@@ -75,6 +137,10 @@ struct RegistryMaps {
 #[derive(Debug, Default)]
 pub struct BufferRegistry {
     maps: Mutex<RegistryMaps>,
+    /// Aggregate bytes across all buffers, maintained incrementally by the
+    /// buffers themselves (see [`OutputBuffer::with_shared`]): the
+    /// backpressure gauge reads one atomic instead of locking every buffer.
+    bytes: Arc<AtomicUsize>,
     /// Maximum items kept per buffer for consumers that never checkpoint
     /// (stateless tasks); bounds the upstream-backup horizon.
     pub stateless_cap: usize,
@@ -85,6 +151,7 @@ impl BufferRegistry {
     pub fn new(stateless_cap: usize) -> Self {
         BufferRegistry {
             maps: Mutex::new(RegistryMaps::default()),
+            bytes: Arc::new(AtomicUsize::new(0)),
             stateless_cap,
         }
     }
@@ -95,7 +162,9 @@ impl BufferRegistry {
         if let Some(buf) = maps.by_key.get(&key) {
             return Arc::clone(buf);
         }
-        let buf = Arc::new(Mutex::new(OutputBuffer::new()));
+        let buf = Arc::new(Mutex::new(OutputBuffer::with_shared(Arc::clone(
+            &self.bytes,
+        ))));
         maps.by_key.insert(key, Arc::clone(&buf));
         maps.by_consumer
             .entry((key.edge, key.dst))
@@ -122,10 +191,11 @@ impl BufferRegistry {
         }
     }
 
-    /// Total buffered bytes across all buffers (for tests and metrics).
+    /// Total buffered bytes across all buffers. O(1): the buffers mirror
+    /// every accounting change into one shared atomic, so the periodic
+    /// gauge refresh never contends on per-buffer locks.
     pub fn total_bytes(&self) -> usize {
-        let buffers: Vec<_> = self.maps.lock().by_key.values().cloned().collect();
-        buffers.iter().map(|b| b.lock().buffered_bytes()).sum()
+        self.bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -356,7 +426,7 @@ impl OutEdge {
     #[allow(clippy::too_many_arguments)]
     fn send_one(
         &mut self,
-        targets: &[Sender<WorkerMsg>],
+        targets: &[MailboxSender],
         idx: usize,
         src_replica: u32,
         payload: Arc<Record>,
@@ -379,7 +449,7 @@ impl OutEdge {
 
     /// Hands one timestamped item to destination `idx`: eagerly when
     /// batching is off, otherwise parked until a flush condition.
-    fn enqueue(&mut self, targets: &[Sender<WorkerMsg>], idx: usize, item: Item) -> SdgResult<()> {
+    fn enqueue(&mut self, targets: &[MailboxSender], idx: usize, item: Item) -> SdgResult<()> {
         if self.batch.max_items <= 1 {
             if self.buffered {
                 let buf = self.buffer_for(item.src_replica, idx);
@@ -419,7 +489,7 @@ impl OutEdge {
 
     /// Flushes destination `idx`'s pending batch: one output-buffer lock
     /// for all appends, one channel message for all items.
-    fn flush_dst(&mut self, targets: &[Sender<WorkerMsg>], idx: usize) -> SdgResult<()> {
+    fn flush_dst(&mut self, targets: &[MailboxSender], idx: usize) -> SdgResult<()> {
         let Some(slot) = self.pending.get_mut(idx) else {
             return Ok(());
         };
@@ -638,46 +708,76 @@ impl Worker {
             } else {
                 match rx.recv() {
                     Ok(msg) => Some(msg),
-                    Err(_) => break,
+                    Err(_) => {
+                        self.flush_or_discard();
+                        break;
+                    }
                 }
             };
             match msg {
                 None => self.flush_or_discard(), // Linger expired.
-                Some(WorkerMsg::Stop) => {
-                    self.flush_or_discard();
-                    break;
-                }
-                Some(WorkerMsg::Item(item)) => {
-                    if !self.alive.load(Ordering::Acquire) {
-                        // Simulated dead node: in-flight items are lost,
-                        // including anything parked for batching.
-                        self.discard_all_pending();
-                        continue;
+                Some(msg) => {
+                    if self.step(msg) {
+                        break;
                     }
-                    self.handle(item);
-                }
-                Some(WorkerMsg::Batch(items)) => {
-                    if !self.alive.load(Ordering::Acquire) {
-                        self.discard_all_pending();
-                        continue;
-                    }
-                    for item in items {
-                        self.handle(item);
-                    }
+                    // `recv_timeout` hands back queued messages before it
+                    // checks the clock, so a steady arrival stream would
+                    // otherwise starve linger deadlines indefinitely:
+                    // honour an expired deadline after every message too.
+                    self.flush_expired();
                 }
             }
         }
     }
 
-    fn has_pending(&self) -> bool {
+    /// Processes one message; returns `true` when the instance must stop.
+    ///
+    /// This is the scheduler-independent core of the instance loop, shared
+    /// by the dedicated-thread runner above and the pool actor
+    /// ([`crate::sched`]). `Stop` resolves pending micro-batches exactly
+    /// once — flush on a live node, discard on a dead one — so a linger
+    /// deadline racing shutdown behaves deterministically under both
+    /// schedulers.
+    pub(crate) fn step(&mut self, msg: WorkerMsg) -> bool {
+        match msg {
+            WorkerMsg::Stop => {
+                self.flush_or_discard();
+                true
+            }
+            WorkerMsg::Item(item) => {
+                if !self.alive.load(Ordering::Acquire) {
+                    // Simulated dead node: in-flight items are lost,
+                    // including anything parked for batching.
+                    self.discard_all_pending();
+                } else {
+                    self.handle(item);
+                }
+                false
+            }
+            WorkerMsg::Batch(items) => {
+                if !self.alive.load(Ordering::Acquire) {
+                    self.discard_all_pending();
+                } else {
+                    for item in items {
+                        self.handle(item);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
         self.outs.iter().any(OutEdge::has_pending)
     }
 
-    fn earliest_deadline(&self) -> Option<Instant> {
+    pub(crate) fn earliest_deadline(&self) -> Option<Instant> {
         self.outs.iter().filter_map(OutEdge::linger_deadline).min()
     }
 
-    fn flush_or_discard(&mut self) {
+    /// Resolves pending micro-batches: flush on a live node, discard on a
+    /// dead one (its in-flight data is lost with it).
+    pub(crate) fn flush_or_discard(&mut self) {
         if self.alive.load(Ordering::Acquire) {
             for out in &mut self.outs {
                 // Send failures here mean consumers already shut down.
@@ -685,6 +785,16 @@ impl Worker {
             }
         } else {
             self.discard_all_pending();
+        }
+    }
+
+    /// Applies [`Worker::flush_or_discard`] when the earliest linger
+    /// deadline has passed.
+    pub(crate) fn flush_expired(&mut self) {
+        if let Some(deadline) = self.earliest_deadline() {
+            if deadline <= Instant::now() {
+                self.flush_or_discard();
+            }
         }
     }
 
@@ -994,6 +1104,43 @@ mod tests {
         reg.trim(key, 1);
         assert_eq!(reg.total_bytes(), 1);
         assert!(reg.buffers_into(EdgeId(1), 9).is_empty());
+    }
+
+    #[test]
+    fn registry_total_bytes_matches_per_buffer_walk() {
+        // The O(1) aggregate must agree with a from-scratch walk over
+        // every buffer after a mix of pushes, trims, caps and restores.
+        let reg = BufferRegistry::new(1000);
+        let keys: Vec<BufferKey> = (0..4)
+            .map(|i| BufferKey {
+                edge: EdgeId(1),
+                src: i,
+                dst: i % 2,
+            })
+            .collect();
+        for (n, key) in keys.iter().enumerate() {
+            let buf = reg.get(*key);
+            for t in 1..=(n as u64 + 3) {
+                buf.lock().push_encoded(t, vec![0; (t as usize) * (n + 1)]);
+            }
+        }
+        reg.get(keys[0]).lock().trim(2);
+        reg.get(keys[1]).lock().cap(1);
+        reg.get(keys[2])
+            .lock()
+            .restore(vec![sdg_checkpoint::buffer::BufferedItem::encoded(
+                9,
+                vec![0; 13],
+            )]);
+        let walk: usize = keys
+            .iter()
+            .map(|k| reg.get(*k).lock().buffered_bytes())
+            .sum();
+        assert_eq!(reg.total_bytes(), walk);
+        for key in &keys {
+            reg.get(*key).lock().trim(u64::MAX);
+        }
+        assert_eq!(reg.total_bytes(), 0);
     }
 
     #[test]

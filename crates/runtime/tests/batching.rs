@@ -26,7 +26,9 @@ use sdg_graph::model::{
 use sdg_runtime::config::{BatchConfig, RuntimeConfig};
 use sdg_runtime::deploy::Deployment;
 use sdg_runtime::reconfig::ReconfigRequest;
-use sdg_runtime::worker::{BufferRegistry, OutEdge, OutputEvent, PreparedCode, Worker, WorkerMsg};
+use sdg_runtime::worker::{
+    BufferRegistry, MailboxSender, OutEdge, OutputEvent, PreparedCode, Worker, WorkerMsg,
+};
 use sdg_runtime::{Item, Scratch};
 use sdg_state::partition::PartitionDim;
 use sdg_state::store::StateType;
@@ -54,7 +56,7 @@ fn probe_worker(
         EdgeId(7),
         Dispatch::OneToAny,
         Vec::new(),
-        Arc::new(RwLock::new(vec![probe_tx])),
+        Arc::new(RwLock::new(vec![MailboxSender::Thread(probe_tx)])),
         TsGen::new(),
         0,
         Arc::new(BufferRegistry::new(64)),
@@ -185,6 +187,157 @@ fn channel_disconnect_flushes_like_stop() {
     assert_eq!(msg_len(&probe.try_recv().expect("flush on disconnect")), 1);
 }
 
+#[test]
+fn steady_arrivals_do_not_starve_linger_flushes() {
+    // A zero linger makes every parked item immediately due, so each
+    // message must be followed by a flush. The regression: `recv_timeout`
+    // hands back queued messages before it checks the clock, so a steady
+    // burst (queue never empty) starved the deadline and everything came
+    // out as one end-of-burst batch.
+    let batch = BatchConfig {
+        max_items: 1000,
+        linger: Duration::ZERO,
+    };
+    let (tx, probe, handle) = probe_worker(batch);
+    for corr in 0..50 {
+        tx.send(WorkerMsg::Item(input_item(corr))).unwrap();
+    }
+    tx.send(WorkerMsg::Stop).unwrap();
+    handle.join().unwrap();
+    let mut total = 0;
+    let mut msgs = 0;
+    while let Ok(m) = probe.try_recv() {
+        total += msg_len(&m);
+        msgs += 1;
+    }
+    assert_eq!(total, 50, "no item may be lost or duplicated");
+    assert!(
+        msgs > 1,
+        "an expired linger must flush mid-burst, not wait for the queue to drain"
+    );
+}
+
+#[test]
+fn stop_racing_linger_deadline_resolves_batches_exactly_once() {
+    // A parked batch whose linger deadline expires right around `Stop`
+    // must be resolved exactly once — either the timeout flush or the Stop
+    // flush wins, never both, never neither. Repeated to shake the race.
+    for round in 0..20 {
+        let batch = BatchConfig {
+            max_items: 100,
+            linger: Duration::from_millis(1),
+        };
+        let (tx, probe, handle) = probe_worker(batch);
+        for corr in 0..3 {
+            tx.send(WorkerMsg::Item(input_item(corr))).unwrap();
+        }
+        // Let the deadline expire (or not — both interleavings must work).
+        if round % 2 == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        tx.send(WorkerMsg::Stop).unwrap();
+        handle.join().unwrap();
+        let mut total = 0;
+        while let Ok(m) = probe.try_recv() {
+            total += msg_len(&m);
+        }
+        assert_eq!(
+            total, 3,
+            "round {round}: Stop racing an expired linger lost or duplicated items"
+        );
+    }
+}
+
+/// Counts applications into a shared atomic that outlives the deployment.
+struct SharedCountTask(Arc<AtomicU64>);
+
+impl NativeTask for SharedCountTask {
+    fn process(&self, input: Record, ctx: &mut dyn TaskContext) -> SdgResult<()> {
+        CountTask.process(input, ctx)?;
+        self.0.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        Ok(())
+    }
+}
+
+/// Deployment-level determinism of the same race, under both schedulers:
+/// a 1 ms linger keeps batches parked right up to the drain barrier, so
+/// quiesce races the timer-driven flush on every round, and Stop races
+/// whatever the last round left parked. Every submitted item must be
+/// applied exactly once, observed via a counter that survives `shutdown`
+/// consuming the deployment.
+#[test]
+fn quiesce_and_stop_racing_linger_are_deterministic_under_both_schedulers() {
+    use sdg_runtime::config::SchedulerMode;
+    for scheduler in [SchedulerMode::Threads, SchedulerMode::Pool] {
+        let applied = Arc::new(AtomicU64::new(0));
+        let mut b = SdgBuilder::new();
+        let counts = b.add_state(
+            "counts",
+            StateType::Table,
+            Distribution::Partitioned {
+                dim: PartitionDim::Row,
+            },
+        );
+        let gen = b.add_task(
+            "gen",
+            TaskKind::Entry {
+                method: "feed".into(),
+            },
+            TaskCode::Passthrough,
+            None,
+        );
+        let count = b.add_task(
+            "count",
+            TaskKind::Compute,
+            TaskCode::Native(Arc::new(SharedCountTask(Arc::clone(&applied)))),
+            Some(StateAccessEdge {
+                state: counts,
+                mode: AccessMode::Partitioned {
+                    key: "k".into(),
+                    dim: PartitionDim::Row,
+                },
+                writes: true,
+            }),
+        );
+        b.connect(
+            gen,
+            count,
+            Dispatch::Partitioned { key: "k".into() },
+            vec!["k".into()],
+        );
+        let mut cfg = RuntimeConfig {
+            scheduler,
+            sched_threads: 4,
+            batch: BatchConfig {
+                max_items: 100,
+                linger: Duration::from_millis(1),
+            },
+            ..Default::default()
+        };
+        cfg.se_instances.insert(counts, 2);
+        let d = Deployment::start(b.build().unwrap(), cfg).unwrap();
+        for round in 0..6i64 {
+            for n in 0..10i64 {
+                d.submit("feed", record! {"k" => Value::Int((round * 10 + n) % 12)})
+                    .unwrap();
+            }
+            // The 10-item batch (< 100) only flushes via the 1 ms linger:
+            // quiesce must observe the parked items and outwait the timer.
+            assert!(
+                d.quiesce(Duration::from_secs(10)),
+                "{scheduler:?}: round {round}: parked batch starved the drain barrier"
+            );
+        }
+        // Stop races whatever the last linger left behind.
+        d.shutdown();
+        assert_eq!(
+            applied.load(std::sync::atomic::Ordering::Acquire),
+            60,
+            "{scheduler:?}: items lost or duplicated around linger/Stop races"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Deployment-level exactness under batching
 // ---------------------------------------------------------------------------
@@ -209,6 +362,18 @@ impl NativeTask for CountTask {
 /// Two-stage pipeline: a passthrough entry forwards over a partitioned,
 /// batched dataflow edge into a counting state task.
 fn deploy_pipeline(partitions: usize, batch: BatchConfig, ft: bool) -> (Deployment, StateId) {
+    deploy_pipeline_sched(partitions, batch, ft, None)
+}
+
+/// Like [`deploy_pipeline`], optionally pinning the scheduler (`None`
+/// keeps the `SDG_SCHED`-derived default, so the whole file still runs
+/// under either mode via the environment).
+fn deploy_pipeline_sched(
+    partitions: usize,
+    batch: BatchConfig,
+    ft: bool,
+    scheduler: Option<sdg_runtime::config::SchedulerMode>,
+) -> (Deployment, StateId) {
     let mut b = SdgBuilder::new();
     let counts = b.add_state(
         "counts",
@@ -246,6 +411,10 @@ fn deploy_pipeline(partitions: usize, batch: BatchConfig, ft: bool) -> (Deployme
     );
     let sdg = b.build().unwrap();
     let mut cfg = RuntimeConfig::default();
+    if let Some(s) = scheduler {
+        cfg.scheduler = s;
+        cfg.sched_threads = 4;
+    }
     cfg.se_instances.insert(counts, partitions);
     cfg.batch = batch;
     if ft {
