@@ -1,0 +1,107 @@
+//! Bench-smoke for PR 10's acceptance criteria; writes `BENCH_pr10.json`.
+//!
+//! ```text
+//! pr10_smoke [output.json]
+//! ```
+//!
+//! Runs seeded chaos rounds (see `sdg_bench::pr10`) under both
+//! schedulers: a worker panic injected mid-workload plus transient
+//! backup-store write errors, detected and recovered by the supervisor
+//! with no manual intervention. Records median detection latency and
+//! MTTR across rounds and checks exactly-once output per scheduler.
+
+use sdg_bench::pr10::{median, run_chaos_rounds, ITEMS, KEYS, PARTITIONS, ROUNDS};
+use sdg_runtime::config::SchedulerMode;
+
+/// Median detection latency must stay under this (ms).
+const DETECTION_MAX_MS: f64 = 50.0;
+
+/// Median MTTR must stay under this (ms).
+const MTTR_MAX_MS: f64 = 250.0;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr10.json".into());
+
+    eprintln!(
+        "pr10_smoke: {ROUNDS} chaos rounds x 2 schedulers, {ITEMS} bumps over {KEYS} keys, \
+         {PARTITIONS} partitions, supervised recovery..."
+    );
+    let rounds = run_chaos_rounds();
+    for r in &rounds {
+        eprintln!(
+            "  {:?} seed {}: detection {:.2} ms, mttr {:.2} ms, {} panics, {} recoveries, \
+             {} io retries, exact: {}",
+            r.scheduler,
+            r.seed,
+            r.detection_ms,
+            r.mttr_ms,
+            r.panics,
+            r.recoveries,
+            r.io_retries,
+            r.exact,
+        );
+    }
+
+    let mut detections: Vec<f64> = rounds.iter().map(|r| r.detection_ms).collect();
+    let mut mttrs: Vec<f64> = rounds.iter().map(|r| r.mttr_ms).collect();
+    let detection_p50 = median(&mut detections);
+    let mttr_p50 = median(&mut mttrs);
+    let recovered = rounds.iter().all(|r| r.panics >= 1 && r.recoveries >= 1);
+    let exact_threads = rounds
+        .iter()
+        .filter(|r| r.scheduler == SchedulerMode::Threads)
+        .all(|r| r.exact);
+    let exact_pool = rounds
+        .iter()
+        .filter(|r| r.scheduler == SchedulerMode::Pool)
+        .all(|r| r.exact);
+
+    let detection_pass = detection_p50 <= DETECTION_MAX_MS;
+    let mttr_pass = mttr_p50 <= MTTR_MAX_MS;
+    let pass = detection_pass && mttr_pass && recovered && exact_threads && exact_pool;
+
+    let rows: Vec<String> = rounds
+        .iter()
+        .map(|r| {
+            format!(
+                r#"    {{"scheduler": "{:?}", "seed": {}, "detection_ms": {:.3}, "mttr_ms": {:.3}, "panics": {}, "recoveries": {}, "io_retries": {}, "exact": {}}}"#,
+                r.scheduler, r.seed, r.detection_ms, r.mttr_ms, r.panics, r.recoveries,
+                r.io_retries, r.exact,
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "experiment": "pr10-self-healing-runtime",
+  "criteria": {{
+    "detection_latency_p50_ms": {{"unit": "ms", "value": {detection_p50:.3}, "threshold_max": {DETECTION_MAX_MS}, "pass": {detection_pass}}},
+    "mttr_p50_ms": {{"unit": "ms", "value": {mttr_p50:.3}, "threshold_max": {MTTR_MAX_MS}, "pass": {mttr_pass}}},
+    "supervised_recovery": {{"unit": "bool", "value": {recovered}, "pass": {recovered}}},
+    "exactly_once_threads": {{"unit": "bool", "value": {exact_threads}, "pass": {exact_threads}}},
+    "exactly_once_pool": {{"unit": "bool", "value": {exact_pool}, "pass": {exact_pool}}}
+  }},
+  "chaos_rounds": {{
+    "items": {ITEMS}, "keys": {KEYS}, "partitions": {PARTITIONS}, "rounds_per_scheduler": {ROUNDS},
+    "rows": [
+{rows}
+    ]
+  }}
+}}
+"#,
+        rows = rows.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("write bench record");
+    println!("{json}");
+    eprintln!("pr10_smoke: wrote {out}");
+
+    if !pass {
+        eprintln!(
+            "pr10_smoke: criteria FAILED (detection {detection_p50:.2} <= {DETECTION_MAX_MS}: \
+             {detection_pass}; mttr {mttr_p50:.2} <= {MTTR_MAX_MS}: {mttr_pass}; recovered: \
+             {recovered}; exact threads/pool: {exact_threads}/{exact_pool})"
+        );
+        std::process::exit(1);
+    }
+}

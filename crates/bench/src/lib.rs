@@ -28,6 +28,7 @@ pub mod fig6_state_size;
 pub mod fig7_kv_scale;
 pub mod fig8_wc_window;
 pub mod fig9_lr_scale;
+pub mod pr10;
 pub mod pr4;
 pub mod pr8;
 pub mod pr9;

@@ -4,10 +4,19 @@
 //! are written and read with an optional bandwidth throttle so the m-to-n
 //! experiments (Fig. 11) exhibit real disk-parallelism effects: reading a
 //! checkpoint from two stores is roughly twice as fast as from one.
+//!
+//! Durability hardening: every chunk is persisted inside a checksummed
+//! frame (magic + CRC32 + payload) that is verified on read, on-disk
+//! writes go through a write-temp-then-rename protocol so a crash mid
+//! write never clobbers the previous generation, and both paths retry
+//! transient I/O errors with bounded backoff. A deterministic
+//! [`StoreFaultSpec`] can inject read/write errors and torn writes for
+//! chaos testing.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::Duration;
 
@@ -45,12 +54,157 @@ enum Medium {
     Disk(PathBuf),
 }
 
+/// Magic prefix of a persisted chunk frame (`b"SDGC"`).
+const FRAME_MAGIC: [u8; 4] = *b"SDGC";
+/// Bytes of frame overhead: 4 magic + 4 CRC32 (little-endian).
+const FRAME_HEADER: usize = 8;
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) of `bytes`, computed with a
+/// compile-time table — no external dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Wraps a chunk payload in the persisted frame: magic, CRC32 of the
+/// payload, payload.
+fn frame_chunk(payload: &[u8]) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(FRAME_HEADER + payload.len());
+    framed.extend_from_slice(&FRAME_MAGIC);
+    framed.extend_from_slice(&crc32(payload).to_le_bytes());
+    framed.extend_from_slice(payload);
+    framed
+}
+
+/// Verifies and strips the frame, classifying truncation, a foreign
+/// prefix, and a checksum mismatch as corruption.
+fn unframe_chunk(key: ChunkKey, framed: &[u8]) -> SdgResult<Vec<u8>> {
+    if framed.len() < FRAME_HEADER {
+        return Err(SdgError::Recovery(format!(
+            "chunk {key} corrupt: truncated frame ({} bytes)",
+            framed.len()
+        )));
+    }
+    if framed[..4] != FRAME_MAGIC {
+        return Err(SdgError::Recovery(format!(
+            "chunk {key} corrupt: bad frame magic"
+        )));
+    }
+    let stored = u32::from_le_bytes([framed[4], framed[5], framed[6], framed[7]]);
+    let payload = &framed[FRAME_HEADER..];
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(SdgError::Recovery(format!(
+            "chunk {key} corrupt: checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+/// Deterministic fault-injection plan for one [`BackupStore`].
+///
+/// Counters are per store and strictly ordinal, so a given spec produces
+/// the same fault sequence on every run: `write_error_every = n` fails
+/// write attempts `n, 2n, 3n, …` with a *transient* I/O error (a retry —
+/// which is attempt `n+1` — succeeds), while `n = 1` fails every attempt,
+/// modelling a *persistent* fault. `torn_write_every` tears the
+/// corresponding successful writes: only a truncated prefix of the frame
+/// is persisted, yet the call reports success — exactly a torn disk
+/// write, detected later by the read-side checksum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreFaultSpec {
+    /// Fail every Nth write attempt (0 = never, 1 = always/persistent).
+    pub write_error_every: u64,
+    /// Fail every Nth read attempt (0 = never, 1 = always/persistent).
+    pub read_error_every: u64,
+    /// Tear every Nth otherwise-successful write (0 = never).
+    pub torn_write_every: u64,
+}
+
+impl StoreFaultSpec {
+    /// `true` when the spec injects nothing.
+    pub fn is_noop(&self) -> bool {
+        self.write_error_every == 0 && self.read_error_every == 0 && self.torn_write_every == 0
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    spec: StoreFaultSpec,
+    writes: AtomicU64,
+    reads: AtomicU64,
+    committed: AtomicU64,
+}
+
+impl FaultState {
+    fn every(counter: &AtomicU64, n: u64) -> bool {
+        if n == 0 {
+            return false;
+        }
+        let tick = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        tick.is_multiple_of(n)
+    }
+}
+
+/// Bounded retry policy for transient store I/O errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); minimum 1.
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+}
+
 /// One backup target ("disk" of a node).
 #[derive(Debug)]
 pub struct BackupStore {
     medium: Medium,
     write_bps: Option<u64>,
     read_bps: Option<u64>,
+    retry: RetryPolicy,
+    faults: Option<FaultState>,
+    retried: AtomicU64,
 }
 
 impl BackupStore {
@@ -60,6 +214,9 @@ impl BackupStore {
             medium: Medium::Memory(Mutex::new(HashMap::new())),
             write_bps: None,
             read_bps: None,
+            retry: RetryPolicy::default(),
+            faults: None,
+            retried: AtomicU64::new(0),
         }
     }
 
@@ -72,6 +229,9 @@ impl BackupStore {
             medium: Medium::Disk(dir),
             write_bps: None,
             read_bps: None,
+            retry: RetryPolicy::default(),
+            faults: None,
+            retried: AtomicU64::new(0),
         })
     }
 
@@ -80,6 +240,31 @@ impl BackupStore {
         self.write_bps = write_bps;
         self.read_bps = read_bps;
         self
+    }
+
+    /// Sets the transient-error retry policy (default: 3 attempts with
+    /// 1 ms doubling backoff).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    pub fn with_faults(mut self, spec: StoreFaultSpec) -> Self {
+        self.faults = if spec.is_noop() {
+            None
+        } else {
+            Some(FaultState {
+                spec,
+                ..FaultState::default()
+            })
+        };
+        self
+    }
+
+    /// Number of I/O attempts that failed transiently and were retried.
+    pub fn retried_ops(&self) -> u64 {
+        self.retried.load(Ordering::Relaxed)
     }
 
     fn throttle(bps: Option<u64>, len: usize) {
@@ -91,32 +276,158 @@ impl BackupStore {
         }
     }
 
-    /// Writes a chunk, applying the simulated write bandwidth.
-    pub fn write_chunk(&self, key: ChunkKey, bytes: Vec<u8>) -> SdgResult<()> {
-        Self::throttle(self.write_bps, bytes.len());
+    /// Runs `op` under the store's retry policy: transient errors back
+    /// off (doubling from `base_backoff`) and retry up to `attempts`
+    /// times; any other error — and the last transient one — is returned.
+    fn with_retries<T>(&self, mut op: impl FnMut(u32) -> SdgResult<T>) -> SdgResult<T> {
+        let attempts = self.retry.attempts.max(1);
+        let mut backoff = self.retry.base_backoff;
+        for attempt in 1..=attempts {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < attempts => {
+                    self.retried.fetch_add(1, Ordering::Relaxed);
+                    if !backoff.is_zero() {
+                        thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on the last attempt")
+    }
+
+    /// Persists `framed` bytes for `key`. Disk writes go to a `.tmp`
+    /// sibling first and are renamed into place, so a crash mid write
+    /// leaves either the old generation or the new one — never a partial
+    /// file under the final name.
+    fn persist(&self, key: ChunkKey, framed: Vec<u8>) -> SdgResult<()> {
         match &self.medium {
             Medium::Memory(map) => {
-                map.lock().insert(key, bytes);
+                map.lock().insert(key, framed);
                 Ok(())
             }
-            Medium::Disk(dir) => fs::write(dir.join(key.to_string()), bytes)
-                .map_err(|e| SdgError::Recovery(format!("chunk write failed: {e}"))),
+            Medium::Disk(dir) => {
+                let tmp = dir.join(format!("{key}.tmp"));
+                let dst = dir.join(key.to_string());
+                fs::write(&tmp, framed).map_err(|e| {
+                    SdgError::io_transient(format!("chunk {key} write failed: {e}"))
+                })?;
+                fs::rename(&tmp, &dst).map_err(|e| {
+                    let _ = fs::remove_file(&tmp);
+                    SdgError::io_transient(format!("chunk {key} rename failed: {e}"))
+                })
+            }
         }
     }
 
-    /// Reads a chunk back, applying the simulated read bandwidth.
+    /// Writes a chunk, applying the simulated write bandwidth. The
+    /// payload is framed with a CRC32 checksum; transient failures
+    /// (injected or real) are retried per the store's [`RetryPolicy`].
+    pub fn write_chunk(&self, key: ChunkKey, bytes: Vec<u8>) -> SdgResult<()> {
+        Self::throttle(self.write_bps, bytes.len());
+        let framed = frame_chunk(&bytes);
+        self.with_retries(|attempt| {
+            if let Some(faults) = &self.faults {
+                if FaultState::every(&faults.writes, faults.spec.write_error_every) {
+                    return Err(SdgError::Io {
+                        transient: faults.spec.write_error_every > 1,
+                        message: format!("injected write fault on chunk {key} (attempt {attempt})"),
+                    });
+                }
+                if FaultState::every(&faults.committed, faults.spec.torn_write_every) {
+                    // A torn write persists a truncated frame but still
+                    // reports success to the writer.
+                    let cut = framed.len() / 2;
+                    return self.persist(key, framed[..cut].to_vec());
+                }
+            }
+            self.persist(key, framed.clone())
+        })
+    }
+
+    /// Reads a chunk back, applying the simulated read bandwidth. The
+    /// frame checksum is verified; a mismatch (torn or bit-flipped
+    /// chunk) surfaces as a non-retryable corruption error.
     pub fn read_chunk(&self, key: ChunkKey) -> SdgResult<Vec<u8>> {
-        let bytes = match &self.medium {
+        let framed = self.with_retries(|attempt| {
+            if let Some(faults) = &self.faults {
+                if FaultState::every(&faults.reads, faults.spec.read_error_every) {
+                    return Err(SdgError::Io {
+                        transient: faults.spec.read_error_every > 1,
+                        message: format!("injected read fault on chunk {key} (attempt {attempt})"),
+                    });
+                }
+            }
+            match &self.medium {
+                Medium::Memory(map) => map
+                    .lock()
+                    .get(&key)
+                    .cloned()
+                    .ok_or_else(|| SdgError::Recovery(format!("chunk {key} not found"))),
+                Medium::Disk(dir) => fs::read(dir.join(key.to_string())).map_err(|e| {
+                    if e.kind() == std::io::ErrorKind::NotFound {
+                        SdgError::Recovery(format!("chunk {key} not found"))
+                    } else {
+                        SdgError::io_transient(format!("chunk {key} read failed: {e}"))
+                    }
+                }),
+            }
+        })?;
+        let payload = unframe_chunk(key, &framed)?;
+        Self::throttle(self.read_bps, payload.len());
+        Ok(payload)
+    }
+
+    /// Truncates a stored chunk's frame in place (chaos/test tooling):
+    /// the next read fails its checksum like a torn write would.
+    pub fn truncate_chunk(&self, key: ChunkKey) -> SdgResult<()> {
+        self.mutate_chunk(key, |framed| framed.truncate(framed.len() / 2))
+    }
+
+    /// Flips one payload bit of a stored chunk in place (chaos/test
+    /// tooling): the next read fails its checksum.
+    pub fn flip_chunk_bit(&self, key: ChunkKey) -> SdgResult<()> {
+        self.mutate_chunk(key, |framed| {
+            let idx = framed.len() - 1;
+            framed[idx] ^= 0x01;
+        })
+    }
+
+    /// Deletes a stored chunk (chaos/test tooling): the next read reports
+    /// it missing.
+    pub fn delete_chunk(&self, key: ChunkKey) -> SdgResult<()> {
+        match &self.medium {
             Medium::Memory(map) => map
                 .lock()
-                .get(&key)
-                .cloned()
-                .ok_or_else(|| SdgError::Recovery(format!("chunk {key} not found")))?,
-            Medium::Disk(dir) => fs::read(dir.join(key.to_string()))
-                .map_err(|e| SdgError::Recovery(format!("chunk {key} read failed: {e}")))?,
-        };
-        Self::throttle(self.read_bps, bytes.len());
-        Ok(bytes)
+                .remove(&key)
+                .map(|_| ())
+                .ok_or_else(|| SdgError::Recovery(format!("chunk {key} not found"))),
+            Medium::Disk(dir) => fs::remove_file(dir.join(key.to_string()))
+                .map_err(|e| SdgError::Recovery(format!("chunk {key} delete failed: {e}"))),
+        }
+    }
+
+    fn mutate_chunk(&self, key: ChunkKey, f: impl FnOnce(&mut Vec<u8>)) -> SdgResult<()> {
+        match &self.medium {
+            Medium::Memory(map) => {
+                let mut map = map.lock();
+                let framed = map
+                    .get_mut(&key)
+                    .ok_or_else(|| SdgError::Recovery(format!("chunk {key} not found")))?;
+                f(framed);
+                Ok(())
+            }
+            Medium::Disk(dir) => {
+                let path = dir.join(key.to_string());
+                let mut framed = fs::read(&path)
+                    .map_err(|e| SdgError::Recovery(format!("chunk {key} read failed: {e}")))?;
+                f(&mut framed);
+                fs::write(&path, framed)
+                    .map_err(|e| SdgError::Recovery(format!("chunk {key} write failed: {e}")))
+            }
+        }
     }
 
     /// Removes chunks of checkpoints older than `keep_seq` for `instance`.
@@ -318,6 +629,90 @@ mod tests {
         let back = decode_entries(&bytes).unwrap();
         assert_eq!(back, entries);
         assert_eq!(decode_entries(&encode_entries(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn truncated_chunk_is_detected_on_read() {
+        let store = BackupStore::in_memory();
+        store.write_chunk(key(1, 0), vec![7; 64]).unwrap();
+        store.truncate_chunk(key(1, 0)).unwrap();
+        let err = store.read_chunk(key(1, 0)).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+    }
+
+    #[test]
+    fn bit_flipped_chunk_fails_checksum() {
+        let store = BackupStore::in_memory();
+        store.write_chunk(key(1, 0), vec![7; 64]).unwrap();
+        store.flip_chunk_bit(key(1, 0)).unwrap();
+        let err = store.read_chunk(key(1, 0)).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn disk_corruption_is_detected_and_tmp_files_never_linger() {
+        let dir =
+            std::env::temp_dir().join(format!("sdg-backup-corrupt-test-{}", std::process::id()));
+        let store = BackupStore::on_disk(&dir).unwrap();
+        store.write_chunk(key(1, 0), vec![5; 128]).unwrap();
+        let tmp_left = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .any(|e| e.file_name().to_string_lossy().ends_with(".tmp"));
+        assert!(!tmp_left, "write must rename its temp file into place");
+        store.truncate_chunk(key(1, 0)).unwrap();
+        assert!(store.read_chunk(key(1, 0)).is_err());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_away() {
+        // Every 2nd write attempt fails; the default 3-attempt retry
+        // policy absorbs each failure.
+        let store = BackupStore::in_memory().with_faults(StoreFaultSpec {
+            write_error_every: 2,
+            read_error_every: 2,
+            ..Default::default()
+        });
+        for i in 0..8 {
+            store.write_chunk(key(1, i), vec![i as u8; 16]).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(store.read_chunk(key(1, i)).unwrap(), vec![i as u8; 16]);
+        }
+        assert!(store.retried_ops() > 0);
+    }
+
+    #[test]
+    fn persistent_faults_exhaust_retries() {
+        let store = BackupStore::in_memory().with_faults(StoreFaultSpec {
+            write_error_every: 1,
+            ..Default::default()
+        });
+        let err = store.write_chunk(key(1, 0), vec![1]).unwrap_err();
+        assert!(!err.is_transient());
+        assert!(err.to_string().contains("injected write fault"), "{err}");
+        assert_eq!(store.retried_ops(), 0, "persistent faults are not retried");
+    }
+
+    #[test]
+    fn torn_writes_report_success_but_fail_the_read_checksum() {
+        let store = BackupStore::in_memory().with_faults(StoreFaultSpec {
+            torn_write_every: 2,
+            ..Default::default()
+        });
+        store.write_chunk(key(1, 0), vec![3; 100]).unwrap();
+        store.write_chunk(key(1, 1), vec![4; 100]).unwrap(); // torn
+        assert_eq!(store.read_chunk(key(1, 0)).unwrap(), vec![3; 100]);
+        let err = store.read_chunk(key(1, 1)).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
     }
 
     #[test]

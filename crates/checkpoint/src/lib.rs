@@ -32,7 +32,7 @@ pub mod config;
 pub mod coordinator;
 pub mod recovery;
 
-pub use backup::{BackupSet, BackupStore, ChunkKey, DeltaMeta};
+pub use backup::{BackupSet, BackupStore, ChunkKey, DeltaMeta, StoreFaultSpec};
 pub use buffer::{BufferedItem, BufferedPayload, OutputBuffer};
 pub use cell::StateCell;
 pub use config::CheckpointConfig;

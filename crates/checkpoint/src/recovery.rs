@@ -159,6 +159,83 @@ pub fn restore_chain(
     )
 }
 
+/// Result of [`restore_chain_resilient`]: the restored partitions plus
+/// which generation of the chain actually supplied them.
+#[derive(Debug)]
+pub struct ChainRestore {
+    /// The `n` restored (store, vector) pairs.
+    pub parts: Vec<(StateStore, VectorTs)>,
+    /// Index into the original chain of the newest generation restored
+    /// (`sets.len() - 1` when nothing had to be dropped). Replay must use
+    /// `sets[used]`'s vector and output buffers, not the newest set's.
+    pub used: usize,
+    /// The data-loss errors that forced each fallback, newest first.
+    pub fallback_errors: Vec<SdgError>,
+}
+
+/// `true` for errors that mean a persisted chunk is gone or unreadable —
+/// the class a chain fallback can route around. Structural chain errors
+/// (out of order, mixed instances, …) recur at every prefix and are not
+/// worth falling back over.
+fn is_data_loss(e: &SdgError) -> bool {
+    match e {
+        SdgError::Io { .. } | SdgError::Codec(_) => true,
+        SdgError::Recovery(m) => m.starts_with("chunk "),
+        _ => false,
+    }
+}
+
+/// [`restore_chain`] hardened against corrupt or missing chunks: when
+/// the full chain fails with a data-loss error, the newest generation is
+/// dropped and the remaining prefix retried, down to the bare base. The
+/// restore therefore lands on the newest *intact* generation instead of
+/// erroring, at the cost of replaying a little more upstream buffer.
+///
+/// # Errors
+///
+/// Fails when the chain is structurally invalid, or when every prefix —
+/// including the base generation alone — has lost a chunk.
+pub fn restore_chain_resilient(
+    sets: &[BackupSet],
+    stores: &[Arc<BackupStore>],
+    n: usize,
+    options: RestoreOptions,
+) -> SdgResult<ChainRestore> {
+    let mut fallback_errors = Vec::new();
+    for end in (1..=sets.len()).rev() {
+        match restore_chain(&sets[..end], stores, n, options) {
+            Ok(parts) => {
+                return Ok(ChainRestore {
+                    parts,
+                    used: end - 1,
+                    fallback_errors,
+                })
+            }
+            Err(e) if is_data_loss(&e) && end > 1 => fallback_errors.push(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(SdgError::Recovery("empty restore chain".into()))
+}
+
+/// [`restore_chain_resilient`] with an optional observability probe.
+pub fn restore_chain_resilient_observed(
+    sets: &[BackupSet],
+    stores: &[Arc<BackupStore>],
+    n: usize,
+    options: RestoreOptions,
+    obs: Option<&sdg_common::obs::CheckpointInstruments>,
+) -> SdgResult<ChainRestore> {
+    let t0 = std::time::Instant::now();
+    let result = restore_chain_resilient(sets, stores, n, options);
+    if let Some(obs) = obs {
+        if result.is_ok() {
+            obs.restore_ns.record_duration(t0.elapsed());
+        }
+    }
+    result
+}
+
 /// [`restore_chain`] with an optional observability probe.
 pub fn restore_chain_observed(
     sets: &[BackupSet],
@@ -482,6 +559,120 @@ mod tests {
         let table = store.as_table().unwrap();
         assert_eq!(table.len(), 49);
         assert_eq!(table.get(&Key::Int(13)), None);
+    }
+
+    /// Builds a base + two deltas incremental chain over one store,
+    /// mirroring `chain_restore_composes_base_and_deltas`.
+    fn corruptible_chain(stores: &[Arc<BackupStore>]) -> Vec<BackupSet> {
+        use sdg_state::partition::PartitionDim;
+        let cell = StateCell::new_striped(StateType::Table, 4, PartitionDim::Row, Some(32));
+        for i in 0..300i64 {
+            let key = Key::Int(i);
+            cell.apply_routed(EdgeId(0), (i + 1) as u64, Some(key.stable_hash()), |s| {
+                s.as_table().unwrap().put(key.clone(), Value::Int(i));
+            });
+        }
+        let cfg = CheckpointConfig {
+            incremental: true,
+            delta_chunks: 32,
+            ..Default::default()
+        };
+        let base = take_checkpoint(&cell, instance(), 1, Vec::new, stores, &cfg).unwrap();
+        for i in [5i64, 17] {
+            let key = Key::Int(i);
+            cell.apply_routed(EdgeId(0), 400 + i as u64, Some(key.stable_hash()), |s| {
+                s.as_table().unwrap().put(key.clone(), Value::Int(i * 100));
+            });
+        }
+        let d1 = take_checkpoint(&cell, instance(), 2, Vec::new, stores, &cfg).unwrap();
+        for i in [5i64, 44] {
+            let key = Key::Int(i);
+            cell.apply_routed(EdgeId(0), 800 + i as u64, Some(key.stable_hash()), |s| {
+                s.as_table().unwrap().put(key.clone(), Value::Int(i * 1000));
+            });
+        }
+        let d2 = take_checkpoint(&cell, instance(), 3, Vec::new, stores, &cfg).unwrap();
+        vec![base, d1, d2]
+    }
+
+    /// All (key, value) pairs of a restored single-partition table,
+    /// sorted, for byte-identity comparisons.
+    fn table_contents(parts: Vec<(StateStore, VectorTs)>) -> Vec<(Key, Value)> {
+        let (mut store, _) = parts.into_iter().next().unwrap();
+        let mut out = Vec::new();
+        store.as_table().unwrap().for_each(|k, v| {
+            out.push((k.clone(), v.clone()));
+        });
+        out.sort_by_key(|(k, _)| k.stable_hash());
+        out
+    }
+
+    #[test]
+    fn intact_chain_restores_newest_generation_byte_identically() {
+        let stores = stores(1);
+        let chain = corruptible_chain(&stores);
+        let plain = restore_chain(&chain, &stores, 1, RestoreOptions::default()).unwrap();
+        let resilient =
+            restore_chain_resilient(&chain, &stores, 1, RestoreOptions::default()).unwrap();
+        assert_eq!(resilient.used, 2);
+        assert!(resilient.fallback_errors.is_empty());
+        assert_eq!(table_contents(resilient.parts), table_contents(plain));
+    }
+
+    #[test]
+    fn truncated_newest_delta_falls_back_to_prior_generation() {
+        let stores = stores(1);
+        let chain = corruptible_chain(&stores);
+        for (_, key) in &chain[2].chunk_locations {
+            stores[0].truncate_chunk(*key).unwrap();
+        }
+        let r = restore_chain_resilient(&chain, &stores, 1, RestoreOptions::default()).unwrap();
+        assert_eq!(r.used, 1, "restore must land on the intact d1 generation");
+        assert!(!r.fallback_errors.is_empty());
+        let expected = restore_chain(&chain[..2], &stores, 1, RestoreOptions::default()).unwrap();
+        assert_eq!(table_contents(r.parts), table_contents(expected));
+    }
+
+    #[test]
+    fn bit_flipped_newest_delta_falls_back_to_prior_generation() {
+        let stores = stores(1);
+        let chain = corruptible_chain(&stores);
+        let (_, key) = chain[2].chunk_locations[0];
+        stores[0].flip_chunk_bit(key).unwrap();
+        let r = restore_chain_resilient(&chain, &stores, 1, RestoreOptions::default()).unwrap();
+        assert!(r.used < 2);
+        assert!(r
+            .fallback_errors
+            .iter()
+            .any(|e| e.to_string().contains("checksum mismatch")));
+        let expected =
+            restore_chain(&chain[..r.used + 1], &stores, 1, RestoreOptions::default()).unwrap();
+        assert_eq!(table_contents(r.parts), table_contents(expected));
+    }
+
+    #[test]
+    fn missing_newest_delta_falls_back_to_prior_generation() {
+        let stores = stores(1);
+        let chain = corruptible_chain(&stores);
+        for (_, key) in &chain[2].chunk_locations {
+            stores[0].delete_chunk(*key).unwrap();
+        }
+        let r = restore_chain_resilient(&chain, &stores, 1, RestoreOptions::default()).unwrap();
+        assert_eq!(r.used, 1);
+        let expected = restore_chain(&chain[..2], &stores, 1, RestoreOptions::default()).unwrap();
+        assert_eq!(table_contents(r.parts), table_contents(expected));
+    }
+
+    #[test]
+    fn fully_corrupt_chain_is_an_error_not_a_panic() {
+        let stores = stores(1);
+        let chain = corruptible_chain(&stores);
+        for set in &chain {
+            for (_, key) in &set.chunk_locations {
+                let _ = stores[0].truncate_chunk(*key);
+            }
+        }
+        assert!(restore_chain_resilient(&chain, &stores, 1, RestoreOptions::default()).is_err());
     }
 
     #[test]

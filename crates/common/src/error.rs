@@ -54,6 +54,14 @@ pub enum SdgError {
     Runtime(String),
     /// Checkpointing or recovery failed.
     Recovery(String),
+    /// A backup-store I/O operation failed. `transient` errors are worth
+    /// retrying with backoff; persistent ones are not.
+    Io {
+        /// Whether a retry may plausibly succeed.
+        transient: bool,
+        /// Human-readable description.
+        message: String,
+    },
     /// Interpreting task element code failed (division by zero, missing
     /// binding, ...).
     Eval(String),
@@ -88,6 +96,33 @@ impl SdgError {
             message: message.into(),
         }
     }
+
+    /// Builds a transient [`SdgError::Io`] error (worth retrying).
+    pub fn io_transient(message: impl Into<String>) -> Self {
+        SdgError::Io {
+            transient: true,
+            message: message.into(),
+        }
+    }
+
+    /// Builds a persistent [`SdgError::Io`] error (retries will not help).
+    pub fn io_persistent(message: impl Into<String>) -> Self {
+        SdgError::Io {
+            transient: false,
+            message: message.into(),
+        }
+    }
+
+    /// `true` for errors that a bounded retry with backoff may clear.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SdgError::Io {
+                transient: true,
+                ..
+            }
+        )
+    }
 }
 
 impl fmt::Display for SdgError {
@@ -112,6 +147,14 @@ impl fmt::Display for SdgError {
             SdgError::NotFound(m) => write!(f, "not found: {m}"),
             SdgError::Runtime(m) => write!(f, "runtime error: {m}"),
             SdgError::Recovery(m) => write!(f, "recovery error: {m}"),
+            SdgError::Io { transient, message } => {
+                let class = if *transient {
+                    "transient"
+                } else {
+                    "persistent"
+                };
+                write!(f, "{class} I/O error: {message}")
+            }
             SdgError::Eval(m) => write!(f, "evaluation error: {m}"),
             SdgError::State(m) => write!(f, "state error: {m}"),
             SdgError::Config(m) => write!(f, "config error: {m}"),

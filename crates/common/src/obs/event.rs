@@ -119,6 +119,54 @@ pub enum EventKind {
         /// Pause-to-resume time.
         took: Duration,
     },
+    /// A worker/actor run loop panicked and was caught at the scheduler
+    /// boundary.
+    WorkerPanicked {
+        /// TE instance label, e.g. `counter#1`.
+        instance: String,
+        /// Best-effort panic payload rendering.
+        message: String,
+    },
+    /// The supervisor saw an instance's heartbeat epoch stall past the
+    /// miss threshold.
+    HeartbeatMissed {
+        /// TE instance label.
+        instance: String,
+        /// Consecutive scan intervals without a beat.
+        missed: u32,
+    },
+    /// The supervisor began an automatic fail-and-recover attempt.
+    RecoveryStarted {
+        /// SE instance label being recovered.
+        instance: String,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// An automatic recovery attempt restored state and replayed buffers.
+    RecoverySucceeded {
+        /// SE instance label.
+        instance: String,
+        /// Attempts consumed (1 = first try).
+        attempt: u32,
+    },
+    /// An automatic recovery attempt failed; the supervisor will back off
+    /// and retry, or escalate to `Degraded` when attempts are exhausted.
+    RecoveryFailed {
+        /// SE instance label.
+        instance: String,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// Rendered error.
+        error: String,
+    },
+    /// A persisted chunk failed its checksum or vanished; restore fell
+    /// back toward an older intact generation.
+    ChunkCorrupt {
+        /// SE instance label owning the chunk.
+        instance: String,
+        /// Rendered data-loss error.
+        error: String,
+    },
 }
 
 impl EventKind {
@@ -137,6 +185,12 @@ impl EventKind {
             EventKind::RecoveryRestored { .. } => "recovery_restored",
             EventKind::RecoveryReplayed { .. } => "recovery_replayed",
             EventKind::RecoveryComplete { .. } => "recovery_complete",
+            EventKind::WorkerPanicked { .. } => "worker_panicked",
+            EventKind::HeartbeatMissed { .. } => "heartbeat_missed",
+            EventKind::RecoveryStarted { .. } => "recovery_started",
+            EventKind::RecoverySucceeded { .. } => "recovery_succeeded",
+            EventKind::RecoveryFailed { .. } => "recovery_failed",
+            EventKind::ChunkCorrupt { .. } => "chunk_corrupt",
         }
     }
 }
@@ -288,6 +342,55 @@ mod tests {
             }
             .name(),
             "state_migrated"
+        );
+        assert_eq!(
+            EventKind::WorkerPanicked {
+                instance: "t#0".into(),
+                message: "boom".into()
+            }
+            .name(),
+            "worker_panicked"
+        );
+        assert_eq!(
+            EventKind::HeartbeatMissed {
+                instance: "t#0".into(),
+                missed: 3
+            }
+            .name(),
+            "heartbeat_missed"
+        );
+        assert_eq!(
+            EventKind::RecoveryStarted {
+                instance: "s#0".into(),
+                attempt: 1
+            }
+            .name(),
+            "recovery_started"
+        );
+        assert_eq!(
+            EventKind::RecoverySucceeded {
+                instance: "s#0".into(),
+                attempt: 2
+            }
+            .name(),
+            "recovery_succeeded"
+        );
+        assert_eq!(
+            EventKind::RecoveryFailed {
+                instance: "s#0".into(),
+                attempt: 1,
+                error: "chunk gone".into()
+            }
+            .name(),
+            "recovery_failed"
+        );
+        assert_eq!(
+            EventKind::ChunkCorrupt {
+                instance: "s#0".into(),
+                error: "checksum mismatch".into()
+            }
+            .name(),
+            "chunk_corrupt"
         );
     }
 }

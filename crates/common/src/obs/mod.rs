@@ -28,10 +28,10 @@ mod snapshot;
 
 pub use event::{EventKind, EventLog, ObsEvent, DEFAULT_EVENT_CAPACITY};
 pub use registry::{
-    CheckpointInstruments, MetricsRegistry, ReconfigInstruments, SchedInstruments,
-    StateInstruments, TaskInstruments,
+    CheckpointInstruments, FaultInstruments, MetricsRegistry, ReconfigInstruments,
+    RecoveryInstruments, SchedInstruments, StateInstruments, TaskInstruments,
 };
 pub use snapshot::{
-    CheckpointStats, DeploymentStats, MetricsSnapshot, ReconfigStats, SchedStats, StateStats,
-    TaskStats,
+    CheckpointStats, DeploymentStats, FaultStats, MetricsSnapshot, ReconfigStats, RecoveryStats,
+    SchedStats, StateStats, TaskStats,
 };

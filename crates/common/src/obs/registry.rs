@@ -11,7 +11,8 @@ use crate::metrics::{Counter, Gauge, Histogram};
 
 use super::event::{EventKind, EventLog, ObsEvent, DEFAULT_EVENT_CAPACITY};
 use super::snapshot::{
-    CheckpointStats, MetricsSnapshot, ReconfigStats, SchedStats, StateStats, TaskStats,
+    CheckpointStats, FaultStats, MetricsSnapshot, ReconfigStats, RecoveryStats, SchedStats,
+    StateStats, TaskStats,
 };
 
 /// Instruments of one task element (shared by all of its instances).
@@ -169,6 +170,39 @@ pub struct SchedInstruments {
     pub mailbox_depth: Gauge,
 }
 
+/// Counters of the fault-injection layer and failure detector. All zero
+/// when no faults are injected and every worker stays healthy.
+#[derive(Debug, Default)]
+pub struct FaultInstruments {
+    /// Worker/actor panics caught at the scheduler boundary.
+    pub worker_panics: Counter,
+    /// Heartbeat epochs seen stalled past the miss threshold.
+    pub heartbeats_missed: Counter,
+    /// Chunks found corrupt (checksum mismatch / truncation) on read.
+    pub chunks_corrupt: Counter,
+    /// Transient store I/O errors absorbed by retry.
+    pub io_retries: Counter,
+    /// Time from failure occurrence to supervisor detection, ns.
+    pub detection_ns: Histogram,
+}
+
+/// Counters of the supervisor's automatic recovery driver.
+#[derive(Debug, Default)]
+pub struct RecoveryInstruments {
+    /// Automatic fail-and-recover attempts started.
+    pub started: Counter,
+    /// Attempts that restored state and replayed buffers successfully.
+    pub succeeded: Counter,
+    /// Attempts that failed (will back off and retry, or escalate).
+    pub failed: Counter,
+    /// Restore-chain fallbacks to an older intact generation.
+    pub chain_fallbacks: Counter,
+    /// Recoveries currently in flight (storm-guard gauge).
+    pub in_flight: Gauge,
+    /// Full detection-to-resume recovery time (MTTR), ns.
+    pub mttr_ns: Histogram,
+}
+
 /// A deployment's registry of instruments and events.
 ///
 /// One registry is owned per engine (SDG deployment or baseline). Hot-path
@@ -183,6 +217,8 @@ pub struct MetricsRegistry {
     checkpoints: Arc<CheckpointInstruments>,
     reconfig: Arc<ReconfigInstruments>,
     sched: Arc<SchedInstruments>,
+    faults: Arc<FaultInstruments>,
+    recovery: Arc<RecoveryInstruments>,
     e2e_latency: Arc<Histogram>,
     events: EventLog,
 }
@@ -208,6 +244,8 @@ impl MetricsRegistry {
             checkpoints: Arc::new(CheckpointInstruments::default()),
             reconfig: Arc::new(ReconfigInstruments::default()),
             sched: Arc::new(SchedInstruments::default()),
+            faults: Arc::new(FaultInstruments::default()),
+            recovery: Arc::new(RecoveryInstruments::default()),
             e2e_latency: Arc::new(Histogram::new()),
             events: EventLog::with_capacity(capacity),
         }
@@ -269,6 +307,16 @@ impl MetricsRegistry {
         &self.sched
     }
 
+    /// The fault-injection / failure-detection instruments.
+    pub fn faults(&self) -> &Arc<FaultInstruments> {
+        &self.faults
+    }
+
+    /// The automatic-recovery (supervisor) instruments.
+    pub fn recovery(&self) -> &Arc<RecoveryInstruments> {
+        &self.recovery
+    }
+
     /// The deployment-wide end-to-end latency histogram (all tasks merged).
     pub fn e2e_latency(&self) -> &Arc<Histogram> {
         &self.e2e_latency
@@ -300,6 +348,8 @@ impl MetricsRegistry {
         c.sync_ns.reset();
         c.restore_ns.reset();
         self.reconfig.migrated_bytes.reset();
+        self.faults.detection_ns.reset();
+        self.recovery.mttr_ns.reset();
     }
 
     /// Freezes all instruments into a plain-data [`MetricsSnapshot`].
@@ -374,6 +424,21 @@ impl MetricsRegistry {
                 resumes: self.sched.resumes.get(),
                 timer_fires: self.sched.timer_fires.get(),
                 mailbox_depth: self.sched.mailbox_depth.get(),
+            },
+            faults: FaultStats {
+                worker_panics: self.faults.worker_panics.get(),
+                heartbeats_missed: self.faults.heartbeats_missed.get(),
+                chunks_corrupt: self.faults.chunks_corrupt.get(),
+                io_retries: self.faults.io_retries.get(),
+                detection: self.faults.detection_ns.summary(),
+            },
+            recovery: RecoveryStats {
+                started: self.recovery.started.get(),
+                succeeded: self.recovery.succeeded.get(),
+                failed: self.recovery.failed.get(),
+                chain_fallbacks: self.recovery.chain_fallbacks.get(),
+                in_flight: self.recovery.in_flight.get(),
+                mttr: self.recovery.mttr_ns.summary(),
             },
             e2e_latency: self.e2e_latency.summary(),
             events: self.events.snapshot(),

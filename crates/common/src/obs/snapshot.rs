@@ -121,6 +121,39 @@ pub struct SchedStats {
     pub mailbox_depth: u64,
 }
 
+/// Frozen fault-injection / failure-detection statistics (all zero on a
+/// healthy, fault-free deployment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultStats {
+    /// Worker/actor panics caught at the scheduler boundary.
+    pub worker_panics: u64,
+    /// Heartbeat epochs seen stalled past the miss threshold.
+    pub heartbeats_missed: u64,
+    /// Chunks found corrupt (checksum mismatch / truncation) on read.
+    pub chunks_corrupt: u64,
+    /// Transient store I/O errors absorbed by retry.
+    pub io_retries: u64,
+    /// Failure-to-detection latency candlestick (ns).
+    pub detection: Summary,
+}
+
+/// Frozen automatic-recovery (supervisor) statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryStats {
+    /// Automatic fail-and-recover attempts started.
+    pub started: u64,
+    /// Attempts that completed successfully.
+    pub succeeded: u64,
+    /// Attempts that failed.
+    pub failed: u64,
+    /// Restore-chain fallbacks to an older intact generation.
+    pub chain_fallbacks: u64,
+    /// Recoveries in flight at snapshot time.
+    pub in_flight: u64,
+    /// Detection-to-resume recovery time candlestick (ns).
+    pub mttr: Summary,
+}
+
 /// One coherent freeze of a deployment's instruments and events.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -136,6 +169,10 @@ pub struct MetricsSnapshot {
     pub reconfig: ReconfigStats,
     /// Cooperative-scheduler statistics.
     pub sched: SchedStats,
+    /// Fault-injection / failure-detection statistics.
+    pub faults: FaultStats,
+    /// Automatic-recovery (supervisor) statistics.
+    pub recovery: RecoveryStats,
     /// Deployment-wide end-to-end latency candlestick (ns).
     pub e2e_latency: Summary,
     /// Retained events, oldest first.
@@ -325,6 +362,32 @@ impl MetricsSnapshot {
                 sc.mailbox_depth
             );
         }
+        let f = &self.faults;
+        let rv = &self.recovery;
+        if f.worker_panics + f.heartbeats_missed + f.chunks_corrupt + f.io_retries + rv.started > 0
+        {
+            let _ = writeln!(
+                out,
+                "  faults: {} panics, {} heartbeats missed, {} corrupt chunks, {} io retries, \
+                 detection p50 {:.3}ms",
+                f.worker_panics,
+                f.heartbeats_missed,
+                f.chunks_corrupt,
+                f.io_retries,
+                ns_to_ms(f.detection.p50),
+            );
+            let _ = writeln!(
+                out,
+                "  recovery: {} started, {} succeeded, {} failed, {} chain fallbacks, \
+                 {} in flight, mttr p50 {:.3}ms",
+                rv.started,
+                rv.succeeded,
+                rv.failed,
+                rv.chain_fallbacks,
+                rv.in_flight,
+                ns_to_ms(rv.mttr.p50),
+            );
+        }
         if c.taken > 0 {
             let _ = writeln!(
                 out,
@@ -459,6 +522,29 @@ impl MetricsSnapshot {
             sc.timer_fires,
             sc.mailbox_depth,
         );
+        let f = &self.faults;
+        let _ = write!(
+            out,
+            "\"faults\":{{\"worker_panics\":{},\"heartbeats_missed\":{},\"chunks_corrupt\":{},\
+             \"io_retries\":{},\"detection_ns\":{}}},",
+            f.worker_panics,
+            f.heartbeats_missed,
+            f.chunks_corrupt,
+            f.io_retries,
+            summary_json(&f.detection),
+        );
+        let rv = &self.recovery;
+        let _ = write!(
+            out,
+            "\"recovery\":{{\"started\":{},\"succeeded\":{},\"failed\":{},\"chain_fallbacks\":{},\
+             \"in_flight\":{},\"mttr_ns\":{}}},",
+            rv.started,
+            rv.succeeded,
+            rv.failed,
+            rv.chain_fallbacks,
+            rv.in_flight,
+            summary_json(&rv.mttr),
+        );
         let _ = write!(
             out,
             "\"e2e_latency_ns\":{},",
@@ -556,6 +642,26 @@ fn render_event_detail(kind: &EventKind) -> String {
                 "recovery_complete instance={instance} took={:.3}ms",
                 ms(*took)
             )
+        }
+        EventKind::WorkerPanicked { instance, message } => {
+            format!("worker_panicked instance={instance} message={message}")
+        }
+        EventKind::HeartbeatMissed { instance, missed } => {
+            format!("heartbeat_missed instance={instance} missed={missed}")
+        }
+        EventKind::RecoveryStarted { instance, attempt } => {
+            format!("recovery_started instance={instance} attempt={attempt}")
+        }
+        EventKind::RecoverySucceeded { instance, attempt } => {
+            format!("recovery_succeeded instance={instance} attempt={attempt}")
+        }
+        EventKind::RecoveryFailed {
+            instance,
+            attempt,
+            error,
+        } => format!("recovery_failed instance={instance} attempt={attempt} error={error}"),
+        EventKind::ChunkCorrupt { instance, error } => {
+            format!("chunk_corrupt instance={instance} error={error}")
         }
     }
 }
@@ -655,6 +761,52 @@ fn event_json(e: &ObsEvent) -> String {
                 items
             );
         }
+        EventKind::WorkerPanicked { instance, message } => {
+            let _ = write!(
+                out,
+                ",\"instance\":{},\"message\":{}",
+                super::json::escape(instance),
+                super::json::escape(message)
+            );
+        }
+        EventKind::HeartbeatMissed { instance, missed } => {
+            let _ = write!(
+                out,
+                ",\"instance\":{},\"missed\":{}",
+                super::json::escape(instance),
+                missed
+            );
+        }
+        EventKind::RecoveryStarted { instance, attempt }
+        | EventKind::RecoverySucceeded { instance, attempt } => {
+            let _ = write!(
+                out,
+                ",\"instance\":{},\"attempt\":{}",
+                super::json::escape(instance),
+                attempt
+            );
+        }
+        EventKind::RecoveryFailed {
+            instance,
+            attempt,
+            error,
+        } => {
+            let _ = write!(
+                out,
+                ",\"instance\":{},\"attempt\":{},\"error\":{}",
+                super::json::escape(instance),
+                attempt,
+                super::json::escape(error)
+            );
+        }
+        EventKind::ChunkCorrupt { instance, error } => {
+            let _ = write!(
+                out,
+                ",\"instance\":{},\"error\":{}",
+                super::json::escape(instance),
+                super::json::escape(error)
+            );
+        }
     }
     out.push('}');
     out
@@ -735,6 +887,21 @@ mod tests {
                 timer_fires: 5,
                 mailbox_depth: 6,
             },
+            faults: FaultStats {
+                worker_panics: 1,
+                heartbeats_missed: 2,
+                chunks_corrupt: 1,
+                io_retries: 3,
+                detection: summary(1),
+            },
+            recovery: RecoveryStats {
+                started: 2,
+                succeeded: 1,
+                failed: 1,
+                chain_fallbacks: 1,
+                in_flight: 0,
+                mttr: summary(1),
+            },
             e2e_latency: summary(10),
             events: vec![
                 ObsEvent {
@@ -764,8 +931,24 @@ mod tests {
                         node: 3,
                     },
                 },
+                ObsEvent {
+                    seq: 3,
+                    at: Duration::from_millis(950),
+                    kind: EventKind::WorkerPanicked {
+                        instance: "put#1".into(),
+                        message: "boom".into(),
+                    },
+                },
+                ObsEvent {
+                    seq: 4,
+                    at: Duration::from_millis(980),
+                    kind: EventKind::RecoverySucceeded {
+                        instance: "kv#1".into(),
+                        attempt: 2,
+                    },
+                },
             ],
-            events_logged: 3,
+            events_logged: 5,
             events_dropped: 0,
         }
     }
@@ -802,15 +985,27 @@ mod tests {
             "\"p50\":10,\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17}},",
             "\"sched\":{\"workers\":4,\"polls\":200,\"steals\":12,\"parks\":8,",
             "\"suspends\":3,\"resumes\":3,\"timer_fires\":5,\"mailbox_depth\":6},",
+            "\"faults\":{\"worker_panics\":1,\"heartbeats_missed\":2,\"chunks_corrupt\":1,",
+            "\"io_retries\":3,",
+            "\"detection_ns\":{\"count\":1,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",
+            "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17}},",
+            "\"recovery\":{\"started\":2,\"succeeded\":1,\"failed\":1,\"chain_fallbacks\":1,",
+            "\"in_flight\":0,",
+            "\"mttr_ns\":{\"count\":1,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,\"p50\":10,",
+            "\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17}},",
             "\"e2e_latency_ns\":{\"count\":10,\"mean\":10.000,\"min\":5,\"p5\":5,\"p25\":7,",
             "\"p50\":10,\"p75\":12,\"p95\":15,\"p99\":16,\"max\":17},",
-            "\"events_logged\":3,\"events_dropped\":0,",
+            "\"events_logged\":5,\"events_dropped\":0,",
             "\"events\":[{\"seq\":0,\"at_ms\":750.000,\"kind\":\"checkpoint_backup\",",
             "\"instance\":\"kv#0\",\"ckpt_seq\":1,\"bytes\":2048},",
             "{\"seq\":1,\"at_ms\":900.000,\"kind\":\"state_migrated\",",
             "\"state\":\"kv\",\"bytes\":512,\"took_ms\":4.000},",
             "{\"seq\":2,\"at_ms\":901.000,\"kind\":\"scale_in\",",
-            "\"task\":\"put\",\"instances\":2,\"node\":3}]}",
+            "\"task\":\"put\",\"instances\":2,\"node\":3},",
+            "{\"seq\":3,\"at_ms\":950.000,\"kind\":\"worker_panicked\",",
+            "\"instance\":\"put#1\",\"message\":\"boom\"},",
+            "{\"seq\":4,\"at_ms\":980.000,\"kind\":\"recovery_succeeded\",",
+            "\"instance\":\"kv#1\",\"attempt\":2}]}",
         );
         assert_eq!(sample_snapshot().to_json(), expected);
     }
@@ -845,10 +1040,14 @@ mod tests {
         assert!(text.contains("4 deferred encodes, 512 buffered bytes"));
         assert!(text.contains("reconfig: 1 scale-outs, 1 scale-ins"));
         assert!(text.contains("sched: 4 workers, 200 polls, 12 steals"));
+        assert!(text.contains("faults: 1 panics, 2 heartbeats missed, 1 corrupt chunks"));
+        assert!(text.contains("recovery: 2 started, 1 succeeded, 1 failed, 1 chain fallbacks"));
         assert!(text.contains("e2e latency"));
         assert!(text.contains("checkpoint_backup"));
         assert!(text.contains("state_migrated state=kv bytes=512"));
         assert!(text.contains("scale_in task=put instances=2 node=3"));
+        assert!(text.contains("worker_panicked instance=put#1 message=boom"));
+        assert!(text.contains("recovery_succeeded instance=kv#1 attempt=2"));
     }
 
     #[test]

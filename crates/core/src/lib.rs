@@ -153,6 +153,7 @@ impl SdgProgram {
 pub mod prelude {
     pub use crate::SdgProgram;
     pub use sdg_checkpoint::config::{CheckpointConfig, CheckpointConfigBuilder};
+    pub use sdg_checkpoint::StoreFaultSpec;
     pub use sdg_common::error::{SdgError, SdgResult};
     pub use sdg_common::obs::{
         DeploymentStats, EventKind, MetricsSnapshot, ObsEvent, ReconfigStats, StateStats, TaskStats,
@@ -161,9 +162,11 @@ pub mod prelude {
     pub use sdg_common::value::{Key, Record, Value};
     pub use sdg_graph::model::{Dispatch, Distribution, Sdg, SdgBuilder, TaskCode, TaskKind};
     pub use sdg_runtime::config::{
-        ClusterSpec, NodeSpec, RuntimeConfig, RuntimeConfigBuilder, ScalingConfig,
+        ClusterSpec, NodeSpec, RuntimeConfig, RuntimeConfigBuilder, ScalingConfig, SchedulerMode,
+        SupervisorConfig,
     };
     pub use sdg_runtime::deploy::{Deployment, OutputEvent};
+    pub use sdg_runtime::fault::{FaultAction, FaultPlan, Health, WorkerFault};
     pub use sdg_runtime::reconfig::{ReconfigReport, ReconfigRequest};
 }
 

@@ -114,6 +114,83 @@ impl ScalingConfig {
     }
 }
 
+/// The self-healing supervisor: failure detection (caught panics +
+/// heartbeat scans) and automatic §5 fail-and-recover with bounded
+/// backoff (see [`crate::fault`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Master switch. On by default: with no fault plan and no panics the
+    /// supervisor is a parked thread waking `heartbeat_interval`-ly.
+    pub enabled: bool,
+    /// Heuristic hang detection from stalled heartbeat epochs. Off by
+    /// default: an instance legitimately blocked on downstream
+    /// backpressure for `heartbeat_interval × miss_threshold` is
+    /// indistinguishable from a hung one, so this is opt-in for chaos
+    /// tests and deployments that tune the threshold to their topology.
+    /// Panic detection is precise and always on with the supervisor.
+    pub hang_detection: bool,
+    /// Supervisor scan period (and heartbeat staleness unit).
+    pub heartbeat_interval: Duration,
+    /// Consecutive stalled scans before an instance is declared hung.
+    pub miss_threshold: u32,
+    /// Recovery attempts per failed instance before escalating to the
+    /// terminal `Degraded` health state.
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per attempt (with jitter).
+    pub backoff_base: Duration,
+    /// Upper bound on the exponential backoff. Must be ≥ `backoff_base`.
+    pub backoff_cap: Duration,
+    /// Storm guard: recoveries driven per scan, at most.
+    pub max_concurrent_recoveries: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            enabled: true,
+            hang_detection: false,
+            heartbeat_interval: Duration::from_millis(20),
+            miss_threshold: 10,
+            max_attempts: 5,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            max_concurrent_recoveries: 1,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Validates internal consistency of the supervisor settings.
+    pub fn validate(&self) -> SdgResult<()> {
+        if self.heartbeat_interval.is_zero() {
+            return Err(SdgError::Config(
+                "supervisor.heartbeat_interval must be positive".into(),
+            ));
+        }
+        if self.miss_threshold == 0 {
+            return Err(SdgError::Config(
+                "supervisor.miss_threshold must be ≥ 1".into(),
+            ));
+        }
+        if self.max_attempts == 0 {
+            return Err(SdgError::Config(
+                "supervisor.max_attempts must be ≥ 1".into(),
+            ));
+        }
+        if self.backoff_cap < self.backoff_base {
+            return Err(SdgError::Config(
+                "supervisor.backoff_cap must be ≥ backoff_base".into(),
+            ));
+        }
+        if self.max_concurrent_recoveries == 0 {
+            return Err(SdgError::Config(
+                "supervisor.max_concurrent_recoveries must be ≥ 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Which execution engine runs translated (StateLang) TE code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecEngine {
@@ -255,6 +332,12 @@ pub struct RuntimeConfig {
     /// Graphs without an attached report (hand-built, native tasks) are
     /// always trusted — there is nothing to check them against.
     pub trust_annotations: bool,
+    /// Self-healing supervisor settings (failure detection and automatic
+    /// recovery).
+    pub supervisor: SupervisorConfig,
+    /// Deterministic fault plan for chaos runs; `None` (the default)
+    /// injects nothing.
+    pub faults: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -274,6 +357,8 @@ impl Default for RuntimeConfig {
             batch: BatchConfig::default(),
             state_stripes: 16,
             trust_annotations: false,
+            supervisor: SupervisorConfig::default(),
+            faults: None,
         }
     }
 }
@@ -340,6 +425,7 @@ impl RuntimeConfig {
             return Err(SdgError::Config("sched_threads must be in 1..=256".into()));
         }
         self.scaling.validate()?;
+        self.supervisor.validate()?;
         self.checkpoint.validate()
     }
 }
@@ -438,6 +524,18 @@ impl RuntimeConfigBuilder {
     /// Trusts annotations over `sdg-verify` certificates (escape hatch).
     pub fn trust_annotations(mut self, trust: bool) -> Self {
         self.cfg.trust_annotations = trust;
+        self
+    }
+
+    /// Replaces the self-healing supervisor settings.
+    pub fn supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.cfg.supervisor = supervisor;
+        self
+    }
+
+    /// Installs a deterministic fault plan for chaos runs.
+    pub fn faults(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
         self
     }
 
@@ -601,6 +699,55 @@ mod tests {
             .build()
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn supervisor_config_validation() {
+        SupervisorConfig::default().validate().unwrap();
+        assert!(RuntimeConfig::default().supervisor.enabled);
+        assert!(!RuntimeConfig::default().supervisor.hang_detection);
+        assert!(RuntimeConfig::default().faults.is_none());
+
+        let cases = [
+            SupervisorConfig {
+                heartbeat_interval: Duration::ZERO,
+                ..Default::default()
+            },
+            SupervisorConfig {
+                miss_threshold: 0,
+                ..Default::default()
+            },
+            SupervisorConfig {
+                max_attempts: 0,
+                ..Default::default()
+            },
+            SupervisorConfig {
+                backoff_base: Duration::from_millis(100),
+                backoff_cap: Duration::from_millis(50),
+                ..Default::default()
+            },
+            SupervisorConfig {
+                max_concurrent_recoveries: 0,
+                ..Default::default()
+            },
+        ];
+        for bad in cases {
+            let cfg = RuntimeConfig::builder().supervisor(bad.clone()).build();
+            assert!(cfg.validate().is_err(), "accepted invalid {bad:?}");
+        }
+
+        let cfg = RuntimeConfig::builder()
+            .supervisor(SupervisorConfig {
+                hang_detection: true,
+                heartbeat_interval: Duration::from_millis(5),
+                miss_threshold: 3,
+                ..Default::default()
+            })
+            .faults(crate::fault::FaultPlan::seeded(11).with_worker_panic("bump_0", 0, 40))
+            .build();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.supervisor.miss_threshold, 3);
+        assert!(!cfg.faults.as_ref().unwrap().is_noop());
     }
 
     #[test]

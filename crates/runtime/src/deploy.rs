@@ -7,7 +7,7 @@
 //! sink, and supports failure injection with §5's replay-based recovery.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -18,13 +18,13 @@ use sdg_checkpoint::backup::{BackupSet, BackupStore};
 use sdg_checkpoint::buffer::BufferedItem;
 use sdg_checkpoint::cell::StateCell;
 use sdg_checkpoint::coordinator::{take_checkpoint_with, CheckpointOptions};
-use sdg_checkpoint::recovery::{restore_chain_observed, RestoreOptions};
+use sdg_checkpoint::recovery::{restore_chain_resilient_observed, RestoreOptions};
 use sdg_common::error::{SdgError, SdgResult};
 use sdg_common::ids::{EdgeId, InstanceId, StateId, TaskId};
 use sdg_common::obs::{
     DeploymentStats, EventKind, MetricsRegistry, MetricsSnapshot, ObsEvent, TaskInstruments,
 };
-use sdg_common::time::TsGen;
+use sdg_common::time::{TsGen, VectorTs};
 use sdg_common::value::Record;
 use sdg_graph::alloc::allocate;
 use sdg_graph::model::{AccessMode, Dispatch, Distribution, Sdg, StateDecl, TaskKind};
@@ -36,6 +36,9 @@ use sdg_state::store::{StateStore, StateType};
 
 use crate::compile::Scratch;
 use crate::config::{BatchConfig, RuntimeConfig, SchedulerMode};
+use crate::fault::{
+    run_supervisor, FailureHub, FaultInjector, Health, HeartbeatView, RecoveryUnit,
+};
 use crate::item::{lane, Item};
 use crate::reconfig::{ReconfigReport, ReconfigRequest};
 use crate::scaling::{run_scaling_monitor, ScaleDirection, ScaleEvent, StopWait};
@@ -122,6 +125,16 @@ pub(crate) struct Inner {
     pub cells: RwLock<HashMap<StateId, Vec<Arc<StateCell>>>>,
     /// Liveness flag per TE instance.
     pub(crate) alive: RwLock<HashMap<(TaskId, u32), Arc<AtomicBool>>>,
+    /// Heartbeat epoch per TE instance, bumped by the worker once per
+    /// step; the supervisor scans these for hang detection.
+    heartbeats: RwLock<HashMap<(TaskId, u32), Arc<AtomicU64>>>,
+    /// Caught worker/actor panics, drained by the supervisor.
+    failure_hub: Arc<FailureHub>,
+    /// Resolved fault plan (empty when no plan is configured).
+    injector: FaultInjector,
+    /// Supervisor-driven health ([`Health`] as `u8`); `Degraded` is
+    /// terminal.
+    health: AtomicU8,
     /// The deployment's instrument registry: per-task and per-state
     /// instruments, checkpoint phase timers, and the structured event log.
     pub obs: Arc<MetricsRegistry>,
@@ -203,16 +216,24 @@ impl Deployment {
         let (sink_tx, sink_rx) = unbounded();
 
         // Backup stores for checkpoint chunks (the "disks" of spare nodes).
+        // A configured fault plan injects its store faults into every one,
+        // exercising the retry and chain-fallback paths deterministically.
+        let store_faults = cfg
+            .faults
+            .as_ref()
+            .map(|p| p.store_faults)
+            .filter(|s| !s.is_noop());
         let store_count = cfg.checkpoint.backup_fanout.max(2);
-        let stores: Vec<Arc<BackupStore>> =
-            (0..store_count)
-                .map(|_| {
-                    Arc::new(BackupStore::in_memory().with_bandwidth(
-                        cfg.checkpoint.disk_write_bps,
-                        cfg.checkpoint.disk_read_bps,
-                    ))
-                })
-                .collect();
+        let stores: Vec<Arc<BackupStore>> = (0..store_count)
+            .map(|_| {
+                let mut store = BackupStore::in_memory()
+                    .with_bandwidth(cfg.checkpoint.disk_write_bps, cfg.checkpoint.disk_read_bps);
+                if let Some(spec) = store_faults {
+                    store = store.with_faults(spec);
+                }
+                Arc::new(store)
+            })
+            .collect();
 
         // The deployment's instrument registry. Task and state instruments
         // are created eagerly so a snapshot always lists every element,
@@ -246,12 +267,22 @@ impl Deployment {
             SchedulerMode::Threads => None,
         };
 
+        // Resolve the fault plan against the graph before anything runs:
+        // a plan naming an unknown task is a config error, not a silently
+        // unarmed chaos run.
+        let injector = FaultInjector::resolve(cfg.faults.as_ref(), &sdg)?;
+        let failure_hub = Arc::new(FailureHub::new(Arc::clone(&obs)));
+
         let inner = Arc::new(Inner {
             sdg: Arc::clone(&sdg),
             cfg: cfg.clone(),
             targets,
             cells: RwLock::new(cells),
             alive: RwLock::new(HashMap::new()),
+            heartbeats: RwLock::new(HashMap::new()),
+            failure_hub,
+            injector,
+            health: AtomicU8::new(Health::Healthy.as_u8()),
             obs,
             instruments,
             buffers: Arc::new(BufferRegistry::new(100_000)),
@@ -343,6 +374,20 @@ impl Deployment {
                 run_scaling_monitor(&inner);
             }));
         }
+        if self.inner.cfg.supervisor.enabled {
+            let inner = Arc::clone(&self.inner);
+            let cfg = self.inner.cfg.supervisor.clone();
+            control.push(std::thread::spawn(move || {
+                run_supervisor(inner, cfg);
+            }));
+        }
+    }
+
+    /// Supervisor-driven health: `Healthy` → `Recovering` while failures
+    /// are being repaired, terminal `Degraded` once a recovery exhausts
+    /// its attempts.
+    pub fn health(&self) -> Health {
+        self.inner.health_state()
     }
 
     /// Submits an external request to entry method `entry`.
@@ -550,6 +595,13 @@ impl Inner {
             .checkpoints()
             .buffered_bytes
             .set(self.buffers.total_bytes() as u64);
+        // Mirror the transient store-I/O retries absorbed so far into the
+        // monotone fault counter (each store counts its own).
+        let retried: u64 = self.stores.iter().map(|s| s.retried_ops()).sum();
+        let seen = self.obs.faults().io_retries.get();
+        if retried > seen {
+            self.obs.faults().io_retries.add(retried - seen);
+        }
         if self.pool.is_some() {
             let depth: usize = self
                 .targets
@@ -661,6 +713,10 @@ impl Inner {
         self.alive
             .write()
             .insert((task_id, replica), Arc::clone(&alive));
+        let heartbeat = Arc::new(AtomicU64::new(0));
+        self.heartbeats
+            .write()
+            .insert((task_id, replica), Arc::clone(&heartbeat));
         self.node_of_instance
             .write()
             .insert((task_id, replica), node);
@@ -695,12 +751,31 @@ impl Inner {
             dedupe: true,
             in_flight: Arc::clone(&self.in_flight),
             work_debt: Duration::ZERO,
+            task: task_id,
+            heartbeat,
+            // A respawned replica shares the original (spent) trigger, so
+            // a recovered worker does not re-fail on the replayed item.
+            fault: self.injector.trigger_for(task_id, replica),
+            hub: Some(Arc::clone(&self.failure_hub)),
         };
         let tx = match &self.pool {
             Some(pool) => MailboxSender::Pool(pool.spawn_actor(worker, self.cfg.channel_capacity)),
             None => {
                 let (tx, rx) = bounded::<WorkerMsg>(self.cfg.channel_capacity);
-                let handle = std::thread::spawn(move || worker.run(rx));
+                let handle = std::thread::spawn(move || {
+                    // The panic boundary of a dedicated worker thread: a
+                    // caught panic is reported to the failure hub (for the
+                    // supervisor) instead of dying silently into `join`.
+                    // The unwind drops the worker, whose `OutEdge`s repay
+                    // any parked batches, and drops `rx`, so producers see
+                    // a disconnected channel instead of a wedged queue.
+                    let probe = worker.panic_probe();
+                    if let Err(payload) =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run(rx)))
+                    {
+                        probe.report(payload.as_ref());
+                    }
+                });
                 self.threads.lock().push(handle);
                 MailboxSender::Thread(tx)
             }
@@ -1053,12 +1128,20 @@ impl Inner {
             .lock()
             .get(&(state, replica))
             .filter(|c| !c.is_empty())
-            .cloned()
-            .ok_or_else(|| {
-                SdgError::Recovery(format!(
-                    "no checkpoint recorded for {state}#{replica}; enable checkpointing"
-                ))
-            })?;
+            .cloned();
+        // Without a chain, recovery from scratch (empty store, zero
+        // watermark, full replay) is sound only while the upstream buffers
+        // still hold everything ever sent to this replica: checkpointing
+        // must be on (or buffers don't exist), and no reconfiguration may
+        // have migrated state into the replica since (the buffers describe
+        // the *current* key ownership only from that point on).
+        if chain.is_none()
+            && (!self.cfg.checkpoint.enabled || self.force_full.lock().contains(&(state, replica)))
+        {
+            return Err(SdgError::Recovery(format!(
+                "no checkpoint recorded for {state}#{replica}; enable checkpointing"
+            )));
+        }
 
         // Pause producers into the affected tasks: take their target locks
         // in id order (consistent ordering prevents lock cycles). The locks
@@ -1082,30 +1165,62 @@ impl Inner {
         }
 
         // Restore state from the m backup stores, composing the base
-        // generation with any deltas taken since it.
+        // generation with any deltas taken since it. The resilient restore
+        // routes around corrupt or missing chunks by falling back to the
+        // newest intact prefix of the chain; with no chain at all (never
+        // checkpointed), recovery rebuilds from an empty store and a zero
+        // watermark — replay then reconstructs the state from scratch.
         let restore_t0 = Instant::now();
-        let restored = restore_chain_observed(
-            &chain,
-            &self.stores,
-            1,
-            RestoreOptions::default(),
-            Some(self.obs.checkpoints()),
-        )?;
-        let (store, vector) = restored.into_iter().next().expect("n=1 restore");
         let decl = self.sdg.state(state)?.clone();
+        let (store, vector, stripe_vectors) = match &chain {
+            Some(chain) => {
+                let restored = restore_chain_resilient_observed(
+                    chain,
+                    &self.stores,
+                    1,
+                    RestoreOptions::default(),
+                    Some(self.obs.checkpoints()),
+                )?;
+                if !restored.fallback_errors.is_empty() {
+                    // Corrupt generations were dropped: surface each loss,
+                    // then truncate the recorded chain to the prefix that
+                    // actually restored, so later deltas can never compose
+                    // across the corrupt boundary, and force the next
+                    // checkpoint to be a full (non-delta) take.
+                    for e in &restored.fallback_errors {
+                        self.obs.faults().chunks_corrupt.inc();
+                        self.obs.record_event(EventKind::ChunkCorrupt {
+                            instance: label.clone(),
+                            error: e.to_string(),
+                        });
+                    }
+                    self.obs
+                        .recovery()
+                        .chain_fallbacks
+                        .add(restored.fallback_errors.len() as u64);
+                    if let Some(c) = self.backups.lock().get_mut(&(state, replica)) {
+                        c.truncate(restored.used + 1);
+                    }
+                    self.force_full.lock().insert((state, replica));
+                }
+                let stripe_vectors = chain[restored.used].stripe_vectors.clone();
+                let (store, vector) = restored.parts.into_iter().next().expect("n=1 restore");
+                (store, vector, stripe_vectors)
+            }
+            None => (StateStore::new(decl.ty), VectorTs::default(), Vec::new()),
+        };
         let (stripes, dim, delta) = cell_layout(&self.cfg, &decl, self.sdg.verify.as_deref());
-        let newest = chain.last().expect("non-empty chain");
         // Re-split into stripes with the exact per-stripe vectors recorded
         // at checkpoint time (split_by_hash and stripe routing use the same
         // key hash, so stripe i gets back exactly the keys — and watermarks
         // — it owned). Falling back to the merged (min) vector is safe but
         // replays more.
-        let new_cell = if stripes > 1 && newest.stripe_vectors.len() == stripes {
+        let new_cell = if stripes > 1 && stripe_vectors.len() == stripes {
             let parts = store.split_by_hash(stripes, dim)?;
             Arc::new(StateCell::from_parts(
                 parts
                     .into_iter()
-                    .zip(newest.stripe_vectors.iter().cloned())
+                    .zip(stripe_vectors.iter().cloned())
                     .collect(),
                 dim,
                 delta,
@@ -1196,6 +1311,139 @@ impl Inner {
 
     pub(crate) fn stop_wait(&self) -> &StopWait {
         &self.stop_wait
+    }
+
+    // ---- supervisor interface (see `crate::fault::run_supervisor`) ----
+
+    pub(crate) fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
+    }
+
+    pub(crate) fn failure_hub(&self) -> &FailureHub {
+        &self.failure_hub
+    }
+
+    /// Seed for the supervisor's backoff jitter (0 without a plan).
+    pub(crate) fn fault_seed(&self) -> u64 {
+        self.cfg.faults.as_ref().map(|p| p.seed).unwrap_or(0)
+    }
+
+    pub(crate) fn health_state(&self) -> Health {
+        Health::from_u8(self.health.load(Ordering::Acquire))
+    }
+
+    /// `Healthy` → `Recovering`; never leaves `Degraded`.
+    pub(crate) fn mark_recovering(&self) {
+        let _ = self.health.compare_exchange(
+            Health::Healthy.as_u8(),
+            Health::Recovering.as_u8(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// `Recovering` → `Healthy`; never leaves `Degraded`.
+    pub(crate) fn mark_stable(&self) {
+        let _ = self.health.compare_exchange(
+            Health::Recovering.as_u8(),
+            Health::Healthy.as_u8(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Terminal escalation.
+    pub(crate) fn mark_degraded(&self) {
+        self.health
+            .store(Health::Degraded.as_u8(), Ordering::Release);
+    }
+
+    /// Samples every instance's heartbeat epoch together with what the
+    /// supervisor needs to judge it: liveness, queued input, and whether
+    /// a stalled epoch can mean a hang at all under the scheduler.
+    pub(crate) fn heartbeat_view(&self) -> Vec<HeartbeatView> {
+        let heartbeats = self.heartbeats.read();
+        let alive = self.alive.read();
+        let mut views = Vec::with_capacity(heartbeats.len());
+        for (&(task, replica), epoch) in heartbeats.iter() {
+            let sender = self
+                .targets
+                .get(&task)
+                .and_then(|t| t.read().get(replica as usize).cloned());
+            let Some(sender) = sender else {
+                continue; // instance not wired (mid-spawn or retired)
+            };
+            views.push(HeartbeatView {
+                task,
+                replica,
+                epoch: epoch.load(Ordering::Acquire),
+                alive: alive
+                    .get(&(task, replica))
+                    .is_some_and(|f| f.load(Ordering::Acquire)),
+                queued: sender.len(),
+                hang_candidate: sender.hang_candidate(),
+                label: self.te_label(task, replica),
+            });
+        }
+        views
+    }
+
+    /// Label of TE instance `(task, replica)` in event payloads.
+    fn te_label(&self, task: TaskId, replica: u32) -> String {
+        match self.sdg.task(task) {
+            Ok(decl) => format!("{}#{replica}", decl.name),
+            Err(_) => format!("{task}#{replica}"),
+        }
+    }
+
+    /// What recovering the failed instance `(task, replica)` means:
+    /// stateful tasks go through fail-and-recover keyed by their SE,
+    /// stateless ones are respawned.
+    pub(crate) fn recovery_unit(&self, task: TaskId, replica: u32) -> RecoveryUnit {
+        match self.sdg.task(task).ok().and_then(|t| t.access.as_ref()) {
+            Some(a) => RecoveryUnit::State(a.state, replica),
+            None => RecoveryUnit::Task(task, replica),
+        }
+    }
+
+    pub(crate) fn unit_label(&self, unit: RecoveryUnit) -> String {
+        match unit {
+            RecoveryUnit::State(state, replica) => self.se_label(state, replica),
+            RecoveryUnit::Task(task, replica) => self.te_label(task, replica),
+        }
+    }
+
+    /// Executes one recovery on behalf of the supervisor.
+    pub(crate) fn recover(&self, unit: RecoveryUnit) -> SdgResult<()> {
+        match unit {
+            RecoveryUnit::State(state, replica) => {
+                self.fail_and_recover(state, replica).map(|_| ())
+            }
+            RecoveryUnit::Task(task, replica) => self.respawn_stateless(task, replica),
+        }
+    }
+
+    /// Replaces a dead stateless instance with a fresh one on a new node.
+    ///
+    /// There is no state to restore and no watermark to replay from:
+    /// items that were queued in the dead instance's mailbox are covered
+    /// by upstream buffers only through a downstream stateful consumer's
+    /// recovery; for a purely stateless stretch the respawn restores
+    /// liveness, not the lost items (the §5 model: in-flight data on a
+    /// failed node is lost, durability comes from checkpoints + replay at
+    /// the stateful stages).
+    pub(crate) fn respawn_stateless(&self, task: TaskId, replica: u32) -> SdgResult<()> {
+        if let Some(flag) = self.alive.read().get(&(task, replica)) {
+            flag.store(false, Ordering::Release);
+        }
+        let node = self.next_node();
+        let targets = Arc::clone(
+            self.targets
+                .get(&task)
+                .ok_or_else(|| SdgError::NotFound(format!("task {task}")))?,
+        );
+        let mut guard = targets.write();
+        self.spawn_instance_in(task, replica, node, Some(&mut guard))
     }
 
     /// Drops every recorded checkpoint chain of `state` and marks its

@@ -37,7 +37,13 @@
 //!   report with timings, migrated bytes and resulting instance counts;
 //! - **failure recovery** (§5): periodic asynchronous checkpoints, output
 //!   buffers with trimming, node-failure injection, parallel restore and
-//!   replay with timestamp-based duplicate filtering ([`deploy`]).
+//!   replay with timestamp-based duplicate filtering ([`deploy`]);
+//! - a **self-healing supervisor** ([`fault`]): deterministic seeded
+//!   fault injection (worker panics/stalls, backup-store I/O errors and
+//!   torn writes), panic capture at both scheduler boundaries plus
+//!   heartbeat-epoch hang detection, and automatic fail-and-recover with
+//!   exponential backoff, jitter, a recovery storm guard and escalation
+//!   to a terminal `Degraded` health state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +51,7 @@
 pub mod compile;
 pub mod config;
 pub mod deploy;
+pub mod fault;
 pub mod interp;
 pub mod item;
 pub mod reconfig;
@@ -55,8 +62,10 @@ pub mod worker;
 pub use compile::{run_compiled, Scratch};
 pub use config::{
     BatchConfig, ClusterSpec, ExecEngine, NodeSpec, RuntimeConfig, ScalingConfig, SchedulerMode,
+    SupervisorConfig,
 };
 pub use deploy::{Deployment, OutputEvent};
+pub use fault::{FaultAction, FaultPlan, Health, WorkerFault};
 pub use item::Item;
 pub use reconfig::{ReconfigReport, ReconfigRequest};
 pub use scaling::{ScaleDirection, ScaleEvent};

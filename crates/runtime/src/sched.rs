@@ -159,6 +159,14 @@ impl PoolSender {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Whether the actor holds a pool thread right now. The supervisor's
+    /// hang detection only suspects `Running` actors: `Idle`, `Scheduled`
+    /// and `Suspended` actors legitimately sit on stalled heartbeat
+    /// epochs while parked behind busy workers or awaiting send credit.
+    pub(crate) fn is_running(&self) -> bool {
+        self.actor.mb.lock().expect("mailbox lock").state == RunState::Running
+    }
 }
 
 impl Clone for PoolSender {
@@ -668,13 +676,33 @@ fn run_actor(shared: &Arc<PoolShared>, me: usize, actor: Arc<Actor>) {
                 break;
             }
             Some(msg) => {
-                if worker.step(msg) {
-                    stopped = true;
-                    break;
-                }
-                processed += 1;
-                if processed >= RUN_SLICE {
-                    break;
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.step(msg))) {
+                    Ok(true) => {
+                        stopped = true;
+                        break;
+                    }
+                    Ok(false) => {
+                        processed += 1;
+                        if processed >= RUN_SLICE {
+                            break;
+                        }
+                    }
+                    Err(payload) => {
+                        // The actor dies the way a panicking dedicated
+                        // thread would: report the caught panic, drop the
+                        // worker (its `OutEdge`s repay parked batches on
+                        // drop), and retire the mailbox so producers see
+                        // disconnect instead of a wedged queue — the pool
+                        // worker itself survives to run other actors.
+                        let probe = worker.panic_probe();
+                        CURRENT.with(|c| {
+                            c.borrow_mut().take();
+                        });
+                        drop(worker);
+                        probe.report(payload.as_ref());
+                        retire(shared, &actor, Some(me));
+                        return;
+                    }
                 }
             }
         }

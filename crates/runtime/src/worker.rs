@@ -18,7 +18,7 @@ use parking_lot::{Mutex, RwLock};
 use sdg_checkpoint::buffer::{BufferedItem, OutputBuffer};
 use sdg_checkpoint::cell::StateCell;
 use sdg_common::error::{SdgError, SdgResult};
-use sdg_common::ids::EdgeId;
+use sdg_common::ids::{EdgeId, TaskId};
 use sdg_common::metrics::Histogram;
 use sdg_common::obs::TaskInstruments;
 use sdg_common::time::TsGen;
@@ -28,6 +28,7 @@ use sdg_ir::te_compiled::CompiledTe;
 
 use crate::compile::{run_compiled, Scratch};
 use crate::config::{BatchConfig, ExecEngine};
+use crate::fault::{FailureHub, FaultAction, FaultTrigger, PanicProbe};
 use crate::interp::{run_te, Effects};
 use crate::item::{lane, Item};
 
@@ -104,6 +105,20 @@ impl MailboxSender {
     /// Whether the destination queue is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Whether a stalled heartbeat epoch can mean a *hung* instance here.
+    ///
+    /// A dedicated thread owns its loop, so a stalled epoch with queued
+    /// input is always suspicious. A pool actor's epoch also stalls while
+    /// it is parked `Idle`/`Scheduled` behind busy pool workers or
+    /// `Suspended` awaiting send credit — only `Running` means it holds a
+    /// pool thread and should be making progress.
+    pub(crate) fn hang_candidate(&self) -> bool {
+        match self {
+            MailboxSender::Thread(_) => true,
+            MailboxSender::Pool(tx) => tx.is_running(),
+        }
     }
 }
 
@@ -585,6 +600,19 @@ impl OutEdge {
     }
 }
 
+impl Drop for OutEdge {
+    /// Repays the in-flight gauge for items still parked for batching.
+    ///
+    /// Graceful paths resolve pending batches before the edge drops, so
+    /// this is a no-op there — but a worker consumed by a panic unwind
+    /// drops its edges with whatever was parked, and without repayment
+    /// the deployment's quiesce barrier would wait on those ghosts
+    /// forever.
+    fn drop(&mut self) {
+        self.discard_pending();
+    }
+}
+
 /// An event on the SDG's external output.
 #[derive(Debug, Clone)]
 pub struct OutputEvent {
@@ -680,6 +708,16 @@ pub struct Worker {
     pub in_flight: Arc<AtomicU64>,
     /// Accumulated service-time debt not yet slept (see `busy_work`).
     pub work_debt: Duration,
+    /// Owning task id (failure reports name the instance precisely).
+    pub task: TaskId,
+    /// Heartbeat epoch, bumped once per step and scanned by the
+    /// supervisor for hang detection.
+    pub heartbeat: Arc<AtomicU64>,
+    /// Armed injection point from the deployment's fault plan, if any.
+    pub fault: Option<Arc<FaultTrigger>>,
+    /// Where scheduler boundaries report caught panics. Absent only for
+    /// bare workers built by unit tests.
+    pub hub: Option<Arc<FailureHub>>,
 }
 
 impl Worker {
@@ -739,6 +777,7 @@ impl Worker {
     /// deadline racing shutdown behaves deterministically under both
     /// schedulers.
     pub(crate) fn step(&mut self, msg: WorkerMsg) -> bool {
+        self.heartbeat.fetch_add(1, Ordering::Release);
         match msg {
             WorkerMsg::Stop => {
                 self.flush_or_discard();
@@ -804,7 +843,40 @@ impl Worker {
         }
     }
 
+    /// Everything a scheduler boundary needs to report this worker's
+    /// death after the unwind consumed it.
+    pub(crate) fn panic_probe(&self) -> PanicProbe {
+        PanicProbe {
+            task: self.task,
+            replica: self.replica,
+            label: format!("{}#{}", self.name, self.replica),
+            hub: self.hub.clone(),
+        }
+    }
+
     fn handle(&mut self, item: Item) {
+        // Injected faults fire before the item is touched: nothing is
+        // half-processed, no gauge is incremented, and the item itself is
+        // already in its upstream output buffer, so recovery replays it
+        // to the replacement instance.
+        if let Some(action) = self.fault.as_ref().and_then(|t| t.poll()) {
+            match action {
+                FaultAction::Panic => panic!(
+                    "injected fault: {}#{} fails on this item",
+                    self.name, self.replica
+                ),
+                FaultAction::Stall(dur) => {
+                    std::thread::sleep(dur);
+                    if !self.alive.load(Ordering::Acquire) {
+                        // The supervisor declared us hung and recovered
+                        // around us while we slept; the item replays to
+                        // the replacement, so touching it here would
+                        // double-apply it.
+                        return;
+                    }
+                }
+            }
+        }
         self.obs.items_in.inc();
         // Gather barriers assemble one logical item from `expect` fragments.
         let item = if let Some(var) = self.gather_var.clone() {

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use sdg_common::error::{SdgError, SdgResult};
-use sdg_common::ids::{EdgeId, StateId};
+use sdg_common::ids::{EdgeId, StateId, TaskId};
 use sdg_common::obs::MetricsRegistry;
 use sdg_common::record;
 use sdg_common::time::TsGen;
@@ -84,6 +84,10 @@ fn probe_worker(
         dedupe: false,
         in_flight: Arc::new(AtomicU64::new(0)),
         work_debt: Duration::ZERO,
+        task: TaskId(0),
+        heartbeat: Arc::new(AtomicU64::new(0)),
+        fault: None,
+        hub: None,
     };
     let handle = std::thread::spawn(move || worker.run(in_rx));
     (in_tx, probe_rx, handle)
